@@ -1,0 +1,124 @@
+// AMBER-alert scenario — the paper's running third-party example: searching
+// for a kidnapper's vehicle with the mobile A3 service (§II-D, §IV-C,
+// after [15]).
+//
+// Three CAVs drive the same corridor. Each runs the A3 polymorphic service
+// (motion detection → plate detection → plate recognition → watchlist
+// match), offloading per its own conditions, and shares recognized plates
+// with the platoon over DSRC so followers skip recognitions the leader
+// already did. When a plate matches the watchlist, the result is reported
+// under the vehicle's rotating pseudonym.
+//
+//   $ ./amber_alert
+#include <cstdio>
+#include <set>
+
+#include "core/platform.hpp"
+#include "workload/apps.hpp"
+
+using namespace vdap;
+
+int main() {
+  std::printf("OpenVDAP AMBER-alert (mobile A3) example\n");
+  std::printf("========================================\n\n");
+
+  sim::Simulator sim(2718);
+  const char* kWatchlist = "plate:KDN-4PR";
+
+  // --- a three-vehicle platoon ----------------------------------------------
+  std::vector<std::unique_ptr<core::OpenVdap>> fleet;
+  for (int v = 0; v < 3; ++v) {
+    core::PlatformConfig cfg;
+    cfg.vehicle_name = "cav-" + std::to_string(v);
+    cfg.vehicle_secret = 0x1000 + static_cast<std::uint64_t>(v);
+    fleet.push_back(std::make_unique<core::OpenVdap>(sim, cfg));
+    fleet.back()->install_standard_services();
+  }
+  for (std::size_t v = 0; v + 1 < fleet.size(); ++v) {
+    core::CollaborationCache::connect(fleet[v]->collaboration(),
+                                      fleet[v + 1]->collaboration());
+  }
+  std::printf("Platoon of %zu vehicles, DSRC-chained; watchlist entry %s\n\n",
+              fleet.size(), kWatchlist);
+
+  // --- the drive --------------------------------------------------------------
+  // Every vehicle sees a plate every 2 s; sighting streams overlap ~60%
+  // between neighbors. The kidnapper's plate appears to vehicle 1 at t=90 s.
+  struct Stats {
+    int sightings = 0;
+    int recognitions = 0;
+    int reused = 0;
+    util::Summary pipeline_ms;
+  };
+  std::vector<Stats> stats(fleet.size());
+  bool alert_raised = false;
+
+  auto sight = [&](std::size_t v, const std::string& plate_key) {
+    Stats& st = stats[v];
+    st.sightings++;
+    fleet[v]->collaboration().lookup(
+        plate_key,
+        [&, v, plate_key](std::optional<core::SharedResult> cached) {
+          Stats& s = stats[v];
+          if (cached.has_value()) {
+            s.reused++;  // a platoon member already decoded this plate
+            return;
+          }
+          // Run the full A3 pipeline through the elastic manager.
+          sim::SimTime started = sim.now();
+          fleet[v]->run_service(
+              "a3-kidnapper-search",
+              [&, v, plate_key, started](const edgeos::ServiceRunReport& r) {
+                Stats& s2 = stats[v];
+                if (!r.ok) return;
+                s2.recognitions++;
+                s2.pipeline_ms.add(sim::to_millis(sim.now() - started));
+                fleet[v]->collaboration().put(plate_key,
+                                              json::Value("decoded"));
+                if (plate_key == kWatchlist && !alert_raised) {
+                  alert_raised = true;
+                  std::printf(
+                      "[t=%7.1f s] MATCH: %s sighted by %s (reported as %s, "
+                      "pipeline '%s')\n",
+                      sim::to_seconds(sim.now()), plate_key.c_str(),
+                      fleet[v]->name().c_str(),
+                      fleet[v]->collaboration().pseudonym().c_str(),
+                      r.pipeline.c_str());
+                }
+              });
+        });
+  };
+
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    sim.every(sim::seconds(2), [&, v] {
+      // Overlapping plate streams: follower v sees ~60% of what v-1 saw.
+      long tick = sim.now() / sim::seconds(2);
+      long base = static_cast<long>(v) * 8;
+      sight(v, "plate:" + std::to_string(base + tick));
+    });
+  }
+  sim.at(sim::seconds(90), [&] { sight(1, kWatchlist); });
+
+  sim.run_until(sim::minutes(5));
+
+  // --- report ------------------------------------------------------------------
+  std::printf("\nPer-vehicle summary (5-minute patrol):\n");
+  std::printf("%-8s %10s %13s %8s %14s\n", "vehicle", "sightings",
+              "recognitions", "reused", "mean A3 ms");
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    std::printf("%-8s %10d %13d %8d %14.1f\n", fleet[v]->name().c_str(),
+                stats[v].sightings, stats[v].recognitions, stats[v].reused,
+                stats[v].pipeline_ms.mean());
+  }
+  int total_reused = 0;
+  for (const auto& s : stats) total_reused += s.reused;
+  double gflop_saved =
+      total_reused * (workload::apps::license_plate_pipeline().total_gflop());
+  std::printf(
+      "\nCollaboration saved %d recognitions (~%.0f GFLOP of CNN work) — "
+      "the paper's\n'avoid executing unnecessary repeating operations' "
+      "claim in action.\n",
+      total_reused, gflop_saved);
+  std::printf("Alert raised: %s\n", alert_raised ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// A 20-minute commute — the platform living through changing conditions
+// (§IV-C's elastic management story end to end).
+//
+// The vehicle drives city → arterial → highway → city. RSU coverage comes
+// and goes, cellular quality tracks speed, a passenger's phone joins the
+// 2ndHEP mid-drive, and a third-party service gets compromised on the
+// highway and is reinstalled by the security monitor. Periodic services run
+// throughout; the example prints a per-segment adaptation timeline.
+//
+//   $ ./commute
+#include <cstdio>
+#include <map>
+
+#include "core/platform.hpp"
+#include "ddi/cloudsync.hpp"
+#include "util/strings.hpp"
+#include "workload/apps.hpp"
+
+using namespace vdap;
+
+int main() {
+  std::printf("OpenVDAP commute example (20-minute drive)\n");
+  std::printf("==========================================\n\n");
+
+  sim::Simulator sim(314);
+  core::PlatformConfig cfg;
+  cfg.vehicle_name = "commuter";
+  cfg.start_collectors = true;
+  core::OpenVdap cav(sim, cfg);
+  cav.install_standard_services();
+
+  core::DriveScenario scenario(sim, cav.topology(),
+                               core::DriveScenario::commute(),
+                               &cav.elastic());
+  scenario.start();
+
+  // Opportunistic migration of DDI data to the community cloud server
+  // (section IV-A): syncs while parked or in the city, defers on the highway.
+  ddi::CloudSync cloud_sync(sim, cav.ddi(), cav.topology());
+  cloud_sync.start();
+
+  // --- periodic services -------------------------------------------------
+  struct SegmentStats {
+    std::map<std::string, int> pipelines;
+    util::Summary latency_ms;
+    int ok = 0, failed = 0;
+  };
+  std::map<int, SegmentStats> per_segment;
+
+  auto release = [&](const char* svc) {
+    int seg = scenario.current_segment();
+    cav.run_service(svc, [&, seg](const edgeos::ServiceRunReport& r) {
+      SegmentStats& st = per_segment[seg];
+      if (r.ok) {
+        st.ok++;
+        st.pipelines[r.pipeline]++;
+        st.latency_ms.add(sim::to_millis(r.latency()));
+      } else {
+        st.failed++;
+      }
+    });
+  };
+  sim.every(sim::msec(500), [&] { release("license-plate"); });
+  sim.every(sim::seconds(2), [&] { release("a3-kidnapper-search"); });
+  sim.every(sim::seconds(10), [&] { release("obd-diagnostics"); });
+  sim.every(sim::seconds(2), [&] { release("infotainment-chunk"); });
+
+  // --- mid-drive events -----------------------------------------------------
+  // A passenger's phone joins the 2ndHEP during the arterial stretch...
+  auto phone = std::make_unique<hw::ComputeDevice>(
+      sim, hw::catalog::phone_soc());
+  sim.at(sim::minutes(6), [&] {
+    cav.registry().join(phone.get());
+    std::printf("[t=%6.0f s] 2ndHEP: passenger phone joined the VCU "
+                "registry\n",
+                sim::to_seconds(sim.now()));
+  });
+  // ...and leaves when the passenger gets out near the end.
+  sim.at(sim::minutes(18), [&] {
+    cav.registry().leave("phone-soc");
+    std::printf("[t=%6.0f s] 2ndHEP: passenger phone left\n",
+                sim::to_seconds(sim.now()));
+  });
+  // An internal attack on the infotainment container on the highway.
+  sim.at(sim::minutes(10), [&] {
+    bool hit = cav.os().security().compromise("infotainment-chunk");
+    std::printf("[t=%6.0f s] ATTACK on infotainment-chunk: %s\n",
+                sim::to_seconds(sim.now()),
+                hit ? "container compromised" : "resisted");
+  });
+  cav.os().security().on_reinstall([&](const std::string& svc) {
+    std::printf("[t=%6.0f s] security monitor reinstalled '%s' (fresh "
+                "credential)\n",
+                sim::to_seconds(sim.now()), svc.c_str());
+  });
+
+  sim.run_until(sim::from_seconds(scenario.total_duration_s()));
+
+  // --- timeline ----------------------------------------------------------------
+  static const char* kSegmentNames[] = {"parked",   "city (neighbor)",
+                                        "arterial", "highway (no RSU)",
+                                        "arterial", "city (neighbor)"};
+  std::printf("\nAdaptation timeline (pipeline mix per segment):\n");
+  for (const auto& [seg, st] : per_segment) {
+    if (seg < 0) continue;
+    std::printf("  segment %d %-18s %4d ok %3d failed  mean %6.1f ms  ",
+                seg, kSegmentNames[seg], st.ok, st.failed,
+                st.latency_ms.mean());
+    for (const auto& [pipeline, n] : st.pipelines) {
+      std::printf("[%s x%d] ", pipeline.c_str(), n);
+    }
+    std::printf("\n");
+  }
+
+  // --- DDI accumulated the drive --------------------------------------------
+  auto obd = cav.ddi().download_now(
+      {"vehicle/obd", 0, sim.now()});
+  auto weather = cav.ddi().download_now({"env/weather", 0, sim.now()});
+  std::printf("\nDDI collected %zu OBD records and %zu weather records; "
+              "%llu on disk, %llu staged.\n",
+              obd.records.size(), weather.records.size(),
+              static_cast<unsigned long long>(cav.ddi().disk().record_count()),
+              static_cast<unsigned long long>(cav.ddi().staged_count()));
+
+  std::printf("CloudSync migrated %llu records (%s) to the community data "
+              "server; %llu syncs deferred on bad cellular; backlog %llu.\n",
+              static_cast<unsigned long long>(cloud_sync.records_synced()),
+              util::human_bytes(cloud_sync.bytes_synced()).c_str(),
+              static_cast<unsigned long long>(
+                  cloud_sync.skipped_bad_network()),
+              static_cast<unsigned long long>(cloud_sync.backlog()));
+
+  auto deir = cav.os().deir_report();
+  std::printf("DEIR: %llu compromises detected, %llu reinstalls, %zu "
+              "services hung right now.\n",
+              static_cast<unsigned long long>(deir.compromises_detected),
+              static_cast<unsigned long long>(deir.reinstalls),
+              deir.hung_services);
+  std::printf("Vehicle energy over the drive: %.1f kJ (avg %.1f W)\n",
+              cav.board().energy_joules() / 1000.0,
+              cav.board().energy_joules() / scenario.total_duration_s());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: boot an OpenVDAP vehicle, install the paper's service
+// portfolio, run a few services, and poke the libvdap RESTful API.
+//
+//   $ ./quickstart
+//
+// Walks the full stack: VCU (heterogeneous board + DSF) → EdgeOSv (elastic
+// pipelines, TEE/containers) → two-tier offloading → DDI → libvdap.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "workload/apps.hpp"
+
+using namespace vdap;
+
+int main() {
+  std::printf("OpenVDAP quickstart\n===================\n\n");
+
+  // 1. One simulated vehicle with the reference 1stHEP and remote tiers.
+  sim::Simulator sim(/*seed=*/7);
+  core::PlatformConfig cfg;
+  cfg.vehicle_name = "demo-cav";
+  cfg.start_collectors = true;  // OBD/weather/traffic feeds into DDI
+  core::OpenVdap cav(sim, cfg);
+
+  std::printf("VCU board '%s' (%.0f W max power budget):\n",
+              cav.board().name().c_str(), cav.board().max_power_w());
+  for (const auto& dev : cav.board().devices()) {
+    std::printf("  %-18s %-6s %d slot(s), %.0f W max\n",
+                dev->name().c_str(),
+                std::string(hw::to_string(dev->spec().kind)).c_str(),
+                dev->spec().slots, dev->spec().max_power_w);
+  }
+
+  // 2. Install the polymorphic service portfolio.
+  cav.install_standard_services();
+  std::printf("\nInstalled services (isolation mode):\n");
+  for (const std::string& svc : cav.os().security().services()) {
+    std::printf("  %-24s %s\n", svc.c_str(),
+                std::string(edgeos::to_string(cav.os().security().mode(svc)))
+                    .c_str());
+  }
+
+  // 3. Run a few services; the elastic manager picks each one's pipeline.
+  std::printf("\nRunning services (elastic pipeline choice):\n");
+  for (const char* svc : {"lane-detection", "pedestrian-alert",
+                          "license-plate", "a3-kidnapper-search",
+                          "obd-diagnostics"}) {
+    cav.run_service(svc, [svc](const edgeos::ServiceRunReport& r) {
+      std::printf("  %-24s %-18s %8.2f ms  %s\n", svc, r.pipeline.c_str(),
+                  sim::to_millis(r.latency()),
+                  r.deadline_met ? "deadline met" : "DEADLINE MISS");
+    });
+  }
+  sim.run_until(sim::seconds(30));
+
+  // 4. Where would a heavy job go right now?
+  auto decision = cav.offload().decide(workload::apps::vehicle_detection_tf());
+  std::printf("\nOffload planner: TensorFlow vehicle detection -> %s "
+              "(est. %.1f ms, %.2f J on the vehicle)\n",
+              std::string(net::to_string(decision.tier)).c_str(),
+              sim::to_millis(decision.est_latency),
+              decision.onboard_energy_j);
+
+  // 5. Query the libvdap RESTful API.
+  std::printf("\nlibvdap API:\n");
+  auto models = cav.api().get("/v1/models/inception-v3-edge");
+  std::printf("  GET /v1/models/inception-v3-edge -> %d\n  %s\n",
+              models.status, models.body.dump().c_str());
+  json::Value q;
+  q["stream"] = "vehicle/obd";
+  q["t0"] = 0;
+  q["t1"] = sim.now();
+  auto data = cav.api().post("/v1/data/query", q);
+  std::printf("  POST /v1/data/query (vehicle/obd) -> %d, %zu records "
+              "(from_cache=%s)\n",
+              data.status, data.body.at("records").size(),
+              data.body.get_bool("from_cache") ? "true" : "false");
+
+  // 6. DEIR report.
+  auto deir = cav.os().deir_report();
+  std::printf("\nDEIR: %zu services on %zu devices, %llu bus auth "
+              "rejections, %llu reinstalls\n",
+              deir.installed_services, deir.registered_devices,
+              static_cast<unsigned long long>(deir.bus_rejected_auth),
+              static_cast<unsigned long long>(deir.reinstalls));
+  std::printf("\nDone: %llu service runs completed, %llu failed.\n",
+              static_cast<unsigned long long>(cav.elastic().completed()),
+              static_cast<unsigned long long>(cav.elastic().failed()));
+  return 0;
+}

@@ -1,0 +1,188 @@
+// scenario_runner — config-driven experiment harness.
+//
+// Runs an OpenVDAP vehicle through a drive scenario described in JSON and
+// emits a JSON metrics report, so experiments are reproducible without
+// recompiling:
+//
+//   $ ./scenario_runner --demo > my.json     # write a template config
+//   $ ./scenario_runner my.json              # run it, report to stdout
+//
+// Config schema (all fields optional unless noted):
+//   {
+//     "seed": 7,
+//     "vehicle": "cav-0",
+//     "collectors": true,
+//     "scenario": [                           // required, >= 1 segment
+//       {"duration_s": 120, "speed_mph": 0, "rsu": true, "neighbor": false},
+//       ...
+//     ],
+//     "services": [                           // required, >= 1 stream
+//       {"name": "license-plate", "period_ms": 500},
+//       ...
+//     ]
+//   }
+// Service names come from the standard portfolio (install_standard_services).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/platform.hpp"
+
+using namespace vdap;
+
+namespace {
+
+const char* kDemoConfig = R"({
+  "seed": 7,
+  "vehicle": "demo-cav",
+  "collectors": true,
+  "scenario": [
+    {"duration_s": 60,  "speed_mph": 0,  "rsu": true,  "neighbor": false},
+    {"duration_s": 120, "speed_mph": 35, "rsu": true,  "neighbor": false},
+    {"duration_s": 120, "speed_mph": 70, "rsu": false, "neighbor": false},
+    {"duration_s": 60,  "speed_mph": 25, "rsu": true,  "neighbor": true}
+  ],
+  "services": [
+    {"name": "license-plate", "period_ms": 500},
+    {"name": "a3-kidnapper-search", "period_ms": 2000},
+    {"name": "obd-diagnostics", "period_ms": 10000},
+    {"name": "infotainment-chunk", "period_ms": 2000}
+  ]
+})";
+
+struct ServiceStats {
+  int ok = 0;
+  int failed = 0;
+  int misses = 0;
+  util::Summary latency_ms;
+  std::map<std::string, int> pipelines;
+};
+
+int run(const json::Value& config) {
+  sim::Simulator sim(
+      static_cast<std::uint64_t>(config.get_int("seed", 7)));
+  core::PlatformConfig cfg;
+  cfg.vehicle_name = config.get_string("vehicle", "cav-0");
+  cfg.start_collectors = config.get_bool("collectors", false);
+  core::OpenVdap cav(sim, cfg);
+  cav.install_standard_services();
+
+  // --- scenario ---------------------------------------------------------
+  if (!config.contains("scenario") || config.at("scenario").size() == 0) {
+    std::fprintf(stderr, "config error: 'scenario' needs >= 1 segment\n");
+    return 2;
+  }
+  std::vector<core::ScenarioSegment> segments;
+  for (const json::Value& seg : config.at("scenario").as_array()) {
+    core::ScenarioSegment s;
+    s.duration_s = seg.get_double("duration_s", 60.0);
+    s.speed_mph = seg.get_double("speed_mph", 0.0);
+    s.rsu_coverage = seg.get_bool("rsu", true);
+    s.neighbor_present = seg.get_bool("neighbor", false);
+    segments.push_back(s);
+  }
+  core::DriveScenario scenario(sim, cav.topology(), segments,
+                               &cav.elastic());
+  scenario.start();
+
+  // --- service streams ------------------------------------------------------
+  if (!config.contains("services") || config.at("services").size() == 0) {
+    std::fprintf(stderr, "config error: 'services' needs >= 1 stream\n");
+    return 2;
+  }
+  std::map<std::string, ServiceStats> stats;
+  for (const json::Value& svc : config.at("services").as_array()) {
+    std::string name = svc.get_string("name");
+    if (!cav.os().has_service(name)) {
+      std::fprintf(stderr, "config error: unknown service '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+    sim::SimDuration period =
+        sim::from_millis(svc.get_double("period_ms", 1000.0));
+    sim.every(period, [&, name] {
+      cav.run_service(name, [&, name](const edgeos::ServiceRunReport& r) {
+        ServiceStats& st = stats[name];
+        if (r.ok) {
+          st.ok++;
+          st.latency_ms.add(sim::to_millis(r.latency()));
+          if (!r.deadline_met) st.misses++;
+          st.pipelines[r.pipeline]++;
+        } else {
+          st.failed++;
+        }
+      });
+    });
+  }
+
+  double total_s = scenario.total_duration_s();
+  sim.run_until(sim::from_seconds(total_s));
+
+  // --- report ------------------------------------------------------------------
+  json::Value report;
+  report["vehicle"] = cfg.vehicle_name;
+  report["duration_s"] = total_s;
+  report["energy_j"] = cav.board().energy_joules();
+  report["avg_power_w"] = cav.board().energy_joules() / total_s;
+  json::Value services;
+  for (const auto& [name, st] : stats) {
+    json::Value s;
+    s["ok"] = st.ok;
+    s["failed"] = st.failed;
+    s["deadline_misses"] = st.misses;
+    s["mean_latency_ms"] = st.latency_ms.mean();
+    s["max_latency_ms"] = st.latency_ms.max();
+    json::Value mix;
+    for (const auto& [pipeline, n] : st.pipelines) mix[pipeline] = n;
+    s["pipelines"] = mix;
+    services[name] = std::move(s);
+  }
+  report["services"] = std::move(services);
+  if (cfg.start_collectors) {
+    json::Value ddi;
+    ddi["disk_records"] =
+        static_cast<std::int64_t>(cav.ddi().disk().record_count());
+    ddi["staged_records"] = static_cast<std::int64_t>(cav.ddi().staged_count());
+    ddi["cache_hit_rate"] = cav.ddi().cache().hit_rate();
+    report["ddi"] = std::move(ddi);
+  }
+  auto deir = cav.os().deir_report();
+  json::Value deir_json;
+  deir_json["installed_services"] =
+      static_cast<std::int64_t>(deir.installed_services);
+  deir_json["hung_services"] = static_cast<std::int64_t>(deir.hung_services);
+  deir_json["reinstalls"] = static_cast<std::int64_t>(deir.reinstalls);
+  report["deir"] = std::move(deir_json);
+
+  std::printf("%s\n", report.pretty().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config.json>  (or --demo to print a template)\n",
+                 argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) == "--demo") {
+    std::printf("%s\n", kDemoConfig);
+    return 0;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto config = json::try_parse(buf.str());
+  if (!config) {
+    std::fprintf(stderr, "%s is not valid JSON\n", argv[1]);
+    return 2;
+  }
+  return run(*config);
+}

@@ -1,0 +1,74 @@
+#include "core/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdap::core {
+
+BatteryModel::BatteryModel(sim::Simulator& sim, hw::VcuBoard& board,
+                           BatteryOptions options)
+    : sim_(sim), board_(board), options_(options) {
+  if (options_.compute_budget_j <= 0) {
+    throw std::invalid_argument("battery budget must be positive");
+  }
+}
+
+void BatteryModel::start() {
+  if (handle_ && handle_->active()) return;
+  board_baseline_j_ = board_.energy_joules();
+  handle_ = sim_.every(options_.sample_period, [this]() { sample(); });
+}
+
+void BatteryModel::stop() {
+  if (handle_) handle_->stop();
+}
+
+void BatteryModel::sample() {
+  board_consumed_j_ = board_.energy_joules() - board_baseline_j_;
+}
+
+double BatteryModel::consumed_j() const {
+  return board_consumed_j_ + external_j_;
+}
+
+double BatteryModel::soc() const {
+  return std::clamp(1.0 - consumed_j() / options_.compute_budget_j, 0.0,
+                    1.0);
+}
+
+EnergyGovernor::EnergyGovernor(sim::Simulator& sim, BatteryModel& battery,
+                               edgeos::ElasticManager& elastic,
+                               GovernorOptions options)
+    : sim_(sim), battery_(battery), elastic_(elastic), options_(options) {
+  if (options_.restore_soc < options_.low_soc) {
+    throw std::invalid_argument("restore_soc must be >= low_soc");
+  }
+}
+
+void EnergyGovernor::start() {
+  if (handle_ && handle_->active()) return;
+  handle_ = sim_.every(options_.check_period, [this]() { check(); });
+}
+
+void EnergyGovernor::stop() {
+  if (handle_) handle_->stop();
+}
+
+void EnergyGovernor::check() {
+  double soc = battery_.soc();
+  if (!saving_ && soc < options_.low_soc) {
+    saving_ = true;
+    ++switches_;
+    elastic_.options().goal = edgeos::Goal::kMinEnergy;
+    elastic_.reevaluate();  // hung services may fit the new goal
+    if (cb_) cb_(true);
+  } else if (saving_ && soc > options_.restore_soc) {
+    saving_ = false;
+    ++switches_;
+    elastic_.options().goal = edgeos::Goal::kMinLatency;
+    elastic_.reevaluate();
+    if (cb_) cb_(false);
+  }
+}
+
+}  // namespace vdap::core

@@ -1,0 +1,94 @@
+// Battery model + energy governor (§III-B): "this problem will become more
+// serious for the electric vehicles which are constrained by supply power
+// and energy capacity. Deploying the power-hungry processors locally will
+// affect the mileage per discharge cycle."
+//
+// BatteryModel integrates the VCU board's (and radio's) draw out of a
+// compute energy budget. EnergyGovernor watches the state of charge and
+// flips the elastic manager's goal from minimum latency to minimum vehicle
+// energy when the budget runs low — trading latency for range, exactly the
+// §IV-C "or achieve other goals, such as energy efficiency" lever.
+#pragma once
+
+#include <functional>
+
+#include "edgeos/elastic.hpp"
+#include "hw/board.hpp"
+
+namespace vdap::core {
+
+struct BatteryOptions {
+  /// Energy budget reserved for computing, joules. (A 60 kWh pack with ~1%
+  /// allotted to the VCU would be 2.16 MJ; defaults are sized for short
+  /// simulations.)
+  double compute_budget_j = 50'000.0;
+  /// Accounting period.
+  sim::SimDuration sample_period = sim::seconds(1);
+};
+
+class BatteryModel {
+ public:
+  BatteryModel(sim::Simulator& sim, hw::VcuBoard& board,
+               BatteryOptions options = {});
+
+  /// Starts periodic integration of the board's energy into the budget.
+  void start();
+  void stop();
+
+  /// Extra vehicle-side draw (e.g. radio transfers) the board meter does
+  /// not see.
+  void add_external_energy(double joules) { external_j_ += joules; }
+
+  /// State of charge of the compute budget, in [0, 1].
+  double soc() const;
+  double consumed_j() const;
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  hw::VcuBoard& board_;
+  BatteryOptions options_;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  double board_baseline_j_ = 0.0;  // board energy at start()
+  double board_consumed_j_ = 0.0;
+  double external_j_ = 0.0;
+};
+
+struct GovernorOptions {
+  /// Below this state of charge the governor switches the elastic manager
+  /// to the minimum-energy goal; above `restore_soc` it switches back.
+  double low_soc = 0.3;
+  double restore_soc = 0.5;
+  sim::SimDuration check_period = sim::seconds(5);
+};
+
+class EnergyGovernor {
+ public:
+  EnergyGovernor(sim::Simulator& sim, BatteryModel& battery,
+                 edgeos::ElasticManager& elastic,
+                 GovernorOptions options = {});
+
+  void start();
+  void stop();
+
+  bool saving() const { return saving_; }
+  int mode_switches() const { return switches_; }
+
+  /// Fires on every goal change (true = entered energy-saving mode).
+  void on_switch(std::function<void(bool)> cb) { cb_ = std::move(cb); }
+
+ private:
+  void check();
+
+  sim::Simulator& sim_;
+  BatteryModel& battery_;
+  edgeos::ElasticManager& elastic_;
+  GovernorOptions options_;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  bool saving_ = false;
+  int switches_ = 0;
+  std::function<void(bool)> cb_;
+};
+
+}  // namespace vdap::core

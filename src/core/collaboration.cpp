@@ -1,0 +1,123 @@
+#include "core/collaboration.hpp"
+
+#include <memory>
+
+namespace vdap::core {
+
+CollaborationCache::CollaborationCache(sim::Simulator& sim,
+                                       std::string vehicle_name,
+                                       std::string pseudonym)
+    : sim_(sim), name_(std::move(vehicle_name)),
+      pseudonym_(std::move(pseudonym)) {}
+
+void CollaborationCache::connect(CollaborationCache& a,
+                                 CollaborationCache& b) {
+  if (&a == &b) return;
+  net::LinkSpec spec = net::links::dsrc();
+  spec.name = "dsrc." + a.name_ + "->" + b.name_;
+  a.peers_[b.name_] =
+      Peer{&b, std::make_unique<net::Link>(a.sim_, spec)};
+  spec.name = "dsrc." + b.name_ + "->" + a.name_;
+  b.peers_[a.name_] =
+      Peer{&a, std::make_unique<net::Link>(b.sim_, spec)};
+}
+
+void CollaborationCache::disconnect(CollaborationCache& a,
+                                    CollaborationCache& b) {
+  a.peers_.erase(b.name_);
+  b.peers_.erase(a.name_);
+}
+
+void CollaborationCache::put(const std::string& key, json::Value value,
+                             std::uint64_t result_bytes) {
+  SharedResult r;
+  r.key = key;
+  r.value = std::move(value);
+  r.produced_at = sim_.now();
+  r.producer_pseudonym = pseudonym_;
+  r.result_bytes = result_bytes;
+  results_[key] = std::move(r);
+}
+
+std::optional<SharedResult> CollaborationCache::serve(const std::string& key) {
+  auto it = results_.find(key);
+  if (it == results_.end()) return std::nullopt;
+  ++served_;
+  return it->second;
+}
+
+void CollaborationCache::lookup(
+    const std::string& key,
+    std::function<void(std::optional<SharedResult>)> done) {
+  auto it = results_.find(key);
+  if (it != results_.end()) {
+    ++local_hits_;
+    done(it->second);
+    return;
+  }
+  if (peers_.empty()) {
+    ++misses_;
+    done(std::nullopt);
+    return;
+  }
+  // Fan the query out to every neighbor; resolve on the first hit, or on
+  // the last miss.
+  constexpr std::uint64_t kQueryBytes = 200;
+  struct QueryState {
+    std::size_t outstanding;
+    bool resolved = false;
+    std::function<void(std::optional<SharedResult>)> done;
+  };
+  auto state = std::make_shared<QueryState>();
+  state->outstanding = peers_.size();
+  state->done = std::move(done);
+
+  for (auto& [peer_name, peer] : peers_) {
+    CollaborationCache* remote = peer.cache;
+    peer.link_out->send(
+        kQueryBytes,
+        [this, remote, key, state](const net::TransferReport& req) {
+          auto finish = [this, state](std::optional<SharedResult> result) {
+            --state->outstanding;
+            if (state->resolved) return;
+            if (result.has_value()) {
+              state->resolved = true;
+              ++remote_hits_;
+              state->done(std::move(result));
+            } else if (state->outstanding == 0) {
+              ++misses_;
+              state->done(std::nullopt);
+            }
+          };
+          if (!req.delivered) {
+            finish(std::nullopt);
+            return;
+          }
+          std::optional<SharedResult> answer = remote->serve(key);
+          if (!answer.has_value()) {
+            finish(std::nullopt);
+            return;
+          }
+          // Ship the response back over the peer's link to us.
+          auto peer_it = remote->peers_.find(name_);
+          if (peer_it == remote->peers_.end()) {
+            // Drove out of range mid-query.
+            finish(std::nullopt);
+            return;
+          }
+          std::uint64_t bytes = answer->result_bytes;
+          auto shared_answer =
+              std::make_shared<SharedResult>(std::move(*answer));
+          peer_it->second.link_out->send(
+              bytes, [finish, shared_answer](const net::TransferReport& rep) {
+                if (rep.delivered) {
+                  finish(*shared_answer);
+                } else {
+                  finish(std::nullopt);
+                }
+              });
+        });
+  }
+}
+
+}  // namespace vdap::core

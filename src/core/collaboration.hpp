@@ -1,0 +1,87 @@
+// V2V collaboration (§III-C, §IV): "the collaboration of vehicles can save
+// computing power by avoiding executing unnecessary repeating operations"
+// — e.g. two vehicles on the same road both recognizing the same plate for
+// an AMBER alert (the A3 example, after [15]).
+//
+// Each vehicle runs a CollaborationCache of keyed results. A lookup first
+// checks locally, then asks connected neighbors over DSRC (request/response
+// messages on per-pair links, paying real serialization + latency + loss).
+// Results carry the producing vehicle's *pseudonym*, not its identity
+// (§IV-C privacy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/link.hpp"
+#include "util/json.hpp"
+
+namespace vdap::core {
+
+struct SharedResult {
+  std::string key;
+  json::Value value;
+  sim::SimTime produced_at = 0;
+  std::string producer_pseudonym;
+  std::uint64_t result_bytes = 200;  // payload size on the wire
+};
+
+class CollaborationCache {
+ public:
+  CollaborationCache(sim::Simulator& sim, std::string vehicle_name,
+                     std::string pseudonym);
+
+  /// Connects two vehicles in DSRC range (bidirectional pair of links).
+  static void connect(CollaborationCache& a, CollaborationCache& b);
+  static void disconnect(CollaborationCache& a, CollaborationCache& b);
+
+  /// Stores a locally computed result (shared on demand).
+  void put(const std::string& key, json::Value value,
+           std::uint64_t result_bytes = 200);
+
+  /// Async lookup: local hit answers immediately; otherwise every connected
+  /// neighbor is queried over DSRC and the first positive response wins.
+  /// `done(nullopt)` when nobody has it.
+  void lookup(const std::string& key,
+              std::function<void(std::optional<SharedResult>)> done);
+
+  /// Synchronous local-only probe.
+  bool has_local(const std::string& key) const {
+    return results_.count(key) > 0;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& pseudonym() const { return pseudonym_; }
+  std::size_t neighbor_count() const { return peers_.size(); }
+  std::size_t size() const { return results_.size(); }
+
+  std::uint64_t local_hits() const { return local_hits_; }
+  std::uint64_t remote_hits() const { return remote_hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct Peer {
+    CollaborationCache* cache;
+    std::unique_ptr<net::Link> link_out;  // this -> peer
+  };
+
+  /// Peer-side handler: answers a remote query (counts as served on a hit).
+  std::optional<SharedResult> serve(const std::string& key);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::string pseudonym_;
+  std::map<std::string, SharedResult> results_;
+  std::map<std::string, Peer> peers_;  // by peer name
+  std::uint64_t local_hits_ = 0;
+  std::uint64_t remote_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace vdap::core

@@ -1,0 +1,144 @@
+#include "core/infotainment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdap::core {
+
+namespace {
+workload::AppDag decode_dag(double gflop) {
+  workload::AppDag dag("infotainment-decode",
+                       workload::ServiceCategory::kInfotainment, {0, 1, 0});
+  dag.add_task({"h264-decode", hw::TaskClass::kCodec, gflop, 0, 0, true});
+  return dag;
+}
+}  // namespace
+
+InfotainmentSession::InfotainmentSession(sim::Simulator& sim,
+                                         net::Topology& topo, vcu::Dsf& dsf,
+                                         InfotainmentOptions options)
+    : sim_(sim), topo_(topo), dsf_(dsf), options_(options) {}
+
+void InfotainmentSession::start(
+    int total_chunks, std::function<void(const InfotainmentReport&)> done) {
+  if (total_chunks <= 0) throw std::invalid_argument("need >= 1 chunk");
+  total_chunks_ = total_chunks;
+  done_ = std::move(done);
+  session_start_ = sim_.now();
+  maybe_fetch();
+}
+
+void InfotainmentSession::maybe_fetch() {
+  while (!finished_ && requested_ < total_chunks_ &&
+         buffered_ + in_flight_ < options_.buffer_target_chunks) {
+    ++requested_;
+    ++in_flight_;
+    std::uint64_t bytes = options_.chunk_bytes;
+    if (!options_.abr_ladder.empty()) {
+      // Buffer-based rung selection (BBA-style): map buffer fullness in
+      // [0, target] linearly onto the ladder.
+      if (report_.rung_fetches.size() != options_.abr_ladder.size()) {
+        report_.rung_fetches.assign(options_.abr_ladder.size(), 0);
+      }
+      // Normalize by target-1: fetches only fire while the buffer is below
+      // target, so `buffered == target-1` is the fullest observable state
+      // and must map to the top rung.
+      int span = std::max(1, options_.buffer_target_chunks - 1);
+      double fullness =
+          std::min(1.0, static_cast<double>(buffered_) / span);
+      auto rung = static_cast<std::size_t>(
+          fullness * static_cast<double>(options_.abr_ladder.size() - 1) +
+          0.5);
+      rung = std::min(rung, options_.abr_ladder.size() - 1);
+      bytes = options_.abr_ladder[rung];
+      ++report_.rung_fetches[rung];
+    }
+    topo_.transfer_down(options_.source, bytes,
+                        [this](const net::TransferOutcome& out) {
+                          on_chunk_downloaded(out.delivered);
+                        });
+  }
+}
+
+void InfotainmentSession::on_chunk_downloaded(bool delivered) {
+  if (finished_) return;
+  if (!delivered) {
+    --in_flight_;
+    ++report_.chunks_failed;
+    ++delivered_;
+    if (delivered_ >= total_chunks_) {
+      finish();
+    } else {
+      maybe_fetch();
+    }
+    return;
+  }
+  // Decode on the VCU.
+  dsf_.submit(decode_dag(options_.decode_gflop),
+              [this](const vcu::DagRun& run) { on_chunk_decoded(run.ok); });
+}
+
+void InfotainmentSession::on_chunk_decoded(bool ok) {
+  if (finished_) return;
+  --in_flight_;
+  if (!ok) {
+    ++report_.chunks_failed;
+    ++delivered_;
+    if (delivered_ >= total_chunks_) {
+      finish();
+      return;
+    }
+    maybe_fetch();
+    return;
+  }
+  ++buffered_;
+  if (!started_playing_) {
+    if (buffered_ >= options_.startup_chunks) {
+      started_playing_ = true;
+      report_.startup_delay = sim_.now() - session_start_;
+      play_next();
+    }
+  } else if (stalled_) {
+    // Buffer refilled: resume playback.
+    stalled_ = false;
+    report_.stall_time += sim_.now() - stall_start_;
+    play_next();
+  }
+  maybe_fetch();
+}
+
+void InfotainmentSession::play_next() {
+  if (finished_) return;
+  if (buffered_ == 0) {
+    // Dry buffer mid-session: stall until the next chunk decodes.
+    stalled_ = true;
+    ++report_.stalls;
+    stall_start_ = sim_.now();
+    return;
+  }
+  --buffered_;
+  maybe_fetch();  // playback frees a buffer slot
+  sim_.after(sim::from_seconds(options_.chunk_seconds), [this]() {
+    if (finished_) return;
+    ++report_.chunks_played;
+    ++delivered_;
+    if (delivered_ >= total_chunks_) {
+      finish();
+    } else {
+      play_next();
+    }
+  });
+}
+
+void InfotainmentSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (stalled_) {
+    report_.stall_time += sim_.now() - stall_start_;
+    stalled_ = false;
+  }
+  report_.watch_time = sim_.now() - session_start_;
+  if (done_) done_(report_);
+}
+
+}  // namespace vdap::core

@@ -1,0 +1,104 @@
+// In-vehicle infotainment streaming (§II-C): "video or audio data must be
+// downloaded from the Internet and then decoded locally ... these
+// applications not only require compute resources but also present a high
+// requirement on the network bandwidth."
+//
+// InfotainmentSession models a buffered streaming player: chunks download
+// over the cellular downlink (paying real transfer time under the current
+// mobility conditions), decode on the VCU through DSF, and play back at
+// real time. When the buffer runs dry the player stalls — the
+// quality-of-experience metric bench_infotainment (A11) sweeps against
+// vehicle speed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "vcu/dsf.hpp"
+
+namespace vdap::core {
+
+struct InfotainmentOptions {
+  net::Tier source = net::Tier::kCloud;
+  std::uint64_t chunk_bytes = 1'500'000;     // ~6 Mbps stream, 2 s chunks
+  double chunk_seconds = 2.0;                // playback time per chunk
+  int buffer_target_chunks = 3;              // prefetch depth
+  int startup_chunks = 1;                    // chunks needed to start
+  double decode_gflop = 3.0;                 // H.264 decode per chunk
+
+  /// Adaptive bitrate: when non-empty, each fetch picks a rung from this
+  /// ladder (chunk bytes per quality level, ascending) using a buffer-based
+  /// policy (BBA-style): low buffer → lowest rung, full buffer → highest,
+  /// linear in between. `chunk_bytes` is ignored when the ladder is set.
+  std::vector<std::uint64_t> abr_ladder;
+};
+
+struct InfotainmentReport {
+  int chunks_played = 0;
+  int chunks_failed = 0;       // undownloadable after retries
+  int stalls = 0;              // buffer-dry events after startup
+  sim::SimDuration startup_delay = 0;
+  sim::SimDuration stall_time = 0;
+  sim::SimDuration watch_time = 0;  // wall time from start() to stop
+  /// With ABR: how many fetches used each ladder rung (empty otherwise).
+  std::vector<int> rung_fetches;
+  /// Mean ladder rung fetched (0 = lowest), the ABR quality metric.
+  double mean_rung() const {
+    double n = 0, sum = 0;
+    for (std::size_t i = 0; i < rung_fetches.size(); ++i) {
+      n += rung_fetches[i];
+      sum += static_cast<double>(i) * rung_fetches[i];
+    }
+    return n > 0 ? sum / n : 0.0;
+  }
+
+  /// Fraction of the session spent stalled (startup excluded).
+  double rebuffer_ratio() const {
+    sim::SimDuration denom = watch_time - startup_delay;
+    return denom > 0 ? static_cast<double>(stall_time) / denom : 0.0;
+  }
+};
+
+class InfotainmentSession {
+ public:
+  InfotainmentSession(sim::Simulator& sim, net::Topology& topo,
+                      vcu::Dsf& dsf, InfotainmentOptions options = {});
+
+  /// Starts fetching and playing. `done` fires when `total_chunks` have
+  /// played (or permanently failed).
+  void start(int total_chunks,
+             std::function<void(const InfotainmentReport&)> done = nullptr);
+
+  // Live state, for tests/telemetry.
+  int buffered_chunks() const { return buffered_; }
+  bool stalled() const { return stalled_; }
+  const InfotainmentReport& report() const { return report_; }
+
+ private:
+  void maybe_fetch();
+  void on_chunk_downloaded(bool delivered);
+  void on_chunk_decoded(bool ok);
+  void play_next();
+  void finish();
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  vcu::Dsf& dsf_;
+  InfotainmentOptions options_;
+
+  int total_chunks_ = 0;
+  int requested_ = 0;    // fetches issued
+  int in_flight_ = 0;    // downloads + decodes outstanding
+  int buffered_ = 0;     // decoded, ready to play
+  int delivered_ = 0;    // played + failed
+  bool started_playing_ = false;
+  bool stalled_ = false;
+  bool finished_ = false;
+  sim::SimTime session_start_ = 0;
+  sim::SimTime stall_start_ = 0;
+  InfotainmentReport report_;
+  std::function<void(const InfotainmentReport&)> done_;
+};
+
+}  // namespace vdap::core

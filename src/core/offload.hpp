@@ -1,0 +1,56 @@
+// Whole-application offload planning — the §III architecture choice
+// (in-vehicle vs edge vs cloud) as a per-release decision. This is the
+// coarse-grained complement to EdgeOSv's pipeline-level elastic manager:
+// one destination for the entire DAG, which is how the paper frames the
+// three computing architectures it compares (and what bench_offload, A1,
+// sweeps).
+#pragma once
+
+#include "edgeos/elastic.hpp"
+
+namespace vdap::core {
+
+struct OffloadDecision {
+  net::Tier tier = net::Tier::kOnBoard;
+  sim::SimDuration est_latency = 0;
+  double onboard_energy_j = 0.0;
+  bool feasible = false;  // false when no tier can run the DAG in time
+};
+
+/// Builds the single-tier polymorphic service for `dag`: one pipeline per
+/// candidate tier placing every offloadable task there (pinned tasks stay
+/// on board).
+edgeos::PolymorphicService whole_dag_service(
+    const workload::AppDag& dag, const std::vector<net::Tier>& tiers);
+
+class OffloadPlanner {
+ public:
+  /// Uses the elastic manager's estimators and remote endpoints.
+  explicit OffloadPlanner(edgeos::ElasticManager& elastic,
+                          std::vector<net::Tier> candidate_tiers =
+                              {net::Tier::kOnBoard, net::Tier::kRsuEdge,
+                               net::Tier::kBaseStationEdge,
+                               net::Tier::kCloud});
+
+  /// Picks the destination per the elastic manager's goal (latency or
+  /// vehicle energy) subject to the DAG's deadline.
+  OffloadDecision decide(const workload::AppDag& dag) const;
+
+  /// Estimate for one forced destination (nullopt when infeasible).
+  std::optional<sim::SimDuration> estimate(const workload::AppDag& dag,
+                                           net::Tier tier) const;
+
+  /// Executes the DAG at the decided destination; reports like the elastic
+  /// manager. Infeasible DAGs hang (retried at elastic reevaluation).
+  std::uint64_t run(const workload::AppDag& dag,
+                    std::function<void(const edgeos::ServiceRunReport&)> done =
+                        nullptr);
+
+  const std::vector<net::Tier>& candidate_tiers() const { return tiers_; }
+
+ private:
+  edgeos::ElasticManager& elastic_;
+  std::vector<net::Tier> tiers_;
+};
+
+}  // namespace vdap::core

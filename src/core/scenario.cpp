@@ -1,0 +1,122 @@
+#include "core/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdap::core {
+
+double CellularConditionModel::bandwidth_factor(double speed_mph) const {
+  double v = net::mph_to_mps(speed_mph);
+  return 1.0 /
+         (1.0 + std::pow(v / lte.doppler_v0_mps, lte.doppler_exponent));
+}
+
+double CellularConditionModel::loss_rate(double speed_mph) const {
+  double v = net::mph_to_mps(speed_mph);
+  double micro = lte.micro_loss_per_mps * v;
+  // Expected outage fraction: crossings per second x outage duration.
+  double outage = 0.0;
+  if (v > 0) {
+    double crossings_per_s = v / (2.0 * lte.cell_radius_m);
+    double outage_s = lte.handover_base_s +
+                      lte.handover_speed_s * (v / 30.0) * (v / 30.0) +
+                      std::min(1.0, lte.rlf_prob_per_mps * v) * lte.rlf_extra_s;
+    outage = crossings_per_s * outage_s;
+  }
+  return std::min(0.9, micro + outage);
+}
+
+DriveScenario::DriveScenario(sim::Simulator& sim, net::Topology& topo,
+                             std::vector<ScenarioSegment> segments,
+                             edgeos::ElasticManager* elastic)
+    : sim_(sim), topo_(topo), segments_(std::move(segments)),
+      elastic_(elastic) {
+  if (segments_.empty()) throw std::invalid_argument("empty scenario");
+}
+
+void DriveScenario::start() {
+  sim::SimTime t = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    sim_.after(t, [this, i]() { apply(i); });
+    t += sim::from_seconds(segments_[i].duration_s);
+  }
+}
+
+void DriveScenario::apply(std::size_t index) {
+  const ScenarioSegment& seg = segments_[index];
+  current_ = static_cast<int>(index);
+  topo_.apply_cellular_condition(model_.bandwidth_factor(seg.speed_mph),
+                                 model_.loss_rate(seg.speed_mph));
+  topo_.set_available(net::Tier::kRsuEdge, seg.rsu_coverage);
+  topo_.set_available(net::Tier::kNeighbor, seg.neighbor_present);
+  if (elastic_ != nullptr) elastic_->reevaluate();
+}
+
+double DriveScenario::total_duration_s() const {
+  double total = 0.0;
+  for (const auto& s : segments_) total += s.duration_s;
+  return total;
+}
+
+double DriveScenario::speed_mph_at(sim::SimTime t) const {
+  double elapsed = sim::to_seconds(t);
+  for (const auto& s : segments_) {
+    if (elapsed < s.duration_s) return s.speed_mph;
+    elapsed -= s.duration_s;
+  }
+  return segments_.back().speed_mph;
+}
+
+std::vector<ScenarioSegment> DriveScenario::from_route(
+    const std::vector<SpeedStretch>& speed_profile,
+    const net::CoverageMap& coverage) {
+  if (speed_profile.empty()) {
+    throw std::invalid_argument("empty speed profile");
+  }
+  std::vector<ScenarioSegment> out;
+  double pos = 0.0;
+  for (const SpeedStretch& stretch : speed_profile) {
+    double v = net::mph_to_mps(stretch.speed_mph);
+    if (v <= 0.0) {
+      // Parked stretch: distance_m is reinterpreted as a dwell in meters of
+      // "would-be travel" — not meaningful; treat as 60 s of parking.
+      out.push_back(ScenarioSegment{60.0, 0.0, coverage.covered(pos),
+                                    stretch.neighbor_present});
+      continue;
+    }
+    double end = pos + stretch.distance_m;
+    while (pos < end) {
+      bool cov = coverage.covered(pos);
+      auto boundary = coverage.next_boundary(pos);
+      double seg_end =
+          boundary.has_value() ? std::min(end, *boundary) : end;
+      if (seg_end <= pos) seg_end = end;  // guard against zero advance
+      out.push_back(ScenarioSegment{(seg_end - pos) / v, stretch.speed_mph,
+                                    cov, stretch.neighbor_present});
+      pos = seg_end;
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioSegment> DriveScenario::commute() {
+  return {
+      {120.0, 0.0, true, false},    // parked, warm-up
+      {240.0, 25.0, true, true},    // city, platooning neighbor
+      {180.0, 35.0, true, false},   // arterial
+      {360.0, 70.0, false, false},  // highway, no RSU coverage
+      {180.0, 35.0, true, false},   // arterial
+      {120.0, 25.0, true, true},    // city
+  };
+}
+
+std::vector<ScenarioSegment> DriveScenario::parked(double duration_s) {
+  return {{duration_s, 0.0, true, false}};
+}
+
+std::vector<ScenarioSegment> DriveScenario::highway_sprint(
+    double duration_s) {
+  return {{duration_s, 70.0, false, false}};
+}
+
+}  // namespace vdap::core

@@ -1,0 +1,82 @@
+// Drive scenarios: translate a vehicle's journey (speed profile, RSU
+// coverage, neighbor presence) into the dynamic conditions the platform
+// reacts to — cellular quality follows speed (the Fig. 2 mechanism), RSU
+// tiers appear and disappear, and the elastic manager is re-evaluated at
+// every condition change ("dynamically detect each service's status ... and
+// the optimal offloading destination").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "edgeos/elastic.hpp"
+#include "net/cellular.hpp"
+#include "net/coverage.hpp"
+#include "net/topology.hpp"
+
+namespace vdap::core {
+
+struct ScenarioSegment {
+  double duration_s = 60.0;
+  double speed_mph = 35.0;
+  bool rsu_coverage = true;
+  bool neighbor_present = false;
+};
+
+/// Maps speed to the cellular condition applied to the topology, using the
+/// same calibrated mobility model as Fig. 2: bandwidth scales with the
+/// Doppler penalty, loss with the speed-dependent micro-loss plus the
+/// expected outage fraction.
+struct CellularConditionModel {
+  net::LteMobilityParams lte;
+
+  double bandwidth_factor(double speed_mph) const;
+  double loss_rate(double speed_mph) const;
+};
+
+class DriveScenario {
+ public:
+  DriveScenario(sim::Simulator& sim, net::Topology& topo,
+                std::vector<ScenarioSegment> segments,
+                edgeos::ElasticManager* elastic = nullptr);
+
+  /// Applies segment 0 immediately and schedules the rest.
+  void start();
+
+  double total_duration_s() const;
+  double speed_mph_at(sim::SimTime t) const;
+  const std::vector<ScenarioSegment>& segments() const { return segments_; }
+  int current_segment() const { return current_; }
+
+  /// Derives segments from road geometry: drive `speed_profile` (speed per
+  /// stretch) along a route with RSU sites in `coverage`; segments split at
+  /// every coverage boundary so rsu_coverage is geometric, not hand-set.
+  struct SpeedStretch {
+    double distance_m = 1000.0;
+    double speed_mph = 35.0;
+    bool neighbor_present = false;
+  };
+  static std::vector<ScenarioSegment> from_route(
+      const std::vector<SpeedStretch>& speed_profile,
+      const net::CoverageMap& coverage);
+
+  /// A 20-minute mixed commute: city → arterial → highway → city, with an
+  /// RSU-less highway stretch and a platooning neighbor in the city.
+  static std::vector<ScenarioSegment> commute();
+  /// Parked (engine on): everything reachable, pristine network.
+  static std::vector<ScenarioSegment> parked(double duration_s = 300.0);
+  /// Sustained 70 MPH highway with sparse RSUs — the hostile Fig. 2 case.
+  static std::vector<ScenarioSegment> highway_sprint(double duration_s = 600.0);
+
+ private:
+  void apply(std::size_t index);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  std::vector<ScenarioSegment> segments_;
+  edgeos::ElasticManager* elastic_;
+  CellularConditionModel model_;
+  int current_ = -1;
+};
+
+}  // namespace vdap::core

@@ -1,0 +1,75 @@
+#include "ddi/cloudsync.hpp"
+
+namespace vdap::ddi {
+
+CloudSync::CloudSync(sim::Simulator& sim, Ddi& ddi, net::Topology& topo,
+                     CloudSyncOptions options)
+    : sim_(sim), ddi_(ddi), topo_(topo), options_(options) {}
+
+void CloudSync::start() {
+  if (handle_ && handle_->active()) return;
+  handle_ = sim_.every(options_.check_period, [this]() { sync_once(); },
+                       options_.check_period);
+}
+
+void CloudSync::stop() {
+  if (handle_) handle_->stop();
+}
+
+std::uint64_t CloudSync::backlog() const {
+  std::uint64_t n = 0;
+  for (const std::string& stream : ddi_.disk().streams()) {
+    auto it = cursor_.find(stream);
+    sim::SimTime from = it != cursor_.end() ? it->second + 1 : 0;
+    n += ddi_.disk().query(stream, from, sim::kTimeMax).size();
+  }
+  return n;
+}
+
+std::size_t CloudSync::sync_once() {
+  if (!topo_.available(options_.tier) ||
+      topo_.cellular_bandwidth_factor() < options_.min_bandwidth_factor) {
+    ++skipped_;
+    return 0;
+  }
+  std::size_t shipped = 0;
+  for (const std::string& stream : ddi_.disk().streams()) {
+    if (in_flight_.count(stream) > 0) continue;  // batch still uploading
+    sim::SimTime from =
+        cursor_.count(stream) > 0 ? cursor_[stream] + 1 : 0;
+    std::vector<DataRecord> pending =
+        ddi_.disk().query(stream, from, sim::kTimeMax);
+    if (pending.empty()) continue;
+    if (pending.size() > options_.batch_records) {
+      pending.resize(options_.batch_records);
+    }
+    std::uint64_t bytes = 0;
+    for (const DataRecord& r : pending) bytes += encoded_size(r);
+
+    // Ship the batch; advance the cursor only on delivery.
+    sim::SimTime new_cursor = pending.back().timestamp;
+    auto batch = std::make_shared<std::vector<DataRecord>>(std::move(pending));
+    std::string stream_name = stream;
+    in_flight_.insert(stream_name);
+    topo_.transfer_up(
+        options_.tier, bytes,
+        [this, batch, bytes, stream_name,
+         new_cursor](const net::TransferOutcome& out) {
+          in_flight_.erase(stream_name);
+          if (!out.delivered) {
+            ++failed_;
+            return;  // cursor untouched; retried next wake-up
+          }
+          cursor_[stream_name] = new_cursor;
+          records_synced_ += batch->size();
+          bytes_synced_ += bytes;
+          if (sink_) {
+            for (const DataRecord& r : *batch) sink_(r);
+          }
+        });
+    shipped += batch->size();
+  }
+  return shipped;
+}
+
+}  // namespace vdap::ddi

@@ -1,0 +1,74 @@
+// Cloud migration of DDI data (§IV-A): "All data collected by the DDI will
+// be cached on the vehicle and eventually migrated to a cloud based data
+// server. Note that these data will be open to the community."
+//
+// CloudSync is opportunistic: it wakes periodically, and only when the
+// cellular tier is reachable and healthy enough (parked / low speed) does
+// it upload the next batch of not-yet-synced records per stream. Uploads
+// pay real transfer time on the topology; failures leave the cursor
+// untouched so nothing is lost, only delayed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "ddi/ddi.hpp"
+#include "net/topology.hpp"
+
+namespace vdap::ddi {
+
+struct CloudSyncOptions {
+  sim::SimDuration check_period = sim::seconds(30);
+  /// Upper bound on records shipped per wake-up (per stream).
+  std::size_t batch_records = 500;
+  /// Minimum cellular bandwidth factor to attempt a sync (don't fight the
+  /// Fig. 2 conditions for bulk data).
+  double min_bandwidth_factor = 0.5;
+  net::Tier tier = net::Tier::kCloud;
+};
+
+class CloudSync {
+ public:
+  using Sink = std::function<void(const DataRecord&)>;
+
+  CloudSync(sim::Simulator& sim, Ddi& ddi, net::Topology& topo,
+            CloudSyncOptions options = {});
+
+  /// Receives each record on the cloud side after a successful upload
+  /// (e.g. appends to the community data server).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void start();
+  void stop();
+
+  /// Forces one sync attempt now (regardless of the period; the network
+  /// gate still applies). Returns the number of records shipped.
+  std::size_t sync_once();
+
+  std::uint64_t records_synced() const { return records_synced_; }
+  std::uint64_t bytes_synced() const { return bytes_synced_; }
+  std::uint64_t skipped_bad_network() const { return skipped_; }
+  std::uint64_t failed_uploads() const { return failed_; }
+
+  /// Records persisted on the vehicle but not yet migrated.
+  std::uint64_t backlog() const;
+
+ private:
+  sim::Simulator& sim_;
+  Ddi& ddi_;
+  net::Topology& topo_;
+  CloudSyncOptions options_;
+  Sink sink_;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  // Per-stream cursor: every record with timestamp <= cursor is synced.
+  std::map<std::string, sim::SimTime> cursor_;
+  // Streams with an upload in flight (guards against duplicate batches).
+  std::set<std::string> in_flight_;
+  std::uint64_t records_synced_ = 0;
+  std::uint64_t bytes_synced_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace vdap::ddi

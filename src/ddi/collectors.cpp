@@ -1,0 +1,172 @@
+#include "ddi/collectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdap::ddi {
+
+namespace {
+constexpr double kMetersPerDegLat = 111'320.0;
+}
+
+ObdCollector::ObdCollector(sim::Simulator& sim, RecordSink sink,
+                           sim::SimDuration period)
+    : sim_(sim), sink_(std::move(sink)), period_(period) {}
+
+void ObdCollector::start() {
+  if (handle_ && handle_->active()) return;
+  handle_ = sim_.every(period_, [this]() { tick(); });
+}
+
+void ObdCollector::stop() {
+  if (handle_) handle_->stop();
+}
+
+void ObdCollector::tick() {
+  util::RngStream& rng = sim_.rng("ddi.obd");
+  double dt = sim::to_seconds(period_);
+
+  // Occasionally pick a new cruise target (traffic lights, speed zones).
+  if (rng.chance(0.01)) state_.target_mps = rng.uniform(0.0, 31.0);
+  // First-order speed tracking with jitter.
+  double accel =
+      std::clamp((state_.target_mps - state_.speed_mps) * 0.4, -3.0, 2.5) +
+      rng.normal(0.0, 0.2);
+  state_.speed_mps = std::max(0.0, state_.speed_mps + accel * dt);
+  // Gentle heading wander; dead-reckon position.
+  state_.heading_rad += rng.normal(0.0, 0.02);
+  double dist = state_.speed_mps * dt;
+  state_.odometer_m += dist;
+  state_.lat += dist * std::cos(state_.heading_rad) / kMetersPerDegLat;
+  state_.lon += dist * std::sin(state_.heading_rad) /
+                (kMetersPerDegLat * std::cos(state_.lat * M_PI / 180.0));
+  // Slow thermal/electrical dynamics.
+  double load = std::abs(accel) + state_.speed_mps / 31.0;
+  state_.coolant_c +=
+      (82.0 + 8.0 * load - state_.coolant_c) * 0.01 + rng.normal(0.0, 0.05);
+  state_.battery_v = 13.8 + rng.normal(0.0, 0.05) - 0.3 * (load > 1.5);
+  if (rng.chance(0.0005)) state_.tire_psi -= rng.uniform(0.05, 0.3);  // leak
+
+  double rpm = 800.0 + state_.speed_mps * 90.0 + std::max(0.0, accel) * 400.0;
+
+  DataRecord rec;
+  rec.stream = "vehicle/obd";
+  rec.timestamp = sim_.now();
+  rec.lat = state_.lat;
+  rec.lon = state_.lon;
+  rec.payload["speed_mps"] = state_.speed_mps;
+  rec.payload["accel_mps2"] = accel;
+  rec.payload["rpm"] = rpm;
+  rec.payload["coolant_c"] = state_.coolant_c;
+  rec.payload["tire_psi"] = state_.tire_psi;
+  rec.payload["battery_v"] = state_.battery_v;
+  rec.payload["odometer_m"] = state_.odometer_m;
+  rec.payload["heading_rad"] = state_.heading_rad;
+  ++emitted_;
+  sink_(std::move(rec));
+}
+
+WeatherFeed::WeatherFeed(sim::Simulator& sim, RecordSink sink,
+                         sim::SimDuration period)
+    : sim_(sim), sink_(std::move(sink)), period_(period) {}
+
+void WeatherFeed::start() {
+  if (handle_ && handle_->active()) return;
+  handle_ = sim_.every(period_, [this]() { tick(); });
+}
+
+void WeatherFeed::stop() {
+  if (handle_) handle_->stop();
+}
+
+void WeatherFeed::tick() {
+  util::RngStream& rng = sim_.rng("ddi.weather");
+  // Markov transitions: mostly sticky, rain more likely than snow.
+  double u = rng.uniform();
+  if (condition_ == "clear") {
+    if (u < 0.06) condition_ = "rain";
+    else if (u < 0.08) condition_ = "snow";
+  } else if (condition_ == "rain") {
+    if (u < 0.15) condition_ = "clear";
+    else if (u < 0.18) condition_ = "snow";
+  } else {  // snow
+    if (u < 0.12) condition_ = "clear";
+    else if (u < 0.20) condition_ = "rain";
+  }
+  double target = condition_ == "snow" ? -2.0 : condition_ == "rain" ? 12.0
+                                                                     : 20.0;
+  temperature_c_ += (target - temperature_c_) * 0.05 + rng.normal(0.0, 0.3);
+
+  DataRecord rec;
+  rec.stream = "env/weather";
+  rec.timestamp = sim_.now();
+  rec.payload["condition"] = condition_;
+  rec.payload["temperature_c"] = temperature_c_;
+  rec.payload["visibility_m"] =
+      condition_ == "clear" ? 10000.0 : condition_ == "rain" ? 3000.0 : 800.0;
+  ++emitted_;
+  sink_(std::move(rec));
+}
+
+TrafficFeed::TrafficFeed(sim::Simulator& sim, RecordSink sink,
+                         sim::SimDuration period)
+    : sim_(sim), sink_(std::move(sink)), period_(period) {}
+
+void TrafficFeed::start() {
+  if (handle_ && handle_->active()) return;
+  handle_ = sim_.every(period_, [this]() { tick(); });
+}
+
+void TrafficFeed::stop() {
+  if (handle_) handle_->stop();
+}
+
+void TrafficFeed::tick() {
+  util::RngStream& rng = sim_.rng("ddi.traffic");
+  // Mean-reverting congestion with occasional jams.
+  congestion_ += (0.3 - congestion_) * 0.1 + rng.normal(0.0, 0.05);
+  if (rng.chance(0.02)) congestion_ += 0.4;  // incident ahead
+  congestion_ = std::clamp(congestion_, 0.0, 1.0);
+
+  DataRecord rec;
+  rec.stream = "env/traffic";
+  rec.timestamp = sim_.now();
+  rec.payload["congestion"] = congestion_;
+  rec.payload["avg_speed_mps"] = 31.0 * (1.0 - 0.8 * congestion_);
+  ++emitted_;
+  sink_(std::move(rec));
+}
+
+SocialFeed::SocialFeed(sim::Simulator& sim, RecordSink sink,
+                       double events_per_hour)
+    : sim_(sim), sink_(std::move(sink)), rate_per_s_(events_per_hour / 3600.0) {}
+
+void SocialFeed::start() {
+  stopped_ = false;
+  arm();
+}
+
+void SocialFeed::stop() { stopped_ = true; }
+
+void SocialFeed::arm() {
+  if (rate_per_s_ <= 0.0) return;
+  double gap = sim_.rng("ddi.social").exponential(1.0 / rate_per_s_);
+  sim_.after(sim::from_seconds(gap), [this]() {
+    if (stopped_) return;
+    util::RngStream& rng = sim_.rng("ddi.social");
+    static const char* kKinds[] = {"accident", "construction", "closure",
+                                   "event-traffic", "hazard"};
+    DataRecord rec;
+    rec.stream = "social/events";
+    rec.timestamp = sim_.now();
+    rec.lat = 42.3314 + rng.uniform(-0.05, 0.05);
+    rec.lon = -83.0458 + rng.uniform(-0.05, 0.05);
+    rec.payload["kind"] = kKinds[rng.uniform_int(0, 4)];
+    rec.payload["severity"] = rng.uniform_int(1, 5);
+    ++emitted_;
+    sink_(std::move(rec));
+    arm();
+  });
+}
+
+}  // namespace vdap::ddi

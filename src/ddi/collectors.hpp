@@ -1,0 +1,121 @@
+// Collector layer (§IV-D, Fig. 7): "OBD reader and on-board sensors collect
+// the driving data, which includes the location, speed, acceleration,
+// angular velocity and so on. ... Weather, traffic and social data are
+// collected from vehicle-specific APIs."
+//
+// Each collector is a seeded synthetic feed with realistic dynamics
+// (substitute for the physical sensors/APIs we do not have — DESIGN.md §2):
+//   * ObdCollector — 10 Hz vehicle state from a little longitudinal
+//     dynamics model (speed tracking a varying target, RPM, coolant
+//     temperature, tire pressure with slow leaks, battery voltage) plus
+//     dead-reckoned position along a heading;
+//   * WeatherFeed — Markov weather (clear/rain/snow) with temperature drift;
+//   * TrafficFeed — congestion level following a mean-reverting process;
+//   * SocialFeed — Poisson stream of geo-tagged events (accident, closure).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ddi/record.hpp"
+#include "sim/simulator.hpp"
+
+namespace vdap::ddi {
+
+using RecordSink = std::function<void(DataRecord)>;
+
+struct VehicleStateModel {
+  double speed_mps = 0.0;
+  double target_mps = 13.0;
+  double heading_rad = 0.0;
+  double lat = 42.3314;   // Detroit
+  double lon = -83.0458;
+  double coolant_c = 70.0;
+  double tire_psi = 35.0;
+  double battery_v = 13.8;
+  double odometer_m = 0.0;
+};
+
+class ObdCollector {
+ public:
+  ObdCollector(sim::Simulator& sim, RecordSink sink,
+               sim::SimDuration period = sim::msec(100));
+
+  void start();
+  void stop();
+
+  const VehicleStateModel& state() const { return state_; }
+  /// Pins the speed target (drive scenarios set this; otherwise the target
+  /// wanders between city and highway speeds).
+  void set_target_speed(double mps) { state_.target_mps = mps; }
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  RecordSink sink_;
+  sim::SimDuration period_;
+  VehicleStateModel state_;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  std::uint64_t emitted_ = 0;
+};
+
+class WeatherFeed {
+ public:
+  WeatherFeed(sim::Simulator& sim, RecordSink sink,
+              sim::SimDuration period = sim::seconds(60));
+  void start();
+  void stop();
+  const std::string& condition() const { return condition_; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void tick();
+  sim::Simulator& sim_;
+  RecordSink sink_;
+  sim::SimDuration period_;
+  std::string condition_ = "clear";
+  double temperature_c_ = 18.0;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  std::uint64_t emitted_ = 0;
+};
+
+class TrafficFeed {
+ public:
+  TrafficFeed(sim::Simulator& sim, RecordSink sink,
+              sim::SimDuration period = sim::seconds(30));
+  void start();
+  void stop();
+  double congestion() const { return congestion_; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void tick();
+  sim::Simulator& sim_;
+  RecordSink sink_;
+  sim::SimDuration period_;
+  double congestion_ = 0.3;  // 0 = free flow, 1 = jammed
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  std::uint64_t emitted_ = 0;
+};
+
+class SocialFeed {
+ public:
+  SocialFeed(sim::Simulator& sim, RecordSink sink,
+             double events_per_hour = 6.0);
+  void start();
+  void stop();
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void arm();
+  sim::Simulator& sim_;
+  RecordSink sink_;
+  double rate_per_s_;
+  bool stopped_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace vdap::ddi

@@ -1,0 +1,231 @@
+#include "ddi/diskdb.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace vdap::ddi {
+
+namespace fs = std::filesystem;
+
+DiskDb::DiskDb(DiskDbOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) throw std::invalid_argument("diskdb needs a dir");
+  fs::create_directories(options_.dir);
+  recover();
+}
+
+DiskDb::~DiskDb() {
+  if (active_.is_open()) active_.flush();
+}
+
+std::string DiskDb::segment_path(int id) const {
+  return options_.dir + "/" + util::format("seg-%06d.log", id);
+}
+
+void DiskDb::recover() {
+  // Discover existing segments.
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    std::string name = entry.path().filename().string();
+    int id = 0;
+    if (std::sscanf(name.c_str(), "seg-%06d.log", &id) == 1) {
+      segments_.push_back(id);
+    }
+  }
+  std::sort(segments_.begin(), segments_.end());
+
+  // Rebuild the index by scanning every segment.
+  for (int id : segments_) {
+    std::ifstream in(segment_path(id), std::ios::binary);
+    std::vector<std::uint8_t> buf(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    std::size_t offset = 0;
+    while (offset < buf.size()) {
+      std::size_t rec_offset = offset;
+      auto rec = decode(buf, offset);
+      if (!rec) break;  // trailing torn write: ignore (crash recovery)
+      index_record(*rec, id, rec_offset);
+      ++record_count_;
+    }
+    bytes_written_ += offset;
+    segment_bytes_[id] += offset;
+  }
+
+  int next = segments_.empty() ? 1 : segments_.back();
+  std::uint64_t existing =
+      segments_.empty() ? 0
+                        : static_cast<std::uint64_t>(
+                              fs::file_size(segment_path(next)));
+  if (segments_.empty() || existing >= options_.segment_bytes) {
+    next = segments_.empty() ? 1 : segments_.back() + 1;
+    existing = 0;
+    segments_.push_back(next);
+  }
+  open_segment(next, existing);
+}
+
+void DiskDb::open_segment(int id, std::uint64_t existing_bytes) {
+  if (active_.is_open()) active_.close();
+  active_.open(segment_path(id), std::ios::binary | std::ios::app);
+  if (!active_) {
+    throw std::runtime_error("cannot open segment " + segment_path(id));
+  }
+  active_id_ = id;
+  active_bytes_ = existing_bytes;
+}
+
+void DiskDb::index_record(const DataRecord& rec, int segment,
+                          std::uint64_t offset) {
+  index_[rec.stream].push_back(IndexEntry{rec.timestamp, segment, offset});
+  sorted_[rec.stream] = false;
+  auto it = segment_max_ts_.find(segment);
+  if (it == segment_max_ts_.end() || rec.timestamp > it->second) {
+    segment_max_ts_[segment] = rec.timestamp;
+  }
+}
+
+void DiskDb::put(const DataRecord& rec) {
+  if (rec.stream.empty()) throw std::invalid_argument("record needs a stream");
+  if (active_bytes_ >= options_.segment_bytes) {
+    int next = segments_.back() + 1;
+    segments_.push_back(next);
+    open_segment(next, 0);
+  }
+  std::vector<std::uint8_t> buf;
+  encode(rec, buf);
+  index_record(rec, active_id_, active_bytes_);
+  active_.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+  active_bytes_ += buf.size();
+  bytes_written_ += buf.size();
+  segment_bytes_[active_id_] += buf.size();
+  ++record_count_;
+}
+
+void DiskDb::flush() {
+  if (active_.is_open()) active_.flush();
+}
+
+void DiskDb::ensure_sorted(const std::string& stream) const {
+  auto it = sorted_.find(stream);
+  if (it != sorted_.end() && it->second) return;
+  auto& v = index_[stream];
+  std::stable_sort(v.begin(), v.end(),
+                   [](const IndexEntry& a, const IndexEntry& b) {
+                     return a.ts < b.ts;
+                   });
+  sorted_[stream] = true;
+}
+
+DataRecord DiskDb::read_at(int segment, std::uint64_t offset) const {
+  std::ifstream in(segment_path(segment), std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::uint8_t len_bytes[4];
+  in.read(reinterpret_cast<char*>(len_bytes), 4);
+  std::uint32_t len = 0;
+  std::memcpy(&len, len_bytes, 4);
+  std::vector<std::uint8_t> buf(4 + len);
+  std::memcpy(buf.data(), len_bytes, 4);
+  in.read(reinterpret_cast<char*>(buf.data() + 4), len);
+  std::size_t pos = 0;
+  auto rec = decode(buf, pos);
+  if (!rec) {
+    throw std::runtime_error(
+        util::format("corrupt record at seg %d offset %llu", segment,
+                     static_cast<unsigned long long>(offset)));
+  }
+  return *rec;
+}
+
+std::vector<DataRecord> DiskDb::query(const std::string& stream,
+                                      sim::SimTime t0, sim::SimTime t1) const {
+  // Make sure everything we might read has reached the file.
+  const_cast<DiskDb*>(this)->flush();
+  std::vector<DataRecord> out;
+  auto it = index_.find(stream);
+  if (it == index_.end()) return out;
+  ensure_sorted(stream);
+  const auto& v = it->second;
+  auto lo = std::lower_bound(v.begin(), v.end(), t0,
+                             [](const IndexEntry& e, sim::SimTime t) {
+                               return e.ts < t;
+                             });
+  for (auto e = lo; e != v.end() && e->ts <= t1; ++e) {
+    out.push_back(read_at(e->segment, e->offset));
+  }
+  return out;
+}
+
+std::vector<DataRecord> DiskDb::query_geo(const std::string& stream,
+                                          sim::SimTime t0, sim::SimTime t1,
+                                          double lat0, double lat1,
+                                          double lon0, double lon1) const {
+  std::vector<DataRecord> all = query(stream, t0, t1);
+  std::vector<DataRecord> out;
+  for (DataRecord& r : all) {
+    if (r.lat >= lat0 && r.lat <= lat1 && r.lon >= lon0 && r.lon <= lon1) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::uint64_t DiskDb::bytes_on_disk() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, bytes] : segment_bytes_) total += bytes;
+  return total;
+}
+
+void DiskDb::retire_segment(int id) {
+  std::uint64_t dropped = 0;
+  for (auto& [stream, entries] : index_) {
+    auto keep = entries.begin();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->segment == id) {
+        ++dropped;
+      } else {
+        if (keep != it) *keep = *it;
+        ++keep;
+      }
+    }
+    entries.erase(keep, entries.end());
+  }
+  record_count_ -= dropped;
+  segment_bytes_.erase(id);
+  segment_max_ts_.erase(id);
+  segments_.erase(std::find(segments_.begin(), segments_.end(), id));
+  std::error_code ec;
+  fs::remove(segment_path(id), ec);  // best effort
+}
+
+std::uint64_t DiskDb::enforce_retention(std::uint64_t max_bytes,
+                                        sim::SimTime min_timestamp) {
+  std::uint64_t before = record_count_;
+  // Oldest-first (segment ids are monotone in creation order); never touch
+  // the active segment.
+  while (segments_.size() > 1) {
+    int oldest = segments_.front();
+    bool over_budget = max_bytes > 0 && bytes_on_disk() > max_bytes;
+    auto ts = segment_max_ts_.find(oldest);
+    bool aged_out = min_timestamp > sim::kTimeZero &&
+                    (ts == segment_max_ts_.end() ||
+                     ts->second < min_timestamp);
+    if (!over_budget && !aged_out) break;
+    retire_segment(oldest);
+  }
+  return before - record_count_;
+}
+
+std::vector<std::string> DiskDb::streams() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entries] : index_) {
+    if (!entries.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace vdap::ddi

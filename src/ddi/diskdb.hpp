@@ -1,0 +1,101 @@
+// Disk database (§IV-D): "As the data from the collector layer is
+// time-space related, disk database is utilized to store it ... Collected
+// data are permanently stored in the disk database."
+//
+// A real file-backed store: fixed-size append-only segment files of encoded
+// DataRecords under one directory, with an in-memory index (per stream,
+// timestamp → segment/offset) rebuilt by scanning the segments on open —
+// so a vehicle reboot (reopening the directory) recovers everything.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddi/record.hpp"
+
+namespace vdap::ddi {
+
+struct DiskDbOptions {
+  std::string dir;                          // storage directory (created)
+  std::uint64_t segment_bytes = 4ull << 20; // roll segments at this size
+};
+
+class DiskDb {
+ public:
+  /// Opens (and recovers) the database at options.dir.
+  explicit DiskDb(DiskDbOptions options);
+  ~DiskDb();
+
+  DiskDb(const DiskDb&) = delete;
+  DiskDb& operator=(const DiskDb&) = delete;
+
+  /// Appends a record (write-through to the active segment file).
+  void put(const DataRecord& rec);
+
+  /// Forces buffered bytes to the OS.
+  void flush();
+
+  /// All records of `stream` with timestamp in [t0, t1], in time order.
+  std::vector<DataRecord> query(const std::string& stream, sim::SimTime t0,
+                                sim::SimTime t1) const;
+
+  /// As query(), additionally filtered to the lat/lon bounding box.
+  std::vector<DataRecord> query_geo(const std::string& stream,
+                                    sim::SimTime t0, sim::SimTime t1,
+                                    double lat0, double lat1, double lon0,
+                                    double lon1) const;
+
+  std::vector<std::string> streams() const;
+  std::uint64_t record_count() const { return record_count_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  int segment_count() const { return static_cast<int>(segments_.size()); }
+  /// Bytes currently on disk (bytes_written minus retired segments).
+  std::uint64_t bytes_on_disk() const;
+
+  /// Retention (the paper's §IV-D open problem — "how long will these data
+  /// need to be stored is still unclear" — made a policy): retires whole
+  /// segments, oldest first, until the store fits `max_bytes` (0 = no byte
+  /// bound) and no retained record is older than `min_timestamp`
+  /// (kTimeZero = no age bound). The active segment is never retired.
+  /// Returns the number of records dropped. Deletion is segment-granular:
+  /// a segment is age-retired only when *all* its records are older than
+  /// the cutoff.
+  std::uint64_t enforce_retention(std::uint64_t max_bytes,
+                                  sim::SimTime min_timestamp = sim::kTimeZero);
+
+ private:
+  struct IndexEntry {
+    sim::SimTime ts;
+    int segment;
+    std::uint64_t offset;
+  };
+
+  std::string segment_path(int id) const;
+  void open_segment(int id, std::uint64_t existing_bytes);
+  void recover();
+  void index_record(const DataRecord& rec, int segment,
+                    std::uint64_t offset);
+  DataRecord read_at(int segment, std::uint64_t offset) const;
+  void ensure_sorted(const std::string& stream) const;
+
+  void retire_segment(int id);
+
+  DiskDbOptions options_;
+  std::vector<int> segments_;      // segment ids, ascending
+  std::ofstream active_;
+  int active_id_ = 0;
+  std::uint64_t active_bytes_ = 0;
+  // Per-segment stats for retention decisions.
+  std::map<int, std::uint64_t> segment_bytes_;
+  std::map<int, sim::SimTime> segment_max_ts_;
+
+  mutable std::map<std::string, std::vector<IndexEntry>> index_;
+  mutable std::map<std::string, bool> sorted_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace vdap::ddi

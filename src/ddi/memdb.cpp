@@ -1,0 +1,90 @@
+#include "ddi/memdb.hpp"
+
+namespace vdap::ddi {
+
+void MemDb::put(const std::string& key, DataRecord value, sim::SimTime now,
+                sim::SimDuration ttl) {
+  if (ttl <= 0) ttl = options_.default_ttl;
+  std::uint64_t size = encoded_size(value) + key.size();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) remove(it);
+  if (size > options_.capacity_bytes) return;  // would never fit
+  evict_for(size);
+  lru_.push_front(key);
+  Entry e;
+  e.value = std::move(value);
+  e.expires = now + ttl;
+  e.size = size;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  bytes_ += size;
+}
+
+std::optional<DataRecord> MemDb::get(const std::string& key,
+                                     sim::SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.expires <= now) {
+    if (it != entries_.end()) remove(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  // Refresh recency.
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return it->second.value;
+}
+
+bool MemDb::contains(const std::string& key, sim::SimTime now) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.expires > now;
+}
+
+bool MemDb::erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  remove(it);
+  return true;
+}
+
+void MemDb::purge_expired(sim::SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      auto victim = it++;
+      remove(victim);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<DataRecord> MemDb::drain_expired(sim::SimTime now) {
+  std::vector<DataRecord> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      out.push_back(std::move(it->second.value));
+      auto victim = it++;
+      remove(victim);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void MemDb::evict_for(std::uint64_t needed) {
+  while (bytes_ + needed > options_.capacity_bytes && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    remove(it);
+    ++evictions_;
+  }
+}
+
+void MemDb::remove(std::unordered_map<std::string, Entry>::iterator it) {
+  bytes_ -= it->second.size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+}  // namespace vdap::ddi

@@ -1,0 +1,78 @@
+// In-memory database (§IV-D): "in-memory database caches the frequently
+// used data from disk database to decrease the response latency of request.
+// For all the data caches into the in-memory database, a survival time is
+// set for it." A TTL + LRU keyed cache in the spirit of Redis: entries
+// expire at their survival time, and when the byte budget is exceeded the
+// least-recently-used entries are evicted first.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ddi/record.hpp"
+
+namespace vdap::ddi {
+
+struct MemDbOptions {
+  std::uint64_t capacity_bytes = 64ull << 20;  // 64 MiB cache
+  sim::SimDuration default_ttl = sim::seconds(60);
+};
+
+class MemDb {
+ public:
+  explicit MemDb(MemDbOptions options = {}) : options_(options) {}
+
+  /// Inserts or replaces `key`. TTL <= 0 uses the default. `now` drives
+  /// expiry (the caller passes simulation time).
+  void put(const std::string& key, DataRecord value, sim::SimTime now,
+           sim::SimDuration ttl = 0);
+
+  /// Returns the value when present and unexpired; refreshes LRU recency.
+  std::optional<DataRecord> get(const std::string& key, sim::SimTime now);
+
+  bool contains(const std::string& key, sim::SimTime now) const;
+  bool erase(const std::string& key);
+
+  /// Drops every expired entry (put/get do this lazily per key).
+  void purge_expired(sim::SimTime now);
+
+  /// Entries whose TTL expired and were never re-written — the DDI service
+  /// layer flushes these to the disk database ("when the survival time is
+  /// up ... the data in in-memory database would be written to disk").
+  std::vector<DataRecord> drain_expired(sim::SimTime now);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double hit_rate() const {
+    std::uint64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / total : 0.0;
+  }
+
+ private:
+  struct Entry {
+    DataRecord value;
+    sim::SimTime expires;
+    std::uint64_t size;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void evict_for(std::uint64_t needed);
+  void remove(std::unordered_map<std::string, Entry>::iterator it);
+
+  MemDbOptions options_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vdap::ddi

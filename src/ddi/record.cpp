@@ -1,0 +1,74 @@
+#include "ddi/record.hpp"
+
+#include <cstring>
+
+namespace vdap::ddi {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* value) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(value, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void encode(const DataRecord& rec, std::vector<std::uint8_t>& out) {
+  std::string payload = rec.payload.dump();
+  std::uint32_t total = static_cast<std::uint32_t>(
+      2 + rec.stream.size() + 8 + 8 + 8 + 4 + payload.size());
+  put<std::uint32_t>(out, total);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(rec.stream.size()));
+  out.insert(out.end(), rec.stream.begin(), rec.stream.end());
+  put<std::int64_t>(out, rec.timestamp);
+  put<double>(out, rec.lat);
+  put<double>(out, rec.lon);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::optional<DataRecord> decode(const std::vector<std::uint8_t>& buf,
+                                 std::size_t& offset) {
+  std::size_t pos = offset;
+  std::uint32_t total = 0;
+  if (!get(buf, pos, &total)) return std::nullopt;
+  if (pos + total > buf.size()) return std::nullopt;
+  std::size_t end = pos + total;
+
+  DataRecord rec;
+  std::uint16_t stream_len = 0;
+  if (!get(buf, pos, &stream_len)) return std::nullopt;
+  if (pos + stream_len > end) return std::nullopt;
+  rec.stream.assign(reinterpret_cast<const char*>(buf.data() + pos),
+                    stream_len);
+  pos += stream_len;
+  if (!get(buf, pos, &rec.timestamp)) return std::nullopt;
+  if (!get(buf, pos, &rec.lat)) return std::nullopt;
+  if (!get(buf, pos, &rec.lon)) return std::nullopt;
+  std::uint32_t payload_len = 0;
+  if (!get(buf, pos, &payload_len)) return std::nullopt;
+  if (pos + payload_len != end) return std::nullopt;
+  std::string payload(reinterpret_cast<const char*>(buf.data() + pos),
+                      payload_len);
+  auto parsed = json::try_parse(payload);
+  if (!parsed) return std::nullopt;
+  rec.payload = std::move(*parsed);
+  offset = end;
+  return rec;
+}
+
+std::size_t encoded_size(const DataRecord& rec) {
+  return 4 + 2 + rec.stream.size() + 8 + 8 + 8 + 4 + rec.payload.dump().size();
+}
+
+}  // namespace vdap::ddi

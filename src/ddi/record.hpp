@@ -1,0 +1,45 @@
+// DDI records (§IV-D): every datum the Driving Data Integrator stores is
+// time-space keyed — "All the related data includes location and timestamp."
+// Records carry a stream name (vehicle/obd, env/weather, env/traffic,
+// social/events), the capture time, a location, and a JSON payload.
+// A compact length-prefixed binary codec serializes them for the disk
+// database and for upload to the cloud data server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/json.hpp"
+
+namespace vdap::ddi {
+
+struct DataRecord {
+  std::string stream;
+  sim::SimTime timestamp = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  json::Value payload;
+
+  bool operator==(const DataRecord& other) const {
+    return stream == other.stream && timestamp == other.timestamp &&
+           lat == other.lat && lon == other.lon && payload == other.payload;
+  }
+};
+
+/// Appends the record's binary encoding to `out`:
+///   u32 total_len | u16 stream_len | stream | i64 ts | f64 lat | f64 lon |
+///   u32 payload_len | payload(json)
+void encode(const DataRecord& rec, std::vector<std::uint8_t>& out);
+
+/// Decodes one record starting at `offset`; advances `offset` past it.
+/// Returns nullopt on truncated or corrupt input (offset unchanged).
+std::optional<DataRecord> decode(const std::vector<std::uint8_t>& buf,
+                                 std::size_t& offset);
+
+/// Encoded size without encoding (for storage accounting).
+std::size_t encoded_size(const DataRecord& rec);
+
+}  // namespace vdap::ddi

@@ -1,0 +1,99 @@
+#include "edgeos/edgeos.hpp"
+
+#include <stdexcept>
+
+namespace vdap::edgeos {
+
+EdgeOSv::EdgeOSv(sim::Simulator& sim, vcu::Dsf& dsf, net::Topology& topo,
+                 std::uint64_t vehicle_secret, SecurityOptions sec,
+                 ElasticOptions elastic)
+    : sim_(sim),
+      dsf_(dsf),
+      elastic_(sim, dsf, topo, elastic),
+      security_(sim, sec),
+      pseudonyms_(vehicle_secret, sim::minutes(5)),
+      fuzzer_() {
+  security_.start_monitor();
+  // A reinstalled service gets a fresh bus credential: whatever the attacker
+  // exfiltrated stops authenticating.
+  security_.on_reinstall([this](const std::string& name) {
+    auto it = installed_.find(name);
+    if (it != installed_.end()) {
+      it->second.credential = bus_.enroll(name);
+    }
+  });
+}
+
+void EdgeOSv::install_service(PolymorphicService svc, IsolationMode mode) {
+  std::string why;
+  if (!svc.validate(&why)) {
+    throw std::invalid_argument("service invalid: " + why);
+  }
+  const std::string name = svc.dag.name();
+  if (installed_.count(name) > 0) {
+    throw std::invalid_argument("service '" + name + "' already installed");
+  }
+  security_.install(name, mode);
+  Installed inst;
+  inst.credential = bus_.enroll(name);
+  inst.svc = svc;
+  // Isolation costs compute: scale every task by the mode's overhead.
+  double overhead = security_.compute_overhead(name);
+  for (int i = 0; i < svc.dag.size(); ++i) {
+    svc.dag.task(i).gflop *= overhead;
+  }
+  inst.svc_scaled = std::move(svc);
+  installed_[name] = std::move(inst);
+}
+
+bool EdgeOSv::has_service(const std::string& name) const {
+  return installed_.count(name) > 0;
+}
+
+std::uint64_t EdgeOSv::run_service(
+    const std::string& name,
+    std::function<void(const ServiceRunReport&)> done) {
+  auto it = installed_.find(name);
+  if (it == installed_.end()) {
+    throw std::invalid_argument("service '" + name + "' not installed");
+  }
+  if (security_.state(name) != ServiceState::kRunning) {
+    // Compromised or reinstalling services do not run (Isolation +
+    // Reliability): report failure immediately.
+    ServiceRunReport rep;
+    rep.service = name;
+    rep.released = rep.finished = sim_.now();
+    rep.ok = false;
+    if (done) done(rep);
+    return 0;
+  }
+  return elastic_.run(
+      it->second.svc_scaled,
+      [this, name, done](const ServiceRunReport& rep) {
+        if (rep.ok) ++pipeline_use_[name][rep.pipeline];
+        if (done) done(rep);
+      });
+}
+
+std::uint64_t EdgeOSv::credential(const std::string& name) const {
+  auto it = installed_.find(name);
+  if (it == installed_.end()) {
+    throw std::invalid_argument("service '" + name + "' not installed");
+  }
+  return it->second.credential;
+}
+
+DeirReport EdgeOSv::deir_report() const {
+  DeirReport r;
+  r.pipeline_use = pipeline_use_;
+  r.hung_services = elastic_.hung_count();
+  r.registered_devices = dsf_.registry().size();
+  r.installed_services = installed_.size();
+  r.bus_rejected_auth = bus_.rejected_auth();
+  r.bus_rejected_acl = bus_.rejected_acl();
+  r.compromises_detected = security_.compromises_detected();
+  r.reinstalls = security_.reinstalls();
+  return r;
+}
+
+}  // namespace vdap::edgeos

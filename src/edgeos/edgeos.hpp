@@ -1,0 +1,83 @@
+// EdgeOSv facade (§IV-C): the vehicle operating system assembling Elastic
+// Management, Security, Data Sharing, and Privacy over the VCU's DSF, and
+// carrying the DEIR properties inherited from EdgeOS_H [24]:
+//   Differentiation — per-service pipeline choice and priorities (Elastic);
+//   Extensibility  — hardware via the VCU registry, software via libvdap;
+//   Isolation      — TEE/containers + the bus' auth/ACL (Security);
+//   Reliability    — compromise detection/reinstall + Elastic hang-up.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "edgeos/elastic.hpp"
+#include "edgeos/privacy.hpp"
+#include "edgeos/security.hpp"
+#include "edgeos/sharing.hpp"
+
+namespace vdap::edgeos {
+
+struct DeirReport {
+  // Differentiation.
+  std::map<std::string, std::map<std::string, std::uint64_t>>
+      pipeline_use;  // service -> pipeline -> runs
+  std::size_t hung_services = 0;
+  // Extensibility.
+  std::size_t registered_devices = 0;
+  std::size_t installed_services = 0;
+  // Isolation.
+  std::uint64_t bus_rejected_auth = 0;
+  std::uint64_t bus_rejected_acl = 0;
+  // Reliability.
+  std::uint64_t compromises_detected = 0;
+  std::uint64_t reinstalls = 0;
+};
+
+class EdgeOSv {
+ public:
+  EdgeOSv(sim::Simulator& sim, vcu::Dsf& dsf, net::Topology& topo,
+          std::uint64_t vehicle_secret = 0xC0FFEE,
+          SecurityOptions sec = {}, ElasticOptions elastic = {});
+
+  /// Installs a polymorphic service under an isolation mode: registers it
+  /// with the security module (attestation key) and enrolls it on the bus.
+  void install_service(PolymorphicService svc, IsolationMode mode);
+  bool has_service(const std::string& name) const;
+
+  /// Releases one execution of the installed service. The security module's
+  /// isolation overhead is applied to every task's compute cost.
+  std::uint64_t run_service(
+      const std::string& name,
+      std::function<void(const ServiceRunReport&)> done = nullptr);
+
+  ElasticManager& elastic() { return elastic_; }
+  SecurityModule& security() { return security_; }
+  DataSharingBus& bus() { return bus_; }
+  PseudonymManager& pseudonyms() { return pseudonyms_; }
+  const LocationFuzzer& location_fuzzer() const { return fuzzer_; }
+
+  /// Bus credential issued to a service at install time.
+  std::uint64_t credential(const std::string& name) const;
+
+  DeirReport deir_report() const;
+
+ private:
+  struct Installed {
+    PolymorphicService svc;          // original demand
+    PolymorphicService svc_scaled;   // compute scaled by isolation overhead
+    std::uint64_t credential = 0;
+  };
+
+  sim::Simulator& sim_;
+  vcu::Dsf& dsf_;
+  ElasticManager elastic_;
+  SecurityModule security_;
+  DataSharingBus bus_;
+  PseudonymManager pseudonyms_;
+  LocationFuzzer fuzzer_;
+  std::map<std::string, Installed> installed_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> pipeline_use_;
+};
+
+}  // namespace vdap::edgeos

@@ -1,0 +1,423 @@
+#include "edgeos/elastic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vdap::edgeos {
+
+ElasticManager::ElasticManager(sim::Simulator& sim, vcu::Dsf& dsf,
+                               net::Topology& topo, ElasticOptions options)
+    : sim_(sim), dsf_(dsf), topo_(topo), options_(options) {}
+
+void ElasticManager::set_remote_device(net::Tier tier,
+                                       hw::ComputeDevice* device) {
+  if (tier == net::Tier::kOnBoard) {
+    throw std::invalid_argument("on-board execution goes through DSF");
+  }
+  remote_[tier] = device;
+}
+
+sim::SimDuration ElasticManager::transfer_estimate(net::Tier from,
+                                                   net::Tier to,
+                                                   std::uint64_t bytes,
+                                                   bool* ok) const {
+  *ok = true;
+  if (from == to || bytes == 0) return 0;
+  sim::SimDuration total = 0;
+  // tier→vehicle leg.
+  if (from != net::Tier::kOnBoard) {
+    if (!topo_.available(from)) {
+      *ok = false;
+      return 0;
+    }
+    total += topo_.downlink(from).estimate_reliable(bytes);
+  }
+  // vehicle→tier leg.
+  if (to != net::Tier::kOnBoard) {
+    if (!topo_.available(to)) {
+      *ok = false;
+      return 0;
+    }
+    total += topo_.uplink(to).estimate_reliable(bytes);
+  }
+  return total;
+}
+
+std::vector<PipelineEstimate> ElasticManager::estimate(
+    const PolymorphicService& svc) const {
+  std::string why;
+  if (!svc.validate(&why)) {
+    throw std::invalid_argument("polymorphic service invalid: " + why);
+  }
+  const workload::AppDag& dag = svc.dag;
+  auto order = dag.topo_order();
+
+  std::vector<PipelineEstimate> out;
+  for (const Pipeline& p : svc.pipelines) {
+    PipelineEstimate est;
+    est.pipeline = p.name;
+    est.feasible = true;
+    std::vector<double> finish_s(static_cast<std::size_t>(dag.size()), 0.0);
+    double energy = 0.0;
+
+    for (int id : order) {
+      if (!est.feasible) break;
+      const workload::TaskSpec& t = dag.task(id);
+      net::Tier tier = p.placement[static_cast<std::size_t>(id)];
+
+      // Earliest time inputs are present at `tier`.
+      double ready = 0.0;
+      bool ok = true;
+      if (dag.predecessors(id).empty()) {
+        // Sensor data originates on the vehicle.
+        sim::SimDuration xfer =
+            transfer_estimate(net::Tier::kOnBoard, tier, t.input_bytes, &ok);
+        if (!ok) {
+          est.feasible = false;
+          break;
+        }
+        ready = sim::to_seconds(xfer);
+        if (tier != net::Tier::kOnBoard) {
+          energy += options_.radio_power_w * sim::to_seconds(xfer);
+        }
+      } else {
+        for (int pr : dag.predecessors(id)) {
+          net::Tier pt = p.placement[static_cast<std::size_t>(pr)];
+          sim::SimDuration xfer = transfer_estimate(
+              pt, tier, dag.task(pr).output_bytes, &ok);
+          if (!ok) break;
+          if (pt != tier &&
+              (pt == net::Tier::kOnBoard || tier == net::Tier::kOnBoard)) {
+            energy += options_.radio_power_w * sim::to_seconds(xfer);
+          }
+          ready = std::max(ready,
+                           finish_s[static_cast<std::size_t>(pr)] +
+                               sim::to_seconds(xfer));
+        }
+        if (!ok) {
+          est.feasible = false;
+          break;
+        }
+      }
+
+      // Execution estimate at the placement.
+      double exec_s = -1.0;
+      if (tier == net::Tier::kOnBoard) {
+        auto cands = dsf_.registry().candidates(dag.name(), t.cls);
+        sim::SimTime best = std::numeric_limits<sim::SimTime>::max();
+        const hw::ComputeDevice* best_dev = nullptr;
+        for (hw::ComputeDevice* d : cands) {
+          auto f = d->estimate_finish(t.cls, t.gflop);
+          if (f && *f < best) {
+            best = *f;
+            best_dev = d;
+          }
+        }
+        if (best_dev != nullptr) {
+          exec_s = sim::to_seconds(best - sim_.now());
+          double tput = best_dev->spec().throughput(t.cls);
+          double busy_s = t.gflop / tput;
+          int slots = best_dev->spec().slots;
+          energy += busy_s *
+                    (best_dev->spec().max_power_w -
+                     best_dev->spec().idle_power_w) /
+                    (slots > 0 ? slots : 1);
+        }
+      } else {
+        auto it = remote_.find(tier);
+        if (it != remote_.end() && it->second != nullptr &&
+            topo_.available(tier)) {
+          auto f = it->second->estimate_finish(t.cls, t.gflop);
+          if (f) exec_s = sim::to_seconds(*f - sim_.now());
+        }
+      }
+      if (exec_s < 0.0) {
+        est.feasible = false;
+        break;
+      }
+      finish_s[static_cast<std::size_t>(id)] = ready + exec_s;
+    }
+
+    if (est.feasible) {
+      // The result must land back on the vehicle.
+      double end = 0.0;
+      for (int s : dag.sinks()) {
+        net::Tier tier = p.placement[static_cast<std::size_t>(s)];
+        bool ok = true;
+        sim::SimDuration xfer = transfer_estimate(
+            tier, net::Tier::kOnBoard, dag.task(s).output_bytes, &ok);
+        if (!ok) {
+          est.feasible = false;
+          break;
+        }
+        if (tier != net::Tier::kOnBoard) {
+          energy += options_.radio_power_w * sim::to_seconds(xfer);
+        }
+        end = std::max(end, finish_s[static_cast<std::size_t>(s)] +
+                                sim::to_seconds(xfer));
+      }
+      est.latency = sim::from_seconds(end * options_.estimate_margin);
+      est.onboard_energy_j = energy;
+    }
+    out.push_back(est);
+  }
+  return out;
+}
+
+const Pipeline* ElasticManager::choose(const PolymorphicService& svc) const {
+  auto ests = estimate(svc);
+  const workload::QosSpec& qos = svc.dag.qos();
+  const Pipeline* best = nullptr;
+  sim::SimDuration best_latency = std::numeric_limits<sim::SimDuration>::max();
+  double best_energy = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < ests.size(); ++i) {
+    const PipelineEstimate& e = ests[i];
+    if (!e.feasible) continue;
+    if (qos.has_deadline() && e.latency > qos.deadline) continue;
+    bool better = options_.goal == Goal::kMinLatency
+                      ? e.latency < best_latency
+                      : e.onboard_energy_j < best_energy;
+    if (best == nullptr || better) {
+      best = &svc.pipelines[i];
+      best_latency = e.latency;
+      best_energy = e.onboard_energy_j;
+    }
+  }
+  return best;
+}
+
+std::uint64_t ElasticManager::run(
+    const PolymorphicService& svc,
+    std::function<void(const ServiceRunReport&)> done) {
+  const Pipeline* choice = choose(svc);
+  std::uint64_t id = next_id_++;
+  if (choice == nullptr) {
+    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done)});
+    return id;
+  }
+  auto run = std::make_unique<Run>();
+  run->id = id;
+  run->svc = svc;
+  run->pipeline = *choice;
+  run->released = sim_.now();
+  run->done = std::move(done);
+  start(std::move(run));
+  return id;
+}
+
+void ElasticManager::reevaluate() {
+  std::vector<HungRun> still_hung;
+  for (HungRun& h : hung_) {
+    const Pipeline* choice = choose(h.svc);
+    if (choice == nullptr) {
+      still_hung.push_back(std::move(h));
+      continue;
+    }
+    auto run = std::make_unique<Run>();
+    run->id = h.id;
+    run->svc = std::move(h.svc);
+    run->pipeline = *choice;
+    run->released = h.released;  // latency counts the hung time
+    run->was_hung = true;
+    run->done = std::move(h.done);
+    start(std::move(run));
+  }
+  hung_ = std::move(still_hung);
+}
+
+void ElasticManager::start(std::unique_ptr<Run> run) {
+  Run& r = *run;
+  const workload::AppDag& dag = r.svc.dag;
+  r.remaining = dag.size();
+  r.waiting_preds.resize(static_cast<std::size_t>(dag.size()));
+  for (int i = 0; i < dag.size(); ++i) {
+    r.waiting_preds[static_cast<std::size_t>(i)] =
+        static_cast<int>(dag.predecessors(i).size());
+  }
+  std::uint64_t id = r.id;
+  std::vector<int> sources = r.svc.dag.sources();
+  runs_[id] = std::move(run);
+  for (int src : sources) {
+    // dispatch() can fail synchronously and finalize (erase) the run.
+    auto it = runs_.find(id);
+    if (it == runs_.end()) break;
+    dispatch(*it->second, src);
+  }
+}
+
+void ElasticManager::transfer(net::Tier from, net::Tier to,
+                              std::uint64_t bytes,
+                              std::function<void(bool)> done) {
+  if (from == to || bytes == 0) {
+    done(true);
+    return;
+  }
+  auto up_leg = [this, to, bytes, done](bool ok) {
+    if (!ok || to == net::Tier::kOnBoard) {
+      done(ok);
+      return;
+    }
+    topo_.transfer_up(to, bytes, [done](const net::TransferOutcome& o) {
+      done(o.delivered);
+    });
+  };
+  if (from != net::Tier::kOnBoard) {
+    topo_.transfer_down(from, bytes,
+                        [up_leg](const net::TransferOutcome& o) {
+                          up_leg(o.delivered);
+                        });
+  } else {
+    up_leg(true);
+  }
+}
+
+void ElasticManager::dispatch(Run& run, int task_id) {
+  const workload::TaskSpec& t = run.svc.dag.task(task_id);
+  net::Tier tier = run.pipeline.placement[static_cast<std::size_t>(task_id)];
+  std::uint64_t id = run.id;
+  if (run.svc.dag.predecessors(task_id).empty() &&
+      tier != net::Tier::kOnBoard) {
+    // Ship the sensor input up before computing.
+    transfer(net::Tier::kOnBoard, tier, t.input_bytes,
+             [this, id, task_id](bool ok) {
+               auto it = runs_.find(id);
+               if (it == runs_.end()) return;
+               if (!ok) {
+                 complete_task(id, task_id, false);
+               } else {
+                 compute(*it->second, task_id);
+               }
+             });
+  } else {
+    compute(run, task_id);
+  }
+}
+
+void ElasticManager::compute(Run& run, int task_id) {
+  const workload::TaskSpec& t = run.svc.dag.task(task_id);
+  net::Tier tier = run.pipeline.placement[static_cast<std::size_t>(task_id)];
+  std::uint64_t id = run.id;
+
+  hw::ComputeDevice* dev = nullptr;
+  if (tier == net::Tier::kOnBoard) {
+    auto cands = dsf_.registry().candidates(run.svc.dag.name(), t.cls);
+    sim::SimTime best = std::numeric_limits<sim::SimTime>::max();
+    for (hw::ComputeDevice* d : cands) {
+      auto f = d->estimate_finish(t.cls, t.gflop);
+      if (f && *f < best) {
+        best = *f;
+        dev = d;
+      }
+    }
+  } else {
+    auto it = remote_.find(tier);
+    dev = it != remote_.end() ? it->second : nullptr;
+  }
+  if (dev == nullptr) {
+    complete_task(id, task_id, false);
+    return;
+  }
+  dev->submit({t.cls, t.gflop, run.svc.dag.qos().priority,
+               [this, id, task_id](const hw::WorkReport& rep) {
+                 complete_task(id, task_id, rep.ok);
+               }});
+}
+
+void ElasticManager::complete_task(std::uint64_t run_id, int task_id,
+                                   bool ok) {
+  auto it = runs_.find(run_id);
+  if (it == runs_.end()) return;
+  Run& run = *it->second;
+  const workload::AppDag& dag = run.svc.dag;
+  net::Tier tier = run.pipeline.placement[static_cast<std::size_t>(task_id)];
+
+  if (!ok && !run.failed) {
+    run.failed = true;
+  }
+
+  // Sinks ship their result back to the vehicle before counting complete.
+  bool is_sink = dag.successors(task_id).empty();
+  if (ok && is_sink && tier != net::Tier::kOnBoard) {
+    std::uint64_t bytes = dag.task(task_id).output_bytes;
+    // Re-enter completion with the tier rewritten so we don't loop.
+    transfer(tier, net::Tier::kOnBoard, bytes,
+             [this, run_id, task_id](bool delivered) {
+               auto rit = runs_.find(run_id);
+               if (rit == runs_.end()) return;
+               Run& r = *rit->second;
+               r.pipeline.placement[static_cast<std::size_t>(task_id)] =
+                   net::Tier::kOnBoard;
+               complete_task(run_id, task_id, delivered);
+             });
+    return;
+  }
+
+  --run.remaining;
+  if (ok && !run.failed) {
+    std::vector<int> ready;
+    for (int s : dag.successors(task_id)) {
+      int& waiting = run.waiting_preds[static_cast<std::size_t>(s)];
+      if (--waiting == 0) ready.push_back(s);
+    }
+    std::uint64_t rid = run.id;
+    for (int s : ready) {
+      // A synchronous failure inside dispatch/complete can finalize (erase)
+      // the run; re-resolve it every iteration.
+      auto rit = runs_.find(rid);
+      if (rit == runs_.end()) return;
+      Run& r = *rit->second;
+      // Pay the tier-crossing transfer on the slowest edge, then dispatch.
+      net::Tier st = r.pipeline.placement[static_cast<std::size_t>(s)];
+      if (st != tier) {
+        std::uint64_t bytes = r.svc.dag.task(task_id).output_bytes;
+        transfer(tier, st, bytes, [this, rid, s](bool delivered) {
+          auto rit2 = runs_.find(rid);
+          if (rit2 == runs_.end()) return;
+          if (!delivered) {
+            complete_task(rid, s, false);
+          } else {
+            dispatch(*rit2->second, s);
+          }
+        });
+      } else {
+        dispatch(r, s);
+      }
+    }
+    if (runs_.find(rid) == runs_.end()) return;
+  } else if (!ok) {
+    // Retire never-started tasks so the run can finalize (mirrors DSF).
+    for (int i = 0; i < dag.size(); ++i) {
+      if (run.waiting_preds[static_cast<std::size_t>(i)] > 0) {
+        run.waiting_preds[static_cast<std::size_t>(i)] = -1;
+        --run.remaining;
+      }
+    }
+  }
+
+  if (run.remaining <= 0) finish(run);
+}
+
+void ElasticManager::finish(Run& run) {
+  ServiceRunReport rep;
+  rep.run_id = run.id;
+  rep.service = run.svc.dag.name();
+  rep.pipeline = run.pipeline.name;
+  rep.released = run.released;
+  rep.finished = sim_.now();
+  rep.ok = !run.failed;
+  rep.was_hung = run.was_hung;
+  const workload::QosSpec& qos = run.svc.dag.qos();
+  rep.deadline_met =
+      rep.ok && (!qos.has_deadline() || rep.latency() <= qos.deadline);
+  if (rep.ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  auto done = std::move(run.done);
+  runs_.erase(run.id);
+  if (done) done(rep);
+}
+
+}  // namespace vdap::edgeos

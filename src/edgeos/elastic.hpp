@@ -1,0 +1,132 @@
+// Elastic Management (§IV-C, Fig. 6): chooses, per release, the pipeline of
+// a polymorphic service that best meets its QoS under the *current* network
+// and compute conditions — "pipelines with lower response time can be
+// chosen for the service, and some services will be hung up, which cannot
+// be responded to within the required time no matter what the computational
+// workload is executed in the cloud, at the edge, or in the collaborative
+// cloud-edge environment."
+//
+// Estimation walks the DAG: per-task execution estimates come from the
+// on-board registry (backlog-aware) or the shared remote tier servers;
+// tier-crossing edges pay reliable-transfer time on the current paths.
+// Execution is event-driven over the same model, so estimates and actuals
+// diverge only through contention that arises after the decision — exactly
+// the gap the paper's dynamic re-evaluation addresses.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "edgeos/service.hpp"
+#include "net/topology.hpp"
+#include "vcu/dsf.hpp"
+
+namespace vdap::edgeos {
+
+enum class Goal { kMinLatency, kMinEnergy };
+
+struct PipelineEstimate {
+  std::string pipeline;
+  bool feasible = false;          // every task has a capable endpoint
+  sim::SimDuration latency = 0;   // end-to-end, result back on the vehicle
+  double onboard_energy_j = 0.0;  // vehicle-side compute + radio energy
+};
+
+struct ServiceRunReport {
+  std::uint64_t run_id = 0;
+  std::string service;
+  std::string pipeline;           // empty when the service hung
+  sim::SimTime released = 0;
+  sim::SimTime finished = 0;
+  bool ok = false;
+  bool deadline_met = false;
+  bool was_hung = false;          // spent time in the hung queue first
+
+  sim::SimDuration latency() const { return finished - released; }
+};
+
+struct ElasticOptions {
+  Goal goal = Goal::kMinLatency;
+  /// Radio power draw while transferring, watts (vehicle-side energy cost
+  /// of offloading; §III-B energy accounting).
+  double radio_power_w = 2.5;
+  /// Safety factor applied to estimates before the deadline check.
+  double estimate_margin = 1.0;
+};
+
+class ElasticManager {
+ public:
+  ElasticManager(sim::Simulator& sim, vcu::Dsf& dsf, net::Topology& topo,
+                 ElasticOptions options = {});
+
+  /// Registers the shared compute endpoint serving a remote tier (the RSU
+  /// box, the base-station box, the cloud pool). Without one, pipelines
+  /// touching that tier are infeasible.
+  void set_remote_device(net::Tier tier, hw::ComputeDevice* device);
+
+  /// Estimates every pipeline of `svc` under current conditions.
+  std::vector<PipelineEstimate> estimate(const PolymorphicService& svc) const;
+
+  /// Picks the best feasible pipeline per the configured goal; nullptr when
+  /// none meets the service's deadline (→ hang up). The returned pointer
+  /// aliases `svc.pipelines` — it is only valid while `svc` lives.
+  const Pipeline* choose(const PolymorphicService& svc) const;
+
+  /// Releases one execution of `svc`. If no pipeline is currently feasible
+  /// the run is hung and retried at every reevaluate() until it fits.
+  std::uint64_t run(const PolymorphicService& svc,
+                    std::function<void(const ServiceRunReport&)> done = nullptr);
+
+  /// Retries hung services (call when conditions change or periodically —
+  /// "the service will be hung up until meeting requirements again").
+  void reevaluate();
+
+  std::size_t hung_count() const { return hung_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+
+  ElasticOptions& options() { return options_; }
+
+ private:
+  struct Run {
+    std::uint64_t id = 0;
+    PolymorphicService svc;
+    Pipeline pipeline;
+    sim::SimTime released = 0;
+    std::vector<int> waiting_preds;
+    int remaining = 0;
+    bool failed = false;
+    bool was_hung = false;
+    std::function<void(const ServiceRunReport&)> done;
+  };
+  struct HungRun {
+    std::uint64_t id;
+    PolymorphicService svc;
+    sim::SimTime released;
+    std::function<void(const ServiceRunReport&)> done;
+  };
+
+  sim::SimDuration transfer_estimate(net::Tier from, net::Tier to,
+                                     std::uint64_t bytes, bool* ok) const;
+  void start(std::unique_ptr<Run> run);
+  void dispatch(Run& run, int task_id);
+  void compute(Run& run, int task_id);
+  void complete_task(std::uint64_t run_id, int task_id, bool ok);
+  void finish(Run& run);
+  void transfer(net::Tier from, net::Tier to, std::uint64_t bytes,
+                std::function<void(bool)> done);
+
+  sim::Simulator& sim_;
+  vcu::Dsf& dsf_;
+  net::Topology& topo_;
+  ElasticOptions options_;
+  std::map<net::Tier, hw::ComputeDevice*> remote_;
+  std::map<std::uint64_t, std::unique_ptr<Run>> runs_;
+  std::vector<HungRun> hung_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace vdap::edgeos

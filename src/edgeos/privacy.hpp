@@ -1,0 +1,70 @@
+// Privacy module (§IV-C): "the vehicle can use the pseudonym, generated and
+// periodically updated by the Privacy module, for privacy protection in
+// data sharing", plus location generalization for services that only need
+// coarse position (the GPS-trace-analysis risk of §III-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace vdap::edgeos {
+
+/// Rotating pseudonyms derived from a vehicle secret and the time epoch.
+/// Two epochs never share a pseudonym (unlinkability across rotations);
+/// within an epoch the pseudonym is stable so sessions still work.
+class PseudonymManager {
+ public:
+  PseudonymManager(std::uint64_t vehicle_secret, sim::SimDuration rotation);
+
+  /// The pseudonym valid at `now`.
+  std::string pseudonym(sim::SimTime now) const;
+
+  /// Epoch index at `now` (exposed for tests/analysis).
+  std::uint64_t epoch(sim::SimTime now) const;
+
+  sim::SimDuration rotation() const { return rotation_; }
+
+  /// True when the two times fall in different epochs (so their pseudonyms
+  /// are unlinkable).
+  bool rotated_between(sim::SimTime a, sim::SimTime b) const {
+    return epoch(a) != epoch(b);
+  }
+
+ private:
+  std::uint64_t secret_;
+  sim::SimDuration rotation_;
+};
+
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Location generalization: snaps positions to a grid of `cell_m` meters and
+/// adds bounded noise, so shared locations cannot be traced to an exact
+/// address while staying useful for weather/traffic services.
+class LocationFuzzer {
+ public:
+  explicit LocationFuzzer(double cell_m = 500.0, double noise_m = 100.0)
+      : cell_m_(cell_m), noise_m_(noise_m) {}
+
+  GeoPoint fuzz(const GeoPoint& p, util::RngStream& rng) const;
+
+  /// Upper bound on the displacement fuzz() can introduce, meters.
+  double max_error_m() const { return cell_m_ * 0.71 + noise_m_; }
+
+  double cell_m() const { return cell_m_; }
+
+ private:
+  double cell_m_;
+  double noise_m_;
+};
+
+/// Approximate surface distance between two points, meters (equirectangular,
+/// fine at city scale).
+double distance_m(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace vdap::edgeos

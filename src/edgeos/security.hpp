@@ -1,0 +1,130 @@
+// Security module (§IV-C): trusted execution environments for key services,
+// container isolation for the rest, and an integrity monitor that detects
+// compromised services, removes them, and reinstalls a clean instance —
+// "Once the service is compromised, this module will remove the compromised
+// one and re-install an initialized one without compromising, which
+// implements the part of function of Reliability."
+//
+// Functional model: TEE/container semantics (memory encryption overhead,
+// attestation tokens, isolation domains, migration images) are enforced at
+// the API level; no actual SGX. The overhead factor and recovery timings
+// drive bench_security (experiment A7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace vdap::edgeos {
+
+enum class IsolationMode { kTee, kContainer, kNone };
+
+constexpr std::string_view to_string(IsolationMode m) {
+  switch (m) {
+    case IsolationMode::kTee: return "tee";
+    case IsolationMode::kContainer: return "container";
+    case IsolationMode::kNone: return "none";
+  }
+  return "unknown";
+}
+
+enum class ServiceState { kRunning, kCompromised, kReinstalling };
+
+struct SecurityOptions {
+  /// Compute slowdown inside an enclave (encrypted memory, EPC paging).
+  double tee_overhead = 1.18;
+  /// Compute slowdown inside a container (near-native).
+  double container_overhead = 1.02;
+  /// Time to tear down and re-install a compromised service.
+  sim::SimDuration reinstall_duration = sim::seconds(3);
+  /// Integrity scan period.
+  sim::SimDuration monitor_interval = sim::msec(500);
+};
+
+/// A snapshot of a serialized container, migratable to another vehicle
+/// ("the service might be migrated from a neighbor vehicle").
+struct ContainerImage {
+  std::string service;
+  IsolationMode mode = IsolationMode::kContainer;
+  std::uint64_t state_bytes = 0;
+  std::uint64_t attestation_key = 0;
+};
+
+class SecurityModule {
+ public:
+  SecurityModule(sim::Simulator& sim, SecurityOptions options = {});
+
+  /// Installs a service under an isolation mode; returns its attestation
+  /// key. Reinstalling an existing name is an error.
+  std::uint64_t install(const std::string& service, IsolationMode mode,
+                        std::uint64_t state_bytes = 1 << 20);
+  void uninstall(const std::string& service);
+  bool installed(const std::string& service) const;
+
+  IsolationMode mode(const std::string& service) const;
+  ServiceState state(const std::string& service) const;
+
+  /// Compute-cost multiplier for the service's isolation mode.
+  double compute_overhead(const std::string& service) const;
+
+  // --- attestation ---------------------------------------------------------
+  /// Produces an attestation token binding the service to this module's
+  /// root of trust; only valid while the service is Running.
+  std::optional<std::uint64_t> attest(const std::string& service) const;
+  bool verify(const std::string& service, std::uint64_t token) const;
+
+  // --- compromise & recovery (fault injection + monitor) -------------------
+  /// Marks a service compromised (an internal attack, §III-D). TEE services
+  /// resist: returns false and stays Running.
+  bool compromise(const std::string& service);
+
+  /// Starts the integrity monitor: every monitor_interval it scans, removes
+  /// compromised services and schedules their reinstall.
+  void start_monitor();
+  void stop_monitor();
+
+  // --- container migration --------------------------------------------------
+  /// Serializes a container for V2V migration; the local instance stops.
+  /// TEE services refuse to migrate (their state never leaves the enclave).
+  std::optional<ContainerImage> migrate_out(const std::string& service);
+  /// Installs a migrated image. Untrusted sources must fail verification
+  /// at the caller (the image's attestation key is re-derived locally).
+  void migrate_in(const ContainerImage& image);
+
+  // --- stats ----------------------------------------------------------------
+  std::uint64_t compromises_detected() const { return detected_; }
+  std::uint64_t reinstalls() const { return reinstalls_; }
+  std::vector<std::string> services() const;
+
+  /// Fires after each completed reinstall (service name).
+  void on_reinstall(std::function<void(const std::string&)> cb) {
+    reinstall_cb_ = std::move(cb);
+  }
+
+ private:
+  struct Entry {
+    IsolationMode mode = IsolationMode::kNone;
+    ServiceState state = ServiceState::kRunning;
+    std::uint64_t key = 0;
+    std::uint64_t state_bytes = 0;
+  };
+  const Entry& entry(const std::string& service) const;
+  Entry& entry(const std::string& service);
+  void scan();
+
+  sim::Simulator& sim_;
+  SecurityOptions options_;
+  std::map<std::string, Entry> services_;
+  std::optional<sim::Simulator::PeriodicHandle> monitor_;
+  std::uint64_t detected_ = 0;
+  std::uint64_t reinstalls_ = 0;
+  std::uint64_t next_key_ = 0x9e3779b97f4a7c15ULL;
+  std::function<void(const std::string&)> reinstall_cb_;
+};
+
+}  // namespace vdap::edgeos

@@ -1,0 +1,149 @@
+#include "edgeos/service.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace vdap::edgeos {
+
+bool PolymorphicService::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::string dag_why;
+  if (!dag.validate(&dag_why)) return fail(dag_why);
+  if (pipelines.empty()) return fail("service has no pipelines");
+  for (const Pipeline& p : pipelines) {
+    if (p.name.empty()) return fail("unnamed pipeline");
+    if (static_cast<int>(p.placement.size()) != dag.size()) {
+      return fail("pipeline '" + p.name + "' does not cover every task");
+    }
+    for (int i = 0; i < dag.size(); ++i) {
+      if (!dag.task(i).offloadable &&
+          p.placement[static_cast<std::size_t>(i)] != net::Tier::kOnBoard) {
+        return fail("pipeline '" + p.name + "' offloads pinned task '" +
+                    dag.task(i).name + "'");
+      }
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+namespace {
+
+Pipeline onboard_pipeline(const workload::AppDag& dag) {
+  Pipeline p;
+  p.name = "onboard";
+  p.placement.assign(static_cast<std::size_t>(dag.size()),
+                     net::Tier::kOnBoard);
+  return p;
+}
+
+Pipeline remote_pipeline(const workload::AppDag& dag, net::Tier remote) {
+  Pipeline p;
+  p.name = "remote-" + std::string(net::to_string(remote));
+  p.placement.resize(static_cast<std::size_t>(dag.size()));
+  for (int i = 0; i < dag.size(); ++i) {
+    p.placement[static_cast<std::size_t>(i)] =
+        dag.task(i).offloadable ? remote : net::Tier::kOnBoard;
+  }
+  return p;
+}
+
+Pipeline split_pipeline(const workload::AppDag& dag, net::Tier remote) {
+  // First stage(s) — the DAG's sources — stay on board (cheap filtering like
+  // motion detection), everything downstream goes remote.
+  Pipeline p;
+  p.name = "split-" + std::string(net::to_string(remote));
+  p.placement.resize(static_cast<std::size_t>(dag.size()));
+  auto sources = dag.sources();
+  for (int i = 0; i < dag.size(); ++i) {
+    bool is_source =
+        std::find(sources.begin(), sources.end(), i) != sources.end();
+    p.placement[static_cast<std::size_t>(i)] =
+        (is_source || !dag.task(i).offloadable) ? net::Tier::kOnBoard
+                                                : remote;
+  }
+  return p;
+}
+
+}  // namespace
+
+PolymorphicService make_polymorphic(const workload::AppDag& dag,
+                                    net::Tier remote) {
+  return make_polymorphic_multi(dag, {remote});
+}
+
+PolymorphicService make_path_split_pipelines(
+    const workload::AppDag& dag, const std::vector<net::Tier>& path) {
+  if (path.empty() || path.front() != net::Tier::kOnBoard) {
+    throw std::invalid_argument("path must start at the on-board tier");
+  }
+  // Verify the DAG is a chain and get its stage order.
+  std::vector<int> order = dag.topo_order();
+  for (int id : order) {
+    if (dag.successors(id).size() > 1 || dag.predecessors(id).size() > 1) {
+      throw std::invalid_argument("path-split needs a chain DAG");
+    }
+  }
+
+  PolymorphicService svc;
+  svc.dag = dag;
+  const int n = dag.size();
+  const int k = static_cast<int>(path.size());
+
+  // Enumerate monotone assignments: stage i gets path[level[i]] with
+  // level non-decreasing along the chain. Recursion over cut positions.
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  std::function<void(int, int)> emit = [&](int stage, int min_level) {
+    if (stage == n) {
+      Pipeline p;
+      p.placement.resize(static_cast<std::size_t>(n));
+      std::string name = "cut";
+      for (int i = 0; i < n; ++i) {
+        p.placement[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+            path[static_cast<std::size_t>(level[static_cast<std::size_t>(i)])];
+        name += "-" + std::to_string(level[static_cast<std::size_t>(i)]);
+      }
+      p.name = name;
+      svc.pipelines.push_back(std::move(p));
+      return;
+    }
+    const workload::TaskSpec& t =
+        dag.task(order[static_cast<std::size_t>(stage)]);
+    if (!t.offloadable) {
+      // Pinned stage: only valid while still on board.
+      if (min_level == 0) {
+        level[static_cast<std::size_t>(stage)] = 0;
+        emit(stage + 1, 0);
+      }
+      return;
+    }
+    for (int l = min_level; l < k; ++l) {
+      level[static_cast<std::size_t>(stage)] = l;
+      emit(stage + 1, l);
+    }
+  };
+  emit(0, 0);
+  if (svc.pipelines.empty()) {
+    throw std::invalid_argument(
+        "no valid monotone placement (pinned stage after an offload?)");
+  }
+  return svc;
+}
+
+PolymorphicService make_polymorphic_multi(
+    const workload::AppDag& dag, const std::vector<net::Tier>& remotes) {
+  PolymorphicService svc;
+  svc.dag = dag;
+  svc.pipelines.push_back(onboard_pipeline(dag));
+  for (net::Tier remote : remotes) {
+    svc.pipelines.push_back(remote_pipeline(dag, remote));
+    svc.pipelines.push_back(split_pipeline(dag, remote));
+  }
+  return svc;
+}
+
+}  // namespace vdap::edgeos

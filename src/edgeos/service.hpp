@@ -1,0 +1,66 @@
+// Polymorphic services (§IV-C): "each service offers multiple execution
+// pipelines in response to various network and computational constraints."
+// A Pipeline is a per-task placement of the service's DAG onto tiers; the
+// paper's canonical example (searching for a kidnapper with mobile A3)
+// has three pipelines: all on board, all on the edge/cloud, and a split
+// with motion detection on board and recognition remote.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "workload/dag.hpp"
+
+namespace vdap::edgeos {
+
+struct Pipeline {
+  std::string name;
+  /// Tier for each DAG task (indexed by task id).
+  std::vector<net::Tier> placement;
+
+  bool all_on_board() const {
+    for (net::Tier t : placement) {
+      if (t != net::Tier::kOnBoard) return false;
+    }
+    return true;
+  }
+};
+
+struct PolymorphicService {
+  workload::AppDag dag;
+  std::vector<Pipeline> pipelines;
+
+  /// Well-formed when every pipeline covers every task and pins
+  /// non-offloadable tasks on board.
+  bool validate(std::string* why = nullptr) const;
+};
+
+/// Builds the paper's three standard pipelines for `dag` against `remote`:
+///   1. "onboard"  — all workloads execute on board;
+///   2. "remote"   — all offloadable workloads execute on the remote tier;
+///   3. "split"    — the first stage (e.g. motion detection) stays on board,
+///                   downstream stages go remote.
+/// Non-offloadable tasks stay on board in every pipeline.
+PolymorphicService make_polymorphic(const workload::AppDag& dag,
+                                    net::Tier remote);
+
+/// As make_polymorphic, but emits one remote and one split pipeline per
+/// entry in `remotes` (e.g. RSU edge and cloud), plus the onboard pipeline.
+PolymorphicService make_polymorphic_multi(const workload::AppDag& dag,
+                                          const std::vector<net::Tier>& remotes);
+
+/// The §IV-C open problem ("dividing a workload into several parts and
+/// making them execute on different edge nodes along the path from the
+/// source to the cloud", after [17]/[27]): for a *chain* DAG, enumerates
+/// every monotone cut of its stages across `path` (an ordered list of
+/// tiers, e.g. {on-board, RSU, cloud}). A stage's tier never moves closer
+/// to the vehicle than its predecessor's, so data flows strictly outward —
+/// n stages over k tiers yields C(n+k-1, k-1) pipelines. Non-offloadable
+/// stages pin their cut. The elastic manager can then pick the optimal cut
+/// point for the current bandwidth (see edgeos_pathsplit_test and
+/// bench_pathsplit). Throws if `dag` is not a chain.
+PolymorphicService make_path_split_pipelines(const workload::AppDag& dag,
+                                             const std::vector<net::Tier>& path);
+
+}  // namespace vdap::edgeos

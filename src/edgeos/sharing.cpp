@@ -1,0 +1,108 @@
+#include "edgeos/sharing.hpp"
+
+namespace vdap::edgeos {
+
+std::uint64_t DataSharingBus::enroll(const std::string& service) {
+  std::uint64_t cred = next_credential_;
+  next_credential_ =
+      next_credential_ * 2862933555777941757ULL + 3037000493ULL;
+  credentials_[service] = cred;
+  return cred;
+}
+
+bool DataSharingBus::enrolled(const std::string& service) const {
+  return credentials_.count(service) > 0;
+}
+
+void DataSharingBus::grant_publish(const std::string& topic,
+                                   const std::string& service) {
+  pub_acl_[topic].insert(service);
+}
+
+void DataSharingBus::grant_subscribe(const std::string& topic,
+                                     const std::string& service) {
+  sub_acl_[topic].insert(service);
+}
+
+void DataSharingBus::revoke_publish(const std::string& topic,
+                                    const std::string& service) {
+  auto it = pub_acl_.find(topic);
+  if (it != pub_acl_.end()) it->second.erase(service);
+}
+
+void DataSharingBus::revoke_subscribe(const std::string& topic,
+                                      const std::string& service) {
+  auto it = sub_acl_.find(topic);
+  if (it != sub_acl_.end()) it->second.erase(service);
+  auto sit = subs_.find(topic);
+  if (sit != subs_.end()) {
+    auto& v = sit->second;
+    for (auto i = v.begin(); i != v.end();) {
+      i = i->service == service ? v.erase(i) : i + 1;
+    }
+  }
+}
+
+bool DataSharingBus::can_publish(const std::string& topic,
+                                 const std::string& service) const {
+  auto it = pub_acl_.find(topic);
+  return it != pub_acl_.end() && it->second.count(service) > 0;
+}
+
+bool DataSharingBus::can_subscribe(const std::string& topic,
+                                   const std::string& service) const {
+  auto it = sub_acl_.find(topic);
+  return it != sub_acl_.end() && it->second.count(service) > 0;
+}
+
+bool DataSharingBus::authenticate(const std::string& service,
+                                  std::uint64_t credential) const {
+  auto it = credentials_.find(service);
+  return it != credentials_.end() && it->second == credential;
+}
+
+int DataSharingBus::publish(const std::string& service,
+                            std::uint64_t credential,
+                            const std::string& topic, json::Value payload) {
+  if (!authenticate(service, credential)) {
+    ++rejected_auth_;
+    return -1;
+  }
+  if (!can_publish(topic, service)) {
+    ++rejected_acl_;
+    return -1;
+  }
+  ++published_;
+  SharedMessage msg;
+  msg.topic = topic;
+  msg.publisher = service;
+  msg.payload = std::move(payload);
+  msg.seq = ++seq_;
+  int count = 0;
+  auto it = subs_.find(topic);
+  if (it != subs_.end()) {
+    for (const Subscription& s : it->second) {
+      s.handler(msg);
+      ++count;
+      ++delivered_;
+    }
+  }
+  return count;
+}
+
+bool DataSharingBus::subscribe(const std::string& service,
+                               std::uint64_t credential,
+                               const std::string& topic, Handler handler) {
+  if (!authenticate(service, credential)) {
+    ++rejected_auth_;
+    return false;
+  }
+  if (!can_subscribe(topic, service)) {
+    ++rejected_acl_;
+    return false;
+  }
+  subs_[topic].push_back({service, std::move(handler)});
+  return true;
+}
+
+}  // namespace vdap::edgeos

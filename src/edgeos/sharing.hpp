@@ -1,0 +1,83 @@
+// Data Sharing module (§IV-C): "provides a mechanism for data sharing
+// between different services with a high security, which will authenticate
+// the service and perform fine grain access control." A topic-based bus:
+// publishers must present their attestation-derived credential; subscribers
+// must hold a per-topic grant. The paper's example: the pedestrian-detection
+// service and mobile A3 both read the camera topic; A3 shares results with
+// the vehicle-recorder service.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace vdap::edgeos {
+
+struct SharedMessage {
+  std::string topic;
+  std::string publisher;
+  json::Value payload;
+  std::uint64_t seq = 0;
+};
+
+class DataSharingBus {
+ public:
+  using Handler = std::function<void(const SharedMessage&)>;
+
+  /// Enrolls a service; returns its credential. Re-enrolling rotates it
+  /// (used after a compromised service is reinstalled).
+  std::uint64_t enroll(const std::string& service);
+  bool enrolled(const std::string& service) const;
+
+  /// Per-topic grants (fine-grained access control).
+  void grant_publish(const std::string& topic, const std::string& service);
+  void grant_subscribe(const std::string& topic, const std::string& service);
+  void revoke_publish(const std::string& topic, const std::string& service);
+  void revoke_subscribe(const std::string& topic, const std::string& service);
+  bool can_publish(const std::string& topic, const std::string& service) const;
+  bool can_subscribe(const std::string& topic,
+                     const std::string& service) const;
+
+  /// Publishes if the credential authenticates and the ACL admits the
+  /// publisher. Returns the number of subscribers that received it, or -1
+  /// on rejection.
+  int publish(const std::string& service, std::uint64_t credential,
+              const std::string& topic, json::Value payload);
+
+  /// Subscribes (credential + grant required). Returns false on rejection.
+  bool subscribe(const std::string& service, std::uint64_t credential,
+                 const std::string& topic, Handler handler);
+
+  // Counters for the DEIR report.
+  std::uint64_t published() const { return published_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t rejected_auth() const { return rejected_auth_; }
+  std::uint64_t rejected_acl() const { return rejected_acl_; }
+
+ private:
+  bool authenticate(const std::string& service,
+                    std::uint64_t credential) const;
+
+  struct Subscription {
+    std::string service;
+    Handler handler;
+  };
+
+  std::map<std::string, std::uint64_t> credentials_;
+  std::map<std::string, std::set<std::string>> pub_acl_;   // topic -> services
+  std::map<std::string, std::set<std::string>> sub_acl_;
+  std::map<std::string, std::vector<Subscription>> subs_;  // topic -> subs
+  std::uint64_t next_credential_ = 0xa5a5a5a55a5a5a5aULL;
+  std::uint64_t seq_ = 0;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t rejected_auth_ = 0;
+  std::uint64_t rejected_acl_ = 0;
+};
+
+}  // namespace vdap::edgeos

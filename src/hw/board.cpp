@@ -1,0 +1,51 @@
+#include "hw/board.hpp"
+
+namespace vdap::hw {
+
+ComputeDevice& VcuBoard::add_processor(ProcessorSpec spec) {
+  devices_.push_back(std::make_unique<ComputeDevice>(sim_, std::move(spec)));
+  return *devices_.back();
+}
+
+ComputeDevice* VcuBoard::device(const std::string& name) {
+  for (auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+double VcuBoard::power_now() const {
+  double w = 0.0;
+  for (const auto& d : devices_) w += d->power_now();
+  return w;
+}
+
+double VcuBoard::energy_joules() const {
+  double j = 0.0;
+  for (const auto& d : devices_) j += d->energy_joules();
+  return j;
+}
+
+double VcuBoard::max_power_w() const {
+  double w = 0.0;
+  for (const auto& d : devices_) w += d->spec().max_power_w;
+  return w;
+}
+
+void populate_reference_1sthep(VcuBoard& board) {
+  board.add_processor(catalog::core_i7_6700());
+  board.add_processor(catalog::jetson_tx2_maxp());
+  board.add_processor(catalog::automotive_fpga());
+  board.add_processor(catalog::cnn_asic());
+}
+
+void populate_legacy_vehicle(VcuBoard& board) {
+  board.add_processor(catalog::legacy_obc());
+}
+
+void populate_power_hungry_rig(VcuBoard& board) {
+  board.add_processor(catalog::core_i7_6700());
+  board.add_processor(catalog::tesla_v100());
+}
+
+}  // namespace vdap::hw

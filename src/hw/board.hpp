@@ -1,0 +1,62 @@
+// VcuBoard: the physical composition of the Vehicle Computing Unit — the
+// 1stHEP processors, SSD storage, and the power envelope. The 2ndHEP
+// (passenger devices) and external tiers attach at the VCU registry level,
+// not here. Factory helpers build the paper's reference configurations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/catalog.hpp"
+#include "hw/processor.hpp"
+#include "hw/storage.hpp"
+
+namespace vdap::hw {
+
+class VcuBoard {
+ public:
+  VcuBoard(sim::Simulator& sim, std::string name, SsdSpec ssd_spec = {})
+      : sim_(sim), name_(std::move(name)), ssd_(sim, std::move(ssd_spec)) {}
+
+  VcuBoard(const VcuBoard&) = delete;
+  VcuBoard& operator=(const VcuBoard&) = delete;
+
+  /// Adds a processor; returns the created device.
+  ComputeDevice& add_processor(ProcessorSpec spec);
+
+  const std::string& name() const { return name_; }
+  SsdModel& ssd() { return ssd_; }
+
+  const std::vector<std::unique_ptr<ComputeDevice>>& devices() const {
+    return devices_;
+  }
+  ComputeDevice* device(const std::string& name);
+
+  /// Sum of instantaneous power draw across processors, watts.
+  double power_now() const;
+  /// Total energy consumed by all processors so far, joules.
+  double energy_joules() const;
+  /// Sum of the processors' max power — the §III-B power-budget figure.
+  double max_power_w() const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  SsdModel ssd_;
+  std::vector<std::unique_ptr<ComputeDevice>> devices_;
+};
+
+/// The paper's reference 1stHEP: CPU + embedded GPU + FPGA + ASIC (§IV-B1).
+void populate_reference_1sthep(VcuBoard& board);
+
+/// A minimal legacy vehicle: just the traditional on-board controller.
+void populate_legacy_vehicle(VcuBoard& board);
+
+/// A brute-force in-vehicle rig for the §III-B energy argument:
+/// CPU + Tesla V100.
+void populate_power_hungry_rig(VcuBoard& board);
+
+}  // namespace vdap::hw

@@ -1,0 +1,281 @@
+#include "hw/catalog.hpp"
+
+namespace vdap::hw::catalog {
+
+namespace {
+using TC = TaskClass;
+
+/// Throughput that makes Inception v3 (kInceptionV3Gflop) finish in `ms`.
+double cnn_tput_for_ms(double ms) { return kInceptionV3Gflop / (ms / 1e3); }
+}  // namespace
+
+ProcessorSpec intel_mncs() {
+  ProcessorSpec s;
+  s.name = "intel-mncs";
+  s.kind = ProcKind::kDsp;
+  s.max_power_w = 1.0;   // Fig. 3 power bar (USB-stick class device)
+  s.idle_power_w = 0.3;
+  s.slots = 1;
+  // Fig. 3: 334.5 ms for Inception v3. The NCS runs only neural workloads.
+  s.gflops = {
+      {TC::kCnnInference, cnn_tput_for_ms(334.5)},
+      {TC::kAudio, 20.0},
+  };
+  return s;
+}
+
+ProcessorSpec jetson_tx2_maxq() {
+  ProcessorSpec s;
+  s.name = "jetson-tx2-maxq";
+  s.kind = ProcKind::kGpu;
+  s.max_power_w = 7.5;   // Max-Q efficiency mode
+  s.idle_power_w = 1.5;
+  s.slots = 1;
+  // Fig. 3: 242.8 ms for Inception v3.
+  s.gflops = {
+      {TC::kCnnInference, cnn_tput_for_ms(242.8)},
+      {TC::kCnnTraining, cnn_tput_for_ms(242.8) * 0.35},
+      {TC::kVisionClassic, 25.0},
+      {TC::kCodec, 40.0},
+      {TC::kPreprocess, 20.0},
+      {TC::kAudio, 15.0},
+      {TC::kNlp, 20.0},
+      {TC::kGeneric, 8.0},
+  };
+  return s;
+}
+
+ProcessorSpec jetson_tx2_maxp() {
+  ProcessorSpec s;
+  s.name = "jetson-tx2-maxp";
+  s.kind = ProcKind::kGpu;
+  s.max_power_w = 15.0;  // Max-P performance mode
+  s.idle_power_w = 2.5;
+  s.slots = 1;
+  // Fig. 3: 114.3 ms for Inception v3.
+  s.gflops = {
+      {TC::kCnnInference, cnn_tput_for_ms(114.3)},
+      {TC::kCnnTraining, cnn_tput_for_ms(114.3) * 0.35},
+      {TC::kVisionClassic, 45.0},
+      {TC::kCodec, 70.0},
+      {TC::kPreprocess, 35.0},
+      {TC::kAudio, 25.0},
+      {TC::kNlp, 35.0},
+      {TC::kGeneric, 14.0},
+  };
+  return s;
+}
+
+ProcessorSpec core_i7_6700() {
+  ProcessorSpec s;
+  s.name = "core-i7-6700";
+  s.kind = ProcKind::kCpu;
+  s.max_power_w = 60.0;  // Fig. 3 power bar (65 W TDP part)
+  s.idle_power_w = 6.0;
+  s.slots = 4;           // quad core
+  // Fig. 3: 153.9 ms for Inception v3.
+  s.gflops = {
+      {TC::kCnnInference, cnn_tput_for_ms(153.9)},
+      {TC::kCnnTraining, cnn_tput_for_ms(153.9) * 0.30},
+      {TC::kVisionClassic, 40.0},
+      {TC::kCodec, 35.0},
+      {TC::kPreprocess, 30.0},
+      {TC::kAudio, 25.0},
+      {TC::kNlp, 30.0},
+      {TC::kDbQuery, 40.0},
+      {TC::kGeneric, 25.0},
+  };
+  return s;
+}
+
+ProcessorSpec tesla_v100() {
+  ProcessorSpec s;
+  s.name = "tesla-v100";
+  s.kind = ProcKind::kGpu;
+  s.max_power_w = 250.0;
+  s.idle_power_w = 30.0;
+  s.slots = 4;  // concurrent streams
+  // Fig. 3: 26.8 ms for Inception v3.
+  s.gflops = {
+      {TC::kCnnInference, cnn_tput_for_ms(26.8)},
+      {TC::kCnnTraining, cnn_tput_for_ms(26.8) * 0.5},
+      {TC::kVisionClassic, 120.0},
+      {TC::kCodec, 200.0},
+      {TC::kPreprocess, 100.0},
+      {TC::kAudio, 80.0},
+      {TC::kNlp, 150.0},
+      {TC::kGeneric, 30.0},
+  };
+  return s;
+}
+
+ProcessorSpec ec2_vcpu() {
+  ProcessorSpec s;
+  s.name = "ec2-vcpu";
+  s.kind = ProcKind::kCpu;
+  s.max_power_w = 15.0;  // one vCPU's share of a server socket
+  s.idle_power_w = 2.0;
+  s.slots = 1;
+  // Table I anchors: with 8 GF/s classic-vision throughput, lane detection
+  // (0.10856 GFLOP) takes 13.57 ms and Haar vehicle detection (2.15568
+  // GFLOP) takes 269.46 ms; with 2 GF/s CNN throughput the TensorFlow
+  // vehicle detector (27.94396 GFLOP) takes 13 971.98 ms.
+  s.gflops = {
+      {TC::kVisionClassic, 8.0},
+      {TC::kCnnInference, 2.0},
+      {TC::kCnnTraining, 0.6},
+      {TC::kPreprocess, 6.0},
+      {TC::kCodec, 6.0},
+      {TC::kAudio, 5.0},
+      {TC::kNlp, 5.0},
+      {TC::kDbQuery, 8.0},
+      {TC::kGeneric, 5.0},
+  };
+  return s;
+}
+
+ProcessorSpec automotive_fpga() {
+  ProcessorSpec s;
+  s.name = "automotive-fpga";
+  s.kind = ProcKind::kFpga;
+  s.max_power_w = 10.0;
+  s.idle_power_w = 2.0;
+  s.slots = 2;  // two reconfigurable regions
+  // §IV-B1: "FPGA will perform the tasks like feature extraction, and data
+  // compression and media coding and decoding".
+  s.gflops = {
+      {TC::kPreprocess, 120.0},
+      {TC::kCodec, 150.0},
+      {TC::kCnnInference, 60.0},
+      {TC::kAudio, 60.0},
+  };
+  return s;
+}
+
+ProcessorSpec cnn_asic() {
+  ProcessorSpec s;
+  s.name = "cnn-asic";
+  s.kind = ProcKind::kAsic;
+  s.max_power_w = 8.0;
+  s.idle_power_w = 0.5;
+  s.slots = 1;
+  // §IV-B1: ASICs "accelerate specific algorithms" with the best
+  // performance and energy efficiency; this one only runs CNN inference.
+  s.gflops = {
+      {TC::kCnnInference, 230.0},
+  };
+  return s;
+}
+
+ProcessorSpec phone_soc() {
+  ProcessorSpec s;
+  s.name = "phone-soc";
+  s.kind = ProcKind::kPhoneSoc;
+  s.max_power_w = 4.0;
+  s.idle_power_w = 0.5;
+  s.slots = 2;
+  // 2ndHEP passenger device (§IV-B1): modest, joins/leaves dynamically.
+  s.gflops = {
+      {TC::kCnnInference, 18.0},
+      {TC::kVisionClassic, 10.0},
+      {TC::kCodec, 20.0},
+      {TC::kPreprocess, 8.0},
+      {TC::kAudio, 8.0},
+      {TC::kNlp, 8.0},
+      {TC::kGeneric, 6.0},
+  };
+  return s;
+}
+
+ProcessorSpec legacy_obc() {
+  ProcessorSpec s;
+  s.name = "legacy-obc";
+  s.kind = ProcKind::kCpu;
+  s.max_power_w = 5.0;
+  s.idle_power_w = 1.0;
+  s.slots = 1;
+  // "it has very limited computing power, failing to support the
+  // state-of-the-art applications" (§IV-B).
+  s.gflops = {
+      {TC::kGeneric, 1.0},
+      {TC::kDbQuery, 2.0},
+      {TC::kPreprocess, 1.0},
+  };
+  return s;
+}
+
+ProcessorSpec rsu_edge_server() {
+  ProcessorSpec s;
+  s.name = "rsu-edge-server";
+  s.kind = ProcKind::kServer;
+  s.max_power_w = 150.0;
+  s.idle_power_w = 40.0;
+  s.slots = 4;
+  // Inference-accelerator-equipped RSU: stronger than the vehicle, weaker
+  // than the cloud ("more powerful compute resources than the on-board
+  // computing unit", §I).
+  s.gflops = {
+      {TC::kCnnInference, 260.0},
+      {TC::kCnnTraining, 90.0},
+      {TC::kVisionClassic, 90.0},
+      {TC::kCodec, 120.0},
+      {TC::kPreprocess, 70.0},
+      {TC::kAudio, 50.0},
+      {TC::kNlp, 90.0},
+      {TC::kDbQuery, 80.0},
+      {TC::kGeneric, 40.0},
+  };
+  return s;
+}
+
+ProcessorSpec basestation_edge_server() {
+  ProcessorSpec s = rsu_edge_server();
+  s.name = "basestation-edge-server";
+  s.max_power_w = 220.0;
+  s.idle_power_w = 60.0;
+  s.slots = 6;
+  for (auto& [cls, tput] : s.gflops) tput *= 1.4;
+  return s;
+}
+
+ProcessorSpec cloud_server() {
+  ProcessorSpec s;
+  s.name = "cloud-server";
+  s.kind = ProcKind::kServer;
+  s.max_power_w = 600.0;
+  s.idle_power_w = 150.0;
+  s.slots = 16;
+  // "conceptually with unconstrained resources" (§Abstract): a multi-GPU
+  // box, ~2x V100 per stream.
+  s.gflops = {
+      {TC::kCnnInference, 850.0},
+      {TC::kCnnTraining, 420.0},
+      {TC::kVisionClassic, 240.0},
+      {TC::kCodec, 400.0},
+      {TC::kPreprocess, 200.0},
+      {TC::kAudio, 160.0},
+      {TC::kNlp, 300.0},
+      {TC::kDbQuery, 160.0},
+      {TC::kGeneric, 60.0},
+  };
+  return s;
+}
+
+std::optional<ProcessorSpec> by_name(const std::string& name) {
+  for (const auto& s : all()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcessorSpec> all() {
+  return {intel_mncs(),      jetson_tx2_maxq(),
+          jetson_tx2_maxp(), core_i7_6700(),
+          tesla_v100(),      ec2_vcpu(),
+          automotive_fpga(), cnn_asic(),
+          phone_soc(),       legacy_obc(),
+          rsu_edge_server(), basestation_edge_server(),
+          cloud_server()};
+}
+
+}  // namespace vdap::hw::catalog

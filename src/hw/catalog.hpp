@@ -1,0 +1,53 @@
+// Device catalog.
+//
+// Every processor the paper measures or names, as a calibrated ProcessorSpec.
+// Calibration anchors (documented in DESIGN.md §5):
+//   * Fig. 3 — Inception v3 (11.4 GFLOP forward pass) processing time and
+//     max power on MNCS / TX2 Max-Q / TX2 Max-P / i7-6700 / Tesla V100.
+//   * Table I — lane detection, Haar and TF vehicle detection on an AWS EC2
+//     2.4 GHz vCPU.
+// Other devices (FPGA, ASIC, phone SoC, RSU/base-station/cloud servers,
+// legacy on-board controller) use representative public figures; they feed
+// the scheduling/offloading experiments where only ratios matter.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/processor.hpp"
+
+namespace vdap::hw {
+
+/// GFLOP cost of one Inception v3 forward pass (≈5.7 GMACs ≈ 11.4 GFLOP).
+constexpr double kInceptionV3Gflop = 11.4;
+
+namespace catalog {
+
+// --- Fig. 3 devices -------------------------------------------------------
+ProcessorSpec intel_mncs();     // DSP-based, Intel Movidius NCS
+ProcessorSpec jetson_tx2_maxq();// GPU#1
+ProcessorSpec jetson_tx2_maxp();// GPU#2
+ProcessorSpec core_i7_6700();   // CPU-based
+ProcessorSpec tesla_v100();     // GPU#3
+
+// --- Table I device -------------------------------------------------------
+ProcessorSpec ec2_vcpu();       // AWS EC2 node, 2.4 GHz vCPU
+
+// --- Other platform devices ----------------------------------------------
+ProcessorSpec automotive_fpga();      // 1stHEP FPGA (preprocess/codec)
+ProcessorSpec cnn_asic();             // 1stHEP inference ASIC
+ProcessorSpec phone_soc();            // 2ndHEP passenger phone
+ProcessorSpec legacy_obc();           // traditional on-board controller
+ProcessorSpec rsu_edge_server();      // XEdge at an RSU
+ProcessorSpec basestation_edge_server();  // XEdge at a base station
+ProcessorSpec cloud_server();         // remote cloud instance
+
+/// Looks a spec up by its catalog name; nullopt when unknown.
+std::optional<ProcessorSpec> by_name(const std::string& name);
+
+/// All catalog entries (for enumeration in tests/benches).
+std::vector<ProcessorSpec> all();
+
+}  // namespace catalog
+}  // namespace vdap::hw

@@ -1,0 +1,201 @@
+#include "hw/processor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vdap::hw {
+
+std::optional<sim::SimDuration> ProcessorSpec::service_time(
+    TaskClass c, double gflop) const {
+  double tput = throughput(c);
+  if (tput <= 0.0) return std::nullopt;
+  if (gflop < 0.0) return std::nullopt;
+  // At least 1 µs so zero-cost tasks still order behind their submission.
+  return std::max<sim::SimDuration>(1, sim::from_seconds(gflop / tput));
+}
+
+ComputeDevice::ComputeDevice(sim::Simulator& sim, ProcessorSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  if (spec_.slots <= 0) throw std::invalid_argument("device needs >=1 slot");
+  est_slot_free_.assign(static_cast<std::size_t>(spec_.slots), sim_.now());
+  last_account_ = sim_.now();
+}
+
+std::uint64_t ComputeDevice::submit(WorkRequest req) {
+  std::uint64_t id = next_id_++;
+  auto reject = [&](std::uint64_t wid) {
+    WorkReport r;
+    r.work_id = wid;
+    r.device = spec_.name;
+    r.submitted = r.started = r.finished = sim_.now();
+    r.ok = false;
+    ++aborted_;
+    if (req.done) req.done(r);
+  };
+  if (!online_ || !spec_.supports(req.cls)) {
+    reject(id);
+    return id;
+  }
+  // Maintain the admission-time finish estimate used by schedulers.
+  auto slot = std::min_element(est_slot_free_.begin(), est_slot_free_.end());
+  sim::SimTime start_est = std::max(*slot, sim_.now());
+  *slot = start_est + *spec_.service_time(req.cls, req.gflop);
+
+  pending_.push_back(Pending{id, std::move(req), sim_.now()});
+  maybe_start();
+  return id;
+}
+
+std::optional<sim::SimTime> ComputeDevice::estimate_finish(
+    TaskClass cls, double gflop) const {
+  if (!online_) return std::nullopt;
+  auto dur = spec_.service_time(cls, gflop);
+  if (!dur) return std::nullopt;
+  sim::SimTime free_at =
+      *std::min_element(est_slot_free_.begin(), est_slot_free_.end());
+  return std::max(free_at, sim_.now()) + *dur;
+}
+
+ComputeDevice::Pending ComputeDevice::pop_best_pending() {
+  assert(!pending_.empty());
+  auto best = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->req.priority > best->req.priority) best = it;  // FIFO within prio
+  }
+  Pending p = std::move(*best);
+  pending_.erase(best);
+  return p;
+}
+
+void ComputeDevice::maybe_start() {
+  while (online_ && !pending_.empty() &&
+         busy_slots() < spec_.slots) {
+    start(pop_best_pending());
+  }
+}
+
+void ComputeDevice::start(Pending p) {
+  account_busy_time();
+  auto dur = spec_.service_time(p.req.cls, p.req.gflop);
+  assert(dur.has_value());
+  Running r;
+  r.id = p.id;
+  r.req = std::move(p.req);
+  r.submitted = p.submitted;
+  r.started = sim_.now();
+  r.finish_at = sim_.now() + *dur;
+  std::uint64_t id = p.id;
+  r.event = sim_.at(r.finish_at, [this, id]() { finish(id); });
+  running_.push_back(std::move(r));
+}
+
+void ComputeDevice::finish(std::uint64_t id) {
+  auto it = std::find_if(running_.begin(), running_.end(),
+                         [&](const Running& r) { return r.id == id; });
+  if (it == running_.end()) return;  // aborted meanwhile
+  account_busy_time();
+  Running r = std::move(*it);
+  running_.erase(it);
+  WorkReport rep;
+  rep.work_id = r.id;
+  rep.device = spec_.name;
+  rep.submitted = r.submitted;
+  rep.started = r.started;
+  rep.finished = sim_.now();
+  rep.ok = true;
+  rep.dynamic_energy_j =
+      per_slot_power() * sim::to_seconds(rep.finished - rep.started);
+  ++completed_;
+  maybe_start();
+  if (r.req.done) r.req.done(rep);
+}
+
+void ComputeDevice::set_online(bool online) {
+  if (online == online_) return;
+  account_busy_time();
+  online_ = online;
+  if (!online_) {
+    // Abort everything in flight; the owner (DSF) decides about requeueing.
+    std::vector<Running> running = std::move(running_);
+    running_.clear();
+    std::deque<Pending> pending = std::move(pending_);
+    pending_.clear();
+    est_slot_free_.assign(est_slot_free_.size(), sim_.now());
+    for (auto& r : running) {
+      sim_.cancel(r.event);
+      WorkReport rep;
+      rep.work_id = r.id;
+      rep.device = spec_.name;
+      rep.submitted = r.submitted;
+      rep.started = r.started;
+      rep.finished = sim_.now();
+      rep.ok = false;
+      ++aborted_;
+      if (r.req.done) r.req.done(rep);
+    }
+    for (auto& p : pending) {
+      WorkReport rep;
+      rep.work_id = p.id;
+      rep.device = spec_.name;
+      rep.submitted = p.submitted;
+      rep.started = rep.finished = sim_.now();
+      rep.ok = false;
+      ++aborted_;
+      if (p.req.done) p.req.done(rep);
+    }
+  } else {
+    est_slot_free_.assign(est_slot_free_.size(), sim_.now());
+  }
+}
+
+void ComputeDevice::reconfigure(const ProcessorSpec& spec) {
+  if (spec.name != spec_.name) {
+    throw std::invalid_argument("reconfigure cannot rename a device");
+  }
+  if (spec.slots != spec_.slots) {
+    throw std::invalid_argument("reconfigure cannot change slot count");
+  }
+  // Settle energy under the old power model before switching.
+  account_busy_time();
+  spec_ = spec;
+  // Backlog estimates were computed at the old speed; conservatively reset
+  // to "free now" so schedulers re-estimate against the new throughput.
+  est_slot_free_.assign(est_slot_free_.size(), sim_.now());
+}
+
+void ComputeDevice::account_busy_time() {
+  sim::SimTime now = sim_.now();
+  double dt = sim::to_seconds(now - last_account_);
+  if (dt > 0) {
+    busy_slot_seconds_ += dt * busy_slots();
+    dynamic_energy_j_ += dt * busy_slots() * per_slot_power();
+    // Integrate idle power per period so DVFS reconfigure() attributes each
+    // stretch to the power model that was active during it.
+    idle_energy_j_ += dt * spec_.idle_power_w;
+  }
+  last_account_ = now;
+}
+
+double ComputeDevice::average_utilization() const {
+  double total = sim::to_seconds(sim_.now());
+  if (total <= 0 || spec_.slots == 0) return 0.0;
+  double busy = busy_slot_seconds_;
+  // Include the not-yet-accounted stretch since the last state change.
+  busy += sim::to_seconds(sim_.now() - last_account_) * busy_slots();
+  return busy / (total * spec_.slots);
+}
+
+double ComputeDevice::energy_joules() const {
+  double live_dt = sim::to_seconds(sim_.now() - last_account_);
+  double idle = idle_energy_j_ + live_dt * spec_.idle_power_w;
+  double dynamic =
+      dynamic_energy_j_ + live_dt * busy_slots() * per_slot_power();
+  return idle + dynamic;
+}
+
+double ComputeDevice::power_now() const {
+  return spec_.idle_power_w + per_slot_power() * busy_slots();
+}
+
+}  // namespace vdap::hw

@@ -1,0 +1,186 @@
+// Processor model.
+//
+// A ComputeDevice executes work items under the discrete-event clock. The
+// model is calibrated-analytic: each device advertises an *effective*
+// throughput (GFLOP/s) per TaskClass, fitted to the paper's published
+// measurements (Fig. 3 and Table I; see hw/catalog.cpp). A device has
+// `slots` independent execution contexts; work beyond that queues in
+// priority-then-FIFO order. Energy is integrated from a two-point power
+// model (idle power, max power, linear in busy-slot fraction) — the same
+// abstraction level at which the paper argues its energy points (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/task_class.hpp"
+#include "sim/simulator.hpp"
+
+namespace vdap::hw {
+
+enum class ProcKind { kCpu, kGpu, kDsp, kFpga, kAsic, kPhoneSoc, kServer };
+
+constexpr std::string_view to_string(ProcKind k) {
+  switch (k) {
+    case ProcKind::kCpu: return "cpu";
+    case ProcKind::kGpu: return "gpu";
+    case ProcKind::kDsp: return "dsp";
+    case ProcKind::kFpga: return "fpga";
+    case ProcKind::kAsic: return "asic";
+    case ProcKind::kPhoneSoc: return "phone-soc";
+    case ProcKind::kServer: return "server";
+  }
+  return "unknown";
+}
+
+struct ProcessorSpec {
+  std::string name;
+  ProcKind kind = ProcKind::kCpu;
+  double max_power_w = 0.0;
+  double idle_power_w = 0.0;
+  int slots = 1;
+  /// Effective GFLOP/s per task class. A class missing from the map is
+  /// unsupported on this device (throughput() returns 0).
+  std::map<TaskClass, double> gflops;
+
+  /// Effective throughput for `c`; 0 when the class is unsupported.
+  double throughput(TaskClass c) const {
+    auto it = gflops.find(c);
+    return it == gflops.end() ? 0.0 : it->second;
+  }
+  bool supports(TaskClass c) const { return throughput(c) > 0.0; }
+
+  /// Execution time of `gflop` of class `c` work, ignoring queueing.
+  /// Returns nullopt for unsupported classes.
+  std::optional<sim::SimDuration> service_time(TaskClass c,
+                                               double gflop) const;
+};
+
+/// Completion report delivered to the submitter.
+struct WorkReport {
+  std::uint64_t work_id = 0;
+  std::string device;
+  sim::SimTime submitted = 0;
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+  bool ok = false;            // false when aborted (device went offline)
+  double dynamic_energy_j = 0.0;  // energy attributed to this item
+
+  sim::SimDuration queueing() const { return started - submitted; }
+  sim::SimDuration latency() const { return finished - submitted; }
+};
+
+/// A work submission: `gflop` of `cls` work at `priority` (higher first).
+struct WorkRequest {
+  TaskClass cls = TaskClass::kGeneric;
+  double gflop = 0.0;
+  int priority = 0;
+  std::function<void(const WorkReport&)> done;
+};
+
+class ComputeDevice {
+ public:
+  ComputeDevice(sim::Simulator& sim, ProcessorSpec spec);
+
+  const ProcessorSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  /// Submits work. Unsupported classes complete immediately with ok=false.
+  /// Returns the work id.
+  std::uint64_t submit(WorkRequest req);
+
+  /// Admission-time estimate of when newly submitted work of (cls, gflop)
+  /// would finish, accounting for the current backlog. Used by schedulers
+  /// (greedy-EFT / HEFT). Returns nullopt for unsupported classes.
+  std::optional<sim::SimTime> estimate_finish(TaskClass cls,
+                                              double gflop) const;
+
+  /// Plug-and-play (2ndHEP): taking a device offline aborts running and
+  /// queued work (reports ok=false) and rejects new submissions.
+  void set_online(bool online);
+  bool online() const { return online_; }
+
+  /// DVFS / power-mode switch (the TX2's Max-Q vs Max-P duality, §IV-B1):
+  /// swaps the throughput and power tables for *future* work; running tasks
+  /// finish at the rate they started with (a real mode switch drains the
+  /// pipeline). The new spec must keep the device's name and slot count
+  /// (identity and queue structure are invariant). Energy accounting
+  /// integrates each period at the power model active during it.
+  void reconfigure(const ProcessorSpec& spec);
+
+  // --- dynamic status, exported to DSF resource profiles -----------------
+  int busy_slots() const { return static_cast<int>(running_.size()); }
+  std::size_t queue_length() const { return pending_.size(); }
+  double utilization() const {
+    return spec_.slots > 0
+               ? static_cast<double>(busy_slots()) / spec_.slots
+               : 0.0;
+  }
+  /// Time-averaged utilization since construction.
+  double average_utilization() const;
+
+  // --- energy accounting --------------------------------------------------
+  /// Total energy consumed so far (idle + dynamic), joules.
+  double energy_joules() const;
+  /// Dynamic-only energy (above idle).
+  double dynamic_energy_joules() const { return dynamic_energy_j_; }
+  /// Instantaneous power draw, watts.
+  double power_now() const;
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t aborted() const { return aborted_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id;
+    WorkRequest req;
+    sim::SimTime submitted;
+  };
+  struct Running {
+    std::uint64_t id;
+    WorkRequest req;
+    sim::SimTime submitted;
+    sim::SimTime started;
+    sim::SimTime finish_at;
+    sim::EventId event;
+  };
+
+  void maybe_start();
+  void start(Pending p);
+  void finish(std::uint64_t id);
+  void account_busy_time();
+  double per_slot_power() const {
+    return spec_.slots > 0 ? (spec_.max_power_w - spec_.idle_power_w) /
+                                 spec_.slots
+                           : 0.0;
+  }
+  /// Removes from pending_ and returns the highest-priority oldest item.
+  Pending pop_best_pending();
+
+  sim::Simulator& sim_;
+  ProcessorSpec spec_;
+  bool online_ = true;
+
+  std::deque<Pending> pending_;
+  std::vector<Running> running_;
+
+  // Admission-time slot-availability estimates for estimate_finish().
+  std::vector<sim::SimTime> est_slot_free_;
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+
+  // Energy integration state.
+  sim::SimTime last_account_ = 0;
+  double busy_slot_seconds_ = 0.0;  // ∫ busy_slots dt
+  double dynamic_energy_j_ = 0.0;
+  double idle_energy_j_ = 0.0;
+};
+
+}  // namespace vdap::hw

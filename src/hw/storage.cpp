@@ -1,0 +1,67 @@
+#include "hw/storage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdap::hw {
+
+SsdModel::SsdModel(sim::Simulator& sim, SsdSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  if (spec_.channels <= 0) throw std::invalid_argument("ssd needs channels");
+}
+
+std::uint64_t SsdModel::read(std::uint64_t bytes,
+                             std::function<void(const IoReport&)> done) {
+  return submit(false, bytes, std::move(done));
+}
+
+std::uint64_t SsdModel::write(std::uint64_t bytes,
+                              std::function<void(const IoReport&)> done) {
+  return submit(true, bytes, std::move(done));
+}
+
+std::uint64_t SsdModel::submit(bool write, std::uint64_t bytes,
+                               std::function<void(const IoReport&)> done) {
+  std::uint64_t id = next_id_++;
+  pending_.push_back(Io{id, write, bytes, sim_.now(), std::move(done)});
+  maybe_start();
+  return id;
+}
+
+sim::SimDuration SsdModel::service_time(const Io& io) const {
+  double mbps = io.write ? spec_.write_mbps : spec_.read_mbps;
+  double xfer_s = static_cast<double>(io.bytes) / (mbps * 1e6);
+  sim::SimDuration fixed = io.write ? spec_.write_latency : spec_.read_latency;
+  return std::max<sim::SimDuration>(1, fixed + sim::from_seconds(xfer_s));
+}
+
+void SsdModel::maybe_start() {
+  while (!pending_.empty() && busy_ < spec_.channels) {
+    Io io = std::move(pending_.front());
+    pending_.pop_front();
+    ++busy_;
+    sim::SimTime started = sim_.now();
+    sim::SimDuration dur = service_time(io);
+    auto shared = std::make_shared<Io>(std::move(io));
+    sim_.after(dur, [this, shared, started]() {
+      --busy_;
+      ++completed_;
+      if (shared->write) {
+        bytes_written_ += shared->bytes;
+      } else {
+        bytes_read_ += shared->bytes;
+      }
+      IoReport rep;
+      rep.io_id = shared->id;
+      rep.write = shared->write;
+      rep.bytes = shared->bytes;
+      rep.submitted = shared->submitted;
+      rep.started = started;
+      rep.finished = sim_.now();
+      maybe_start();
+      if (shared->done) shared->done(rep);
+    });
+  }
+}
+
+}  // namespace vdap::hw

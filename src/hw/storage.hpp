@@ -1,0 +1,77 @@
+// SSD model for the VCU's storage subsystem (§IV-B1: "the
+// parallelism-supported solid state drive is chosen to store vehicle data
+// and applications"). Models per-op fixed latency plus bandwidth-limited
+// transfer over `channels` parallel flash channels; requests beyond that
+// queue FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace vdap::hw {
+
+struct SsdSpec {
+  std::string name = "vcu-ssd";
+  double read_mbps = 2000.0;    // sequential read bandwidth
+  double write_mbps = 1200.0;   // sequential write bandwidth
+  sim::SimDuration read_latency = sim::usec(80);
+  sim::SimDuration write_latency = sim::usec(30);
+  int channels = 4;             // parallel flash channels
+};
+
+struct IoReport {
+  std::uint64_t io_id = 0;
+  bool write = false;
+  std::uint64_t bytes = 0;
+  sim::SimTime submitted = 0;
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+  sim::SimDuration latency() const { return finished - submitted; }
+};
+
+class SsdModel {
+ public:
+  SsdModel(sim::Simulator& sim, SsdSpec spec = {});
+
+  std::uint64_t read(std::uint64_t bytes,
+                     std::function<void(const IoReport&)> done);
+  std::uint64_t write(std::uint64_t bytes,
+                      std::function<void(const IoReport&)> done);
+
+  const SsdSpec& spec() const { return spec_; }
+  std::size_t queue_length() const { return pending_.size(); }
+  int busy_channels() const { return busy_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct Io {
+    std::uint64_t id;
+    bool write;
+    std::uint64_t bytes;
+    sim::SimTime submitted;
+    std::function<void(const IoReport&)> done;
+  };
+
+  std::uint64_t submit(bool write, std::uint64_t bytes,
+                       std::function<void(const IoReport&)> done);
+  void maybe_start();
+  sim::SimDuration service_time(const Io& io) const;
+
+  sim::Simulator& sim_;
+  SsdSpec spec_;
+  std::deque<Io> pending_;
+  int busy_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace vdap::hw

@@ -1,0 +1,49 @@
+// Task classes: the coarse computational signatures that OpenVDAP's DSF uses
+// to match work to heterogeneous processors ("tries to match the tasks with
+// the computing resources according to their computing characteristics",
+// §IV-B2). A device advertises an effective throughput per class.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace vdap::hw {
+
+enum class TaskClass {
+  kVisionClassic,  // classic CV (lane detection, Haar cascades)
+  kCnnInference,   // deep-model forward pass (Inception v3, detectors)
+  kCnnTraining,    // on-vehicle fine-tuning (pBEAM transfer learning)
+  kPreprocess,     // feature extraction, filtering, sensor fusion prep
+  kCodec,          // media encode/decode (infotainment, dash-cam)
+  kNlp,            // language models (voice assistants)
+  kAudio,          // audio pipelines
+  kDbQuery,        // DDI storage/query work
+  kGeneric,        // anything else (control logic, bookkeeping)
+};
+
+constexpr std::size_t kNumTaskClasses = 9;
+
+constexpr std::array<TaskClass, kNumTaskClasses> kAllTaskClasses = {
+    TaskClass::kVisionClassic, TaskClass::kCnnInference,
+    TaskClass::kCnnTraining,   TaskClass::kPreprocess,
+    TaskClass::kCodec,         TaskClass::kNlp,
+    TaskClass::kAudio,         TaskClass::kDbQuery,
+    TaskClass::kGeneric,
+};
+
+constexpr std::string_view to_string(TaskClass c) {
+  switch (c) {
+    case TaskClass::kVisionClassic: return "vision-classic";
+    case TaskClass::kCnnInference: return "cnn-inference";
+    case TaskClass::kCnnTraining: return "cnn-training";
+    case TaskClass::kPreprocess: return "preprocess";
+    case TaskClass::kCodec: return "codec";
+    case TaskClass::kNlp: return "nlp";
+    case TaskClass::kAudio: return "audio";
+    case TaskClass::kDbQuery: return "db-query";
+    case TaskClass::kGeneric: return "generic";
+  }
+  return "unknown";
+}
+
+}  // namespace vdap::hw

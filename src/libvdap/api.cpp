@@ -1,0 +1,241 @@
+#include "libvdap/api.hpp"
+
+#include "util/strings.hpp"
+
+namespace vdap::libvdap {
+
+ApiResponse ApiResponse::not_found(const std::string& what) {
+  ApiResponse r;
+  r.status = 404;
+  r.body["error"] = "not found: " + what;
+  return r;
+}
+
+ApiResponse ApiResponse::bad_request(const std::string& why) {
+  ApiResponse r;
+  r.status = 400;
+  r.body["error"] = why;
+  return r;
+}
+
+void ApiRouter::route(Method method, const std::string& pattern,
+                      Handler handler) {
+  Route r;
+  r.method = method;
+  r.segments = util::split(pattern, '/');
+  r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+bool ApiRouter::match(const Route& route,
+                      const std::vector<std::string>& path,
+                      PathParams* params) {
+  if (route.segments.size() != path.size()) return false;
+  PathParams out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const std::string& seg = route.segments[i];
+    if (!seg.empty() && seg[0] == ':') {
+      out[seg.substr(1)] = path[i];
+    } else if (seg != path[i]) {
+      return false;
+    }
+  }
+  if (params != nullptr) *params = std::move(out);
+  return true;
+}
+
+ApiResponse ApiRouter::handle(const ApiRequest& request) const {
+  std::vector<std::string> path = util::split(request.path, '/');
+  bool path_matched = false;
+  for (const Route& r : routes_) {
+    PathParams params;
+    if (!match(r, path, &params)) continue;
+    path_matched = true;
+    if (r.method != request.method) continue;
+    return r.handler(request, params);
+  }
+  if (path_matched) {
+    ApiResponse resp;
+    resp.status = 405;
+    resp.body["error"] = "method not allowed";
+    return resp;
+  }
+  return ApiResponse::not_found(request.path);
+}
+
+namespace {
+
+json::Value model_to_json(const ModelSpec& m) {
+  json::Value v;
+  v["name"] = m.name;
+  v["domain"] = std::string(to_string(m.domain));
+  v["task_class"] = std::string(hw::to_string(m.task_class));
+  v["gflop"] = m.gflop_per_inference;
+  v["size_bytes"] = static_cast<std::int64_t>(m.size_bytes);
+  v["accuracy"] = m.accuracy;
+  v["compressed"] = m.compressed;
+  if (!m.base_model.empty()) v["base_model"] = m.base_model;
+  return v;
+}
+
+json::Value profile_to_json(const vcu::ResourceProfile& p) {
+  json::Value v;
+  v["device"] = p.device;
+  v["kind"] = std::string(hw::to_string(p.kind));
+  v["online"] = p.online;
+  v["slots"] = p.slots;
+  v["busy_slots"] = p.busy_slots;
+  v["queue_length"] = static_cast<std::int64_t>(p.queue_length);
+  v["utilization"] = p.utilization;
+  v["power_w"] = p.power_now_w;
+  json::Value classes;
+  for (const auto& [cls, tput] : p.gflops) {
+    classes[std::string(hw::to_string(cls))] = tput;
+  }
+  v["gflops"] = classes;
+  return v;
+}
+
+}  // namespace
+
+LibVdap::LibVdap(ModelRegistry models, vcu::ResourceRegistry& resources,
+                 ddi::Ddi& ddi)
+    : models_(std::move(models)), resources_(resources), ddi_(ddi) {
+  mount_routes();
+}
+
+void LibVdap::attach_pbeam(PBeam pbeam) { pbeam_.emplace(std::move(pbeam)); }
+
+void LibVdap::mount_routes() {
+  // --- Common model library -----------------------------------------------
+  router_.route(Method::kGet, "/v1/models",
+                [this](const ApiRequest&, const PathParams&) {
+                  json::Array arr;
+                  for (const ModelSpec& m : models_.list()) {
+                    arr.push_back(model_to_json(m));
+                  }
+                  json::Value body;
+                  body["models"] = json::Value(std::move(arr));
+                  return ApiResponse::ok(std::move(body));
+                });
+  router_.route(Method::kGet, "/v1/models/:name",
+                [this](const ApiRequest&, const PathParams& params) {
+                  auto m = models_.find(params.at("name"));
+                  if (!m) return ApiResponse::not_found(params.at("name"));
+                  return ApiResponse::ok(model_to_json(*m));
+                });
+
+  // --- VCU system resources library ---------------------------------------
+  router_.route(Method::kGet, "/v1/resources",
+                [this](const ApiRequest&, const PathParams&) {
+                  json::Array arr;
+                  for (const auto& p : resources_.profiles()) {
+                    arr.push_back(profile_to_json(p));
+                  }
+                  json::Value body;
+                  body["resources"] = json::Value(std::move(arr));
+                  return ApiResponse::ok(std::move(body));
+                });
+  router_.route(Method::kGet, "/v1/resources/:device",
+                [this](const ApiRequest&, const PathParams& params) {
+                  for (const auto& p : resources_.profiles()) {
+                    if (p.device == params.at("device")) {
+                      return ApiResponse::ok(profile_to_json(p));
+                    }
+                  }
+                  return ApiResponse::not_found(params.at("device"));
+                });
+
+  // --- Data sharing library (DDI) ------------------------------------------
+  router_.route(
+      Method::kPost, "/v1/data/query",
+      [this](const ApiRequest& req, const PathParams&) {
+        if (!req.body.is_object() || !req.body.contains("stream")) {
+          return ApiResponse::bad_request("body needs stream/t0/t1");
+        }
+        ddi::DownloadRequest q;
+        q.stream = req.body.get_string("stream");
+        q.t0 = req.body.get_int("t0");
+        q.t1 = req.body.get_int("t1");
+        if (req.body.contains("geo")) {
+          const json::Value& g = req.body.at("geo");
+          q.geo = true;
+          q.lat0 = g.get_double("lat0");
+          q.lat1 = g.get_double("lat1");
+          q.lon0 = g.get_double("lon0");
+          q.lon1 = g.get_double("lon1");
+        }
+        auto resp = ddi_.download_now(q);
+        json::Array arr;
+        for (const auto& r : resp.records) {
+          json::Value v;
+          v["ts"] = r.timestamp;
+          v["lat"] = r.lat;
+          v["lon"] = r.lon;
+          v["payload"] = r.payload;
+          arr.push_back(std::move(v));
+        }
+        json::Value body;
+        body["records"] = json::Value(std::move(arr));
+        body["from_cache"] = resp.from_cache;
+        return ApiResponse::ok(std::move(body));
+      });
+  router_.route(
+      Method::kPost, "/v1/data/upload",
+      [this](const ApiRequest& req, const PathParams&) {
+        if (!req.body.is_object() || !req.body.contains("stream")) {
+          return ApiResponse::bad_request("body needs stream");
+        }
+        ddi::DataRecord rec;
+        rec.stream = req.body.get_string("stream");
+        rec.timestamp = req.body.get_int("ts");
+        rec.lat = req.body.get_double("lat");
+        rec.lon = req.body.get_double("lon");
+        if (const json::Value* p = req.body.find("payload")) {
+          rec.payload = *p;
+        }
+        ddi_.upload(std::move(rec));
+        json::Value body;
+        body["accepted"] = true;
+        return ApiResponse::ok(std::move(body));
+      });
+
+  // --- pBEAM -----------------------------------------------------------------
+  router_.route(
+      Method::kPost, "/v1/pbeam/score",
+      [this](const ApiRequest& req, const PathParams&) {
+        if (!pbeam_) return ApiResponse::not_found("pbeam (not built yet)");
+        if (!req.body.is_object()) {
+          return ApiResponse::bad_request("body needs driving features");
+        }
+        DrivingFeatures f;
+        f.mean_speed_mps = req.body.get_double("mean_speed_mps");
+        f.speed_stddev = req.body.get_double("speed_stddev");
+        f.accel_stddev = req.body.get_double("accel_stddev");
+        f.harsh_brake_rate = req.body.get_double("harsh_brake_rate");
+        f.harsh_accel_rate = req.body.get_double("harsh_accel_rate");
+        f.mean_abs_jerk = req.body.get_double("mean_abs_jerk");
+        f.overspeed_frac = req.body.get_double("overspeed_frac");
+        json::Value body;
+        body["style"] = std::string(to_string(pbeam_->classify(f)));
+        body["aggressiveness"] = pbeam_->aggressiveness(f);
+        body["personalized"] = pbeam_->personalized();
+        return ApiResponse::ok(std::move(body));
+      });
+  router_.route(Method::kGet, "/v1/pbeam",
+                [this](const ApiRequest&, const PathParams&) {
+                  if (!pbeam_) {
+                    return ApiResponse::not_found("pbeam (not built yet)");
+                  }
+                  json::Value body;
+                  body["personalized"] = pbeam_->personalized();
+                  body["compressed_bytes"] = static_cast<std::int64_t>(
+                      pbeam_->compression().compressed_bytes);
+                  body["dense_bytes"] = static_cast<std::int64_t>(
+                      pbeam_->compression().dense_bytes);
+                  body["sparsity"] = pbeam_->compression().sparsity;
+                  return ApiResponse::ok(std::move(body));
+                });
+}
+
+}  // namespace vdap::libvdap

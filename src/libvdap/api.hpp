@@ -1,0 +1,103 @@
+// libvdap's uniform RESTful API (§IV-E, Fig. 8): "libvdap provides a
+// uniform RESTful API. By calling the API, developers can access all
+// software and hardware resources", grouped into four libraries —
+// pBEAM, the Common model library, the VCU system resources library, and
+// the Data sharing library (DDI + the EdgeOSv bus).
+//
+// The router is in-process (requests are dispatched function calls, not
+// sockets) but keeps HTTP semantics: methods, paths with :params, status
+// codes, JSON bodies — so a real HTTP front-end could mount it unchanged.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddi/ddi.hpp"
+#include "libvdap/models.hpp"
+#include "libvdap/pbeam.hpp"
+#include "vcu/registry.hpp"
+
+namespace vdap::libvdap {
+
+enum class Method { kGet, kPost };
+
+struct ApiRequest {
+  Method method = Method::kGet;
+  std::string path;
+  json::Value body;
+};
+
+struct ApiResponse {
+  int status = 200;
+  json::Value body;
+
+  static ApiResponse ok(json::Value body = {}) { return {200, std::move(body)}; }
+  static ApiResponse not_found(const std::string& what);
+  static ApiResponse bad_request(const std::string& why);
+};
+
+/// Path parameters extracted from ":name" segments.
+using PathParams = std::map<std::string, std::string>;
+using Handler =
+    std::function<ApiResponse(const ApiRequest&, const PathParams&)>;
+
+class ApiRouter {
+ public:
+  /// Registers a handler for a method + pattern ("/v1/models/:name").
+  void route(Method method, const std::string& pattern, Handler handler);
+
+  /// Dispatches; 404 when no pattern matches, 405 when only the method
+  /// differs.
+  ApiResponse handle(const ApiRequest& request) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    Method method;
+    std::vector<std::string> segments;  // ":x" marks a parameter
+    Handler handler;
+  };
+  static bool match(const Route& route, const std::vector<std::string>& path,
+                    PathParams* params);
+
+  std::vector<Route> routes_;
+};
+
+/// The assembled libvdap service: mounts the four resource groups onto a
+/// router over live platform components.
+class LibVdap {
+ public:
+  LibVdap(ModelRegistry models, vcu::ResourceRegistry& resources,
+          ddi::Ddi& ddi);
+
+  /// Attaches a built pBEAM (optional; /v1/pbeam 404s until then).
+  void attach_pbeam(PBeam pbeam);
+
+  ApiResponse handle(const ApiRequest& request) const {
+    return router_.handle(request);
+  }
+  /// Convenience GET.
+  ApiResponse get(const std::string& path) const {
+    return handle({Method::kGet, path, {}});
+  }
+  ApiResponse post(const std::string& path, json::Value body) const {
+    return handle({Method::kPost, path, std::move(body)});
+  }
+
+  const ModelRegistry& models() const { return models_; }
+  const PBeam* pbeam() const { return pbeam_ ? &*pbeam_ : nullptr; }
+
+ private:
+  void mount_routes();
+
+  ModelRegistry models_;
+  vcu::ResourceRegistry& resources_;
+  ddi::Ddi& ddi_;
+  std::optional<PBeam> pbeam_;
+  ApiRouter router_;
+};
+
+}  // namespace vdap::libvdap

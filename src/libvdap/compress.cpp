@@ -1,0 +1,141 @@
+#include "libvdap/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vdap::libvdap {
+
+void prune(Mlp& model, double sparsity) {
+  if (sparsity < 0.0 || sparsity >= 1.0) {
+    throw std::invalid_argument("sparsity must be in [0, 1)");
+  }
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    Matrix& w = model.weights(l);
+    if (w.size() == 0) continue;
+    std::vector<double> mags;
+    mags.reserve(w.size());
+    for (double v : w.data()) mags.push_back(std::abs(v));
+    std::size_t k = static_cast<std::size_t>(sparsity * mags.size());
+    if (k == 0) continue;
+    std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end());
+    double threshold = mags[k - 1];
+    std::size_t zeroed = 0;
+    for (double& v : w.data()) {
+      // <= threshold, but stop once the per-layer quota is met so ties do
+      // not over-prune.
+      if (zeroed < k && std::abs(v) <= threshold && v != 0.0) {
+        v = 0.0;
+        ++zeroed;
+      }
+    }
+  }
+}
+
+void quantize(Mlp& model, int bits, int iters) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("codebook bits must be in [1, 16]");
+  }
+  std::size_t k = std::size_t{1} << bits;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    Matrix& w = model.weights(l);
+    std::vector<double*> nz;
+    for (double& v : w.data()) {
+      if (v != 0.0) nz.push_back(&v);
+    }
+    if (nz.empty()) continue;
+    double lo = 1e300, hi = -1e300;
+    for (double* p : nz) {
+      lo = std::min(lo, *p);
+      hi = std::max(hi, *p);
+    }
+    if (lo == hi) continue;  // single value; already "quantized"
+    std::size_t clusters = std::min(k, nz.size());
+    // Linear initialization across [lo, hi] (the scheme [30] found best).
+    std::vector<double> centroid(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      centroid[c] = lo + (hi - lo) * (static_cast<double>(c) + 0.5) /
+                             static_cast<double>(clusters);
+    }
+    std::vector<std::size_t> assign(nz.size(), 0);
+    for (int it = 0; it < iters; ++it) {
+      // Assign (centroids are sorted: binary search the midpoints).
+      for (std::size_t i = 0; i < nz.size(); ++i) {
+        double v = *nz[i];
+        std::size_t best = 0;
+        double best_d = 1e300;
+        // Centroid count is small (<= 2^bits); linear scan is fine.
+        for (std::size_t c = 0; c < clusters; ++c) {
+          double d = std::abs(v - centroid[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        assign[i] = best;
+      }
+      // Update.
+      std::vector<double> sum(clusters, 0.0);
+      std::vector<std::size_t> count(clusters, 0);
+      for (std::size_t i = 0; i < nz.size(); ++i) {
+        sum[assign[i]] += *nz[i];
+        ++count[assign[i]];
+      }
+      for (std::size_t c = 0; c < clusters; ++c) {
+        if (count[c] > 0) centroid[c] = sum[c] / count[c];
+      }
+    }
+    for (std::size_t i = 0; i < nz.size(); ++i) *nz[i] = centroid[assign[i]];
+  }
+}
+
+std::uint64_t compressed_bytes(const Mlp& model, int codebook_bits) {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const Matrix& w = model.weights(l);
+    std::uint64_t nnz = w.nonzeros();
+    bool pruned = nnz < w.size();
+    if (!pruned && codebook_bits == 0) {
+      total += w.size() * 4;  // dense fp32
+    } else {
+      // Sparse storage: 4-bit relative row indices per nonzero ([30]'s
+      // scheme, ~0.5 B) + column pointers, approximated as 1 B per nonzero.
+      std::uint64_t index_bytes = nnz;
+      std::uint64_t value_bits =
+          codebook_bits > 0 ? static_cast<std::uint64_t>(codebook_bits)
+                            : 32;  // fp32 values if not quantized
+      std::uint64_t value_bytes = (nnz * value_bits + 7) / 8;
+      // quantize() never creates more centroids than nonzero weights.
+      std::uint64_t codebook =
+          codebook_bits > 0
+              ? std::min(std::uint64_t{1} << codebook_bits, nnz) * 4
+              : 0;
+      total += index_bytes + value_bytes + codebook;
+    }
+    total += model.weights(l).rows() * 4;  // biases, fp32
+  }
+  return total;
+}
+
+double model_sparsity(const Mlp& model) {
+  std::size_t total = 0, nz = 0;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    total += model.weights(l).size();
+    nz += model.weights(l).nonzeros();
+  }
+  return total == 0 ? 0.0 : 1.0 - static_cast<double>(nz) / total;
+}
+
+CompressionReport deep_compress(Mlp& model, double sparsity, int bits) {
+  CompressionReport rep;
+  rep.dense_bytes = model.dense_bytes();
+  if (sparsity > 0.0) prune(model, sparsity);
+  if (bits > 0) quantize(model, bits);
+  rep.sparsity = model_sparsity(model);
+  rep.codebook_bits = bits;
+  rep.compressed_bytes = compressed_bytes(model, bits);
+  return rep;
+}
+
+}  // namespace vdap::libvdap

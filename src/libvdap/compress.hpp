@@ -1,0 +1,53 @@
+// Deep Compression (§IV-E, after Han et al. [30]): "cBEAM is pruned first
+// to reduce the number of connections by learning only the important
+// connections, then the number of bits for representing each weight is
+// reduced via the weight sharing technique."
+//
+// Implemented for real on the Mlp weights:
+//   * magnitude pruning to a target sparsity (smallest |w| go to zero);
+//   * k-means weight sharing over the surviving weights (2^bits centroids),
+//     every weight snapped to its centroid;
+//   * compressed-size accounting: CSR-style sparse indices + per-weight
+//     codebook indices + the fp32 codebook, mirroring [30]'s storage model.
+#pragma once
+
+#include <cstdint>
+
+#include "libvdap/nn.hpp"
+
+namespace vdap::libvdap {
+
+struct CompressionReport {
+  double sparsity = 0.0;          // fraction of zeroed weights
+  int codebook_bits = 0;          // 0 = not quantized
+  std::uint64_t dense_bytes = 0;  // original fp32 footprint
+  std::uint64_t compressed_bytes = 0;
+  double ratio() const {
+    return compressed_bytes > 0
+               ? static_cast<double>(dense_bytes) / compressed_bytes
+               : 0.0;
+  }
+};
+
+/// Zeroes the smallest-magnitude fraction `sparsity` of each layer's
+/// weights (per-layer thresholding, as in [30]). In-place.
+void prune(Mlp& model, double sparsity);
+
+/// K-means weight sharing: clusters each layer's nonzero weights into
+/// 2^bits centroids (linear-initialized, `iters` Lloyd steps) and snaps
+/// weights to centroids. In-place. bits in [1, 16].
+void quantize(Mlp& model, int bits, int iters = 15);
+
+/// Storage footprint of the model as-is, assuming sparse + codebook
+/// encoding with `codebook_bits` per surviving weight (pass 0 for
+/// fp32-sparse, i.e. pruned but unquantized; dense fp32 when nothing is
+/// pruned and bits == 0).
+std::uint64_t compressed_bytes(const Mlp& model, int codebook_bits);
+
+/// Convenience: prune + (optional) retrain-free quantize + report.
+CompressionReport deep_compress(Mlp& model, double sparsity, int bits);
+
+/// Overall model sparsity across layers.
+double model_sparsity(const Mlp& model);
+
+}  // namespace vdap::libvdap

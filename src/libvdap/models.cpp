@@ -1,0 +1,69 @@
+#include "libvdap/models.hpp"
+
+#include <stdexcept>
+
+namespace vdap::libvdap {
+
+void ModelRegistry::add(ModelSpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("model needs a name");
+  if (find(spec.name).has_value()) {
+    throw std::invalid_argument("model '" + spec.name + "' already exists");
+  }
+  models_.push_back(std::move(spec));
+}
+
+std::optional<ModelSpec> ModelRegistry::find(const std::string& name) const {
+  for (const ModelSpec& m : models_) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::vector<ModelSpec> ModelRegistry::by_domain(ModelDomain domain) const {
+  std::vector<ModelSpec> out;
+  for (const ModelSpec& m : models_) {
+    if (m.domain == domain) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<ModelSpec> ModelRegistry::edge_deployable(
+    std::uint64_t budget_bytes) const {
+  std::vector<ModelSpec> out;
+  for (const ModelSpec& m : models_) {
+    if (m.size_bytes <= budget_bytes) out.push_back(m);
+  }
+  return out;
+}
+
+ModelRegistry ModelRegistry::with_default_catalog() {
+  using TC = hw::TaskClass;
+  ModelRegistry r;
+  // Cloud originals (sizes/compute from the public model zoo; accuracy is
+  // the commonly reported benchmark top-1 / WER-derived score).
+  r.add({"inception-v3", ModelDomain::kVideo, TC::kCnnInference, 11.4,
+         95'000'000, 0.78, false, ""});
+  r.add({"yolo-v2", ModelDomain::kVideo, TC::kCnnInference, 34.9,
+         258'000'000, 0.76, false, ""});
+  r.add({"deepspeech", ModelDomain::kAudio, TC::kAudio, 4.5, 190'000'000,
+         0.84, false, ""});
+  r.add({"nlp-intent-lstm", ModelDomain::kNlp, TC::kNlp, 2.2, 120'000'000,
+         0.92, false, ""});
+  r.add({"cbeam", ModelDomain::kDriving, TC::kCnnInference, 0.002, 2'000'000,
+         0.95, false, ""});
+  // Deep-Compressed edge variants (~10-20x smaller, slight accuracy dip,
+  // modestly cheaper compute).
+  r.add({"inception-v3-edge", ModelDomain::kVideo, TC::kCnnInference, 9.7,
+         6'500'000, 0.76, true, "inception-v3"});
+  r.add({"yolo-v2-edge", ModelDomain::kVideo, TC::kCnnInference, 28.0,
+         17'000'000, 0.73, true, "yolo-v2"});
+  r.add({"deepspeech-edge", ModelDomain::kAudio, TC::kAudio, 3.6,
+         12'000'000, 0.81, true, "deepspeech"});
+  r.add({"nlp-intent-edge", ModelDomain::kNlp, TC::kNlp, 1.8, 8'000'000,
+         0.90, true, "nlp-intent-lstm"});
+  r.add({"cbeam-edge", ModelDomain::kDriving, TC::kCnnInference, 0.0017,
+         160'000, 0.94, true, "cbeam"});
+  return r;
+}
+
+}  // namespace vdap::libvdap

@@ -1,0 +1,63 @@
+// Common model library (§IV-E): "contains many common algorithms and models
+// that are used frequently in vehicle-based applications, such as Natural
+// Language Processing, Video Processing, Audio Processing and so on. The
+// most powerful models ... are too large for the OpenVDAP to run, so the
+// models that are in the Common model library are compressed based on the
+// powerful models."
+//
+// Each catalog entry describes the full cloud model and its edge-compressed
+// variant (footprint and compute derived from a Deep-Compression profile),
+// plus the task class it runs as on the VCU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/task_class.hpp"
+
+namespace vdap::libvdap {
+
+enum class ModelDomain { kNlp, kVideo, kAudio, kDriving };
+
+constexpr std::string_view to_string(ModelDomain d) {
+  switch (d) {
+    case ModelDomain::kNlp: return "nlp";
+    case ModelDomain::kVideo: return "video";
+    case ModelDomain::kAudio: return "audio";
+    case ModelDomain::kDriving: return "driving";
+  }
+  return "unknown";
+}
+
+struct ModelSpec {
+  std::string name;
+  ModelDomain domain = ModelDomain::kVideo;
+  hw::TaskClass task_class = hw::TaskClass::kCnnInference;
+  double gflop_per_inference = 0.0;
+  std::uint64_t size_bytes = 0;
+  double accuracy = 0.0;      // top-1 on the model's benchmark
+  bool compressed = false;    // an edge variant produced by Deep Compression
+  std::string base_model;     // for compressed variants: the cloud model
+};
+
+class ModelRegistry {
+ public:
+  /// Registry preloaded with the cBEAM catalog (cloud + edge variants of
+  /// representative NLP / video / audio / driving models).
+  static ModelRegistry with_default_catalog();
+
+  void add(ModelSpec spec);
+  std::optional<ModelSpec> find(const std::string& name) const;
+  std::vector<ModelSpec> list() const { return models_; }
+  std::vector<ModelSpec> by_domain(ModelDomain domain) const;
+  /// Models small enough for an edge budget (bytes).
+  std::vector<ModelSpec> edge_deployable(std::uint64_t budget_bytes) const;
+  std::size_t size() const { return models_.size(); }
+
+ private:
+  std::vector<ModelSpec> models_;
+};
+
+}  // namespace vdap::libvdap

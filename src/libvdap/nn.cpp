@@ -1,0 +1,219 @@
+#include "libvdap/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace vdap::libvdap {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, util::RngStream& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("mlp needs >= 2 dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    double stddev = std::sqrt(2.0 / static_cast<double>(dims[i]));
+    weights_.push_back(Matrix::randn(dims[i + 1], dims[i], rng, stddev));
+    biases_.emplace_back(dims[i + 1], 0.0);
+  }
+}
+
+std::size_t Mlp::input_dim() const {
+  return weights_.empty() ? 0 : weights_.front().cols();
+}
+
+std::size_t Mlp::output_dim() const {
+  return weights_.empty() ? 0 : weights_.back().rows();
+}
+
+Mlp::ForwardTrace Mlp::forward(const std::vector<double>& x) const {
+  ForwardTrace t;
+  std::vector<double> h = x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    h = weights_[l].apply(h);
+    for (std::size_t i = 0; i < h.size(); ++i) h[i] += biases_[l][i];
+    if (l + 1 < weights_.size()) {
+      relu(h);
+      t.activations.push_back(h);
+    }
+  }
+  softmax(h);
+  t.probs = std::move(h);
+  return t;
+}
+
+std::vector<double> Mlp::predict_proba(const std::vector<double>& x) const {
+  if (x.size() != input_dim()) {
+    throw std::invalid_argument("input dimension mismatch");
+  }
+  return forward(x).probs;
+}
+
+int Mlp::predict(const std::vector<double>& x) const {
+  return static_cast<int>(argmax(predict_proba(x)));
+}
+
+void Mlp::backward(const ForwardTrace& t, const std::vector<double>& x,
+                   int label, double lr, const TrainOptions& options) {
+  // Softmax + CE gradient at the output: p - onehot(y).
+  std::vector<double> delta = t.probs;
+  delta[static_cast<std::size_t>(label)] -= 1.0;
+
+  for (std::size_t l = weights_.size(); l-- > 0;) {
+    const std::vector<double>& input =
+        l == 0 ? x : t.activations[l - 1];
+    bool update = !(options.freeze_hidden && l + 1 < weights_.size());
+    std::vector<double> next_delta;
+    if (l > 0) {
+      next_delta = weights_[l].apply_transposed(delta);
+      std::vector<double> mask = relu_mask(t.activations[l - 1]);
+      for (std::size_t i = 0; i < next_delta.size(); ++i) {
+        next_delta[i] *= mask[i];
+      }
+    }
+    if (update) {
+      if (options.weight_decay > 0.0) {
+        Matrix& w = weights_[l];
+        double k = 1.0 - lr * options.weight_decay;
+        for (double& v : w.data()) v *= k;
+      }
+      if (options.preserve_zeros) {
+        // Masked update: pruned weights stay pruned.
+        Matrix& w = weights_[l];
+        for (std::size_t r = 0; r < w.rows(); ++r) {
+          for (std::size_t c = 0; c < w.cols(); ++c) {
+            double& wv = w.at(r, c);
+            if (wv != 0.0) wv -= lr * delta[r] * input[c];
+          }
+        }
+      } else {
+        weights_[l].rank_one_update(delta, input, lr);
+      }
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        biases_[l][i] -= lr * delta[i];
+      }
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+double Mlp::train(const Dataset& data, const TrainOptions& options,
+                  util::RngStream& rng) {
+  if (data.empty()) throw std::invalid_argument("empty dataset");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  double lr = options.lr;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle) {
+      std::shuffle(order.begin(), order.end(), rng.engine());
+    }
+    double loss = 0.0;
+    for (std::size_t idx : order) {
+      const LabeledSample& s = data[idx];
+      ForwardTrace t = forward(s.features);
+      loss += -std::log(
+          std::max(1e-12, t.probs[static_cast<std::size_t>(s.label)]));
+      backward(t, s.features, s.label, lr, options);
+    }
+    last_loss = loss / static_cast<double>(data.size());
+    lr *= options.lr_decay;
+  }
+  return last_loss;
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const LabeledSample& s : data) {
+    correct += predict(s.features) == s.label ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double Mlp::mean_loss(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double loss = 0.0;
+  for (const LabeledSample& s : data) {
+    auto probs = predict_proba(s.features);
+    loss += -std::log(
+        std::max(1e-12, probs[static_cast<std::size_t>(s.label)]));
+  }
+  return loss / static_cast<double>(data.size());
+}
+
+namespace {
+constexpr std::uint32_t kModelMagic = 0x56444150;  // "VDAP"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size()) {
+    throw std::runtime_error("model blob truncated");
+  }
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> Mlp::serialize() const {
+  std::vector<std::uint8_t> out;
+  put<std::uint32_t>(out, kModelMagic);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(weights_.size()));
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(w.rows()));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(w.cols()));
+    for (double v : w.data()) put<double>(out, v);
+    for (double b : biases_[l]) put<double>(out, b);
+  }
+  return out;
+}
+
+Mlp Mlp::deserialize(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  if (get<std::uint32_t>(bytes, pos) != kModelMagic) {
+    throw std::runtime_error("not a vdap model blob");
+  }
+  std::uint32_t layers = get<std::uint32_t>(bytes, pos);
+  if (layers == 0 || layers > 64) {
+    throw std::runtime_error("implausible layer count");
+  }
+  Mlp model;
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    std::uint32_t rows = get<std::uint32_t>(bytes, pos);
+    std::uint32_t cols = get<std::uint32_t>(bytes, pos);
+    if (rows == 0 || cols == 0 || rows > 1'000'000 || cols > 1'000'000) {
+      throw std::runtime_error("implausible layer shape");
+    }
+    Matrix w(rows, cols);
+    for (double& v : w.data()) v = get<double>(bytes, pos);
+    std::vector<double> bias(rows);
+    for (double& b : bias) b = get<double>(bytes, pos);
+    model.weights_.push_back(std::move(w));
+    model.biases_.push_back(std::move(bias));
+  }
+  if (pos != bytes.size()) throw std::runtime_error("trailing bytes");
+  // Dimensional consistency between layers.
+  for (std::size_t l = 1; l < model.weights_.size(); ++l) {
+    if (model.weights_[l].cols() != model.weights_[l - 1].rows()) {
+      throw std::runtime_error("layer dimension mismatch");
+    }
+  }
+  return model;
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t n = 0;
+  for (const Matrix& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+}  // namespace vdap::libvdap

@@ -1,0 +1,87 @@
+// A small but real multi-layer perceptron: ReLU hidden layers, softmax
+// cross-entropy output, SGD training with backprop. This is the model class
+// behind cBEAM/pBEAM (§IV-E): big enough to learn driving-behavior
+// classification, small enough to live (and be fine-tuned) on the vehicle
+// after Deep Compression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "libvdap/tensor.hpp"
+
+namespace vdap::libvdap {
+
+struct LabeledSample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+using Dataset = std::vector<LabeledSample>;
+
+struct TrainOptions {
+  int epochs = 30;
+  double lr = 0.05;
+  double lr_decay = 0.98;       // per epoch
+  bool shuffle = true;
+  /// Train only the final layer (transfer learning, §IV-E: "Transfer
+  /// learning is used to transfer the compressed cBEAM to pBEAM").
+  bool freeze_hidden = false;
+  /// Keep pruned (exactly-zero) weights at zero during updates, so
+  /// fine-tuning preserves the compressed sparsity structure.
+  bool preserve_zeros = false;
+  /// L2 regularization on updated layers (keeps fine-tuned logits sane).
+  double weight_decay = 0.0;
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  /// dims = {in, hidden..., out}; weights ~ N(0, sqrt(2/fan_in)).
+  Mlp(const std::vector<std::size_t>& dims, util::RngStream& rng);
+
+  /// Class probabilities for one input.
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  int predict(const std::vector<double>& x) const;
+
+  /// One SGD pass over `data` per epoch. Returns final-epoch mean CE loss.
+  double train(const Dataset& data, const TrainOptions& options,
+               util::RngStream& rng);
+
+  double accuracy(const Dataset& data) const;
+  double mean_loss(const Dataset& data) const;
+
+  std::size_t num_layers() const { return weights_.size(); }
+  Matrix& weights(std::size_t layer) { return weights_[layer]; }
+  const Matrix& weights(std::size_t layer) const { return weights_[layer]; }
+  std::vector<double>& bias(std::size_t layer) { return biases_[layer]; }
+
+  std::size_t num_params() const;
+  /// Dense fp32 serialized size — the pre-compression footprint.
+  std::uint64_t dense_bytes() const { return num_params() * 4; }
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+
+  /// Binary model serialization — how a cloud-trained (compressed) cBEAM
+  /// ships to the vehicle (§IV-E: "The compressed cBEAM is then downloaded
+  /// to the vehicle"). Layout: magic, layer count, per-layer dims + fp64
+  /// weights + biases. deserialize() throws std::runtime_error on corrupt
+  /// or truncated input.
+  std::vector<std::uint8_t> serialize() const;
+  static Mlp deserialize(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  struct ForwardTrace {
+    std::vector<std::vector<double>> activations;  // per layer, post-ReLU
+    std::vector<double> probs;
+  };
+  ForwardTrace forward(const std::vector<double>& x) const;
+  void backward(const ForwardTrace& t, const std::vector<double>& x,
+                int label, double lr, const TrainOptions& options);
+
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<double>> biases_;
+};
+
+}  // namespace vdap::libvdap

@@ -1,0 +1,165 @@
+#include "libvdap/pbeam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdap::libvdap {
+
+std::vector<double> DrivingFeatures::to_vector() const {
+  // Normalized to comparable scales so SGD behaves.
+  return {mean_speed_mps / 30.0, speed_stddev / 10.0,
+          accel_stddev / 3.0,    harsh_brake_rate / 5.0,
+          harsh_accel_rate / 5.0, mean_abs_jerk / 5.0,
+          overspeed_frac};
+}
+
+DrivingFeatures features_from_records(
+    const std::vector<ddi::DataRecord>& w) {
+  DrivingFeatures f;
+  if (w.size() < 3) return f;
+  double speed_sum = 0.0, speed_sq = 0.0;
+  double accel_sum = 0.0, accel_sq = 0.0;
+  double jerk_sum = 0.0;
+  int harsh_brakes = 0, harsh_accels = 0, overspeed = 0;
+  double prev_accel = 0.0;
+  double prev_t = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    double speed = w[i].payload.get_double("speed_mps");
+    double accel = w[i].payload.get_double("accel_mps2");
+    double t = sim::to_seconds(w[i].timestamp);
+    speed_sum += speed;
+    speed_sq += speed * speed;
+    accel_sum += accel;
+    accel_sq += accel * accel;
+    if (accel < -2.5) ++harsh_brakes;
+    if (accel > 2.0) ++harsh_accels;
+    if (speed > 29.0) ++overspeed;
+    if (i > 0 && t > prev_t) {
+      jerk_sum += std::abs(accel - prev_accel) / (t - prev_t);
+    }
+    prev_accel = accel;
+    prev_t = t;
+  }
+  double n = static_cast<double>(w.size());
+  double duration_min =
+      (sim::to_seconds(w.back().timestamp) -
+       sim::to_seconds(w.front().timestamp)) /
+      60.0;
+  if (duration_min <= 0.0) duration_min = n / 600.0;  // assume 10 Hz
+  f.mean_speed_mps = speed_sum / n;
+  f.speed_stddev =
+      std::sqrt(std::max(0.0, speed_sq / n - f.mean_speed_mps *
+                                                 f.mean_speed_mps));
+  double mean_accel = accel_sum / n;
+  f.accel_stddev =
+      std::sqrt(std::max(0.0, accel_sq / n - mean_accel * mean_accel));
+  f.harsh_brake_rate = harsh_brakes / duration_min;
+  f.harsh_accel_rate = harsh_accels / duration_min;
+  f.mean_abs_jerk = jerk_sum / (n - 1);
+  f.overspeed_frac = overspeed / n;
+  return f;
+}
+
+DrivingFeatures sample_style_features(DrivingStyle style,
+                                      util::RngStream& rng) {
+  DrivingFeatures f;
+  switch (style) {
+    case DrivingStyle::kCautious:
+      f.mean_speed_mps = rng.normal_min(10.0, 2.5, 0.0);
+      f.speed_stddev = rng.normal_min(2.0, 0.7, 0.1);
+      f.accel_stddev = rng.normal_min(0.5, 0.15, 0.05);
+      f.harsh_brake_rate = rng.normal_min(0.1, 0.1, 0.0);
+      f.harsh_accel_rate = rng.normal_min(0.05, 0.05, 0.0);
+      f.mean_abs_jerk = rng.normal_min(0.4, 0.15, 0.05);
+      f.overspeed_frac = rng.normal_min(0.0, 0.01, 0.0);
+      break;
+    case DrivingStyle::kNormal:
+      f.mean_speed_mps = rng.normal_min(15.0, 3.0, 0.0);
+      f.speed_stddev = rng.normal_min(4.0, 1.0, 0.1);
+      f.accel_stddev = rng.normal_min(1.0, 0.25, 0.05);
+      f.harsh_brake_rate = rng.normal_min(0.5, 0.3, 0.0);
+      f.harsh_accel_rate = rng.normal_min(0.4, 0.25, 0.0);
+      f.mean_abs_jerk = rng.normal_min(1.0, 0.3, 0.05);
+      f.overspeed_frac = rng.normal_min(0.05, 0.04, 0.0);
+      break;
+    case DrivingStyle::kAggressive:
+      f.mean_speed_mps = rng.normal_min(21.0, 4.0, 0.0);
+      f.speed_stddev = rng.normal_min(7.0, 1.5, 0.1);
+      f.accel_stddev = rng.normal_min(1.9, 0.4, 0.05);
+      f.harsh_brake_rate = rng.normal_min(2.2, 0.8, 0.0);
+      f.harsh_accel_rate = rng.normal_min(2.0, 0.7, 0.0);
+      f.mean_abs_jerk = rng.normal_min(2.4, 0.6, 0.05);
+      f.overspeed_frac = rng.normal_min(0.25, 0.10, 0.0);
+      break;
+  }
+  return f;
+}
+
+Dataset synth_fleet_dataset(int per_style, util::RngStream& rng) {
+  Dataset data;
+  data.reserve(static_cast<std::size_t>(per_style) * kNumStyles);
+  for (int label = 0; label < kNumStyles; ++label) {
+    for (int i = 0; i < per_style; ++i) {
+      LabeledSample s;
+      s.features =
+          sample_style_features(static_cast<DrivingStyle>(label), rng)
+              .to_vector();
+      s.label = label;
+      data.push_back(std::move(s));
+    }
+  }
+  return data;
+}
+
+Dataset synth_driver_dataset(DrivingStyle style, int samples,
+                             double personal_bias, util::RngStream& rng) {
+  Dataset data;
+  data.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    DrivingFeatures f = sample_style_features(style, rng);
+    // Idiosyncrasy: this driver systematically shifts some features (e.g.
+    // brakes harder but speeds less than the fleet's average for the
+    // style) — what a personalized model can exploit.
+    f.harsh_brake_rate += personal_bias;
+    f.mean_speed_mps -= personal_bias * 2.0;
+    f.mean_abs_jerk += personal_bias * 0.5;
+    LabeledSample s;
+    s.features = f.to_vector();
+    s.label = static_cast<int>(style);
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+PBeam PBeam::build(const Dataset& fleet, const PBeamConfig& config,
+                   util::RngStream& rng) {
+  if (fleet.empty()) throw std::invalid_argument("empty fleet dataset");
+  std::vector<std::size_t> dims;
+  dims.push_back(DrivingFeatures::kDim);
+  for (std::size_t h : config.hidden) dims.push_back(h);
+  dims.push_back(kNumStyles);
+  Mlp model(dims, rng);
+  model.train(fleet, config.cloud_train, rng);
+  CompressionReport rep =
+      deep_compress(model, config.compress_sparsity, config.compress_bits);
+  return PBeam(std::move(model), rep, config);
+}
+
+void PBeam::personalize(const Dataset& driver_data, util::RngStream& rng) {
+  if (driver_data.empty()) {
+    throw std::invalid_argument("empty driver dataset");
+  }
+  model_.train(driver_data, config_.personalize_train, rng);
+  personalized_ = true;
+}
+
+DrivingStyle PBeam::classify(const DrivingFeatures& f) const {
+  return static_cast<DrivingStyle>(model_.predict(f.to_vector()));
+}
+
+double PBeam::aggressiveness(const DrivingFeatures& f) const {
+  return model_.predict_proba(f.to_vector())
+      [static_cast<std::size_t>(DrivingStyle::kAggressive)];
+}
+
+}  // namespace vdap::libvdap

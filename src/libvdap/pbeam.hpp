@@ -1,0 +1,103 @@
+// pBEAM — the Personalized Driving Behavior Model, "the core component of
+// libvdap" (§IV-E, Fig. 9):
+//
+//   cloud:   train cBEAM on a large fleet dataset  →  Deep-Compress
+//   vehicle: transfer-learn the compressed cBEAM on the driver's own DDI
+//            data  →  pBEAM, served to third parties (e.g. an insurance
+//            company asking "is this driver aggressive?").
+//
+// Driving-behavior features are extracted from windows of DDI OBD records;
+// the fleet dataset is generated from a per-style generative model
+// (substitute for the paper's real-field data — DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "ddi/record.hpp"
+#include "libvdap/compress.hpp"
+
+namespace vdap::libvdap {
+
+/// Behaviour classes cBEAM/pBEAM predict.
+enum class DrivingStyle { kCautious = 0, kNormal = 1, kAggressive = 2 };
+constexpr int kNumStyles = 3;
+
+constexpr std::string_view to_string(DrivingStyle s) {
+  switch (s) {
+    case DrivingStyle::kCautious: return "cautious";
+    case DrivingStyle::kNormal: return "normal";
+    case DrivingStyle::kAggressive: return "aggressive";
+  }
+  return "unknown";
+}
+
+/// Window features computed from consecutive OBD samples.
+struct DrivingFeatures {
+  double mean_speed_mps = 0.0;
+  double speed_stddev = 0.0;
+  double accel_stddev = 0.0;
+  double harsh_brake_rate = 0.0;   // events (< -2.5 m/s²) per minute
+  double harsh_accel_rate = 0.0;   // events (> +2.0 m/s²) per minute
+  double mean_abs_jerk = 0.0;      // m/s³
+  double overspeed_frac = 0.0;     // fraction of samples above 29 m/s
+
+  std::vector<double> to_vector() const;
+  static constexpr std::size_t kDim = 7;
+};
+
+/// Extracts features from a time-ordered window of "vehicle/obd" records
+/// (payload fields speed_mps / accel_mps2 as written by ObdCollector).
+DrivingFeatures features_from_records(const std::vector<ddi::DataRecord>& w);
+
+/// Generative per-style feature model used to synthesize fleet data.
+DrivingFeatures sample_style_features(DrivingStyle style,
+                                      util::RngStream& rng);
+
+/// Synthetic fleet dataset: `per_style` labeled feature vectors per style.
+Dataset synth_fleet_dataset(int per_style, util::RngStream& rng);
+
+/// A driver-specific dataset: the driver's own style with an idiosyncratic
+/// bias vector (what personalization must adapt to).
+Dataset synth_driver_dataset(DrivingStyle style, int samples,
+                             double personal_bias, util::RngStream& rng);
+
+struct PBeamConfig {
+  std::vector<std::size_t> hidden = {32, 16};
+  TrainOptions cloud_train{60, 0.05, 0.98, true, false, false, 0.0};
+  double compress_sparsity = 0.6;
+  int compress_bits = 5;
+  TrainOptions personalize_train{40, 0.03, 0.98, true, true, true, 0.01};
+};
+
+class PBeam {
+ public:
+  /// Cloud side: trains cBEAM on the fleet dataset and Deep-Compresses it.
+  static PBeam build(const Dataset& fleet, const PBeamConfig& config,
+                     util::RngStream& rng);
+
+  /// Vehicle side: transfer-learns the final layer on the driver's data
+  /// (hidden layers frozen; pruned structure preserved).
+  void personalize(const Dataset& driver_data, util::RngStream& rng);
+
+  DrivingStyle classify(const DrivingFeatures& f) const;
+  /// P(aggressive) — what the paper's insurance-company example consumes.
+  double aggressiveness(const DrivingFeatures& f) const;
+
+  double accuracy(const Dataset& data) const { return model_.accuracy(data); }
+  const CompressionReport& compression() const { return compression_; }
+  const Mlp& model() const { return model_; }
+  bool personalized() const { return personalized_; }
+
+ private:
+  PBeam(Mlp model, CompressionReport rep, PBeamConfig config)
+      : model_(std::move(model)),
+        compression_(rep),
+        config_(std::move(config)) {}
+
+  Mlp model_;
+  CompressionReport compression_;
+  PBeamConfig config_;
+  bool personalized_ = false;
+};
+
+}  // namespace vdap::libvdap

@@ -1,0 +1,80 @@
+#include "libvdap/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdap::libvdap {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols,
+                     util::RngStream& rng, double stddev) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.normal(0.0, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::apply_transposed(
+    const std::vector<double>& x) const {
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::rank_one_update(const std::vector<double>& g,
+                             const std::vector<double>& x, double lr) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    double gr = lr * g[r];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] -= gr * x[c];
+  }
+}
+
+std::size_t Matrix::nonzeros() const {
+  std::size_t n = 0;
+  for (double v : data_) n += v != 0.0 ? 1 : 0;
+  return n;
+}
+
+void relu(std::vector<double>& v) {
+  for (double& x : v) x = std::max(0.0, x);
+}
+
+std::vector<double> relu_mask(const std::vector<double>& activated) {
+  std::vector<double> m(activated.size());
+  for (std::size_t i = 0; i < activated.size(); ++i) {
+    m[i] = activated[i] > 0.0 ? 1.0 : 0.0;
+  }
+  return m;
+}
+
+void softmax(std::vector<double>& v) {
+  if (v.empty()) return;
+  double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace vdap::libvdap

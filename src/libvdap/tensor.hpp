@@ -1,0 +1,65 @@
+// Minimal dense linear algebra for libvdap's model library: row-major
+// double matrices with exactly the operations the MLP (nn.hpp) and Deep
+// Compression (compress.hpp) need. No BLAS — model sizes here are the
+// compressed, edge-resident kind the paper argues for (§IV-E).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vdap::libvdap {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix randn(std::size_t rows, std::size_t cols,
+                      util::RngStream& rng, double stddev);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = W x  (x sized cols, result sized rows).
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  /// y = Wᵀ x  (x sized rows, result sized cols) — used in backprop.
+  std::vector<double> apply_transposed(const std::vector<double>& x) const;
+
+  /// W -= lr * g xᵀ  (rank-one gradient update).
+  void rank_one_update(const std::vector<double>& g,
+                       const std::vector<double>& x, double lr);
+
+  std::size_t nonzeros() const;
+  double sparsity() const {
+    return size() == 0 ? 0.0
+                       : 1.0 - static_cast<double>(nonzeros()) / size();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place ReLU.
+void relu(std::vector<double>& v);
+/// Derivative mask of ReLU at the *activated* values (1 where > 0).
+std::vector<double> relu_mask(const std::vector<double>& activated);
+/// In-place numerically-stable softmax.
+void softmax(std::vector<double>& v);
+std::size_t argmax(const std::vector<double>& v);
+
+}  // namespace vdap::libvdap

@@ -1,0 +1,135 @@
+#include "net/cellular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdap::net {
+
+CellularChannel::CellularChannel(const LteMobilityParams& params,
+                                 double speed_mps, double duration_s,
+                                 std::uint64_t seed)
+    : params_(params), speed_mps_(speed_mps), duration_s_(duration_s) {
+  if (duration_s <= 0) throw std::invalid_argument("duration must be > 0");
+  if (speed_mps < 0) throw std::invalid_argument("speed must be >= 0");
+
+  const double dt = params_.fade_block_s;
+  const std::size_t blocks = static_cast<std::size_t>(duration_s / dt) + 1;
+  capacity_.assign(blocks, 0.0);
+  outage_.assign(blocks, false);
+
+  util::RngStream fade_rng(seed, "lte.fade");
+  util::RngStream ho_rng(seed, "lte.handover");
+  util::RngStream deep_rng(seed, "lte.deepfade");
+
+  const double v = speed_mps;
+  const double speed_penalty =
+      1.0 / (1.0 + std::pow(v / params_.doppler_v0_mps,
+                            params_.doppler_exponent));
+  const double sigma = params_.fade_sigma0 + params_.fade_sigma_per_mps * v;
+  const double rho = params_.fade_corr;
+
+  // --- handover outage windows -------------------------------------------
+  // The vehicle starts mid-cell; boundaries lie every 2R of travel.
+  std::vector<std::pair<double, double>> outages;  // [start, end)
+  if (v > 0) {
+    const double cell_span_m = 2.0 * params_.cell_radius_m;
+    double first_boundary_m = cell_span_m * (1.0 - params_.static_cell_pos);
+    for (double x = first_boundary_m;; x += cell_span_m) {
+      double t = x / v;
+      if (t >= duration_s) break;
+      ++handovers_;
+      double outage = params_.handover_base_s +
+                      params_.handover_speed_s * (v / 30.0) * (v / 30.0);
+      if (ho_rng.chance(std::min(1.0, params_.rlf_prob_per_mps * v))) {
+        ++rlf_count_;
+        outage += params_.rlf_extra_s;
+      }
+      outages.emplace_back(t, t + outage);
+    }
+  }
+
+  // --- deep fades ----------------------------------------------------------
+  const double deep_rate =
+      params_.deep_fade_rate0_hz + params_.deep_fade_rate_per_mps * v;
+  std::vector<std::pair<double, double>> fades;
+  if (deep_rate > 0) {
+    double t = deep_rng.exponential(1.0 / deep_rate);
+    while (t < duration_s) {
+      fades.emplace_back(t, t + params_.deep_fade_duration_s);
+      t += deep_rng.exponential(1.0 / deep_rate);
+    }
+  }
+
+  // --- per-block capacity --------------------------------------------------
+  double x_log = 0.0;  // AR(1) state of log-fading
+  std::size_t oi = 0;
+  std::size_t fi = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double t = static_cast<double>(b) * dt;
+
+    // Normalized distance to the serving tower, d in [0,1].
+    double d;
+    if (v > 0) {
+      const double cell_span_m = 2.0 * params_.cell_radius_m;
+      double start_m = cell_span_m * params_.static_cell_pos;
+      double pos = std::fmod(start_m + v * t, cell_span_m);
+      // Tower at the middle of each 2R span: distance from the tower.
+      d = std::abs(pos - params_.cell_radius_m) / params_.cell_radius_m;
+    } else {
+      d = params_.static_cell_pos;
+    }
+
+    // Handover outage?
+    while (oi < outages.size() && t >= outages[oi].second) ++oi;
+    bool in_ho = oi < outages.size() && t >= outages[oi].first;
+    while (fi < fades.size() && t >= fades[fi].second) ++fi;
+    bool in_fade = fi < fades.size() && t >= fades[fi].first;
+
+    // Correlated lognormal shadowing, mean-one.
+    x_log = rho * x_log +
+            std::sqrt(1.0 - rho * rho) * fade_rng.normal(0.0, sigma);
+    double fading = std::exp(x_log - sigma * sigma / 2.0);
+
+    if (in_ho || in_fade) {
+      capacity_[b] = 0.0;
+      outage_[b] = in_ho;
+      continue;
+    }
+    double profile =
+        1.0 - (1.0 - params_.edge_capacity_frac) *
+                  std::pow(d, params_.profile_exponent);
+    capacity_[b] =
+        std::max(0.0, params_.peak_uplink_mbps * profile * speed_penalty *
+                          fading);
+  }
+}
+
+std::size_t CellularChannel::block_index(double t_s) const {
+  if (t_s < 0) t_s = 0;
+  auto idx = static_cast<std::size_t>(t_s / params_.fade_block_s);
+  return std::min(idx, capacity_.size() - 1);
+}
+
+double CellularChannel::capacity_mbps(double t_s) const {
+  return capacity_[block_index(t_s)];
+}
+
+bool CellularChannel::in_outage(double t_s) const {
+  return outage_[block_index(t_s)];
+}
+
+double CellularChannel::outage_fraction() const {
+  std::size_t n = 0;
+  for (bool o : outage_) n += o ? 1 : 0;
+  return outage_.empty() ? 0.0
+                         : static_cast<double>(n) / outage_.size();
+}
+
+double CellularChannel::mean_capacity_mbps() const {
+  double s = 0.0;
+  for (double c : capacity_) s += c;
+  return capacity_.empty() ? 0.0 : s / capacity_.size();
+}
+
+}  // namespace vdap::net

@@ -1,0 +1,113 @@
+// Cellular (LTE) channel under vehicular mobility — the model behind the
+// paper's Fig. 2 drive experiment.
+//
+// The paper attributes its measured loss to two mechanisms (§III-A):
+//   1. "the higher speed may lead to the vehicle's stay time within the
+//      coverage of its closest base station pretty short, making the
+//      Internet connection ... highly unreliable" — short per-cell dwell
+//      time, handover outages, and radio-link failures during base-station
+//      change; and
+//   2. "the higher video resolution ... requires higher network bandwidth
+//      for successful transmission" — offered load vs achievable capacity.
+//
+// The model composes:
+//   * cell geometry: towers every 2R along a straight road; capacity falls
+//     from the cell center toward the boundary (d^beta profile);
+//   * a Doppler/speed penalty on achievable capacity, 1/(1+(v/v0)^2);
+//   * correlated log-normal shadow fading (AR(1) over fixed blocks) whose
+//     σ grows with speed;
+//   * short deep fades (Poisson arrivals, rate growing with speed);
+//   * handover outages at each boundary crossing, whose duration grows
+//     with speed, plus probabilistic radio-link failures that force a long
+//     RRC re-establishment.
+//
+// Parameter values are tuned so the six Fig. 2 cells land near the paper's
+// bars (see bench/bench_fig2 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vdap::net {
+
+struct LteMobilityParams {
+  double peak_uplink_mbps = 16.0;   // best-case sustained uplink
+  double cell_radius_m = 500.0;
+  double edge_capacity_frac = 0.35; // capacity multiplier at the boundary
+  double profile_exponent = 4.0;    // capacity ~ 1-(1-frac)*d^beta
+  double static_cell_pos = 0.40;    // where a parked vehicle sits (d in [0,1])
+
+  double doppler_v0_mps = 23.4;     // speed penalty 1/(1+(v/v0)^k)
+  double doppler_exponent = 6.0;    // k: gentle at 35 MPH, harsh at 70 MPH
+
+  // Residual per-packet corruption that grows with speed (Doppler spread,
+  // missed HARQ deadlines). Thinly spread, so it drives the key-frame
+  // amplification between packet and frame loss at moderate speed.
+  double micro_loss_per_mps = 0.0003;
+
+  double fade_sigma0 = 0.28;        // lognormal shadowing sigma at standstill
+  double fade_sigma_per_mps = 0.016;
+  double fade_block_s = 0.10;       // fading update granularity
+  double fade_corr = 0.90;          // AR(1) correlation across blocks
+
+  double deep_fade_rate0_hz = 0.04; // deep fades per second at standstill
+  double deep_fade_rate_per_mps = 0.002;
+  double deep_fade_duration_s = 0.35;
+
+  double handover_base_s = 0.25;    // outage at every boundary crossing
+  double handover_speed_s = 2.0;    // + this * (v / 30 m/s)^2
+  double rlf_prob_per_mps = 0.006;  // P(radio-link failure) per crossing
+  double rlf_extra_s = 4.0;         // re-establishment time after an RLF
+};
+
+constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+
+/// Precomputed capacity trace for one drive (or parked session) of
+/// `duration_s` at constant `speed_mps`. Deterministic in (params, speed,
+/// duration, seed).
+class CellularChannel {
+ public:
+  CellularChannel(const LteMobilityParams& params, double speed_mps,
+                  double duration_s, std::uint64_t seed);
+
+  /// Achievable uplink capacity at time t (Mbps); 0 during outages.
+  double capacity_mbps(double t_s) const;
+
+  /// True while a handover/RLF outage is in progress.
+  bool in_outage(double t_s) const;
+
+  double block_s() const { return params_.fade_block_s; }
+  double duration_s() const { return duration_s_; }
+  double speed_mps() const { return speed_mps_; }
+  const LteMobilityParams& params() const { return params_; }
+
+  /// Number of handovers experienced during the trace.
+  int handovers() const { return handovers_; }
+  /// Number of handovers that escalated to radio-link failure.
+  int rlf_count() const { return rlf_count_; }
+  /// Fraction of blocks spent in outage.
+  double outage_fraction() const;
+  /// Time-averaged capacity over the trace (Mbps, zeros included).
+  double mean_capacity_mbps() const;
+
+  /// Speed-dependent residual per-packet loss applied to every delivered
+  /// packet (on top of capacity-driven drops).
+  double micro_loss() const {
+    return params_.micro_loss_per_mps * speed_mps_;
+  }
+
+ private:
+  std::size_t block_index(double t_s) const;
+
+  LteMobilityParams params_;
+  double speed_mps_;
+  double duration_s_;
+  std::vector<double> capacity_;  // per fade block; 0 == outage
+  std::vector<bool> outage_;
+  int handovers_ = 0;
+  int rlf_count_ = 0;
+};
+
+}  // namespace vdap::net

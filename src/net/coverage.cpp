@@ -1,0 +1,61 @@
+#include "net/coverage.hpp"
+
+#include <algorithm>
+
+namespace vdap::net {
+
+CoverageMap::CoverageMap(std::vector<RsuSite> sites)
+    : sites_(std::move(sites)) {
+  std::vector<std::pair<double, double>> raw;
+  raw.reserve(sites_.size());
+  for (const RsuSite& s : sites_) {
+    raw.emplace_back(s.position_m - s.range_m, s.position_m + s.range_m);
+  }
+  std::sort(raw.begin(), raw.end());
+  // Merge overlaps so queries are a single scan.
+  for (const auto& iv : raw) {
+    if (!intervals_.empty() && iv.first <= intervals_.back().second) {
+      intervals_.back().second = std::max(intervals_.back().second, iv.second);
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+bool CoverageMap::covered(double pos_m) const {
+  for (const auto& [b, e] : intervals_) {
+    if (pos_m < b) return false;
+    if (pos_m < e) return true;
+  }
+  return false;
+}
+
+std::optional<double> CoverageMap::next_boundary(double pos_m) const {
+  for (const auto& [b, e] : intervals_) {
+    if (pos_m < b) return b;   // next: entering coverage
+    if (pos_m < e) return e;   // next: leaving coverage
+  }
+  return std::nullopt;
+}
+
+double CoverageMap::coverage_fraction(double route_m) const {
+  if (route_m <= 0) return 0.0;
+  double covered_m = 0.0;
+  for (const auto& [b, e] : intervals_) {
+    double lo = std::max(0.0, b);
+    double hi = std::min(route_m, e);
+    if (hi > lo) covered_m += hi - lo;
+  }
+  return covered_m / route_m;
+}
+
+CoverageMap CoverageMap::corridor(double route_m, double spacing_m,
+                                  double range_m) {
+  std::vector<RsuSite> sites;
+  for (double pos = spacing_m / 2.0; pos < route_m; pos += spacing_m) {
+    sites.push_back(RsuSite{pos, range_m});
+  }
+  return CoverageMap(std::move(sites));
+}
+
+}  // namespace vdap::net

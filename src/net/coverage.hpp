@@ -1,0 +1,47 @@
+// RSU coverage geometry.
+//
+// The paper places XEdge on "base stations, RSUs, and traffic signal
+// systems" (§IV): physical boxes with physical radio range. A CoverageMap
+// holds RSU sites along a (1-D) route; whether the vehicle has an RSU tier
+// at all is then a function of where it is, not a hand-set flag. The
+// drive-scenario builder (core::DriveScenario::from_route) slices a speed
+// profile into segments at the coverage boundaries this map induces.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace vdap::net {
+
+struct RsuSite {
+  double position_m = 0.0;  // along-route coordinate of the RSU
+  double range_m = 300.0;   // DSRC reach on the route
+};
+
+class CoverageMap {
+ public:
+  explicit CoverageMap(std::vector<RsuSite> sites);
+
+  /// True when an RSU is reachable from route position `pos_m`.
+  bool covered(double pos_m) const;
+
+  /// The next position >= `pos_m` where coverage flips (entering or
+  /// leaving a site's range); nullopt when it never flips again.
+  std::optional<double> next_boundary(double pos_m) const;
+
+  const std::vector<RsuSite>& sites() const { return sites_; }
+
+  /// Fraction of [0, route_m] that is covered.
+  double coverage_fraction(double route_m) const;
+
+  /// Evenly spaced RSUs: one every `spacing_m` starting at spacing/2.
+  static CoverageMap corridor(double route_m, double spacing_m,
+                              double range_m = 300.0);
+
+ private:
+  // Merged, sorted coverage intervals [begin, end).
+  std::vector<std::pair<double, double>> intervals_;
+  std::vector<RsuSite> sites_;
+};
+
+}  // namespace vdap::net

@@ -1,0 +1,108 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace vdap::net {
+
+sim::SimDuration LinkSpec::estimate(std::uint64_t bytes) const {
+  double serialize_s = static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+  return latency + sim::from_seconds(serialize_s);
+}
+
+sim::SimDuration LinkSpec::estimate_reliable(std::uint64_t bytes) const {
+  // With iid message loss p, a stop-and-wait sender needs 1/(1-p) expected
+  // attempts. Clamp so a pathological loss rate stays finite.
+  double p = std::clamp(loss_rate, 0.0, 0.95);
+  double attempts = 1.0 / (1.0 - p);
+  return static_cast<sim::SimDuration>(
+      static_cast<double>(estimate(bytes)) * attempts);
+}
+
+namespace links {
+
+LinkSpec dsrc() {
+  // 802.11p: ~27 Mbps effective at short range, one hop.
+  return {"dsrc", LinkKind::kDsrc, 27.0, sim::msec(2), 0.01};
+}
+
+LinkSpec nr5g() {
+  return {"5g", LinkKind::k5g, 200.0, sim::msec(8), 0.005};
+}
+
+LinkSpec lte_uplink() {
+  // §III-A cites 100 Mbps as the *fastest* LTE upload; a realistic
+  // sustained uplink is far lower. Wide-area RTT dominates latency.
+  return {"lte-up", LinkKind::kLte, 20.0, sim::msec(35), 0.01};
+}
+
+LinkSpec lte_downlink() {
+  return {"lte-down", LinkKind::kLte, 60.0, sim::msec(35), 0.01};
+}
+
+LinkSpec wifi() {
+  return {"wifi", LinkKind::kWifi, 80.0, sim::msec(3), 0.005};
+}
+
+LinkSpec bluetooth() {
+  return {"bluetooth", LinkKind::kBluetooth, 2.0, sim::msec(15), 0.01};
+}
+
+LinkSpec metro_fiber() {
+  // RSU / base station to regional cloud over wired backhaul (§IV-A).
+  return {"metro-fiber", LinkKind::kWired, 1000.0, sim::msec(12), 0.0};
+}
+
+}  // namespace links
+
+Link::Link(sim::Simulator& sim, LinkSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  if (spec_.bandwidth_mbps <= 0) {
+    throw std::invalid_argument("link bandwidth must be positive");
+  }
+}
+
+std::uint64_t Link::send(std::uint64_t bytes,
+                         std::function<void(const TransferReport&)> done) {
+  std::uint64_t id = next_id_++;
+  pending_.push_back(Msg{id, bytes, sim_.now(), std::move(done)});
+  maybe_start();
+  return id;
+}
+
+void Link::maybe_start() {
+  if (busy_ || pending_.empty()) return;
+  busy_ = true;
+  auto msg = std::make_shared<Msg>(std::move(pending_.front()));
+  pending_.pop_front();
+  double serialize_s =
+      static_cast<double>(msg->bytes) * 8.0 / (spec_.bandwidth_mbps * 1e6);
+  sim::SimDuration ser = sim::from_seconds(serialize_s);
+  // The link frees up after serialization; delivery lands after propagation.
+  sim_.after(ser, [this, msg]() {
+    busy_ = false;
+    bytes_sent_ += msg->bytes;
+    bool lost = spec_.loss_rate > 0.0 &&
+                sim_.rng("link." + spec_.name).chance(spec_.loss_rate);
+    maybe_start();
+    sim_.after(spec_.latency, [this, msg, lost]() {
+      if (lost) {
+        ++dropped_;
+      } else {
+        ++delivered_;
+      }
+      if (msg->done) {
+        TransferReport rep;
+        rep.transfer_id = msg->id;
+        rep.bytes = msg->bytes;
+        rep.submitted = msg->submitted;
+        rep.finished = sim_.now();
+        rep.delivered = !lost;
+        msg->done(rep);
+      }
+    });
+  });
+}
+
+}  // namespace vdap::net

@@ -1,0 +1,179 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdap::net {
+
+sim::SimDuration PathSpec::estimate(std::uint64_t bytes) const {
+  sim::SimDuration total = 0;
+  for (const LinkSpec& hop : hops) total += hop.estimate(bytes);
+  return total;
+}
+
+sim::SimDuration PathSpec::estimate_reliable(std::uint64_t bytes) const {
+  sim::SimDuration total = 0;
+  for (const LinkSpec& hop : hops) total += hop.estimate_reliable(bytes);
+  return total;
+}
+
+double PathSpec::bottleneck_mbps() const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (const LinkSpec& hop : hops) bw = std::min(bw, hop.bandwidth_mbps);
+  return hops.empty() ? 0.0 : bw;
+}
+
+double PathSpec::delivery_probability() const {
+  double p = 1.0;
+  for (const LinkSpec& hop : hops) p *= (1.0 - hop.loss_rate);
+  return p;
+}
+
+LinkSpec PathSpec::collapse(const std::string& name) const {
+  LinkSpec out;
+  out.name = name;
+  out.kind = hops.empty() ? LinkKind::kWired : hops.front().kind;
+  out.bandwidth_mbps = bottleneck_mbps();
+  out.latency = 0;
+  for (const LinkSpec& hop : hops) out.latency += hop.latency;
+  out.loss_rate = 1.0 - delivery_probability();
+  return out;
+}
+
+Topology::Topology(sim::Simulator& sim) : sim_(sim) {
+  // On-board: no hops; always available.
+  state(Tier::kOnBoard).available = true;
+
+  state(Tier::kNeighbor).up = PathSpec{{links::dsrc()}};
+  state(Tier::kNeighbor).down = PathSpec{{links::dsrc()}};
+  state(Tier::kNeighbor).available = false;  // needs a willing peer
+
+  state(Tier::kRsuEdge).up = PathSpec{{links::dsrc()}};
+  state(Tier::kRsuEdge).down = PathSpec{{links::dsrc()}};
+
+  base_bs_up_ = PathSpec{{links::lte_uplink()}};
+  base_bs_down_ = PathSpec{{links::lte_downlink()}};
+  base_cloud_up_ = PathSpec{{links::lte_uplink(), links::metro_fiber()}};
+  base_cloud_down_ = PathSpec{{links::metro_fiber(), links::lte_downlink()}};
+  state(Tier::kBaseStationEdge).up = base_bs_up_;
+  state(Tier::kBaseStationEdge).down = base_bs_down_;
+  state(Tier::kCloud).up = base_cloud_up_;
+  state(Tier::kCloud).down = base_cloud_down_;
+
+  for (Tier t : kAllTiers) rebuild_links(t);
+}
+
+bool Topology::available(Tier t) const { return state(t).available; }
+
+void Topology::set_available(Tier t, bool available) {
+  if (t == Tier::kOnBoard && !available) {
+    throw std::invalid_argument("the on-board tier cannot be disabled");
+  }
+  state(t).available = available;
+}
+
+void Topology::apply_cellular_condition(double bandwidth_factor,
+                                        double extra_loss) {
+  cell_factor_ = std::clamp(bandwidth_factor, 0.01, 1.0);
+  cell_extra_loss_ = std::clamp(extra_loss, 0.0, 0.99);
+  auto degrade = [&](PathSpec base) {
+    for (LinkSpec& hop : base.hops) {
+      if (hop.kind == LinkKind::kLte || hop.kind == LinkKind::k5g) {
+        hop.bandwidth_mbps *= cell_factor_;
+        hop.loss_rate =
+            1.0 - (1.0 - hop.loss_rate) * (1.0 - cell_extra_loss_);
+      }
+    }
+    return base;
+  };
+  state(Tier::kBaseStationEdge).up = degrade(base_bs_up_);
+  state(Tier::kBaseStationEdge).down = degrade(base_bs_down_);
+  state(Tier::kCloud).up = degrade(base_cloud_up_);
+  state(Tier::kCloud).down = degrade(base_cloud_down_);
+  rebuild_links(Tier::kBaseStationEdge);
+  rebuild_links(Tier::kCloud);
+}
+
+void Topology::rebuild_links(Tier t) {
+  TierState& s = state(t);
+  if (s.up.empty()) {
+    s.up_link.reset();
+    s.down_link.reset();
+    return;
+  }
+  std::string base = std::string(to_string(t));
+  s.up_link = std::make_unique<Link>(sim_, s.up.collapse(base + ".up"));
+  s.down_link = std::make_unique<Link>(sim_, s.down.collapse(base + ".down"));
+}
+
+const PathSpec& Topology::uplink(Tier t) const { return state(t).up; }
+const PathSpec& Topology::downlink(Tier t) const { return state(t).down; }
+
+std::optional<sim::SimDuration> Topology::estimate_round_trip(
+    Tier t, std::uint64_t up_bytes, std::uint64_t down_bytes) const {
+  const TierState& s = state(t);
+  if (!s.available) return std::nullopt;
+  if (t == Tier::kOnBoard) return 0;
+  return s.up.estimate_reliable(up_bytes) +
+         s.down.estimate_reliable(down_bytes);
+}
+
+void Topology::transfer(Link* link, bool available, std::uint64_t bytes,
+                        int attempt, sim::SimTime submitted,
+                        std::function<void(const TransferOutcome&)> done) {
+  constexpr int kMaxAttempts = 5;
+  if (link == nullptr || !available) {
+    TransferOutcome out;
+    out.delivered = false;
+    out.attempts = 0;
+    out.submitted = out.finished = sim_.now();
+    if (done) done(out);
+    return;
+  }
+  link->send(bytes, [this, link, available, bytes, attempt, submitted,
+                     done](const TransferReport& rep) {
+    if (rep.delivered || attempt + 1 >= kMaxAttempts) {
+      TransferOutcome out;
+      out.delivered = rep.delivered;
+      out.attempts = attempt + 1;
+      out.submitted = submitted;
+      out.finished = sim_.now();
+      if (done) done(out);
+      return;
+    }
+    transfer(link, available, bytes, attempt + 1, submitted, done);
+  });
+}
+
+void Topology::transfer_up(Tier t, std::uint64_t bytes,
+                           std::function<void(const TransferOutcome&)> done) {
+  if (t == Tier::kOnBoard) {
+    TransferOutcome out;
+    out.delivered = true;
+    out.attempts = 0;
+    out.submitted = out.finished = sim_.now();
+    if (done) done(out);
+    return;
+  }
+  TierState& s = state(t);
+  transfer(s.up_link.get(), s.available, bytes, 0, sim_.now(),
+           std::move(done));
+}
+
+void Topology::transfer_down(Tier t, std::uint64_t bytes,
+                             std::function<void(const TransferOutcome&)> done) {
+  if (t == Tier::kOnBoard) {
+    TransferOutcome out;
+    out.delivered = true;
+    out.attempts = 0;
+    out.submitted = out.finished = sim_.now();
+    if (done) done(out);
+    return;
+  }
+  TierState& s = state(t);
+  transfer(s.down_link.get(), s.available, bytes, 0, sim_.now(),
+           std::move(done));
+}
+
+}  // namespace vdap::net

@@ -1,0 +1,133 @@
+// Two-tier network topology (§IV-A, Fig. 4): the vehicle talks to
+// neighboring vehicles over DSRC, to RSU XEdge over DSRC/5G, to
+// base-station XEdge over the cellular network, and to the cloud through a
+// base station plus wired backhaul. Each offload destination is a Tier with
+// an uplink and downlink path.
+//
+// Paths collapse their hops into one effective FIFO link (bottleneck
+// bandwidth, summed latency, combined loss) — adequate because the vehicle's
+// wireless first hop dominates every path in practice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace vdap::net {
+
+enum class Tier {
+  kOnBoard,          // no network involved
+  kNeighbor,         // neighboring vehicle via DSRC
+  kRsuEdge,          // XEdge on a roadside unit
+  kBaseStationEdge,  // XEdge on a cellular base station
+  kCloud,            // remote cloud behind the base station
+};
+
+constexpr std::array<Tier, 5> kAllTiers = {
+    Tier::kOnBoard, Tier::kNeighbor, Tier::kRsuEdge, Tier::kBaseStationEdge,
+    Tier::kCloud};
+
+constexpr std::string_view to_string(Tier t) {
+  switch (t) {
+    case Tier::kOnBoard: return "on-board";
+    case Tier::kNeighbor: return "neighbor";
+    case Tier::kRsuEdge: return "rsu-edge";
+    case Tier::kBaseStationEdge: return "basestation-edge";
+    case Tier::kCloud: return "cloud";
+  }
+  return "unknown";
+}
+
+/// A multi-hop path collapsed to hop specs for estimation.
+struct PathSpec {
+  std::vector<LinkSpec> hops;
+
+  bool empty() const { return hops.empty(); }
+  /// One-way estimate for `bytes`, summing hop serialization + latency.
+  sim::SimDuration estimate(std::uint64_t bytes) const;
+  /// As estimate(), but inflating each hop by its loss-driven retries.
+  sim::SimDuration estimate_reliable(std::uint64_t bytes) const;
+  double bottleneck_mbps() const;
+  /// Probability a message survives every hop unlossed.
+  double delivery_probability() const;
+  /// Collapses the hops into a single effective LinkSpec.
+  LinkSpec collapse(const std::string& name) const;
+};
+
+struct TransferOutcome {
+  bool delivered = false;
+  int attempts = 0;
+  sim::SimTime submitted = 0;
+  sim::SimTime finished = 0;
+  sim::SimDuration latency() const { return finished - submitted; }
+};
+
+/// The vehicle-centric network view used by the offload planner and the
+/// elastic manager. Availability and cellular quality change as the vehicle
+/// moves (set_available / apply_cellular_condition).
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim);
+
+  /// Tier reachability: RSUs come and go with coverage; a neighbor willing
+  /// to collaborate is not always present.
+  bool available(Tier t) const;
+  void set_available(Tier t, bool available);
+
+  /// Degrades (factor < 1) or restores the cellular tiers' bandwidth and
+  /// adds mobility loss — driven by the drive scenario's speed profile.
+  /// Affects kBaseStationEdge and kCloud paths.
+  void apply_cellular_condition(double bandwidth_factor, double extra_loss);
+  double cellular_bandwidth_factor() const { return cell_factor_; }
+
+  const PathSpec& uplink(Tier t) const;
+  const PathSpec& downlink(Tier t) const;
+
+  /// Analytic round-trip estimate: upload `up_bytes`, download `down_bytes`
+  /// (retries included). kOnBoard estimates 0. Returns nullopt when the
+  /// tier is unavailable.
+  std::optional<sim::SimDuration> estimate_round_trip(
+      Tier t, std::uint64_t up_bytes, std::uint64_t down_bytes) const;
+
+  /// Event-driven reliable upload with bounded retries (5). Calls `done`
+  /// with the outcome; an unavailable tier fails immediately.
+  void transfer_up(Tier t, std::uint64_t bytes,
+                   std::function<void(const TransferOutcome&)> done);
+  void transfer_down(Tier t, std::uint64_t bytes,
+                     std::function<void(const TransferOutcome&)> done);
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct TierState {
+    bool available = true;
+    PathSpec up;
+    PathSpec down;
+    std::unique_ptr<Link> up_link;    // collapsed, event-driven
+    std::unique_ptr<Link> down_link;
+  };
+
+  void rebuild_links(Tier t);
+  TierState& state(Tier t) { return tiers_[static_cast<std::size_t>(t)]; }
+  const TierState& state(Tier t) const {
+    return tiers_[static_cast<std::size_t>(t)];
+  }
+  void transfer(Link* link, bool available, std::uint64_t bytes, int attempt,
+                sim::SimTime submitted,
+                std::function<void(const TransferOutcome&)> done);
+
+  sim::Simulator& sim_;
+  std::array<TierState, 5> tiers_;
+  double cell_factor_ = 1.0;
+  double cell_extra_loss_ = 0.0;
+  // Pristine cellular paths, so conditions re-apply from a clean base.
+  PathSpec base_bs_up_, base_bs_down_, base_cloud_up_, base_cloud_down_;
+};
+
+}  // namespace vdap::net

@@ -1,0 +1,85 @@
+// Video streaming over RTP/UDP — the sender side of the Fig. 2 experiment.
+//
+// Matches the paper's setup (§III-A): H.264 at 30 fps with one key frame
+// per two seconds, packetized onto a UDP-based RTP transport with no
+// retransmission, streamed over the LTE mobility channel. Loss is counted
+// at two levels exactly as the paper does:
+//   * packet loss rate — network-level fraction of RTP packets lost;
+//   * frame loss rate — application level, where "the rule of marking a
+//     frame as lost is based on whether its first key frame is lost or not,
+//     rather than on its own status": losing any packet of a GOP's key
+//     frame loses the entire GOP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/cellular.hpp"
+
+namespace vdap::net {
+
+struct VideoStreamSpec {
+  std::string name;
+  int width = 1280;
+  int height = 720;
+  int fps = 30;
+  double bitrate_mbps = 3.8;       // encoded stream rate
+  double gop_seconds = 2.0;        // one key frame per two seconds
+  double keyframe_size_ratio = 8.0;  // key frame bytes / P-frame bytes
+  int packet_bytes = 1200;         // RTP payload size
+
+  int frames_per_gop() const {
+    return static_cast<int>(gop_seconds * fps + 0.5);
+  }
+  /// Bytes of a predicted (P) frame, derived from bitrate and GOP shape.
+  std::uint64_t p_frame_bytes() const;
+  std::uint64_t key_frame_bytes() const;
+
+  /// The paper's two test streams: 1280x720 at 3.8 Mbps and 1920x1080 at
+  /// 5.8 Mbps ("the bandwidth of transmitting a live 1080P video is around
+  /// 5.8Mbps, while the lower bound is 3.8Mbps for a 720P video").
+  static VideoStreamSpec hd720();
+  static VideoStreamSpec hd1080();
+};
+
+struct UploadStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t frames_total = 0;
+  std::uint64_t frames_lost = 0;   // key-frame counting policy
+  std::uint64_t gops_total = 0;
+  std::uint64_t gops_lost = 0;     // GOPs whose key frame lost >=1 packet
+  std::uint64_t bytes_offered = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  double packet_loss_rate() const {
+    return packets_sent ? static_cast<double>(packets_lost) / packets_sent
+                        : 0.0;
+  }
+  double frame_loss_rate() const {
+    return frames_total ? static_cast<double>(frames_lost) / frames_total
+                        : 0.0;
+  }
+};
+
+struct RtpSenderParams {
+  double buffer_seconds = 0.25;  // sender-side pacing buffer depth
+  double air_loss = 0.0001;      // residual per-packet loss on a clean link
+  double step_s = 0.01;          // simulation step
+};
+
+/// Simulates uploading `video` for `duration_s` over `channel`.
+/// Deterministic in (channel, video, params, seed).
+UploadStats simulate_rtp_upload(const CellularChannel& channel,
+                                const VideoStreamSpec& video,
+                                double duration_s, std::uint64_t seed,
+                                const RtpSenderParams& params = {});
+
+/// Convenience wrapper for one Fig. 2 cell: builds the LTE channel at the
+/// given speed (mph) and streams `video` for `duration_s` (paper: 5-minute
+/// videos).
+UploadStats run_fig2_cell(double speed_mph, const VideoStreamSpec& video,
+                          std::uint64_t seed, double duration_s = 300.0,
+                          const LteMobilityParams& lte = {});
+
+}  // namespace vdap::net

@@ -1,0 +1,64 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a strictly increasing
+// sequence number breaks ties), which makes simulations deterministic and
+// lets components rely on happens-before within a timestep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vdap::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to fire at absolute time `at`. Returns an id usable with
+  /// cancel().
+  EventId push(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op returning false. Cancelled events are dropped lazily on pop.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kTimeMax when empty.
+  SimTime next_time();
+
+  /// Pops and returns the earliest event. Precondition: !empty().
+  struct Fired {
+    SimTime at;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Callbacks are stored out of the heap so cancel() is O(1).
+  std::vector<EventFn> fns_;          // indexed by id
+  std::vector<bool> cancelled_;       // indexed by id
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace vdap::sim

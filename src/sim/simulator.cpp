@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vdap::sim {
+
+EventId Simulator::at(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  return queue_.push(when, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::every(SimDuration period, EventFn fn,
+                                           SimDuration first_delay) {
+  if (period <= 0) throw std::invalid_argument("periodic: period must be > 0");
+  PeriodicHandle handle;
+  auto alive = handle.alive_;
+  // Self-rescheduling closure: each firing checks liveness, runs the user
+  // callback, then re-arms itself.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto cb = std::move(fn);
+  *tick = [this, alive, period, cb, tick]() {
+    if (!*alive) return;
+    cb();
+    if (!*alive) return;
+    after(period, [tick]() { (*tick)(); });
+  };
+  after(first_delay, [tick]() { (*tick)(); });
+  return handle;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    SimTime t = queue_.next_time();
+    if (t > until) break;
+    auto ev = queue_.pop();
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+  }
+  if (until != kTimeMax && now_ < until) now_ = until;
+  return fired;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void Simulator::advance_to(SimTime when) {
+  if (when < now_) return;
+  if (queue_.next_time() < when) {
+    throw std::logic_error(
+        "advance_to would skip pending events; use run_until instead");
+  }
+  now_ = when;
+}
+
+util::RngStream& Simulator::rng(std::string_view name) {
+  auto it = streams_.find(std::string(name));
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(std::string(name),
+                      std::make_unique<util::RngStream>(seed_, name))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace vdap::sim

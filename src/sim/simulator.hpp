@@ -1,0 +1,83 @@
+// The discrete-event simulator driving every OpenVDAP experiment.
+//
+// A Simulator owns a clock and an event queue. Components schedule callbacks
+// (absolute or relative), periodic tasks, and query `now()`. Determinism
+// contract: with the same seed and the same schedule order, two runs produce
+// identical traces (integer time, FIFO tie-break, named RNG streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace vdap::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now.
+  EventId after(SimDuration delay, EventFn fn) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Schedules `fn` every `period`, starting after `first_delay`. The
+  /// returned handle cancels future firings. The callback may call
+  /// PeriodicHandle::stop() on its own handle.
+  class PeriodicHandle {
+   public:
+    void stop() { *alive_ = false; }
+    bool active() const { return *alive_; }
+
+   private:
+    friend class Simulator;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  };
+  PeriodicHandle every(SimDuration period, EventFn fn,
+                       SimDuration first_delay = 0);
+
+  /// Runs until the queue drains or `until` is passed. Events scheduled
+  /// exactly at `until` still fire. Returns the number of events fired.
+  std::size_t run_until(SimTime until = kTimeMax);
+
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  /// Advances the clock to `when` without firing later events (only valid
+  /// when no earlier event is pending; used by sequential transfer models).
+  void advance_to(SimTime when);
+
+  bool idle() { return queue_.empty(); }
+  std::size_t pending_events() { return queue_.size(); }
+
+  /// Named deterministic RNG stream derived from the simulation seed.
+  /// Streams are created on first use and owned by the simulator.
+  util::RngStream& rng(std::string_view name);
+
+ private:
+  std::uint64_t seed_;
+  SimTime now_ = kTimeZero;
+  EventQueue queue_;
+  std::unordered_map<std::string, std::unique_ptr<util::RngStream>> streams_;
+};
+
+}  // namespace vdap::sim

@@ -1,0 +1,400 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace vdap::json {
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  throw std::runtime_error("json: value is not a number");
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  throw std::runtime_error("json: value is not a number");
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& o = as_object();
+  auto it = o.find(key);
+  if (it == o.end()) {
+    throw std::out_of_range("json: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+const Value& Value::at(std::size_t idx) const {
+  const Array& a = as_array();
+  if (idx >= a.size()) throw std::out_of_range("json: index out of range");
+  return a[idx];
+}
+
+bool Value::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Value* Value::find(const std::string& key) const {
+  const Object* o = std::get_if<Object>(&data_);
+  if (o == nullptr) return nullptr;
+  auto it = o->find(key);
+  return it == o->end() ? nullptr : &it->second;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  return get<Object>("object")[key];
+}
+
+std::size_t Value::size() const {
+  if (const auto* a = std::get_if<Array>(&data_)) return a->size();
+  if (const auto* o = std::get_if<Object>(&data_)) return o->size();
+  return 0;
+}
+
+std::int64_t Value::get_int(const std::string& key, std::int64_t def) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : def;
+}
+
+double Value::get_double(const std::string& key, double def) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : def;
+}
+
+std::string Value::get_string(const std::string& key, std::string def) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::move(def);
+}
+
+bool Value::get_bool(const std::string& key, bool def) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : def;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void format_double(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; emit null (matches common lenient serializers).
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, d);
+    double back = std::strtod(probe, nullptr);
+    if (back == d) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void dump_impl(const Value& v, std::string& out, int indent, int depth) {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(v.as_int()); break;
+    case Type::Double: format_double(out, v.as_double()); break;
+    case Type::String: out += escape(v.as_string()); break;
+    case Type::Array: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Value& e : a) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        dump_impl(e, out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        out += escape(k);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        dump_impl(e, out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o[std::move(key)] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value(std::move(o));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(a));
+    }
+    while (true) {
+      a.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value(std::move(a));
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode the BMP code point as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (!is_double) {
+      std::int64_t i = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Value(i);
+    }
+    double d = std::strtod(std::string(tok).c_str(), nullptr);
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_impl(*this, out, /*indent=*/-1, 0);
+  return out;
+}
+
+std::string Value::pretty() const {
+  std::string out;
+  dump_impl(*this, out, /*indent=*/2, 0);
+  return out;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::optional<Value> try_parse(std::string_view text) {
+  try {
+    return parse(text);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace vdap::json

@@ -1,0 +1,91 @@
+// Lightweight metrics used across the platform and the benchmark harness:
+// counters, running summaries, quantile-capable histograms, and an aligned
+// text table printer that the bench binaries use to emit paper-shaped tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdap::util {
+
+/// Running summary over a stream of doubles: count/mean/min/max/variance.
+/// Uses Welford's algorithm so it is numerically stable for long runs.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-quantile histogram: stores samples and sorts lazily on query.
+/// Fine for simulation-scale sample counts (≤ tens of millions).
+class Histogram {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Quantile in [0,1]; nearest-rank. Returns 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Named monotonically-increasing counters.
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::int64_t by = 1) { c_[name] += by; }
+  std::int64_t get(const std::string& name) const {
+    auto it = c_.find(name);
+    return it == c_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::int64_t>& all() const { return c_; }
+
+ private:
+  std::map<std::string, std::int64_t> c_;
+};
+
+/// Column-aligned text table with an optional title; the bench binaries use
+/// this to print paper-figure reproductions in a uniform format.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  std::string to_string() const;
+
+  /// Formats a double with the given precision (helper for row building).
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdap::util

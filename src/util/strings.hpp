@@ -1,0 +1,40 @@
+// Small string helpers shared across modules (path splitting for the RESTful
+// router, keyword parsing in the DDI service layer, id formatting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdap::util {
+
+/// Splits `s` on `sep`, dropping empty pieces ("/a//b" -> {"a","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split_keep_empty(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Stable non-cryptographic 64-bit hash (FNV-1a). Used for content ids,
+/// pseudonym derivation, and the data-sharing bus' message auth tags; NOT a
+/// security primitive (documented as a simulation stand-in).
+std::uint64_t fnv1a(std::string_view s);
+
+/// Renders a byte count as a human-readable string ("1.5 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace vdap::util

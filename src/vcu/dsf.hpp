@@ -1,0 +1,107 @@
+// DSF — the Dynamic Scheduling Framework (§IV-B2).
+//
+// Executes application DAGs on the registered heterogeneous resources:
+// optionally partitions them, places each ready task through the configured
+// Scheduler, retries tasks whose device failed or left (plug-and-play
+// 2ndHEP), reduces results ("DSF will reduce the results of each task and
+// return it to the upper operating system or application"), and maintains
+// per-application profiles.
+//
+// On-board data movement between tasks is treated as free (shared
+// memory/SSD on one board); inter-tier movement is the offload planner's
+// job (core/offload).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "vcu/partitioner.hpp"
+#include "vcu/registry.hpp"
+#include "vcu/scheduler.hpp"
+
+namespace vdap::vcu {
+
+struct TaskRecord {
+  int task_id = -1;
+  std::string task;
+  std::string device;
+  sim::SimTime submitted = 0;
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+  int attempts = 0;
+  bool ok = false;
+};
+
+struct DagRun {
+  std::uint64_t instance = 0;
+  std::string app;
+  sim::SimTime released = 0;
+  sim::SimTime finished = 0;
+  bool ok = false;
+  bool deadline_met = true;
+  std::vector<TaskRecord> tasks;
+
+  sim::SimDuration latency() const { return finished - released; }
+};
+
+struct DsfOptions {
+  bool enable_partitioning = false;
+  PartitionPolicy partition_policy;
+  int max_task_retries = 3;
+};
+
+class Dsf {
+ public:
+  using Callback = std::function<void(const DagRun&)>;
+
+  Dsf(sim::Simulator& sim, ResourceRegistry& registry,
+      std::unique_ptr<Scheduler> scheduler, DsfOptions options = {});
+
+  /// Releases one instance of `dag` for on-board execution. `done` fires at
+  /// completion (success or failure). Returns the instance id.
+  std::uint64_t submit(const workload::AppDag& dag, Callback done = nullptr);
+
+  Scheduler& scheduler() { return *scheduler_; }
+  ResourceRegistry& registry() { return registry_; }
+
+  const std::map<std::string, ApplicationProfile>& app_profiles() const {
+    return profiles_;
+  }
+
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t in_flight() const { return instances_.size(); }
+
+ private:
+  struct Instance {
+    std::uint64_t id = 0;
+    workload::AppDag dag;  // post-partitioning copy
+    sim::SimTime released = 0;
+    std::vector<int> waiting_preds;
+    std::vector<TaskRecord> records;
+    int remaining = 0;
+    bool failed = false;
+    Callback done;
+  };
+
+  void dispatch(Instance& inst, int task_id);
+  void on_task_done(std::uint64_t instance_id, int task_id,
+                    const hw::WorkReport& rep);
+  void finish(Instance& inst);
+
+  sim::Simulator& sim_;
+  ResourceRegistry& registry_;
+  std::unique_ptr<Scheduler> scheduler_;
+  DsfOptions options_;
+
+  std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
+  std::map<std::string, ApplicationProfile> profiles_;
+  std::uint64_t next_instance_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace vdap::vcu

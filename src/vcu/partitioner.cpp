@@ -1,0 +1,79 @@
+#include "vcu/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdap::vcu {
+
+bool divisible(hw::TaskClass cls) {
+  switch (cls) {
+    case hw::TaskClass::kVisionClassic:
+    case hw::TaskClass::kCnnInference:
+    case hw::TaskClass::kPreprocess:
+    case hw::TaskClass::kCodec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+workload::AppDag partition(const workload::AppDag& dag,
+                           const PartitionPolicy& policy) {
+  workload::AppDag out(dag.name(), dag.category(), dag.qos());
+
+  // For each original task, the node(s) in the new DAG that receive its
+  // incoming edges (entries) and emit its outgoing edges (exit).
+  std::vector<std::vector<int>> entries(static_cast<std::size_t>(dag.size()));
+  std::vector<int> exits(static_cast<std::size_t>(dag.size()), -1);
+
+  for (int id = 0; id < dag.size(); ++id) {
+    const workload::TaskSpec& t = dag.task(id);
+    int k = 1;
+    if (divisible(t.cls) && t.offloadable &&
+        t.gflop > policy.max_chunk_gflop) {
+      k = std::min<int>(
+          policy.max_fanout,
+          static_cast<int>(std::ceil(t.gflop / policy.max_chunk_gflop)));
+    }
+    if (k <= 1) {
+      int n = out.add_task(t);
+      entries[static_cast<std::size_t>(id)] = {n};
+      exits[static_cast<std::size_t>(id)] = n;
+      continue;
+    }
+    // Split into k chunks plus a merge node carrying the task's output.
+    std::vector<int> chunks;
+    for (int c = 0; c < k; ++c) {
+      workload::TaskSpec chunk = t;
+      chunk.name = t.name + "#" + std::to_string(c);
+      chunk.gflop = t.gflop / k;
+      chunk.input_bytes = t.input_bytes / static_cast<std::uint64_t>(k);
+      chunk.output_bytes = t.output_bytes;  // partial results, same order
+      chunks.push_back(out.add_task(chunk));
+    }
+    workload::TaskSpec merge;
+    merge.name = t.name + "#merge";
+    merge.cls = hw::TaskClass::kGeneric;
+    merge.gflop = policy.merge_gflop_per_chunk * k;
+    merge.input_bytes = t.output_bytes;
+    merge.output_bytes = t.output_bytes;
+    merge.offloadable = t.offloadable;
+    int m = out.add_task(merge);
+    for (int c : chunks) out.add_edge(c, m);
+    entries[static_cast<std::size_t>(id)] = chunks;
+    exits[static_cast<std::size_t>(id)] = m;
+  }
+
+  // Re-create precedence: every original edge u→v becomes exit(u)→each
+  // entry(v).
+  for (int u = 0; u < dag.size(); ++u) {
+    for (int v : dag.successors(u)) {
+      for (int e : entries[static_cast<std::size_t>(v)]) {
+        out.add_edge(exits[static_cast<std::size_t>(u)], e);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vdap::vcu

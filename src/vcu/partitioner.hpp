@@ -1,0 +1,30 @@
+// Task partitioner (§IV-B2): "DSF divides the original applications into
+// some sub-tasks by fine-grained". Data-parallel classes (classic vision,
+// CNN inference, preprocessing, codec) can be split into k chunks executed
+// on different processors concurrently, joined by a cheap merge task.
+#pragma once
+
+#include "workload/dag.hpp"
+
+namespace vdap::vcu {
+
+struct PartitionPolicy {
+  /// Tasks above this compute cost get split.
+  double max_chunk_gflop = 2.0;
+  /// Upper bound on chunks per task (merge overhead grows with k).
+  int max_fanout = 4;
+  /// Compute cost of the merge/reduce step, per chunk merged.
+  double merge_gflop_per_chunk = 0.002;
+};
+
+/// True when `cls` is data-parallel (splittable across devices).
+bool divisible(hw::TaskClass cls);
+
+/// Returns a new DAG where every divisible task larger than the policy's
+/// chunk size is replaced by ceil(gflop/max_chunk) parallel chunks feeding a
+/// merge task. Non-divisible or small tasks pass through unchanged. The
+/// result preserves all original precedence constraints.
+workload::AppDag partition(const workload::AppDag& dag,
+                           const PartitionPolicy& policy = {});
+
+}  // namespace vdap::vcu

@@ -1,0 +1,19 @@
+#include "vcu/profile.hpp"
+
+namespace vdap::vcu {
+
+ResourceProfile ResourceProfile::snapshot(const hw::ComputeDevice& dev) {
+  ResourceProfile p;
+  p.device = dev.name();
+  p.kind = dev.spec().kind;
+  p.online = dev.online();
+  p.slots = dev.spec().slots;
+  p.busy_slots = dev.busy_slots();
+  p.queue_length = dev.queue_length();
+  p.utilization = dev.utilization();
+  p.power_now_w = dev.power_now();
+  p.gflops = dev.spec().gflops;
+  return p;
+}
+
+}  // namespace vdap::vcu

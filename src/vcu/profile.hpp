@@ -1,0 +1,47 @@
+// Profiles (§IV-B2): "These dynamic status and static information
+// (computing ability and matched task type) of computing resources are
+// taken as their profiles" — the inputs DSF's scheduling decisions use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hw/processor.hpp"
+#include "util/stats.hpp"
+
+namespace vdap::vcu {
+
+/// Snapshot of one computing resource: static capability + dynamic status.
+struct ResourceProfile {
+  std::string device;
+  hw::ProcKind kind = hw::ProcKind::kCpu;
+  bool online = false;
+  int slots = 0;
+  int busy_slots = 0;
+  std::size_t queue_length = 0;
+  double utilization = 0.0;
+  double power_now_w = 0.0;
+  std::map<hw::TaskClass, double> gflops;  // supported classes
+
+  static ResourceProfile snapshot(const hw::ComputeDevice& dev);
+};
+
+/// Rolling per-application statistics, fed by DSF completions; the "each
+/// service's status" the paper's offloading decisions consult.
+struct ApplicationProfile {
+  std::string app;
+  std::uint64_t released = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_misses = 0;
+  util::Summary latency_ms;
+
+  double miss_rate() const {
+    return completed > 0
+               ? static_cast<double>(deadline_misses) / completed
+               : 0.0;
+  }
+};
+
+}  // namespace vdap::vcu

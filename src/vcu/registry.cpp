@@ -1,0 +1,71 @@
+#include "vcu/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdap::vcu {
+
+void ResourceRegistry::join(hw::ComputeDevice* device) {
+  if (device == nullptr) throw std::invalid_argument("null device");
+  if (contains(device->name())) {
+    throw std::invalid_argument("device '" + device->name() +
+                                "' already registered");
+  }
+  devices_.push_back(device);
+  knobs_.emplace_back();
+  for (const auto& l : listeners_) l(device->name(), true);
+}
+
+void ResourceRegistry::leave(const std::string& name) {
+  auto it = std::find_if(devices_.begin(), devices_.end(),
+                         [&](hw::ComputeDevice* d) { return d->name() == name; });
+  if (it == devices_.end()) {
+    throw std::invalid_argument("device '" + name + "' not registered");
+  }
+  (*it)->set_online(false);  // abort in-flight work so owners can requeue
+  knobs_.erase(knobs_.begin() + (it - devices_.begin()));
+  devices_.erase(it);
+  for (const auto& l : listeners_) l(name, false);
+}
+
+bool ResourceRegistry::contains(const std::string& name) const {
+  return std::any_of(devices_.begin(), devices_.end(),
+                     [&](hw::ComputeDevice* d) { return d->name() == name; });
+}
+
+hw::ComputeDevice* ResourceRegistry::find(const std::string& name) {
+  for (hw::ComputeDevice* d : devices_) {
+    if (d->name() == name) return d;
+  }
+  return nullptr;
+}
+
+std::vector<hw::ComputeDevice*> ResourceRegistry::candidates(
+    const std::string& service, hw::TaskClass cls) {
+  std::vector<hw::ComputeDevice*> out;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    hw::ComputeDevice* d = devices_[i];
+    if (d->online() && d->spec().supports(cls) && knobs_[i].admits(service)) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<ResourceProfile> ResourceRegistry::profiles() const {
+  std::vector<ResourceProfile> out;
+  out.reserve(devices_.size());
+  for (const hw::ComputeDevice* d : devices_) {
+    out.push_back(ResourceProfile::snapshot(*d));
+  }
+  return out;
+}
+
+ControlKnob& ResourceRegistry::knob(const std::string& name) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->name() == name) return knobs_[i];
+  }
+  throw std::invalid_argument("device '" + name + "' not registered");
+}
+
+}  // namespace vdap::vcu

@@ -1,0 +1,74 @@
+// Resource registry (§IV-B2 "Computing resources collection"): devices join
+// and exit dynamically (2ndHEP passenger phones, plug-and-play USB/PCIe
+// accelerators), DSF polls their real-time status, and access is gated
+// through per-device control knobs ("resources accessed by applications are
+// tightly controlled by DSF, which will achieve resources isolation").
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vcu/profile.hpp"
+
+namespace vdap::vcu {
+
+/// Per-device access-control knob. An empty allow-set admits every service;
+/// otherwise only listed services may be placed on the device.
+class ControlKnob {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void allow(const std::string& service) { allowed_.insert(service); }
+  void revoke(const std::string& service) { allowed_.erase(service); }
+  void clear_allowlist() { allowed_.clear(); }
+
+  bool admits(const std::string& service) const {
+    return enabled_ && (allowed_.empty() || allowed_.count(service) > 0);
+  }
+
+ private:
+  bool enabled_ = true;
+  std::set<std::string> allowed_;
+};
+
+class ResourceRegistry {
+ public:
+  using Listener = std::function<void(const std::string& device, bool joined)>;
+
+  /// Registers a device (does not take ownership — devices live on their
+  /// VcuBoard or attach transiently, e.g. a passenger phone).
+  void join(hw::ComputeDevice* device);
+
+  /// Removes a device; its in-flight work is aborted via set_online(false)
+  /// so submitters can requeue.
+  void leave(const std::string& name);
+
+  bool contains(const std::string& name) const;
+  hw::ComputeDevice* find(const std::string& name);
+
+  /// Online devices admitted for `service` that support `cls`, in join
+  /// order (deterministic).
+  std::vector<hw::ComputeDevice*> candidates(const std::string& service,
+                                             hw::TaskClass cls);
+
+  /// All registered devices (online or not).
+  std::vector<hw::ComputeDevice*> devices() const { return devices_; }
+
+  std::vector<ResourceProfile> profiles() const;
+
+  ControlKnob& knob(const std::string& name);
+
+  void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  std::size_t size() const { return devices_.size(); }
+
+ private:
+  std::vector<hw::ComputeDevice*> devices_;
+  std::vector<ControlKnob> knobs_;  // parallel to devices_
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace vdap::vcu

@@ -1,0 +1,132 @@
+#include "vcu/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vdap::vcu {
+
+hw::ComputeDevice* CpuOnlyScheduler::place(const PlacementQuery& q) {
+  for (hw::ComputeDevice* d : q.candidates) {
+    if (d->spec().kind == hw::ProcKind::kCpu) return d;
+  }
+  return q.candidates.empty() ? nullptr : q.candidates.front();
+}
+
+hw::ComputeDevice* RoundRobinScheduler::place(const PlacementQuery& q) {
+  if (q.candidates.empty()) return nullptr;
+  return q.candidates[next_++ % q.candidates.size()];
+}
+
+hw::ComputeDevice* GreedyEftScheduler::place(const PlacementQuery& q) {
+  const workload::TaskSpec& t = q.dag->task(q.task_id);
+  hw::ComputeDevice* best = nullptr;
+  sim::SimTime best_finish = std::numeric_limits<sim::SimTime>::max();
+  for (hw::ComputeDevice* d : q.candidates) {
+    auto est = d->estimate_finish(t.cls, t.gflop);
+    if (est && *est < best_finish) {
+      best_finish = *est;
+      best = d;
+    }
+  }
+  return best;
+}
+
+void HeftScheduler::on_release(const workload::AppDag& dag,
+                               std::uint64_t instance) {
+  // Mean execution cost of each task over its candidate set.
+  const int n = dag.size();
+  std::vector<double> mean_cost(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::vector<hw::ComputeDevice*>> cands(
+      static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const workload::TaskSpec& t = dag.task(i);
+    cands[static_cast<std::size_t>(i)] = fetch_(dag.name(), t.cls);
+    double sum = 0.0;
+    int cnt = 0;
+    for (hw::ComputeDevice* d : cands[static_cast<std::size_t>(i)]) {
+      double tput = d->spec().throughput(t.cls);
+      if (tput > 0) {
+        sum += t.gflop / tput;
+        ++cnt;
+      }
+    }
+    mean_cost[static_cast<std::size_t>(i)] = cnt > 0 ? sum / cnt : 0.0;
+  }
+
+  // Upward rank: rank(i) = mean_cost(i) + max over successors of rank(s).
+  auto order = dag.topo_order();
+  std::vector<double> rank(static_cast<std::size_t>(n), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int i = *it;
+    double succ_max = 0.0;
+    for (int s : dag.successors(i)) {
+      succ_max = std::max(succ_max, rank[static_cast<std::size_t>(s)]);
+    }
+    rank[static_cast<std::size_t>(i)] =
+        mean_cost[static_cast<std::size_t>(i)] + succ_max;
+  }
+
+  std::vector<int> by_rank(order);
+  std::sort(by_rank.begin(), by_rank.end(), [&](int a, int b) {
+    double ra = rank[static_cast<std::size_t>(a)];
+    double rb = rank[static_cast<std::size_t>(b)];
+    return ra != rb ? ra > rb : a < b;  // deterministic tie-break
+  });
+
+  // Projected per-device availability (seconds from now), advanced as we
+  // assign — the classic insertion-free HEFT approximation, seeded with the
+  // devices' real backlog.
+  std::map<std::string, double> avail;
+  auto backlog_s = [&](hw::ComputeDevice* d) {
+    auto est = d->estimate_finish(hw::TaskClass::kGeneric, 0.0);
+    // estimate_finish(0 gflop) ≈ device-free time; convert to relative s.
+    return est ? sim::to_seconds(*est) : 0.0;
+  };
+
+  std::map<int, std::string>& plan = plans_[instance];
+  // Earliest start induced by predecessors' projected finishes.
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  for (int i : by_rank) {
+    const workload::TaskSpec& t = dag.task(i);
+    hw::ComputeDevice* best = nullptr;
+    double best_finish = std::numeric_limits<double>::max();
+    double ready = 0.0;
+    for (int p : dag.predecessors(i)) {
+      ready = std::max(ready, finish[static_cast<std::size_t>(p)]);
+    }
+    for (hw::ComputeDevice* d : cands[static_cast<std::size_t>(i)]) {
+      double tput = d->spec().throughput(t.cls);
+      if (tput <= 0) continue;
+      auto it = avail.find(d->name());
+      double dev_free = it != avail.end() ? it->second : backlog_s(d);
+      double f = std::max(ready, dev_free) + t.gflop / tput;
+      if (f < best_finish) {
+        best_finish = f;
+        best = d;
+      }
+    }
+    if (best == nullptr) continue;  // no candidate; DSF will fall back
+    double start = std::max(ready, avail.count(best->name())
+                                       ? avail[best->name()]
+                                       : backlog_s(best));
+    avail[best->name()] =
+        start + t.gflop / best->spec().throughput(t.cls);
+    finish[static_cast<std::size_t>(i)] = avail[best->name()];
+    plan[i] = best->name();
+  }
+}
+
+hw::ComputeDevice* HeftScheduler::place(const PlacementQuery& q) {
+  auto pit = plans_.find(q.instance);
+  if (pit != plans_.end()) {
+    auto tit = pit->second.find(q.task_id);
+    if (tit != pit->second.end()) {
+      for (hw::ComputeDevice* d : q.candidates) {
+        if (d->name() == tit->second) return d;
+      }
+    }
+  }
+  return fallback_.place(q);
+}
+
+}  // namespace vdap::vcu

@@ -1,0 +1,101 @@
+// Task schedulers (§IV-B2 "Task scheduling"): policies that map ready tasks
+// onto the heterogeneous candidate devices. Baselines (CPU-only — the
+// traditional on-board controller world; round-robin) sit beside the
+// dynamic policies the paper argues for (greedy earliest-finish-time, and a
+// HEFT-style whole-DAG planner); bench_dsf compares them (experiment A2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/processor.hpp"
+#include "workload/dag.hpp"
+
+namespace vdap::vcu {
+
+/// Placement context for one ready task.
+struct PlacementQuery {
+  const workload::AppDag* dag = nullptr;
+  std::uint64_t instance = 0;
+  int task_id = -1;
+  std::vector<hw::ComputeDevice*> candidates;  // online, supporting, admitted
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Called once when a DAG instance is released (lets planners precompute).
+  virtual void on_release(const workload::AppDag& dag, std::uint64_t instance) {
+    (void)dag;
+    (void)instance;
+  }
+
+  /// Picks a device for the task; nullptr when no candidate is acceptable.
+  virtual hw::ComputeDevice* place(const PlacementQuery& q) = 0;
+
+  /// Called when a DAG instance finishes (planners drop cached state).
+  virtual void on_complete(std::uint64_t instance) { (void)instance; }
+};
+
+/// Pins everything onto the first CPU candidate — models the legacy
+/// single-controller vehicle. Non-CPU-capable tasks fall back to any
+/// candidate.
+class CpuOnlyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "cpu-only"; }
+  hw::ComputeDevice* place(const PlacementQuery& q) override;
+};
+
+/// Cycles through candidates without looking at load or speed.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  hw::ComputeDevice* place(const PlacementQuery& q) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Greedy earliest-finish-time: asks every candidate for its backlog-aware
+/// finish estimate and takes the minimum — the dynamic policy DSF runs by
+/// default.
+class GreedyEftScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-eft"; }
+  hw::ComputeDevice* place(const PlacementQuery& q) override;
+};
+
+/// HEFT-style planner: at release time, ranks tasks by upward rank (mean
+/// execution cost over candidates) and assigns each, in rank order, to the
+/// device minimizing its projected finish; place() then serves the plan.
+/// Falls back to greedy EFT for tasks missing from the plan (e.g. after a
+/// device exit).
+class HeftScheduler : public Scheduler {
+ public:
+  using ResourceFetcher =
+      std::function<std::vector<hw::ComputeDevice*>(const std::string& service,
+                                                    hw::TaskClass cls)>;
+
+  explicit HeftScheduler(ResourceFetcher fetch) : fetch_(std::move(fetch)) {}
+
+  std::string name() const override { return "heft"; }
+  void on_release(const workload::AppDag& dag,
+                  std::uint64_t instance) override;
+  hw::ComputeDevice* place(const PlacementQuery& q) override;
+
+  /// Drops a finished instance's plan.
+  void on_complete(std::uint64_t instance) override { plans_.erase(instance); }
+
+ private:
+  ResourceFetcher fetch_;
+  // instance -> task_id -> planned device name
+  std::map<std::uint64_t, std::map<int, std::string>> plans_;
+  GreedyEftScheduler fallback_;
+};
+
+}  // namespace vdap::vcu

@@ -1,0 +1,169 @@
+#include "workload/apps.hpp"
+
+#include "hw/catalog.hpp"
+
+namespace vdap::workload::apps {
+
+namespace {
+using hw::TaskClass;
+
+// A compressed 720P dash-cam frame (JPEG-quality), the unit of visual input.
+constexpr std::uint64_t kCameraFrameBytes = 120'000;
+// A cropped region of interest forwarded between pipeline stages.
+constexpr std::uint64_t kRoiBytes = 40'000;
+// Small structured results (labels, boxes, codes).
+constexpr std::uint64_t kResultBytes = 1'000;
+}  // namespace
+
+AppDag lane_detection() {
+  AppDag dag("lane-detection", ServiceCategory::kAdas,
+             QosSpec{sim::from_millis(50), 8, sim::from_millis(100)});
+  dag.add_task({"lane-detect", TaskClass::kVisionClassic, 0.10856,
+                kCameraFrameBytes, kResultBytes, true});
+  return dag;
+}
+
+AppDag vehicle_detection_haar() {
+  AppDag dag("vehicle-detection-haar", ServiceCategory::kAdas,
+             QosSpec{sim::from_millis(500), 7, sim::from_millis(1000)});
+  dag.add_task({"haar-detect", TaskClass::kVisionClassic, 2.15568,
+                kCameraFrameBytes, kResultBytes, true});
+  return dag;
+}
+
+AppDag vehicle_detection_tf() {
+  AppDag dag("vehicle-detection-tf", ServiceCategory::kAdas,
+             QosSpec{sim::from_millis(500), 7, sim::from_millis(1000)});
+  dag.add_task({"tf-detect", TaskClass::kCnnInference, 27.94396,
+                kCameraFrameBytes, kResultBytes, true});
+  return dag;
+}
+
+AppDag inception_v3() {
+  AppDag dag("inception-v3", ServiceCategory::kThirdParty,
+             QosSpec{sim::from_millis(1000), 3, 0});
+  dag.add_task({"inception-v3", TaskClass::kCnnInference,
+                hw::kInceptionV3Gflop, 270'000 /* 299x299x3 */, kResultBytes,
+                true});
+  return dag;
+}
+
+AppDag pedestrian_detection() {
+  AppDag dag("pedestrian-alert", ServiceCategory::kAdas,
+             QosSpec{sim::from_millis(100), 10, sim::from_millis(100)});
+  int pre = dag.add_task({"frame-preprocess", TaskClass::kPreprocess, 0.4,
+                          kCameraFrameBytes, kRoiBytes, true});
+  int det = dag.add_task({"pedestrian-cnn", TaskClass::kCnnInference, 5.0,
+                          kRoiBytes, kResultBytes, true});
+  // The alert itself must fire on the vehicle (actuation).
+  int alert = dag.add_task(
+      {"alert-actuate", TaskClass::kGeneric, 0.001, kResultBytes, 0, false});
+  dag.add_edge(pre, det);
+  dag.add_edge(det, alert);
+  return dag;
+}
+
+AppDag license_plate_pipeline() {
+  // After Zhang et al. [17]: "a license plate number recognition process is
+  // split into three parts ... able to be executed on different devices
+  // concurrently."
+  AppDag dag("license-plate", ServiceCategory::kThirdParty,
+             QosSpec{sim::from_millis(1000), 4, sim::from_millis(1000)});
+  int motion = dag.add_task({"motion-detect", TaskClass::kPreprocess, 0.08,
+                             kCameraFrameBytes, kRoiBytes, true});
+  int plate = dag.add_task({"plate-detect", TaskClass::kVisionClassic, 0.9,
+                            kRoiBytes, 12'000, true});
+  int ocr = dag.add_task({"plate-recognize", TaskClass::kCnnInference, 1.6,
+                          12'000, 200, true});
+  dag.add_edge(motion, plate);
+  dag.add_edge(plate, ocr);
+  return dag;
+}
+
+AppDag a3_kidnapper_search() {
+  AppDag dag = license_plate_pipeline();
+  // Rebuild under the A3 identity with an extra watchlist-match stage.
+  AppDag out("a3-kidnapper-search", ServiceCategory::kThirdParty,
+             QosSpec{sim::from_millis(2000), 5, sim::from_millis(1000)});
+  int motion = out.add_task(dag.task(0));
+  int plate = out.add_task(dag.task(1));
+  int ocr = out.add_task(dag.task(2));
+  int match = out.add_task({"watchlist-match", TaskClass::kDbQuery, 0.02,
+                            200, 200, true});
+  out.add_edge(motion, plate);
+  out.add_edge(plate, ocr);
+  out.add_edge(ocr, match);
+  return out;
+}
+
+AppDag obd_diagnostics() {
+  // §II-A: future CAVs build diagnostics in: collect real-time + historical
+  // data, quietly analyze, predict faults.
+  AppDag dag("obd-diagnostics", ServiceCategory::kRealTimeDiagnostics,
+             QosSpec{sim::seconds(5), 2, sim::seconds(10)});
+  int collect = dag.add_task(
+      {"obd-collect", TaskClass::kDbQuery, 0.01, 4'000, 4'000, false});
+  int analyze = dag.add_task(
+      {"trend-analysis", TaskClass::kGeneric, 0.5, 4'000, 2'000, true});
+  int predict = dag.add_task(
+      {"fault-predict", TaskClass::kCnnInference, 1.0, 2'000, 500, true});
+  dag.add_edge(collect, analyze);
+  dag.add_edge(analyze, predict);
+  return dag;
+}
+
+AppDag infotainment_chunk() {
+  // §II-C: "video or audio data must be downloaded from the Internet and
+  // then decoded locally".
+  AppDag dag("infotainment-chunk", ServiceCategory::kInfotainment,
+             QosSpec{sim::seconds(2), 1, sim::seconds(2)});
+  int fetch = dag.add_task(
+      {"chunk-fetch", TaskClass::kGeneric, 0.005, 2'000'000, 2'000'000,
+       false});  // the download endpoint is the vehicle by definition
+  int decode = dag.add_task(
+      {"h264-decode", TaskClass::kCodec, 3.0, 2'000'000, 6'000'000, true});
+  int render = dag.add_task(
+      {"render-prep", TaskClass::kGeneric, 0.05, 6'000'000, 0, false});
+  dag.add_edge(fetch, decode);
+  dag.add_edge(decode, render);
+  return dag;
+}
+
+AppDag speech_assistant() {
+  AppDag dag("speech-assistant", ServiceCategory::kInfotainment,
+             QosSpec{sim::from_millis(800), 3, 0});
+  int audio = dag.add_task(
+      {"audio-frontend", TaskClass::kAudio, 0.3, 160'000, 20'000, true});
+  int nlp = dag.add_task(
+      {"nlp-intent", TaskClass::kNlp, 4.0, 20'000, 1'000, true});
+  dag.add_edge(audio, nlp);
+  return dag;
+}
+
+AppDag pbeam_finetune() {
+  // §IV-E: transfer learning of the compressed cBEAM on local DDI data.
+  AppDag dag("pbeam-finetune", ServiceCategory::kThirdParty,
+             QosSpec{0, 0, sim::minutes(30)});
+  int fetch = dag.add_task(
+      {"ddi-batch-fetch", TaskClass::kDbQuery, 0.05, 0, 8'000'000, false});
+  int train = dag.add_task({"transfer-learn", TaskClass::kCnnTraining, 60.0,
+                            8'000'000, 2'000'000, true});
+  dag.add_edge(fetch, train);
+  return dag;
+}
+
+std::vector<AppDag> all() {
+  return {lane_detection(),
+          vehicle_detection_haar(),
+          vehicle_detection_tf(),
+          inception_v3(),
+          pedestrian_detection(),
+          license_plate_pipeline(),
+          a3_kidnapper_search(),
+          obd_diagnostics(),
+          infotainment_chunk(),
+          speech_assistant(),
+          pbeam_finetune()};
+}
+
+}  // namespace vdap::workload::apps

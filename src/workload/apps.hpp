@@ -1,0 +1,53 @@
+// Concrete application models — every workload the paper names, as demand
+// DAGs. Compute costs are calibrated against the paper's own measurements
+// (Table I on the EC2 vCPU; Inception v3 for Fig. 3); payload sizes use the
+// paper's stream parameters (dash-cam frames) and representative result
+// sizes. See DESIGN.md §5.
+#pragma once
+
+#include "workload/dag.hpp"
+
+namespace vdap::workload::apps {
+
+// --- Table I algorithms (§II-B) -------------------------------------------
+/// Classic-CV lane detection: 13.57 ms on the EC2 vCPU.
+AppDag lane_detection();
+/// Haar-cascade vehicle detection: 269.46 ms on the EC2 vCPU.
+AppDag vehicle_detection_haar();
+/// TensorFlow (deep) vehicle detection: 13 971.98 ms on the EC2 vCPU.
+AppDag vehicle_detection_tf();
+
+// --- Fig. 3 workload -------------------------------------------------------
+/// Single Inception v3 classification (11.4 GFLOP CNN inference).
+AppDag inception_v3();
+
+// --- ADAS ------------------------------------------------------------------
+/// Pedestrian alert: preprocess → CNN detect, 100 ms deadline, top priority.
+AppDag pedestrian_detection();
+
+// --- The paper's running third-party example (§IV-C, after [17]) ----------
+/// License-plate recognition split into motion detection → plate detection
+/// → plate number recognition; the polymorphic A3 / AMBER-alert service.
+AppDag license_plate_pipeline();
+/// Mobile-A3 kidnapper search: plate pipeline + a watchlist match stage.
+AppDag a3_kidnapper_search();
+
+// --- Diagnostics (§II-A) ---------------------------------------------------
+/// OBD self-diagnosis sweep: collect → analyze → predict faults.
+AppDag obd_diagnostics();
+
+// --- Infotainment (§II-C) --------------------------------------------------
+/// Streaming video chunk: download-side decode + render prep. Large input,
+/// codec-heavy, loose deadline.
+AppDag infotainment_chunk();
+/// Voice assistant request: audio frontend → NLP intent.
+AppDag speech_assistant();
+
+// --- libvdap / pBEAM -------------------------------------------------------
+/// On-vehicle pBEAM transfer-learning step (CNN training class).
+AppDag pbeam_finetune();
+
+/// Everything above, for enumeration in tests and benches.
+std::vector<AppDag> all();
+
+}  // namespace vdap::workload::apps

@@ -1,0 +1,143 @@
+#include "workload/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdap::workload {
+
+int AppDag::add_task(TaskSpec spec) {
+  if (!spec.valid()) {
+    throw std::invalid_argument("invalid task spec '" + spec.name + "'");
+  }
+  tasks_.push_back(std::move(spec));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void AppDag::check_id(int id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("task id " + std::to_string(id) +
+                            " out of range");
+  }
+}
+
+void AppDag::add_edge(int from, int to) {
+  check_id(from);
+  check_id(to);
+  if (from == to) throw std::invalid_argument("self-edge");
+  auto& s = succs_[static_cast<std::size_t>(from)];
+  if (std::find(s.begin(), s.end(), to) != s.end()) {
+    throw std::invalid_argument("duplicate edge");
+  }
+  s.push_back(to);
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+const TaskSpec& AppDag::task(int id) const {
+  check_id(id);
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+TaskSpec& AppDag::task(int id) {
+  check_id(id);
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& AppDag::predecessors(int id) const {
+  check_id(id);
+  return preds_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& AppDag::successors(int id) const {
+  check_id(id);
+  return succs_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> AppDag::sources() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (preds_[static_cast<std::size_t>(i)].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> AppDag::sinks() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (succs_[static_cast<std::size_t>(i)].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> AppDag::topo_order() const {
+  std::vector<int> indegree(static_cast<std::size_t>(size()), 0);
+  for (int i = 0; i < size(); ++i) {
+    indegree[static_cast<std::size_t>(i)] =
+        static_cast<int>(preds_[static_cast<std::size_t>(i)].size());
+  }
+  std::vector<int> frontier = sources();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(size()));
+  // Kahn's algorithm; the frontier is kept sorted for determinism.
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    int n = frontier.front();
+    frontier.erase(frontier.begin());
+    order.push_back(n);
+    for (int s : succs_[static_cast<std::size_t>(n)]) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) frontier.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != size()) {
+    throw std::logic_error("dag '" + name_ + "' contains a cycle");
+  }
+  return order;
+}
+
+bool AppDag::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (empty()) return fail("dag has no tasks");
+  for (const TaskSpec& t : tasks_) {
+    if (!t.valid()) return fail("invalid task '" + t.name + "'");
+  }
+  try {
+    (void)topo_order();
+  } catch (const std::logic_error& e) {
+    return fail(e.what());
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+double AppDag::total_gflop() const {
+  double g = 0.0;
+  for (const TaskSpec& t : tasks_) g += t.gflop;
+  return g;
+}
+
+std::uint64_t AppDag::total_input_bytes() const {
+  std::uint64_t b = 0;
+  for (const TaskSpec& t : tasks_) b += t.input_bytes;
+  return b;
+}
+
+double AppDag::critical_path_gflop() const {
+  std::vector<double> best(static_cast<std::size_t>(size()), 0.0);
+  double overall = 0.0;
+  for (int id : topo_order()) {
+    double up = 0.0;
+    for (int p : preds_[static_cast<std::size_t>(id)]) {
+      up = std::max(up, best[static_cast<std::size_t>(p)]);
+    }
+    best[static_cast<std::size_t>(id)] =
+        up + tasks_[static_cast<std::size_t>(id)].gflop;
+    overall = std::max(overall, best[static_cast<std::size_t>(id)]);
+  }
+  return overall;
+}
+
+}  // namespace vdap::workload

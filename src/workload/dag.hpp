@@ -1,0 +1,71 @@
+// Application DAGs.
+//
+// §IV-B2: the DSF "divides the original applications into some sub-tasks by
+// fine-grained and tries to match the tasks with the computing resources".
+// An AppDag is that division: tasks plus precedence edges. The license-plate
+// example from the paper (motion detection → plate detection → plate number
+// recognition, after [17]) is a three-stage chain; richer apps fan out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace vdap::workload {
+
+class AppDag {
+ public:
+  AppDag() = default;
+  AppDag(std::string name, ServiceCategory category, QosSpec qos)
+      : name_(std::move(name)), category_(category), qos_(qos) {}
+
+  /// Adds a task; returns its index.
+  int add_task(TaskSpec spec);
+
+  /// Adds a precedence edge `from` → `to`. Throws on invalid ids,
+  /// self-edges, or duplicates.
+  void add_edge(int from, int to);
+
+  const std::string& name() const { return name_; }
+  ServiceCategory category() const { return category_; }
+  const QosSpec& qos() const { return qos_; }
+  void set_qos(const QosSpec& q) { qos_ = q; }
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const TaskSpec& task(int id) const;
+  TaskSpec& task(int id);
+
+  const std::vector<int>& predecessors(int id) const;
+  const std::vector<int>& successors(int id) const;
+  std::vector<int> sources() const;  // tasks with no predecessors
+  std::vector<int> sinks() const;    // tasks with no successors
+
+  /// Topological order; throws std::logic_error when the graph has a cycle.
+  std::vector<int> topo_order() const;
+
+  /// True when the DAG is well-formed: nonempty, acyclic, valid specs.
+  bool validate(std::string* why = nullptr) const;
+
+  double total_gflop() const;
+  std::uint64_t total_input_bytes() const;
+
+  /// Sum over the longest path of per-task gflop (critical path length in
+  /// compute terms; a lower bound on any schedule with 1 GF/s devices).
+  double critical_path_gflop() const;
+
+ private:
+  void check_id(int id) const;
+
+  std::string name_;
+  ServiceCategory category_ = ServiceCategory::kThirdParty;
+  QosSpec qos_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+};
+
+}  // namespace vdap::workload

@@ -1,0 +1,111 @@
+#include "workload/generator.hpp"
+
+#include <stdexcept>
+
+namespace vdap::workload {
+
+void WorkloadGenerator::add_stream(StreamSpec spec) {
+  if (started_) throw std::logic_error("add_stream after start");
+  std::string why;
+  if (!spec.dag.validate(&why)) {
+    throw std::invalid_argument("stream dag invalid: " + why);
+  }
+  if (spec.poisson_rate_hz <= 0.0 && spec.period <= 0) {
+    throw std::invalid_argument("stream needs a period or a poisson rate");
+  }
+  streams_.push_back(std::move(spec));
+  counts_.push_back(0);
+}
+
+void WorkloadGenerator::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].poisson_rate_hz > 0.0) {
+      arm_poisson(i);
+    } else {
+      arm_periodic(i);
+    }
+  }
+}
+
+void WorkloadGenerator::stop() { stopped_ = true; }
+
+void WorkloadGenerator::emit(std::size_t idx) {
+  Release r;
+  r.instance_id = ++released_;
+  r.dag = &streams_[idx].dag;
+  r.released_at = sim_.now();
+  ++counts_[idx];
+  if (sink_) sink_(r);
+}
+
+void WorkloadGenerator::arm_periodic(std::size_t idx) {
+  const StreamSpec& s = streams_[idx];
+  // The first release fires after jitter only; later ones period + jitter.
+  sim::SimDuration delay = counts_[idx] == 0 ? 0 : s.period;
+  if (s.jitter > 0) {
+    delay += static_cast<sim::SimDuration>(
+        sim_.rng("wl.jitter." + s.dag.name())
+            .uniform(0.0, static_cast<double>(s.jitter)));
+  }
+  sim_.after(delay, [this, idx]() {
+    if (stopped_) return;
+    const StreamSpec& spec = streams_[idx];
+    if (spec.max_instances != 0 && counts_[idx] >= spec.max_instances) return;
+    emit(idx);
+    arm_periodic(idx);
+  });
+}
+
+void WorkloadGenerator::arm_poisson(std::size_t idx) {
+  const StreamSpec& s = streams_[idx];
+  double gap_s =
+      sim_.rng("wl.poisson." + s.dag.name()).exponential(1.0 / s.poisson_rate_hz);
+  sim_.after(sim::from_seconds(gap_s), [this, idx]() {
+    if (stopped_) return;
+    const StreamSpec& spec = streams_[idx];
+    if (spec.max_instances != 0 && counts_[idx] >= spec.max_instances) return;
+    emit(idx);
+    arm_poisson(idx);
+  });
+}
+
+std::vector<StreamSpec> full_vehicle_mix() {
+  std::vector<StreamSpec> mix;
+  auto periodic = [&](AppDag dag) {
+    StreamSpec s;
+    s.period = dag.qos().period > 0 ? dag.qos().period : sim::seconds(1);
+    s.jitter = sim::from_millis(5);
+    s.dag = std::move(dag);
+    mix.push_back(std::move(s));
+  };
+  periodic(apps::lane_detection());
+  periodic(apps::pedestrian_detection());
+  periodic(apps::obd_diagnostics());
+  periodic(apps::infotainment_chunk());
+  periodic(apps::license_plate_pipeline());
+  StreamSpec voice;
+  voice.dag = apps::speech_assistant();
+  voice.poisson_rate_hz = 0.05;  // a request every ~20 s
+  mix.push_back(std::move(voice));
+  StreamSpec adhoc;
+  adhoc.dag = apps::inception_v3();
+  adhoc.poisson_rate_hz = 0.2;
+  mix.push_back(std::move(adhoc));
+  return mix;
+}
+
+std::vector<StreamSpec> adas_mix() {
+  std::vector<StreamSpec> mix;
+  for (AppDag dag : {apps::lane_detection(), apps::pedestrian_detection(),
+                     apps::vehicle_detection_haar()}) {
+    StreamSpec s;
+    s.period = dag.qos().period > 0 ? dag.qos().period : sim::from_millis(100);
+    s.dag = std::move(dag);
+    mix.push_back(std::move(s));
+  }
+  return mix;
+}
+
+}  // namespace vdap::workload

@@ -1,0 +1,75 @@
+// Workload generators: release recurring service instances and stochastic
+// third-party requests into the platform under the discrete-event clock.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::workload {
+
+/// One stream of releases: a template DAG released periodically (with
+/// optional jitter) or as a Poisson process.
+struct StreamSpec {
+  AppDag dag;
+  /// Period between releases; used when poisson_rate_hz == 0.
+  sim::SimDuration period = sim::seconds(1);
+  /// Uniform jitter added to each periodic release in [0, jitter].
+  sim::SimDuration jitter = 0;
+  /// If > 0, releases follow a Poisson process at this rate instead.
+  double poisson_rate_hz = 0.0;
+  /// Stop releasing after this many instances (0 = unbounded).
+  std::uint64_t max_instances = 0;
+};
+
+/// A released DAG instance.
+struct Release {
+  std::uint64_t instance_id = 0;
+  const AppDag* dag = nullptr;
+  sim::SimTime released_at = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  using Sink = std::function<void(const Release&)>;
+
+  WorkloadGenerator(sim::Simulator& sim, Sink sink)
+      : sim_(sim), sink_(std::move(sink)) {}
+
+  /// Registers a stream; releases begin at its first scheduled point once
+  /// start() is called.
+  void add_stream(StreamSpec spec);
+
+  /// Arms all streams. Call once, before running the simulator.
+  void start();
+
+  /// Stops all future releases.
+  void stop();
+
+  std::uint64_t released() const { return released_; }
+
+ private:
+  void arm_periodic(std::size_t idx);
+  void arm_poisson(std::size_t idx);
+  void emit(std::size_t idx);
+
+  sim::Simulator& sim_;
+  Sink sink_;
+  std::vector<StreamSpec> streams_;
+  std::vector<std::uint64_t> counts_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::uint64_t released_ = 0;
+};
+
+/// The paper's §II service portfolio as a ready-made mix: diagnostics,
+/// ADAS (lane + pedestrian), infotainment, and third-party streams.
+std::vector<StreamSpec> full_vehicle_mix();
+
+/// ADAS-only mix for latency-critical experiments.
+std::vector<StreamSpec> adas_mix();
+
+}  // namespace vdap::workload

@@ -1,0 +1,3 @@
+// task.hpp is header-only; this translation unit anchors the library and
+// keeps one definition of nothing in particular.
+#include "workload/task.hpp"

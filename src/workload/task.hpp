@@ -1,0 +1,60 @@
+// Task and QoS model.
+//
+// OpenVDAP treats every in-vehicle service as a demand vector the platform
+// can reason about: a task class (what kind of processor fits it), a compute
+// cost in GFLOP, input/output payload sizes (what offloading it would cost
+// in bandwidth), and QoS (deadline + priority) — exactly the quantities the
+// paper's DSF and offloading discussion revolve around (§IV-B2, §IV-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/task_class.hpp"
+#include "sim/time.hpp"
+
+namespace vdap::workload {
+
+/// Service categories from §II. Used for reporting and scheduling policy.
+enum class ServiceCategory {
+  kRealTimeDiagnostics,
+  kAdas,
+  kInfotainment,
+  kThirdParty,
+};
+
+constexpr std::string_view to_string(ServiceCategory c) {
+  switch (c) {
+    case ServiceCategory::kRealTimeDiagnostics: return "diagnostics";
+    case ServiceCategory::kAdas: return "adas";
+    case ServiceCategory::kInfotainment: return "infotainment";
+    case ServiceCategory::kThirdParty: return "third-party";
+  }
+  return "unknown";
+}
+
+struct TaskSpec {
+  std::string name;
+  hw::TaskClass cls = hw::TaskClass::kGeneric;
+  double gflop = 0.0;
+  std::uint64_t input_bytes = 0;   // payload needed where the task runs
+  std::uint64_t output_bytes = 0;  // result size shipped back / downstream
+  /// Safety-pinned stages (e.g. actuation) must stay on the vehicle.
+  bool offloadable = true;
+
+  bool valid() const { return !name.empty() && gflop >= 0.0; }
+};
+
+struct QosSpec {
+  /// End-to-end deadline for one DAG execution; 0 means best-effort.
+  sim::SimDuration deadline = 0;
+  /// Higher runs first on contended resources.
+  int priority = 0;
+  /// For recurring services: the period between releases; 0 means one-shot.
+  sim::SimDuration period = 0;
+
+  bool has_deadline() const { return deadline > 0; }
+  bool periodic() const { return period > 0; }
+};
+
+}  // namespace vdap::workload

@@ -1,0 +1,148 @@
+#include "core/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::core {
+namespace {
+
+TEST(Battery, SocDrainsWithBoardLoad) {
+  sim::Simulator sim(3);
+  hw::VcuBoard board(sim, "b");
+  hw::populate_reference_1sthep(board);
+  BatteryModel battery(sim, board, {10'000.0, sim::seconds(1)});
+  battery.start();
+  EXPECT_DOUBLE_EQ(battery.soc(), 1.0);
+  // Keep the CPU busy for a minute (~60 W -> ~3.6 kJ) plus idle floors.
+  auto* cpu = board.device("core-i7-6700");
+  for (int i = 0; i < 100; ++i) {
+    cpu->submit({hw::TaskClass::kGeneric, 25.0, 0, nullptr});  // 1 s each
+  }
+  sim.run_until(sim::minutes(1));
+  EXPECT_LT(battery.soc(), 0.85);
+  EXPECT_GT(battery.soc(), 0.0);
+  EXPECT_GT(battery.consumed_j(), 1'800.0);
+}
+
+TEST(Battery, ExternalEnergyCounts) {
+  sim::Simulator sim(3);
+  hw::VcuBoard board(sim, "b");
+  BatteryModel battery(sim, board, {1'000.0, sim::seconds(1)});
+  battery.start();
+  battery.add_external_energy(600.0);  // radio transfers
+  EXPECT_NEAR(battery.soc(), 0.4, 1e-9);
+}
+
+TEST(Battery, SocClampsAtZero) {
+  sim::Simulator sim(3);
+  hw::VcuBoard board(sim, "b");
+  BatteryModel battery(sim, board, {100.0, sim::seconds(1)});
+  battery.start();
+  battery.add_external_energy(1e6);
+  EXPECT_DOUBLE_EQ(battery.soc(), 0.0);
+}
+
+TEST(Battery, RejectsBadOptions) {
+  sim::Simulator sim(3);
+  hw::VcuBoard board(sim, "b");
+  EXPECT_THROW(BatteryModel(sim, board, {0.0, sim::seconds(1)}),
+               std::invalid_argument);
+}
+
+TEST(Governor, SwitchesGoalAtLowSocAndBack) {
+  sim::Simulator sim(7);
+  OpenVdap cav(sim);
+  // Small budget so sustained load drains it within the test window.
+  BatteryModel battery(sim, cav.board(), {2'000.0, sim::seconds(1)});
+  battery.start();
+  GovernorOptions gopts;
+  gopts.low_soc = 0.5;
+  gopts.restore_soc = 0.8;
+  gopts.check_period = sim::seconds(1);
+  EnergyGovernor governor(sim, battery, cav.elastic(), gopts);
+  governor.start();
+  std::vector<bool> transitions;
+  governor.on_switch([&](bool saving) { transitions.push_back(saving); });
+
+  EXPECT_EQ(cav.elastic().options().goal, edgeos::Goal::kMinLatency);
+  // Burn energy: idle floors alone (~10 W) need help; add CPU load.
+  auto* cpu = cav.registry().find("core-i7-6700");
+  for (int i = 0; i < 60; ++i) {
+    cpu->submit({hw::TaskClass::kGeneric, 25.0, 0, nullptr});
+  }
+  sim.run_until(sim::minutes(2));
+  EXPECT_TRUE(governor.saving());
+  EXPECT_EQ(cav.elastic().options().goal, edgeos::Goal::kMinEnergy);
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_TRUE(transitions.front());
+  EXPECT_EQ(governor.mode_switches(), 1);  // no flapping back (budget spent)
+}
+
+TEST(Governor, EnergyModeChangesOffloadChoices) {
+  // The point of the governor: under the energy goal the elastic manager
+  // prefers shipping work off the vehicle even when on-board is faster.
+  sim::Simulator sim(9);
+  OpenVdap cav(sim);
+  auto svc = edgeos::make_polymorphic(workload::apps::inception_v3(),
+                                      net::Tier::kRsuEdge);
+  svc.dag.set_qos({0, 3, 0});
+  cav.elastic().options().goal = edgeos::Goal::kMinLatency;
+  {
+    const edgeos::Pipeline* fast = cav.elastic().choose(svc);
+    ASSERT_NE(fast, nullptr);
+    EXPECT_EQ(fast->name, "onboard");
+  }
+  cav.elastic().options().goal = edgeos::Goal::kMinEnergy;
+  const edgeos::Pipeline* frugal = cav.elastic().choose(svc);
+  ASSERT_NE(frugal, nullptr);
+  EXPECT_NE(frugal->name, "onboard");
+}
+
+TEST(Governor, CanDriveDvfsThroughTheSwitchHook) {
+  // Combined energy response: when the budget runs low, besides preferring
+  // off-vehicle pipelines, drop the GPU to its Max-Q operating point.
+  sim::Simulator sim(13);
+  OpenVdap cav(sim);
+  BatteryModel battery(sim, cav.board(), {1'500.0, sim::seconds(1)});
+  battery.start();
+  EnergyGovernor governor(sim, battery, cav.elastic(),
+                          {0.5, 0.8, sim::seconds(1)});
+  auto* gpu = cav.registry().find("jetson-tx2-maxp");
+  ASSERT_NE(gpu, nullptr);
+  governor.on_switch([&](bool saving) {
+    hw::ProcessorSpec mode = saving ? hw::catalog::jetson_tx2_maxq()
+                                    : hw::catalog::jetson_tx2_maxp();
+    mode.name = gpu->name();  // same physical device, new operating point
+    mode.slots = gpu->spec().slots;
+    gpu->reconfigure(mode);
+  });
+  governor.start();
+  // Drain the budget with CPU load; the GPU mode must flip to eco.
+  auto* cpu = cav.registry().find("core-i7-6700");
+  for (int i = 0; i < 60; ++i) {
+    cpu->submit({hw::TaskClass::kGeneric, 25.0, 0, nullptr});
+  }
+  sim.run_until(sim::minutes(3));
+  EXPECT_TRUE(governor.saving());
+  EXPECT_DOUBLE_EQ(gpu->spec().max_power_w, 7.5);  // Max-Q tables active
+  EXPECT_NEAR(gpu->spec().throughput(hw::TaskClass::kCnnInference),
+              hw::kInceptionV3Gflop / 0.2428, 1.0);
+}
+
+TEST(Governor, RejectsInvertedThresholds) {
+  sim::Simulator sim(3);
+  hw::VcuBoard board(sim, "b");
+  BatteryModel battery(sim, board);
+  net::Topology topo(sim);
+  vcu::ResourceRegistry reg;
+  vcu::Dsf dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>());
+  edgeos::ElasticManager elastic(sim, dsf, topo);
+  EXPECT_THROW(
+      EnergyGovernor(sim, battery, elastic, {0.5, 0.3, sim::seconds(1)}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::core

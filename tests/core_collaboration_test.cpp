@@ -1,0 +1,145 @@
+#include "core/collaboration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::core {
+namespace {
+
+class CollabTest : public ::testing::Test {
+ protected:
+  CollabTest()
+      : a(sim, "cav-a", "veh-aaaa"),
+        b(sim, "cav-b", "veh-bbbb"),
+        c(sim, "cav-c", "veh-cccc") {}
+
+  sim::Simulator sim{5};
+  CollaborationCache a, b, c;
+};
+
+TEST_F(CollabTest, LocalHitIsImmediate) {
+  a.put("plate:ABC123", json::Value("seen"));
+  bool called = false;
+  a.lookup("plate:ABC123", [&](std::optional<SharedResult> r) {
+    called = true;
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->value.as_string(), "seen");
+    EXPECT_EQ(r->producer_pseudonym, "veh-aaaa");
+  });
+  EXPECT_TRUE(called);  // synchronous for local hits
+  EXPECT_EQ(a.local_hits(), 1u);
+}
+
+TEST_F(CollabTest, MissWithNoNeighbors) {
+  bool called = false;
+  a.lookup("plate:ZZZ", [&](std::optional<SharedResult> r) {
+    called = true;
+    EXPECT_FALSE(r.has_value());
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(a.misses(), 1u);
+}
+
+TEST_F(CollabTest, RemoteHitOverDsrc) {
+  CollaborationCache::connect(a, b);
+  b.put("plate:ABC123", json::Value("match"), 5'000);
+  std::optional<SharedResult> got;
+  sim::SimTime answered = -1;
+  a.lookup("plate:ABC123", [&](std::optional<SharedResult> r) {
+    got = std::move(r);
+    answered = sim.now();
+  });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->producer_pseudonym, "veh-bbbb");
+  EXPECT_EQ(a.remote_hits(), 1u);
+  EXPECT_EQ(b.requests_served(), 1u);
+  // Paid real DSRC time: two messages (query + 5 kB response).
+  EXPECT_GT(answered, sim::msec(4));
+}
+
+TEST_F(CollabTest, RemoteMissResolvesAfterAllPeersAnswer) {
+  CollaborationCache::connect(a, b);
+  CollaborationCache::connect(a, c);
+  std::optional<SharedResult> got;
+  bool called = false;
+  a.lookup("plate:NOPE", [&](std::optional<SharedResult> r) {
+    got = std::move(r);
+    called = true;
+  });
+  sim.run_until(sim::seconds(2));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(a.misses(), 1u);
+}
+
+TEST_F(CollabTest, FirstPositiveResponseWins) {
+  CollaborationCache::connect(a, b);
+  CollaborationCache::connect(a, c);
+  b.put("k", json::Value("from-b"));
+  c.put("k", json::Value("from-c"));
+  int calls = 0;
+  a.lookup("k", [&](std::optional<SharedResult> r) {
+    ++calls;
+    EXPECT_TRUE(r.has_value());
+  });
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(calls, 1);  // resolved exactly once
+  EXPECT_EQ(a.remote_hits(), 1u);
+}
+
+TEST_F(CollabTest, DisconnectStopsSharing) {
+  CollaborationCache::connect(a, b);
+  CollaborationCache::disconnect(a, b);
+  b.put("k", json::Value(1));
+  bool found = true;
+  a.lookup("k", [&](std::optional<SharedResult> r) { found = r.has_value(); });
+  sim.run_until(sim::seconds(1));
+  EXPECT_FALSE(found);
+  EXPECT_EQ(a.neighbor_count(), 0u);
+}
+
+TEST_F(CollabTest, ComputeSavingsScenario) {
+  // The paper's dedup story: N vehicles scan overlapping plates; followers
+  // reuse the leader's recognitions instead of re-running the CNN.
+  CollaborationCache::connect(a, b);
+  CollaborationCache::connect(b, c);
+  for (int i = 0; i < 20; ++i) {
+    a.put("plate:" + std::to_string(i), json::Value("decoded"));
+  }
+  int reused = 0;
+  int computed = 0;
+  for (int i = 0; i < 30; ++i) {
+    b.lookup("plate:" + std::to_string(i),
+             [&](std::optional<SharedResult> r) {
+               if (r.has_value()) {
+                 ++reused;
+               } else {
+                 ++computed;  // would run the recognition pipeline
+               }
+             });
+  }
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(reused, 20);
+  EXPECT_EQ(computed, 10);
+}
+
+TEST_F(CollabTest, SelfConnectIsNoop) {
+  CollaborationCache::connect(a, a);
+  EXPECT_EQ(a.neighbor_count(), 0u);
+}
+
+TEST_F(CollabTest, ResultsExposePseudonymNotName) {
+  CollaborationCache::connect(a, b);
+  b.put("k", json::Value(1));
+  a.lookup("k", [&](std::optional<SharedResult> r) {
+    ASSERT_TRUE(r.has_value());
+    // Privacy: the wire result carries the rotating pseudonym, never the
+    // vehicle name.
+    EXPECT_EQ(r->producer_pseudonym, "veh-bbbb");
+    EXPECT_EQ(r->producer_pseudonym.find("cav-"), std::string::npos);
+  });
+  sim.run_until(sim::seconds(1));
+}
+
+}  // namespace
+}  // namespace vdap::core

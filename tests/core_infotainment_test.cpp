@@ -1,0 +1,143 @@
+#include "core/infotainment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+
+namespace vdap::core {
+namespace {
+
+class InfotainmentTest : public ::testing::Test {
+ protected:
+  InfotainmentTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        gpu(sim, hw::catalog::jetson_tx2_maxp()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()) {
+    reg.join(&cpu);
+    reg.join(&gpu);
+  }
+
+  InfotainmentReport run(int chunks, InfotainmentOptions opts = {}) {
+    InfotainmentSession session(sim, topo, dsf, opts);
+    InfotainmentReport rep;
+    bool finished = false;
+    session.start(chunks, [&](const InfotainmentReport& r) {
+      rep = r;
+      finished = true;
+    });
+    sim.run_until(sim.now() + sim::minutes(30));
+    EXPECT_TRUE(finished);
+    return rep;
+  }
+
+  sim::Simulator sim{5};
+  hw::ComputeDevice cpu, gpu;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+};
+
+TEST_F(InfotainmentTest, CleanNetworkPlaysWithoutStalls) {
+  // 1.5 MB / 2 s chunk = 6 Mbps over a 60 Mbps downlink: easy.
+  InfotainmentReport rep = run(30);
+  EXPECT_EQ(rep.chunks_played, 30);
+  EXPECT_EQ(rep.chunks_failed, 0);
+  EXPECT_EQ(rep.stalls, 0);
+  EXPECT_DOUBLE_EQ(rep.rebuffer_ratio(), 0.0);
+  // Startup: one chunk download + decode, well under a second... but real:
+  EXPECT_GT(rep.startup_delay, 0);
+  EXPECT_LT(rep.startup_delay, sim::seconds(2));
+  // Watch time ≈ 30 chunks x 2 s + startup.
+  EXPECT_NEAR(sim::to_seconds(rep.watch_time), 60.0, 3.0);
+}
+
+TEST_F(InfotainmentTest, DegradedDownlinkCausesStalls) {
+  // 6 Mbps stream over a ~3 Mbps effective downlink: sustained deficit.
+  topo.apply_cellular_condition(0.05, 0.1);
+  InfotainmentReport rep = run(15);
+  EXPECT_GT(rep.stalls, 0);
+  EXPECT_GT(rep.stall_time, 0);
+  EXPECT_GT(rep.rebuffer_ratio(), 0.2);
+  EXPECT_EQ(rep.chunks_played + rep.chunks_failed, 15);
+}
+
+TEST_F(InfotainmentTest, WorseNetworkMeansMoreRebuffering) {
+  double prev = -1.0;
+  for (double factor : {1.0, 0.08, 0.03}) {
+    topo.apply_cellular_condition(factor, 0.05);
+    InfotainmentReport rep = run(10);
+    EXPECT_GE(rep.rebuffer_ratio(), prev) << factor;
+    prev = rep.rebuffer_ratio();
+  }
+  EXPECT_GT(prev, 0.3);
+}
+
+TEST_F(InfotainmentTest, DeeperBufferAbsorbsJitter) {
+  topo.apply_cellular_condition(0.09, 0.2);  // marginal link
+  InfotainmentOptions shallow;
+  shallow.buffer_target_chunks = 1;
+  InfotainmentOptions deep;
+  deep.buffer_target_chunks = 6;
+  InfotainmentReport r_shallow = run(15, shallow);
+  InfotainmentReport r_deep = run(15, deep);
+  EXPECT_LE(r_deep.stall_time, r_shallow.stall_time);
+}
+
+TEST_F(InfotainmentTest, UnreachableSourceFailsAllChunks) {
+  topo.set_available(net::Tier::kCloud, false);
+  InfotainmentReport rep = run(5);
+  EXPECT_EQ(rep.chunks_played, 0);
+  EXPECT_EQ(rep.chunks_failed, 5);
+}
+
+TEST_F(InfotainmentTest, StartupDelayGrowsWithPrefetch) {
+  InfotainmentOptions eager;
+  eager.startup_chunks = 1;
+  InfotainmentOptions cautious;
+  cautious.startup_chunks = 3;
+  InfotainmentReport a = run(10, eager);
+  InfotainmentReport b = run(10, cautious);
+  EXPECT_LT(a.startup_delay, b.startup_delay);
+}
+
+TEST_F(InfotainmentTest, AbrDropsQualityInsteadOfStalling) {
+  // Fixed 4K over a deficient link stalls heavily; the ABR ladder trades
+  // quality for continuity.
+  topo.apply_cellular_condition(0.05, 0.1);
+  InfotainmentOptions fixed;
+  fixed.chunk_bytes = 3'750'000;  // 4K only
+  InfotainmentReport rigid = run(15, fixed);
+
+  InfotainmentOptions abr;
+  abr.abr_ladder = {400'000, 1'500'000, 3'750'000};  // SD / HD / 4K
+  InfotainmentReport adaptive = run(15, abr);
+
+  EXPECT_GT(rigid.stall_time, adaptive.stall_time);
+  // The ABR session used more than one rung.
+  ASSERT_EQ(adaptive.rung_fetches.size(), 3u);
+  int rungs_used = 0;
+  for (int n : adaptive.rung_fetches) rungs_used += n > 0 ? 1 : 0;
+  EXPECT_GE(rungs_used, 2);
+  EXPECT_GE(adaptive.mean_rung(), 0.0);
+  EXPECT_LE(adaptive.mean_rung(), 2.0);
+}
+
+TEST_F(InfotainmentTest, AbrUsesTopRungOnCleanNetwork) {
+  InfotainmentOptions abr;
+  abr.abr_ladder = {400'000, 1'500'000, 3'750'000};
+  InfotainmentReport rep = run(20, abr);
+  EXPECT_EQ(rep.stalls, 0);
+  // After the ramp-up, the buffer stays full and fetches sit at the top.
+  ASSERT_EQ(rep.rung_fetches.size(), 3u);
+  EXPECT_GT(rep.rung_fetches[2], rep.rung_fetches[0]);
+  EXPECT_GT(rep.mean_rung(), 1.0);
+}
+
+TEST_F(InfotainmentTest, RejectsZeroChunks) {
+  InfotainmentSession session(sim, topo, dsf, {});
+  EXPECT_THROW(session.start(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::core

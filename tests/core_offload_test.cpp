@@ -1,0 +1,129 @@
+#include "core/offload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::core {
+namespace {
+
+class OffloadTest : public ::testing::Test {
+ protected:
+  OffloadTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        gpu(sim, hw::catalog::jetson_tx2_maxp()),
+        rsu(sim, hw::catalog::rsu_edge_server()),
+        cloud(sim, hw::catalog::cloud_server()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()),
+        mgr(sim, dsf, topo),
+        planner(mgr) {
+    reg.join(&cpu);
+    reg.join(&gpu);
+    mgr.set_remote_device(net::Tier::kRsuEdge, &rsu);
+    mgr.set_remote_device(net::Tier::kCloud, &cloud);
+  }
+
+  sim::Simulator sim;
+  hw::ComputeDevice cpu, gpu, rsu, cloud;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+  edgeos::ElasticManager mgr;
+  OffloadPlanner planner;
+};
+
+TEST_F(OffloadTest, WholeDagServiceOnePipelinePerTier) {
+  auto dag = workload::apps::inception_v3();
+  auto svc = whole_dag_service(
+      dag, {net::Tier::kOnBoard, net::Tier::kCloud});
+  ASSERT_EQ(svc.pipelines.size(), 2u);
+  EXPECT_EQ(svc.pipelines[0].name, "on-board");
+  EXPECT_EQ(svc.pipelines[1].name, "cloud");
+  EXPECT_TRUE(svc.validate());
+}
+
+TEST_F(OffloadTest, PinnedTasksStayHomeInWholeDagService) {
+  auto svc = whole_dag_service(workload::apps::pedestrian_detection(),
+                               {net::Tier::kCloud});
+  EXPECT_EQ(svc.pipelines[0].placement[2], net::Tier::kOnBoard);
+  EXPECT_TRUE(svc.validate());
+}
+
+TEST_F(OffloadTest, LightTaskStaysOnBoard) {
+  // Lane detection: tiny compute, tight deadline — network round trips
+  // never pay off.
+  auto d = planner.decide(workload::apps::lane_detection());
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.tier, net::Tier::kOnBoard);
+}
+
+TEST_F(OffloadTest, HeavyTaskOffloadsWhenVehicleBusy) {
+  for (int i = 0; i < 40; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+  }
+  auto dag = workload::apps::vehicle_detection_tf();  // 27.9 GFLOP
+  auto d = planner.decide(dag);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_NE(d.tier, net::Tier::kOnBoard);
+}
+
+TEST_F(OffloadTest, EstimatePerTierOrdering) {
+  // For a compute-heavy, small-payload task on an idle vehicle the RSU
+  // should beat the cloud (same DSRC hop, less backhaul).
+  auto dag = workload::apps::inception_v3();
+  auto rsu_est = planner.estimate(dag, net::Tier::kRsuEdge);
+  auto cloud_est = planner.estimate(dag, net::Tier::kCloud);
+  ASSERT_TRUE(rsu_est && cloud_est);
+  EXPECT_LT(*rsu_est, *cloud_est);
+}
+
+TEST_F(OffloadTest, InfeasibleTierReportsNullopt) {
+  topo.set_available(net::Tier::kCloud, false);
+  EXPECT_FALSE(
+      planner.estimate(workload::apps::inception_v3(), net::Tier::kCloud)
+          .has_value());
+}
+
+TEST_F(OffloadTest, DegradedCellularFlipsCloudDecision) {
+  // Make on-board busy so a remote tier wins, then kill the cellular
+  // quality: the decision should abandon cloud/base-station tiers.
+  for (int i = 0; i < 40; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+  }
+  topo.set_available(net::Tier::kRsuEdge, false);  // only cellular tiers
+  auto dag = workload::apps::vehicle_detection_tf();
+  dag.set_qos({0, 7, 0});  // compare destinations without a deadline gate
+  auto before = planner.decide(dag);
+  ASSERT_TRUE(before.feasible);
+  EXPECT_TRUE(before.tier == net::Tier::kCloud ||
+              before.tier == net::Tier::kBaseStationEdge);
+  // Deep-fringe cellular: effectively no uplink. The planner must fall
+  // back to the (busy) vehicle rather than ship frames into a black hole.
+  topo.apply_cellular_condition(0.01, 0.8);
+  auto after = planner.decide(dag);
+  ASSERT_TRUE(after.feasible);
+  EXPECT_EQ(after.tier, net::Tier::kOnBoard);
+}
+
+TEST_F(OffloadTest, RunExecutesAtDecidedTier) {
+  edgeos::ServiceRunReport rep;
+  planner.run(workload::apps::lane_detection(),
+              [&](const edgeos::ServiceRunReport& r) { rep = r; });
+  sim.run_until(sim::seconds(10));
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.pipeline, "on-board");
+}
+
+TEST_F(OffloadTest, DecisionCarriesEstimates) {
+  auto d = planner.decide(workload::apps::inception_v3());
+  ASSERT_TRUE(d.feasible);
+  EXPECT_GT(d.est_latency, 0);
+  EXPECT_GE(d.onboard_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace vdap::core

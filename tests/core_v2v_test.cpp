@@ -1,0 +1,120 @@
+// V2V computing (§IV overview: OpenVDAP provides "systematic mechanisms on
+// how to request, utilize, share and even collaborate with external
+// computing entities located on neighboring vehicles"): the neighbor tier
+// as a compute destination, and container migration between vehicles.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "util/strings.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::core {
+namespace {
+
+TEST(NeighborCompute, IdleNeighborServesAsOffloadTier) {
+  sim::Simulator sim(21);
+  core::PlatformConfig a_cfg;
+  a_cfg.vehicle_name = "busy-cav";
+  core::OpenVdap busy(sim, a_cfg);
+  core::PlatformConfig b_cfg;
+  b_cfg.vehicle_name = "idle-cav";
+  b_cfg.with_remote_tiers = false;
+  core::OpenVdap idle(sim, b_cfg);
+
+  // Platooning: the idle neighbor's GPU becomes busy-cav's neighbor tier.
+  busy.topology().set_available(net::Tier::kNeighbor, true);
+  busy.elastic().set_remote_device(net::Tier::kNeighbor,
+                                   idle.registry().find("jetson-tx2-maxp"));
+  // Other external tiers out of range: highway tunnel.
+  busy.topology().set_available(net::Tier::kRsuEdge, false);
+  busy.topology().set_available(net::Tier::kBaseStationEdge, false);
+  busy.topology().set_available(net::Tier::kCloud, false);
+
+  // Saturate busy-cav's own board with single-stage CNN jobs (these queue
+  // on the devices immediately, unlike multi-stage DAGs whose later stages
+  // only materialize as predecessors finish).
+  auto detector = workload::apps::vehicle_detection_tf();
+  for (int i = 0; i < 40; ++i) busy.dsf().submit(detector);
+
+  OffloadPlanner planner(busy.elastic(),
+                         {net::Tier::kOnBoard, net::Tier::kNeighbor});
+  auto dag = workload::apps::inception_v3();
+  dag.set_qos({0, 3, 0});
+  auto decision = planner.decide(dag);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.tier, net::Tier::kNeighbor);
+
+  edgeos::ServiceRunReport rep;
+  planner.run(dag, [&](const edgeos::ServiceRunReport& r) { rep = r; });
+  sim.run_until(sim::minutes(2));
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.pipeline, "neighbor");
+  // The neighbor's GPU actually did the work.
+  EXPECT_GE(idle.registry().find("jetson-tx2-maxp")->completed(), 1u);
+}
+
+TEST(NeighborCompute, NeighborDrivingAwayMidTaskFailsGracefully) {
+  sim::Simulator sim(22);
+  core::OpenVdap cav(sim);
+  hw::ComputeDevice neighbor_gpu(sim, hw::catalog::jetson_tx2_maxq());
+  cav.topology().set_available(net::Tier::kNeighbor, true);
+  cav.elastic().set_remote_device(net::Tier::kNeighbor, &neighbor_gpu);
+
+  auto svc = edgeos::make_polymorphic(workload::apps::inception_v3(),
+                                      net::Tier::kNeighbor);
+  svc.pipelines = {svc.pipelines[1]};  // force neighbor
+  svc.dag.set_qos({0, 3, 0});
+  edgeos::ServiceRunReport rep;
+  rep.ok = true;
+  cav.elastic().run(svc, [&](const edgeos::ServiceRunReport& r) { rep = r; });
+  sim.after(sim::msec(50), [&] { neighbor_gpu.set_online(false); });
+  sim.run_until(sim::minutes(1));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(cav.elastic().failed(), 1u);
+}
+
+TEST(ServiceMigration, ContainerMovesBetweenVehiclesOverDsrc) {
+  // §IV-C: "the service might be migrated from a neighbor vehicle" — a
+  // container image leaves vehicle A, crosses DSRC, and installs on B
+  // under B's root of trust.
+  sim::Simulator sim(23);
+  core::PlatformConfig a_cfg, b_cfg;
+  a_cfg.vehicle_name = "donor";
+  a_cfg.vehicle_secret = 1;
+  b_cfg.vehicle_name = "recipient";
+  b_cfg.vehicle_secret = 2;
+  core::OpenVdap donor(sim, a_cfg), recipient(sim, b_cfg);
+
+  donor.os().security().install("road-reporter",
+                                edgeos::IsolationMode::kContainer,
+                                3 << 20);
+  auto image = donor.os().security().migrate_out("road-reporter");
+  ASSERT_TRUE(image.has_value());
+  EXPECT_FALSE(donor.os().security().installed("road-reporter"));
+
+  // Ship the image over a DSRC link between the vehicles.
+  net::LinkSpec dsrc = net::links::dsrc();
+  net::Link link(sim, dsrc);
+  bool installed = false;
+  sim::SimTime arrival = 0;
+  link.send(image->state_bytes, [&](const net::TransferReport& rep) {
+    ASSERT_TRUE(rep.delivered);
+    recipient.os().security().migrate_in(*image);
+    installed = true;
+    arrival = sim.now();
+  });
+  sim.run_until(sim::minutes(1));
+  ASSERT_TRUE(installed);
+  EXPECT_TRUE(recipient.os().security().installed("road-reporter"));
+  // 3 MiB over 27 Mbps DSRC ≈ 0.93 s.
+  EXPECT_NEAR(sim::to_seconds(arrival), 0.93, 0.15);
+  // Re-keyed on arrival: donor-era attestations do not verify at B.
+  EXPECT_FALSE(recipient.os().security().verify(
+      "road-reporter", util::fnv1a("road-reporter") ^ image->attestation_key));
+  auto fresh = recipient.os().security().attest("road-reporter");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(recipient.os().security().verify("road-reporter", *fresh));
+}
+
+}  // namespace
+}  // namespace vdap::core

@@ -1,0 +1,128 @@
+#include "ddi/memdb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::ddi {
+namespace {
+
+DataRecord rec(const std::string& v) {
+  DataRecord r;
+  r.stream = "s";
+  r.payload["v"] = v;
+  return r;
+}
+
+TEST(MemDb, PutGetRoundTrip) {
+  MemDb db;
+  db.put("k", rec("hello"), 0);
+  auto got = db.get("k", sim::seconds(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload.get_string("v"), "hello");
+  EXPECT_EQ(db.hits(), 1u);
+  EXPECT_EQ(db.misses(), 0u);
+}
+
+TEST(MemDb, MissingKeyIsMiss) {
+  MemDb db;
+  EXPECT_FALSE(db.get("nope", 0).has_value());
+  EXPECT_EQ(db.misses(), 1u);
+  EXPECT_DOUBLE_EQ(db.hit_rate(), 0.0);
+}
+
+TEST(MemDb, TtlExpiry) {
+  MemDb db({1 << 20, sim::seconds(10)});
+  db.put("k", rec("v"), 0);
+  EXPECT_TRUE(db.contains("k", sim::seconds(9)));
+  EXPECT_FALSE(db.contains("k", sim::seconds(10)));
+  EXPECT_FALSE(db.get("k", sim::seconds(10)).has_value());
+  EXPECT_EQ(db.size(), 0u);  // lazily removed on touch
+}
+
+TEST(MemDb, ExplicitTtlOverridesDefault) {
+  MemDb db({1 << 20, sim::seconds(10)});
+  db.put("k", rec("v"), 0, sim::seconds(100));
+  EXPECT_TRUE(db.contains("k", sim::seconds(50)));
+}
+
+TEST(MemDb, OverwriteReplacesValueAndSize) {
+  MemDb db;
+  db.put("k", rec("short"), 0);
+  std::uint64_t b1 = db.bytes();
+  db.put("k", rec("a-considerably-longer-value-string"), 0);
+  EXPECT_GT(db.bytes(), b1);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.get("k", 1)->payload.get_string("v"),
+            "a-considerably-longer-value-string");
+}
+
+TEST(MemDb, LruEvictionUnderPressure) {
+  // Tiny cache: three entries fit, the fourth evicts the least recent.
+  DataRecord r = rec("x");
+  std::uint64_t unit = encoded_size(r) + 2;  // key length 2
+  MemDb db({3 * unit + 10, sim::seconds(100)});
+  db.put("k1", r, 0);
+  db.put("k2", r, 0);
+  db.put("k3", r, 0);
+  // Touch k1 so k2 is now the LRU victim.
+  EXPECT_TRUE(db.get("k1", 1).has_value());
+  db.put("k4", r, 0);
+  EXPECT_TRUE(db.contains("k1", 1));
+  EXPECT_FALSE(db.contains("k2", 1));
+  EXPECT_TRUE(db.contains("k3", 1));
+  EXPECT_TRUE(db.contains("k4", 1));
+  EXPECT_GE(db.evictions(), 1u);
+}
+
+TEST(MemDb, OversizedEntryRejected) {
+  MemDb db({100, sim::seconds(10)});
+  DataRecord big = rec(std::string(500, 'x'));
+  db.put("big", big, 0);
+  EXPECT_FALSE(db.contains("big", 0));
+  EXPECT_EQ(db.bytes(), 0u);
+}
+
+TEST(MemDb, EraseAndPurge) {
+  MemDb db({1 << 20, sim::seconds(10)});
+  db.put("a", rec("1"), 0);
+  db.put("b", rec("2"), 0);
+  EXPECT_TRUE(db.erase("a"));
+  EXPECT_FALSE(db.erase("a"));
+  db.purge_expired(sim::seconds(20));
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.bytes(), 0u);
+}
+
+TEST(MemDb, DrainExpiredReturnsRecordsForWriteBack) {
+  MemDb db({1 << 20, sim::seconds(10)});
+  db.put("a", rec("1"), 0);
+  db.put("b", rec("2"), 0);
+  db.put("c", rec("3"), sim::seconds(5));  // expires at 15
+  auto drained = db.drain_expired(sim::seconds(12));
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.contains("c", sim::seconds(12)));
+}
+
+TEST(MemDb, BytesAccountingConsistent) {
+  MemDb db;
+  for (int i = 0; i < 50; ++i) {
+    db.put("key" + std::to_string(i), rec(std::string(i * 3, 'v')), 0);
+  }
+  std::uint64_t total = db.bytes();
+  EXPECT_GT(total, 0u);
+  for (int i = 0; i < 50; ++i) db.erase("key" + std::to_string(i));
+  EXPECT_EQ(db.bytes(), 0u);
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(MemDb, HitRateTracksAccesses) {
+  MemDb db;
+  db.put("k", rec("v"), 0);
+  db.get("k", 1);
+  db.get("k", 1);
+  db.get("gone", 1);
+  EXPECT_NEAR(db.hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vdap::ddi

@@ -1,0 +1,105 @@
+#include "ddi/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::ddi {
+namespace {
+
+DataRecord sample(const std::string& stream = "vehicle/obd") {
+  DataRecord r;
+  r.stream = stream;
+  r.timestamp = sim::seconds(42);
+  r.lat = 42.3314;
+  r.lon = -83.0458;
+  r.payload["speed_mps"] = 13.4;
+  r.payload["rpm"] = 2100;
+  r.payload["tags"] = json::Value(json::Array{"a", "b"});
+  return r;
+}
+
+TEST(RecordCodec, RoundTrip) {
+  DataRecord r = sample();
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  std::size_t offset = 0;
+  auto back = decode(buf, offset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(RecordCodec, EncodedSizeMatches) {
+  DataRecord r = sample();
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  EXPECT_EQ(buf.size(), encoded_size(r));
+}
+
+TEST(RecordCodec, MultipleRecordsStreamed) {
+  std::vector<std::uint8_t> buf;
+  std::vector<DataRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    DataRecord r = sample("stream/" + std::to_string(i % 3));
+    r.timestamp = sim::seconds(i);
+    records.push_back(r);
+    encode(r, buf);
+  }
+  std::size_t offset = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto back = decode(buf, offset);
+    ASSERT_TRUE(back.has_value()) << i;
+    EXPECT_EQ(*back, records[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(RecordCodec, TruncatedInputRejectedWithoutAdvance) {
+  DataRecord r = sample();
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, buf.size() / 2,
+                          buf.size() - 1}) {
+    std::vector<std::uint8_t> trunc(buf.begin(),
+                                    buf.begin() + static_cast<long>(cut));
+    std::size_t offset = 0;
+    EXPECT_FALSE(decode(trunc, offset).has_value()) << cut;
+    EXPECT_EQ(offset, 0u) << cut;
+  }
+}
+
+TEST(RecordCodec, CorruptPayloadRejected) {
+  DataRecord r = sample();
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  // Smash a byte inside the JSON payload region.
+  buf[buf.size() - 3] = 0x01;
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode(buf, offset).has_value());
+}
+
+TEST(RecordCodec, EmptyStreamAndPayload) {
+  DataRecord r;
+  r.stream = "s";
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  std::size_t offset = 0;
+  auto back = decode(buf, offset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.is_null());
+  EXPECT_EQ(back->timestamp, 0);
+}
+
+TEST(RecordCodec, UnicodeAndEscapesSurvive) {
+  DataRecord r = sample();
+  r.payload["note"] = "line\nbreak \"quoted\" caf\xC3\xA9";
+  std::vector<std::uint8_t> buf;
+  encode(r, buf);
+  std::size_t offset = 0;
+  auto back = decode(buf, offset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload.at("note").as_string(),
+            "line\nbreak \"quoted\" caf\xC3\xA9");
+}
+
+}  // namespace
+}  // namespace vdap::ddi

@@ -1,0 +1,272 @@
+#include "edgeos/elastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::edgeos {
+namespace {
+
+class ElasticTest : public ::testing::Test {
+ protected:
+  ElasticTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        gpu(sim, hw::catalog::jetson_tx2_maxp()),
+        fpga(sim, hw::catalog::automotive_fpga()),
+        asic(sim, hw::catalog::cnn_asic()),
+        rsu(sim, hw::catalog::rsu_edge_server()),
+        cloud(sim, hw::catalog::cloud_server()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()),
+        mgr(sim, dsf, topo) {
+    // The full reference 1stHEP: a healthy vehicle beats paying the network.
+    reg.join(&cpu);
+    reg.join(&gpu);
+    reg.join(&fpga);
+    reg.join(&asic);
+    mgr.set_remote_device(net::Tier::kRsuEdge, &rsu);
+    mgr.set_remote_device(net::Tier::kCloud, &cloud);
+  }
+
+  PolymorphicService plate_service() {
+    return make_polymorphic_multi(
+        workload::apps::license_plate_pipeline(),
+        {net::Tier::kRsuEdge, net::Tier::kCloud});
+  }
+
+  sim::Simulator sim;
+  hw::ComputeDevice cpu, gpu, fpga, asic, rsu, cloud;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+  ElasticManager mgr;
+};
+
+TEST_F(ElasticTest, ServiceFactoryBuildsPaperPipelines) {
+  PolymorphicService svc = plate_service();
+  // onboard + (remote, split) x 2 tiers = 5 pipelines.
+  ASSERT_EQ(svc.pipelines.size(), 5u);
+  EXPECT_TRUE(svc.pipelines[0].all_on_board());
+  std::string why;
+  EXPECT_TRUE(svc.validate(&why)) << why;
+}
+
+TEST_F(ElasticTest, SplitKeepsSourceOnBoard) {
+  PolymorphicService svc =
+      make_polymorphic(workload::apps::license_plate_pipeline(),
+                       net::Tier::kRsuEdge);
+  const Pipeline& split = svc.pipelines[2];
+  EXPECT_EQ(split.placement[0], net::Tier::kOnBoard);   // motion detect
+  EXPECT_EQ(split.placement[1], net::Tier::kRsuEdge);   // plate detect
+  EXPECT_EQ(split.placement[2], net::Tier::kRsuEdge);   // recognize
+}
+
+TEST_F(ElasticTest, PinnedTasksStayOnBoardInEveryPipeline) {
+  PolymorphicService svc = make_polymorphic(
+      workload::apps::pedestrian_detection(), net::Tier::kCloud);
+  for (const Pipeline& p : svc.pipelines) {
+    EXPECT_EQ(p.placement[2], net::Tier::kOnBoard) << p.name;  // actuation
+  }
+  EXPECT_TRUE(svc.validate());
+}
+
+TEST_F(ElasticTest, ValidateCatchesBadPipelines) {
+  PolymorphicService svc = plate_service();
+  svc.pipelines[1].placement.pop_back();
+  std::string why;
+  EXPECT_FALSE(svc.validate(&why));
+  EXPECT_NE(why.find("cover"), std::string::npos);
+}
+
+TEST_F(ElasticTest, EstimatesEveryPipeline) {
+  auto ests = mgr.estimate(plate_service());
+  ASSERT_EQ(ests.size(), 5u);
+  for (const auto& e : ests) {
+    EXPECT_TRUE(e.feasible) << e.pipeline;
+    EXPECT_GT(e.latency, 0) << e.pipeline;
+  }
+}
+
+TEST_F(ElasticTest, OffboardPipelinesUseLessOnboardEnergy) {
+  auto ests = mgr.estimate(plate_service());
+  // ests[0] = onboard, ests[1] = remote-rsu.
+  EXPECT_GT(ests[0].onboard_energy_j, ests[1].onboard_energy_j);
+}
+
+TEST_F(ElasticTest, UnreachableTierIsInfeasible) {
+  topo.set_available(net::Tier::kRsuEdge, false);
+  auto ests = mgr.estimate(plate_service());
+  EXPECT_TRUE(ests[0].feasible);                       // onboard
+  EXPECT_FALSE(ests[1].feasible) << ests[1].pipeline;  // remote-rsu
+  EXPECT_FALSE(ests[2].feasible);                      // split-rsu
+  EXPECT_TRUE(ests[3].feasible);                       // remote-cloud
+}
+
+TEST_F(ElasticTest, MissingRemoteDeviceIsInfeasible) {
+  ElasticManager bare(sim, dsf, topo);
+  auto ests = bare.estimate(plate_service());
+  EXPECT_TRUE(ests[0].feasible);
+  EXPECT_FALSE(ests[1].feasible);
+}
+
+TEST_F(ElasticTest, ChoosePrefersOnboardWhenLocalIsFast) {
+  // Plate pipeline is light; on-board beats paying network latency.
+  PolymorphicService svc = plate_service();
+  const Pipeline* p = mgr.choose(svc);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "onboard");
+}
+
+TEST_F(ElasticTest, ChooseOffloadsWhenVehicleIsBusy) {
+  // Saturate the on-board devices; the edge becomes the fastest finish.
+  for (int i = 0; i < 30; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+    fpga.submit({hw::TaskClass::kCnnInference, 60.0, 0, nullptr});
+    asic.submit({hw::TaskClass::kCnnInference, 230.0, 0, nullptr});
+  }
+  PolymorphicService svc = plate_service();
+  const Pipeline* p = mgr.choose(svc);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->name, "onboard");
+}
+
+TEST_F(ElasticTest, GoalEnergyPicksLowestOnboardEnergy) {
+  mgr.options().goal = Goal::kMinEnergy;
+  PolymorphicService svc = plate_service();
+  svc.dag.set_qos({0, 4, 0});  // drop the deadline so all feasible
+  const Pipeline* p = mgr.choose(svc);
+  ASSERT_NE(p, nullptr);
+  auto ests = mgr.estimate(svc);
+  double chosen_energy = -1.0;
+  double min_energy = 1e18;
+  for (const auto& e : ests) {
+    if (e.pipeline == p->name) chosen_energy = e.onboard_energy_j;
+    if (e.feasible) min_energy = std::min(min_energy, e.onboard_energy_j);
+  }
+  EXPECT_DOUBLE_EQ(chosen_energy, min_energy);
+}
+
+TEST_F(ElasticTest, RunExecutesChosenPipelineEndToEnd) {
+  ServiceRunReport rep;
+  mgr.run(plate_service(), [&](const ServiceRunReport& r) { rep = r; });
+  sim.run_until();
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.deadline_met);
+  EXPECT_EQ(rep.pipeline, "onboard");
+  EXPECT_GT(rep.latency(), 0);
+  EXPECT_EQ(mgr.completed(), 1u);
+}
+
+TEST_F(ElasticTest, RemotePipelineActuallyUsesRemoteDevice) {
+  PolymorphicService svc = plate_service();
+  svc.pipelines = {svc.pipelines[1]};  // force remote-rsu
+  ServiceRunReport rep;
+  mgr.run(svc, [&](const ServiceRunReport& r) { rep = r; });
+  sim.run_until();
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.pipeline, "remote-rsu-edge");
+  EXPECT_EQ(rsu.completed(), 3u);  // all three stages ran at the RSU
+  EXPECT_EQ(cpu.completed() + gpu.completed(), 0u);
+}
+
+TEST_F(ElasticTest, TightDeadlineWithNoFeasiblePipelineHangsService) {
+  PolymorphicService svc = plate_service();
+  svc.dag.set_qos({sim::usec(10), 4, 0});  // impossible deadline
+  ServiceRunReport rep;
+  bool called = false;
+  mgr.run(svc, [&](const ServiceRunReport& r) {
+    rep = r;
+    called = true;
+  });
+  EXPECT_EQ(mgr.hung_count(), 1u);
+  sim.run_until(sim::seconds(1));
+  EXPECT_FALSE(called);  // still hung
+}
+
+TEST_F(ElasticTest, HungServiceResumesWhenConditionsImprove) {
+  // Take every tier away except a saturated vehicle; hang, then free the
+  // vehicle and reevaluate.
+  topo.set_available(net::Tier::kRsuEdge, false);
+  topo.set_available(net::Tier::kBaseStationEdge, false);
+  topo.set_available(net::Tier::kCloud, false);
+  for (int i = 0; i < 200; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+    fpga.submit({hw::TaskClass::kCnnInference, 60.0, 0, nullptr});
+    asic.submit({hw::TaskClass::kCnnInference, 230.0, 0, nullptr});
+  }
+  PolymorphicService svc = plate_service();
+  ServiceRunReport rep;
+  bool called = false;
+  mgr.run(svc, [&](const ServiceRunReport& r) {
+    rep = r;
+    called = true;
+  });
+  EXPECT_EQ(mgr.hung_count(), 1u);
+  // Conditions improve: the RSU comes back into range.
+  sim.after(sim::seconds(2), [&] {
+    topo.set_available(net::Tier::kRsuEdge, true);
+    mgr.reevaluate();
+  });
+  sim.run_until(sim::seconds(30));
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.was_hung);
+  EXPECT_GE(rep.latency(), sim::seconds(2));  // includes hung time
+  EXPECT_EQ(mgr.hung_count(), 0u);
+}
+
+TEST_F(ElasticTest, DegradedCellularShiftsChoiceToRsu) {
+  // Make on-board unattractive (busy) so the choice is between tiers, then
+  // degrade cellular: the cloud pipelines should lose to RSU ones.
+  for (int i = 0; i < 50; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+    fpga.submit({hw::TaskClass::kCnnInference, 60.0, 0, nullptr});
+    asic.submit({hw::TaskClass::kCnnInference, 230.0, 0, nullptr});
+  }
+  topo.apply_cellular_condition(0.05, 0.3);
+  PolymorphicService svc = plate_service();
+  const Pipeline* p = mgr.choose(svc);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->name.find("rsu"), std::string::npos) << p->name;
+}
+
+TEST_F(ElasticTest, EstimatesTrackActualsOnIdleSystem) {
+  // The planner is only as good as its estimator: on an idle system (no
+  // contention arising after the decision) each pipeline's estimated
+  // latency must be close to what actually happens.
+  PolymorphicService base = plate_service();
+  base.dag.set_qos({0, 4, 0});
+  auto ests = mgr.estimate(base);
+  for (std::size_t i = 0; i < base.pipelines.size(); ++i) {
+    ASSERT_TRUE(ests[i].feasible) << ests[i].pipeline;
+    PolymorphicService forced = base;
+    forced.pipelines = {base.pipelines[i]};
+    ServiceRunReport rep;
+    mgr.run(forced, [&](const ServiceRunReport& r) { rep = r; });
+    sim.run_until(sim.now() + sim::minutes(2));
+    ASSERT_TRUE(rep.ok) << ests[i].pipeline;
+    double est_ms = sim::to_millis(ests[i].latency);
+    double act_ms = sim::to_millis(rep.latency());
+    // Within 30% or 10 ms — transfers pay per-message loss/retry jitter
+    // the analytic estimate only averages.
+    EXPECT_NEAR(act_ms, est_ms, std::max(10.0, 0.30 * est_ms))
+        << ests[i].pipeline;
+  }
+}
+
+TEST_F(ElasticTest, RejectsOnBoardRemoteDevice) {
+  EXPECT_THROW(mgr.set_remote_device(net::Tier::kOnBoard, &cpu),
+               std::invalid_argument);
+}
+
+TEST_F(ElasticTest, EstimateRejectsInvalidService) {
+  PolymorphicService svc;
+  EXPECT_THROW(mgr.estimate(svc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

@@ -1,0 +1,154 @@
+#include "edgeos/edgeos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::edgeos {
+namespace {
+
+class EdgeOsTest : public ::testing::Test {
+ protected:
+  EdgeOsTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        gpu(sim, hw::catalog::jetson_tx2_maxp()),
+        rsu(sim, hw::catalog::rsu_edge_server()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()),
+        os(sim, dsf, topo) {
+    reg.join(&cpu);
+    reg.join(&gpu);
+    os.elastic().set_remote_device(net::Tier::kRsuEdge, &rsu);
+  }
+
+  sim::Simulator sim;
+  hw::ComputeDevice cpu, gpu, rsu;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+  EdgeOSv os;
+};
+
+TEST_F(EdgeOsTest, InstallAndRunService) {
+  os.install_service(make_polymorphic(workload::apps::license_plate_pipeline(),
+                                      net::Tier::kRsuEdge),
+                     IsolationMode::kContainer);
+  EXPECT_TRUE(os.has_service("license-plate"));
+  ServiceRunReport rep;
+  os.run_service("license-plate",
+                 [&](const ServiceRunReport& r) { rep = r; });
+  sim.run_until(sim.now() + sim::seconds(30));
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.deadline_met);
+}
+
+TEST_F(EdgeOsTest, DuplicateInstallRejected) {
+  auto svc = make_polymorphic(workload::apps::lane_detection(),
+                              net::Tier::kRsuEdge);
+  os.install_service(svc, IsolationMode::kTee);
+  EXPECT_THROW(os.install_service(svc, IsolationMode::kTee),
+               std::invalid_argument);
+  EXPECT_THROW(os.run_service("ghost"), std::invalid_argument);
+}
+
+TEST_F(EdgeOsTest, TeeOverheadSlowsService) {
+  auto svc = make_polymorphic(workload::apps::inception_v3(),
+                              net::Tier::kRsuEdge);
+  // Strip remote pipelines so we compare pure on-board compute.
+  svc.pipelines = {svc.pipelines[0]};
+  auto svc_tee = svc;
+  svc_tee.dag.set_qos({0, 3, 0});
+  svc.dag.set_qos({0, 3, 0});
+
+  os.install_service(svc, IsolationMode::kNone);
+  sim::SimDuration raw_latency = 0;
+  os.run_service("inception-v3",
+                 [&](const ServiceRunReport& r) { raw_latency = r.latency(); });
+  sim.run_until(sim.now() + sim::seconds(30));
+
+  // Same DAG under a different name with TEE isolation.
+  EdgeOSv os2(sim, dsf, topo);
+  os2.install_service(svc_tee, IsolationMode::kTee);
+  sim::SimDuration tee_latency = 0;
+  os2.run_service("inception-v3",
+                  [&](const ServiceRunReport& r) { tee_latency = r.latency(); });
+  sim.run_until(sim.now() + sim::seconds(30));
+
+  EXPECT_GT(tee_latency, raw_latency);
+  EXPECT_NEAR(static_cast<double>(tee_latency) / raw_latency, 1.18, 0.03);
+}
+
+TEST_F(EdgeOsTest, CompromisedServiceRefusesToRunThenRecovers) {
+  os.install_service(make_polymorphic(workload::apps::license_plate_pipeline(),
+                                      net::Tier::kRsuEdge),
+                     IsolationMode::kContainer);
+  os.security().compromise("license-plate");
+  bool ran_ok = true;
+  os.run_service("license-plate",
+                 [&](const ServiceRunReport& r) { ran_ok = r.ok; });
+  EXPECT_FALSE(ran_ok);
+
+  // The monitor reinstalls it; afterwards it runs again.
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(os.security().state("license-plate"), ServiceState::kRunning);
+  ServiceRunReport rep;
+  os.run_service("license-plate",
+                 [&](const ServiceRunReport& r) { rep = r; });
+  sim.run_until(sim::seconds(20));
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST_F(EdgeOsTest, ReinstallRotatesBusCredential) {
+  os.install_service(make_polymorphic(workload::apps::license_plate_pipeline(),
+                                      net::Tier::kRsuEdge),
+                     IsolationMode::kContainer);
+  std::uint64_t stolen = os.credential("license-plate");
+  os.bus().grant_publish("results", "license-plate");
+  EXPECT_GE(os.bus().publish("license-plate", stolen, "results",
+                             json::Value(1)),
+            0);
+  os.security().compromise("license-plate");
+  sim.run_until(sim::seconds(10));  // monitor detects + reinstalls
+  // Old credential no longer authenticates; the fresh one does.
+  EXPECT_EQ(os.bus().publish("license-plate", stolen, "results",
+                             json::Value(2)),
+            -1);
+  EXPECT_GE(os.bus().publish("license-plate", os.credential("license-plate"),
+                             "results", json::Value(3)),
+            0);
+}
+
+TEST_F(EdgeOsTest, DeirReportAggregates) {
+  os.install_service(make_polymorphic(workload::apps::license_plate_pipeline(),
+                                      net::Tier::kRsuEdge),
+                     IsolationMode::kContainer);
+  os.install_service(make_polymorphic(workload::apps::lane_detection(),
+                                      net::Tier::kRsuEdge),
+                     IsolationMode::kTee);
+  for (int i = 0; i < 3; ++i) os.run_service("license-plate");
+  os.run_service("lane-detection");
+  sim.run_until(sim::seconds(5));
+  os.security().compromise("license-plate");
+  sim.run_until(sim::seconds(15));
+
+  DeirReport r = os.deir_report();
+  EXPECT_EQ(r.installed_services, 2u);
+  EXPECT_EQ(r.registered_devices, 2u);
+  EXPECT_EQ(r.compromises_detected, 1u);
+  EXPECT_EQ(r.reinstalls, 1u);
+  std::uint64_t plate_runs = 0;
+  for (const auto& [pipeline, n] : r.pipeline_use["license-plate"]) {
+    plate_runs += n;
+  }
+  EXPECT_EQ(plate_runs, 3u);
+}
+
+TEST_F(EdgeOsTest, PseudonymsExposedForV2xSharing) {
+  std::string p0 = os.pseudonyms().pseudonym(sim.now());
+  EXPECT_FALSE(p0.empty());
+  EXPECT_NE(p0.find("veh-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

@@ -1,0 +1,115 @@
+// Failure injection on the offload path: what happens to remote pipelines
+// when the network is actively hostile (the Fig. 2 world) and when remote
+// endpoints vanish mid-run.
+#include <gtest/gtest.h>
+
+#include "edgeos/elastic.hpp"
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::edgeos {
+namespace {
+
+class ElasticFailureTest : public ::testing::Test {
+ protected:
+  ElasticFailureTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        cloud(sim, hw::catalog::cloud_server()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()),
+        mgr(sim, dsf, topo) {
+    reg.join(&cpu);
+    mgr.set_remote_device(net::Tier::kCloud, &cloud);
+  }
+
+  PolymorphicService cloud_only_service() {
+    auto svc = make_polymorphic(workload::apps::inception_v3(),
+                                net::Tier::kCloud);
+    svc.pipelines = {svc.pipelines[1]};  // remote-cloud, no fallback
+    svc.dag.set_qos({0, 3, 0});
+    return svc;
+  }
+
+  sim::Simulator sim{13};
+  hw::ComputeDevice cpu, cloud;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+  ElasticManager mgr;
+};
+
+TEST_F(ElasticFailureTest, ExtremeLossFailsMostRemoteRuns) {
+  // Near-total cellular loss: even 5 retries per hop rarely get through.
+  topo.apply_cellular_condition(1.0, 0.99);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 30; ++i) {
+    mgr.run(cloud_only_service(), [&](const ServiceRunReport& r) {
+      (r.ok ? ok : failed)++;
+    });
+  }
+  sim.run_until(sim::minutes(5));
+  EXPECT_EQ(ok + failed, 30);
+  EXPECT_GT(failed, 20);  // the link is the failure mode, not the compute
+  EXPECT_EQ(mgr.failed(), static_cast<std::uint64_t>(failed));
+}
+
+TEST_F(ElasticFailureTest, ModerateLossRecoversThroughRetries) {
+  topo.apply_cellular_condition(1.0, 0.3);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 30; ++i) {
+    mgr.run(cloud_only_service(), [&](const ServiceRunReport& r) {
+      (r.ok ? ok : failed)++;
+    });
+  }
+  sim.run_until(sim::minutes(5));
+  EXPECT_EQ(ok + failed, 30);
+  // 1-(0.3)^5 per message: nearly everything survives retries.
+  EXPECT_GT(ok, 25);
+}
+
+TEST_F(ElasticFailureTest, RemoteDeviceGoesOfflineMidRun) {
+  ServiceRunReport rep;
+  rep.ok = true;
+  mgr.run(cloud_only_service(),
+          [&](const ServiceRunReport& r) { rep = r; });
+  // Kill the cloud endpoint while the upload / compute is in flight.
+  sim.after(sim::msec(30), [&] { cloud.set_online(false); });
+  sim.run_until(sim::minutes(1));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(mgr.failed(), 1u);
+}
+
+TEST_F(ElasticFailureTest, TierDisappearingBetweenChooseAndRunIsSafe) {
+  // choose() sees the cloud; by the time data moves the tier is gone.
+  PolymorphicService svc = cloud_only_service();
+  ServiceRunReport rep;
+  rep.ok = true;
+  mgr.run(svc, [&](const ServiceRunReport& r) { rep = r; });
+  topo.set_available(net::Tier::kCloud, false);  // same timestep
+  sim.run_until(sim::minutes(1));
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST_F(ElasticFailureTest, FallbackPipelineAbsorbsNetworkTrouble) {
+  // With the onboard pipeline available, hostile cellular just shifts the
+  // choice rather than failing runs.
+  topo.apply_cellular_condition(0.01, 0.9);
+  auto svc = make_polymorphic(workload::apps::inception_v3(),
+                              net::Tier::kCloud);
+  svc.dag.set_qos({0, 3, 0});
+  int ok = 0, failed = 0;
+  std::map<std::string, int> pipelines;
+  for (int i = 0; i < 20; ++i) {
+    mgr.run(svc, [&](const ServiceRunReport& r) {
+      (r.ok ? ok : failed)++;
+      if (r.ok) pipelines[r.pipeline]++;
+    });
+  }
+  sim.run_until(sim::minutes(5));
+  EXPECT_EQ(ok, 20);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(pipelines["onboard"], 20);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

@@ -1,0 +1,152 @@
+// The §IV-C open problem: dividing a chain workload across the
+// vehicle→edge→cloud path ("how to dynamical divide workload on the edges").
+#include <gtest/gtest.h>
+
+#include "edgeos/elastic.hpp"
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::edgeos {
+namespace {
+
+const std::vector<net::Tier> kPath = {net::Tier::kOnBoard,
+                                      net::Tier::kRsuEdge, net::Tier::kCloud};
+
+TEST(PathSplit, EnumeratesAllMonotoneCuts) {
+  // 3-stage chain over 3 tiers: C(3+2, 2) = 10 monotone assignments.
+  auto svc = make_path_split_pipelines(
+      workload::apps::license_plate_pipeline(), kPath);
+  EXPECT_EQ(svc.pipelines.size(), 10u);
+  std::string why;
+  EXPECT_TRUE(svc.validate(&why)) << why;
+}
+
+TEST(PathSplit, PlacementsAreMonotone) {
+  auto svc = make_path_split_pipelines(
+      workload::apps::license_plate_pipeline(), kPath);
+  auto tier_index = [&](net::Tier t) {
+    for (std::size_t i = 0; i < kPath.size(); ++i) {
+      if (kPath[i] == t) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const Pipeline& p : svc.pipelines) {
+    int prev = 0;
+    for (int id : svc.dag.topo_order()) {
+      int level = tier_index(p.placement[static_cast<std::size_t>(id)]);
+      EXPECT_GE(level, prev) << p.name;  // data flows strictly outward
+      prev = level;
+    }
+  }
+}
+
+TEST(PathSplit, IncludesPureEndpoints) {
+  auto svc = make_path_split_pipelines(
+      workload::apps::license_plate_pipeline(), kPath);
+  bool all_onboard = false, all_cloud = false;
+  for (const Pipeline& p : svc.pipelines) {
+    if (p.all_on_board()) all_onboard = true;
+    bool cloud = true;
+    for (net::Tier t : p.placement) cloud &= t == net::Tier::kCloud;
+    all_cloud |= cloud;
+  }
+  EXPECT_TRUE(all_onboard);
+  EXPECT_TRUE(all_cloud);
+}
+
+TEST(PathSplit, PinnedStagesPinTheCut) {
+  // Pedestrian detection's sink (actuation) is pinned on board — but it is
+  // a chain whose LAST stage is pinned, so every pipeline must be fully
+  // on-board (monotone placement can never come back to the vehicle).
+  auto svc = make_path_split_pipelines(
+      workload::apps::pedestrian_detection(), kPath);
+  ASSERT_EQ(svc.pipelines.size(), 1u);
+  EXPECT_TRUE(svc.pipelines[0].all_on_board());
+}
+
+TEST(PathSplit, RejectsNonChainDags) {
+  workload::AppDag fan("fan", workload::ServiceCategory::kThirdParty, {});
+  int a = fan.add_task({"a", hw::TaskClass::kGeneric, 0.1, 10, 10, true});
+  int b = fan.add_task({"b", hw::TaskClass::kGeneric, 0.1, 10, 10, true});
+  int c = fan.add_task({"c", hw::TaskClass::kGeneric, 0.1, 10, 10, true});
+  fan.add_edge(a, b);
+  fan.add_edge(a, c);
+  EXPECT_THROW(make_path_split_pipelines(fan, kPath), std::invalid_argument);
+}
+
+TEST(PathSplit, RejectsPathNotStartingOnBoard) {
+  EXPECT_THROW(make_path_split_pipelines(
+                   workload::apps::license_plate_pipeline(),
+                   {net::Tier::kRsuEdge, net::Tier::kCloud}),
+               std::invalid_argument);
+}
+
+class PathSplitElasticTest : public ::testing::Test {
+ protected:
+  PathSplitElasticTest()
+      : cpu(sim, hw::catalog::core_i7_6700()),
+        gpu(sim, hw::catalog::jetson_tx2_maxp()),
+        rsu(sim, hw::catalog::rsu_edge_server()),
+        cloud(sim, hw::catalog::cloud_server()),
+        topo(sim),
+        dsf(sim, reg, std::make_unique<vcu::GreedyEftScheduler>()),
+        mgr(sim, dsf, topo) {
+    reg.join(&cpu);
+    reg.join(&gpu);
+    mgr.set_remote_device(net::Tier::kRsuEdge, &rsu);
+    mgr.set_remote_device(net::Tier::kCloud, &cloud);
+  }
+
+  sim::Simulator sim;
+  hw::ComputeDevice cpu, gpu, rsu, cloud;
+  vcu::ResourceRegistry reg;
+  net::Topology topo;
+  vcu::Dsf dsf;
+  ElasticManager mgr;
+};
+
+TEST_F(PathSplitElasticTest, EveryCutIsEstimableAndRunnable) {
+  auto svc = make_path_split_pipelines(
+      workload::apps::license_plate_pipeline(), kPath);
+  svc.dag.set_qos({0, 4, 0});
+  auto ests = mgr.estimate(svc);
+  ASSERT_EQ(ests.size(), 10u);
+  for (const auto& e : ests) {
+    EXPECT_TRUE(e.feasible) << e.pipeline;
+    EXPECT_GT(e.latency, 0) << e.pipeline;
+  }
+  ServiceRunReport rep;
+  mgr.run(svc, [&](const ServiceRunReport& r) { rep = r; });
+  sim.run_until(sim::seconds(30));
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST_F(PathSplitElasticTest, OptimalCutMovesWithVehicleLoad) {
+  // Idle vehicle: keep everything local. Saturated vehicle: the chosen cut
+  // pushes at least the heavy stages outward.
+  auto svc = make_path_split_pipelines(
+      workload::apps::license_plate_pipeline(), kPath);
+  svc.dag.set_qos({0, 4, 0});
+  const Pipeline* idle_choice = mgr.choose(svc);
+  ASSERT_NE(idle_choice, nullptr);
+  std::string idle_name = idle_choice->name;
+
+  for (int i = 0; i < 60; ++i) {
+    cpu.submit({hw::TaskClass::kCnnInference, 74.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kCnnInference, 99.0, 0, nullptr});
+    cpu.submit({hw::TaskClass::kVisionClassic, 40.0, 0, nullptr});
+    gpu.submit({hw::TaskClass::kPreprocess, 35.0, 0, nullptr});
+  }
+  const Pipeline* busy_choice = mgr.choose(svc);
+  ASSERT_NE(busy_choice, nullptr);
+  EXPECT_NE(busy_choice->name, idle_name);
+  // At least one stage left the vehicle.
+  bool offloaded = false;
+  for (net::Tier t : busy_choice->placement) {
+    offloaded |= t != net::Tier::kOnBoard;
+  }
+  EXPECT_TRUE(offloaded);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

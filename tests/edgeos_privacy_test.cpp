@@ -1,0 +1,89 @@
+#include "edgeos/privacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vdap::edgeos {
+namespace {
+
+TEST(Pseudonyms, StableWithinEpoch) {
+  PseudonymManager pm(0xDEADBEEF, sim::minutes(5));
+  EXPECT_EQ(pm.pseudonym(0), pm.pseudonym(sim::minutes(4)));
+  EXPECT_EQ(pm.epoch(0), pm.epoch(sim::minutes(4)));
+  EXPECT_FALSE(pm.rotated_between(0, sim::minutes(4)));
+}
+
+TEST(Pseudonyms, RotateAcrossEpochs) {
+  PseudonymManager pm(0xDEADBEEF, sim::minutes(5));
+  EXPECT_NE(pm.pseudonym(0), pm.pseudonym(sim::minutes(6)));
+  EXPECT_TRUE(pm.rotated_between(0, sim::minutes(6)));
+}
+
+TEST(Pseudonyms, ManyEpochsAllDistinct) {
+  PseudonymManager pm(42, sim::minutes(5));
+  std::set<std::string> seen;
+  for (int e = 0; e < 100; ++e) {
+    seen.insert(pm.pseudonym(sim::minutes(5) * e));
+  }
+  EXPECT_EQ(seen.size(), 100u);  // unlinkable across rotations
+}
+
+TEST(Pseudonyms, DifferentVehiclesNeverCollide) {
+  PseudonymManager a(1, sim::minutes(5));
+  PseudonymManager b(2, sim::minutes(5));
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_NE(a.pseudonym(sim::minutes(5) * e),
+              b.pseudonym(sim::minutes(5) * e));
+  }
+}
+
+TEST(Pseudonyms, RejectsNonPositiveRotation) {
+  EXPECT_THROW(PseudonymManager(1, 0), std::invalid_argument);
+}
+
+TEST(LocationFuzzer, BoundedError) {
+  LocationFuzzer fuzzer(500.0, 100.0);
+  util::RngStream rng(7);
+  GeoPoint detroit{42.3314, -83.0458};
+  for (int i = 0; i < 200; ++i) {
+    GeoPoint fuzzed = fuzzer.fuzz(detroit, rng);
+    EXPECT_LE(distance_m(detroit, fuzzed), fuzzer.max_error_m() + 1.0);
+  }
+}
+
+TEST(LocationFuzzer, HidesExactAddress) {
+  // Two nearby homes in the same cell fuzz to points whose difference says
+  // nothing about which home the vehicle was at: same grid center, random
+  // jitter.
+  LocationFuzzer fuzzer(500.0, 100.0);
+  util::RngStream rng(7);
+  GeoPoint home_a{42.33140, -83.04580};
+  GeoPoint home_b{42.33150, -83.04560};  // ~20 m away, same cell
+  GeoPoint fa = fuzzer.fuzz(home_a, rng);
+  GeoPoint fb = fuzzer.fuzz(home_b, rng);
+  // Both land within the same cell's fuzz radius of each other's outputs.
+  EXPECT_LE(distance_m(fa, fb), 2.0 * fuzzer.max_error_m());
+  // And neither equals the raw input.
+  EXPECT_GT(distance_m(home_a, fa), 1.0);
+}
+
+TEST(LocationFuzzer, FuzzIsNondeterministicPerCall) {
+  LocationFuzzer fuzzer(500.0, 100.0);
+  util::RngStream rng(7);
+  GeoPoint p{42.3314, -83.0458};
+  GeoPoint f1 = fuzzer.fuzz(p, rng);
+  GeoPoint f2 = fuzzer.fuzz(p, rng);
+  EXPECT_GT(distance_m(f1, f2), 0.0);  // fresh jitter each share
+}
+
+TEST(DistanceM, KnownDistances) {
+  GeoPoint a{42.0, -83.0};
+  GeoPoint b{42.0, -83.0};
+  EXPECT_NEAR(distance_m(a, b), 0.0, 1e-9);
+  GeoPoint north{42.01, -83.0};  // 0.01 deg lat ~ 1113 m
+  EXPECT_NEAR(distance_m(a, north), 1113.2, 5.0);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

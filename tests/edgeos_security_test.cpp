@@ -1,0 +1,144 @@
+#include "edgeos/security.hpp"
+
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::edgeos {
+namespace {
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  SecurityModule sec{sim};
+};
+
+TEST_F(SecurityTest, InstallAndQuery) {
+  sec.install("adas", IsolationMode::kTee);
+  sec.install("radio", IsolationMode::kContainer);
+  EXPECT_TRUE(sec.installed("adas"));
+  EXPECT_EQ(sec.mode("adas"), IsolationMode::kTee);
+  EXPECT_EQ(sec.state("radio"), ServiceState::kRunning);
+  EXPECT_EQ(sec.services().size(), 2u);
+  EXPECT_THROW(sec.install("adas", IsolationMode::kNone),
+               std::invalid_argument);
+  EXPECT_THROW(sec.mode("ghost"), std::invalid_argument);
+  sec.uninstall("radio");
+  EXPECT_FALSE(sec.installed("radio"));
+  EXPECT_THROW(sec.uninstall("radio"), std::invalid_argument);
+}
+
+TEST_F(SecurityTest, OverheadOrdering) {
+  sec.install("tee", IsolationMode::kTee);
+  sec.install("ctr", IsolationMode::kContainer);
+  sec.install("raw", IsolationMode::kNone);
+  EXPECT_GT(sec.compute_overhead("tee"), sec.compute_overhead("ctr"));
+  EXPECT_GT(sec.compute_overhead("ctr"), 1.0 - 1e-12);
+  EXPECT_DOUBLE_EQ(sec.compute_overhead("raw"), 1.0);
+}
+
+TEST_F(SecurityTest, AttestationRoundTrip) {
+  sec.install("svc", IsolationMode::kTee);
+  auto token = sec.attest("svc");
+  ASSERT_TRUE(token.has_value());
+  EXPECT_TRUE(sec.verify("svc", *token));
+  EXPECT_FALSE(sec.verify("svc", *token + 1));
+  EXPECT_FALSE(sec.verify("other", *token));
+}
+
+TEST_F(SecurityTest, TeeResistsCompromise) {
+  sec.install("critical", IsolationMode::kTee);
+  EXPECT_FALSE(sec.compromise("critical"));
+  EXPECT_EQ(sec.state("critical"), ServiceState::kRunning);
+}
+
+TEST_F(SecurityTest, ContainerCompromiseDetectedAndReinstalled) {
+  sec.install("thirdparty", IsolationMode::kContainer);
+  sec.start_monitor();
+  auto old_token = sec.attest("thirdparty");
+  ASSERT_TRUE(old_token.has_value());
+
+  sim.after(sim::seconds(1), [&] {
+    EXPECT_TRUE(sec.compromise("thirdparty"));
+    // Compromised services cannot attest.
+    EXPECT_FALSE(sec.attest("thirdparty").has_value());
+  });
+  sim.run_until(sim::seconds(10));
+
+  EXPECT_EQ(sec.compromises_detected(), 1u);
+  EXPECT_EQ(sec.reinstalls(), 1u);
+  EXPECT_EQ(sec.state("thirdparty"), ServiceState::kRunning);
+  // The reinstalled instance has a fresh key: old tokens die.
+  EXPECT_FALSE(sec.verify("thirdparty", *old_token));
+  auto fresh = sec.attest("thirdparty");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(sec.verify("thirdparty", *fresh));
+}
+
+TEST_F(SecurityTest, RecoveryTimeIsBoundedByScanPlusReinstall) {
+  SecurityOptions opt;
+  opt.monitor_interval = sim::msec(200);
+  opt.reinstall_duration = sim::seconds(1);
+  SecurityModule fast(sim, opt);
+  fast.install("svc", IsolationMode::kContainer);
+  fast.start_monitor();
+  sim::SimTime recovered = -1;
+  fast.on_reinstall([&](const std::string&) { recovered = sim.now(); });
+  sim.after(sim::msec(500), [&] { fast.compromise("svc"); });
+  sim.run_until(sim::seconds(5));
+  ASSERT_GE(recovered, 0);
+  // Detected by the next scan (<= 200 ms) + 1 s reinstall.
+  EXPECT_LE(recovered, sim::msec(500) + sim::msec(200) + sim::seconds(1));
+}
+
+TEST_F(SecurityTest, MonitorIdempotentStartStop) {
+  sec.install("svc", IsolationMode::kContainer);
+  sec.start_monitor();
+  sec.start_monitor();  // no double-firing
+  sec.compromise("svc");
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(sec.compromises_detected(), 1u);
+  sec.stop_monitor();
+  sec.compromise("svc");
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(sec.compromises_detected(), 1u);  // monitor off
+}
+
+TEST_F(SecurityTest, MigrationMovesContainerAndRekeys) {
+  sec.install("a3", IsolationMode::kContainer, 5 << 20);
+  auto img = sec.migrate_out("a3");
+  ASSERT_TRUE(img.has_value());
+  EXPECT_FALSE(sec.installed("a3"));
+  EXPECT_EQ(img->state_bytes, 5u << 20);
+
+  SecurityModule other(sim);
+  other.migrate_in(*img);
+  EXPECT_TRUE(other.installed("a3"));
+  EXPECT_EQ(other.state("a3"), ServiceState::kRunning);
+  // The foreign key is not honored on the destination vehicle.
+  auto token = other.attest("a3");
+  ASSERT_TRUE(token.has_value());
+  EXPECT_NE(*token, util::fnv1a("a3") ^ img->attestation_key);
+  EXPECT_THROW(other.migrate_in(*img), std::invalid_argument);
+}
+
+TEST_F(SecurityTest, TeeServicesRefuseMigration) {
+  sec.install("critical", IsolationMode::kTee);
+  EXPECT_FALSE(sec.migrate_out("critical").has_value());
+  EXPECT_TRUE(sec.installed("critical"));
+}
+
+TEST_F(SecurityTest, CompromisedServiceCannotMigrate) {
+  sec.install("svc", IsolationMode::kContainer);
+  sec.compromise("svc");
+  EXPECT_FALSE(sec.migrate_out("svc").has_value());
+}
+
+TEST_F(SecurityTest, AttestationKeysAreUniquePerService) {
+  std::uint64_t k1 = sec.install("a", IsolationMode::kContainer);
+  std::uint64_t k2 = sec.install("b", IsolationMode::kContainer);
+  EXPECT_NE(k1, k2);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

@@ -1,0 +1,144 @@
+#include "edgeos/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::edgeos {
+namespace {
+
+TEST(SharingBus, EnrollIssuesDistinctCredentials) {
+  DataSharingBus bus;
+  auto a = bus.enroll("a");
+  auto b = bus.enroll("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(bus.enrolled("a"));
+  EXPECT_FALSE(bus.enrolled("c"));
+}
+
+TEST(SharingBus, PaperScenarioCameraSharing) {
+  // §IV-C: pedestrian detection and mobile A3 both consume the camera
+  // topic; A3 shares results with the vehicle recorder.
+  DataSharingBus bus;
+  auto cam = bus.enroll("camera-driver");
+  auto ped = bus.enroll("pedestrian-detection");
+  auto a3 = bus.enroll("mobile-a3");
+  auto rec = bus.enroll("vehicle-recorder");
+
+  bus.grant_publish("camera/frames", "camera-driver");
+  bus.grant_subscribe("camera/frames", "pedestrian-detection");
+  bus.grant_subscribe("camera/frames", "mobile-a3");
+  bus.grant_publish("a3/results", "mobile-a3");
+  bus.grant_subscribe("a3/results", "vehicle-recorder");
+
+  int ped_got = 0, a3_got = 0, rec_got = 0;
+  ASSERT_TRUE(bus.subscribe("pedestrian-detection", ped, "camera/frames",
+                            [&](const SharedMessage&) { ++ped_got; }));
+  ASSERT_TRUE(bus.subscribe("mobile-a3", a3, "camera/frames",
+                            [&](const SharedMessage&) { ++a3_got; }));
+  ASSERT_TRUE(bus.subscribe("vehicle-recorder", rec, "a3/results",
+                            [&](const SharedMessage& m) {
+                              ++rec_got;
+                              EXPECT_EQ(m.publisher, "mobile-a3");
+                            }));
+
+  EXPECT_EQ(bus.publish("camera-driver", cam, "camera/frames",
+                        json::Value("frame-1")),
+            2);
+  json::Value result;
+  result["plate"] = "ABC123";
+  EXPECT_EQ(bus.publish("mobile-a3", a3, "a3/results", result), 1);
+  EXPECT_EQ(ped_got, 1);
+  EXPECT_EQ(a3_got, 1);
+  EXPECT_EQ(rec_got, 1);
+  EXPECT_EQ(bus.published(), 2u);
+  EXPECT_EQ(bus.delivered(), 3u);
+}
+
+TEST(SharingBus, BadCredentialRejected) {
+  DataSharingBus bus;
+  auto cred = bus.enroll("svc");
+  bus.grant_publish("t", "svc");
+  EXPECT_EQ(bus.publish("svc", cred + 1, "t", json::Value(1)), -1);
+  EXPECT_EQ(bus.publish("ghost", cred, "t", json::Value(1)), -1);
+  EXPECT_EQ(bus.rejected_auth(), 2u);
+  EXPECT_EQ(bus.published(), 0u);
+}
+
+TEST(SharingBus, AclRejectsUngrantedPublisher) {
+  DataSharingBus bus;
+  auto cred = bus.enroll("svc");
+  EXPECT_EQ(bus.publish("svc", cred, "t", json::Value(1)), -1);
+  EXPECT_EQ(bus.rejected_acl(), 1u);
+}
+
+TEST(SharingBus, AclRejectsUngrantedSubscriber) {
+  DataSharingBus bus;
+  auto cred = bus.enroll("spy");
+  EXPECT_FALSE(bus.subscribe("spy", cred, "camera/frames",
+                             [](const SharedMessage&) {}));
+  EXPECT_EQ(bus.rejected_acl(), 1u);
+}
+
+TEST(SharingBus, RevocationStopsDelivery) {
+  DataSharingBus bus;
+  auto pub = bus.enroll("pub");
+  auto sub = bus.enroll("sub");
+  bus.grant_publish("t", "pub");
+  bus.grant_subscribe("t", "sub");
+  int got = 0;
+  bus.subscribe("sub", sub, "t", [&](const SharedMessage&) { ++got; });
+  bus.publish("pub", pub, "t", json::Value(1));
+  EXPECT_EQ(got, 1);
+  // Revoke the subscriber: existing subscription is torn down.
+  bus.revoke_subscribe("t", "sub");
+  bus.publish("pub", pub, "t", json::Value(2));
+  EXPECT_EQ(got, 1);
+  // Revoke the publisher too.
+  bus.revoke_publish("t", "pub");
+  EXPECT_EQ(bus.publish("pub", pub, "t", json::Value(3)), -1);
+}
+
+TEST(SharingBus, CredentialRotationInvalidatesOldOne) {
+  // After a compromise+reinstall, EdgeOSv re-enrolls the service; the
+  // attacker's stolen credential must stop working.
+  DataSharingBus bus;
+  auto stolen = bus.enroll("svc");
+  bus.grant_publish("t", "svc");
+  EXPECT_EQ(bus.publish("svc", stolen, "t", json::Value(1)), 0);
+  auto fresh = bus.enroll("svc");  // rotation
+  EXPECT_EQ(bus.publish("svc", stolen, "t", json::Value(1)), -1);
+  EXPECT_EQ(bus.publish("svc", fresh, "t", json::Value(1)), 0);
+}
+
+TEST(SharingBus, SequenceNumbersIncrease) {
+  DataSharingBus bus;
+  auto pub = bus.enroll("pub");
+  auto sub = bus.enroll("sub");
+  bus.grant_publish("t", "pub");
+  bus.grant_subscribe("t", "sub");
+  std::vector<std::uint64_t> seqs;
+  bus.subscribe("sub", sub, "t",
+                [&](const SharedMessage& m) { seqs.push_back(m.seq); });
+  for (int i = 0; i < 3; ++i) bus.publish("pub", pub, "t", json::Value(i));
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_LT(seqs[0], seqs[1]);
+  EXPECT_LT(seqs[1], seqs[2]);
+}
+
+TEST(SharingBus, PayloadIntegrity) {
+  DataSharingBus bus;
+  auto pub = bus.enroll("pub");
+  auto sub = bus.enroll("sub");
+  bus.grant_publish("t", "pub");
+  bus.grant_subscribe("t", "sub");
+  json::Value got;
+  bus.subscribe("sub", sub, "t",
+                [&](const SharedMessage& m) { got = m.payload; });
+  json::Value sent;
+  sent["speed"] = 55.5;
+  sent["tags"] = json::Value(json::Array{"a", "b"});
+  bus.publish("pub", pub, "t", sent);
+  EXPECT_EQ(got, sent);
+}
+
+}  // namespace
+}  // namespace vdap::edgeos

@@ -1,0 +1,75 @@
+// DVFS / power-mode switching: the Jetson TX2's Max-Q ↔ Max-P duality as a
+// runtime reconfigure (§IV-B1 pairs the two as one device at two operating
+// points; Fig. 3 measures both).
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+
+namespace vdap::hw {
+namespace {
+
+ProcessorSpec maxq_named_as_maxp() {
+  // Same physical device: keep the Max-P identity, run the Max-Q tables.
+  ProcessorSpec eco = catalog::jetson_tx2_maxq();
+  eco.name = catalog::jetson_tx2_maxp().name;
+  return eco;
+}
+
+TEST(Dvfs, ReconfigureChangesFutureServiceTimes) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, catalog::jetson_tx2_maxp());
+  double ms_fast = 0.0, ms_slow = 0.0;
+  dev.submit({TaskClass::kCnnInference, kInceptionV3Gflop, 0,
+              [&](const WorkReport& r) { ms_fast = sim::to_millis(r.latency()); }});
+  sim.run_until();
+  dev.reconfigure(maxq_named_as_maxp());
+  dev.submit({TaskClass::kCnnInference, kInceptionV3Gflop, 0,
+              [&](const WorkReport& r) { ms_slow = sim::to_millis(r.latency()); }});
+  sim.run_until();
+  EXPECT_NEAR(ms_fast, 114.3, 0.5);  // Max-P
+  EXPECT_NEAR(ms_slow, 242.8, 0.5);  // Max-Q, post-switch
+}
+
+TEST(Dvfs, RunningTaskFinishesAtOldRate) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, catalog::jetson_tx2_maxp());
+  sim::SimTime finished = 0;
+  dev.submit({TaskClass::kCnnInference, kInceptionV3Gflop, 0,
+              [&](const WorkReport& r) { finished = r.finished; }});
+  // Drop to eco mode mid-flight: the in-flight inference is unaffected.
+  sim.after(sim::msec(50), [&] { dev.reconfigure(maxq_named_as_maxp()); });
+  sim.run_until();
+  EXPECT_NEAR(sim::to_millis(finished), 114.3, 0.5);
+}
+
+TEST(Dvfs, EnergyAttributedPerMode) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, catalog::jetson_tx2_maxp());  // 2.5 W idle
+  // Idle 10 s in Max-P, switch to Max-Q (1.5 W idle), idle 10 s more.
+  sim.after(sim::seconds(10), [&] { dev.reconfigure(maxq_named_as_maxp()); });
+  sim.run_until(sim::seconds(20));
+  EXPECT_NEAR(dev.energy_joules(), 10.0 * 2.5 + 10.0 * 1.5, 0.01);
+}
+
+TEST(Dvfs, IdentityInvariantsEnforced) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, catalog::jetson_tx2_maxp());
+  EXPECT_THROW(dev.reconfigure(catalog::jetson_tx2_maxq()),
+               std::invalid_argument);  // different name
+  ProcessorSpec bad = maxq_named_as_maxp();
+  bad.slots = 4;
+  EXPECT_THROW(dev.reconfigure(bad), std::invalid_argument);
+}
+
+TEST(Dvfs, SchedulerEstimatesFollowTheMode) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, catalog::jetson_tx2_maxp());
+  auto fast = dev.estimate_finish(TaskClass::kCnnInference, kInceptionV3Gflop);
+  dev.reconfigure(maxq_named_as_maxp());
+  auto slow = dev.estimate_finish(TaskClass::kCnnInference, kInceptionV3Gflop);
+  ASSERT_TRUE(fast && slow);
+  EXPECT_GT(*slow, *fast);
+}
+
+}  // namespace
+}  // namespace vdap::hw

@@ -1,0 +1,218 @@
+#include "hw/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/catalog.hpp"
+
+namespace vdap::hw {
+namespace {
+
+ProcessorSpec simple_spec(int slots = 1) {
+  ProcessorSpec s;
+  s.name = "test-proc";
+  s.kind = ProcKind::kCpu;
+  s.max_power_w = 10.0;
+  s.idle_power_w = 2.0;
+  s.slots = slots;
+  s.gflops = {{TaskClass::kGeneric, 1.0},  // 1 GFLOP takes 1 s
+              {TaskClass::kCnnInference, 2.0}};
+  return s;
+}
+
+TEST(ProcessorSpec, ServiceTime) {
+  ProcessorSpec s = simple_spec();
+  EXPECT_EQ(*s.service_time(TaskClass::kGeneric, 1.0), sim::seconds(1));
+  EXPECT_EQ(*s.service_time(TaskClass::kCnnInference, 1.0),
+            sim::from_millis(500));
+  EXPECT_FALSE(s.service_time(TaskClass::kNlp, 1.0).has_value());
+  EXPECT_FALSE(s.supports(TaskClass::kNlp));
+  // Zero-cost work still takes a minimal quantum.
+  EXPECT_EQ(*s.service_time(TaskClass::kGeneric, 0.0), 1);
+}
+
+TEST(ComputeDevice, SingleTaskLatency) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec());
+  WorkReport got;
+  dev.submit({TaskClass::kGeneric, 2.0, 0,
+              [&](const WorkReport& r) { got = r; }});
+  sim.run_until();
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.latency(), sim::seconds(2));
+  EXPECT_EQ(got.queueing(), 0);
+  EXPECT_EQ(dev.completed(), 1u);
+}
+
+TEST(ComputeDevice, FifoQueueingOnOneSlot) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  std::vector<WorkReport> done;
+  for (int i = 0; i < 3; ++i) {
+    dev.submit({TaskClass::kGeneric, 1.0, 0,
+                [&](const WorkReport& r) { done.push_back(r); }});
+  }
+  sim.run_until();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].finished, sim::seconds(1));
+  EXPECT_EQ(done[1].finished, sim::seconds(2));
+  EXPECT_EQ(done[2].finished, sim::seconds(3));
+  EXPECT_EQ(done[2].queueing(), sim::seconds(2));
+}
+
+TEST(ComputeDevice, PriorityJumpsQueue) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  std::vector<std::string> order;
+  auto mk = [&](std::string tag, int prio) {
+    return WorkRequest{TaskClass::kGeneric, 1.0, prio,
+                       [&order, tag](const WorkReport&) {
+                         order.push_back(tag);
+                       }};
+  };
+  dev.submit(mk("first", 0));   // starts immediately
+  dev.submit(mk("low", 0));
+  dev.submit(mk("high", 5));    // should run before "low"
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "high", "low"}));
+}
+
+TEST(ComputeDevice, SlotsRunConcurrently) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(2));
+  std::vector<WorkReport> done;
+  for (int i = 0; i < 2; ++i) {
+    dev.submit({TaskClass::kGeneric, 1.0, 0,
+                [&](const WorkReport& r) { done.push_back(r); }});
+  }
+  sim.run_until();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].finished, sim::seconds(1));
+  EXPECT_EQ(done[1].finished, sim::seconds(1));  // parallel, not serial
+}
+
+TEST(ComputeDevice, UnsupportedClassRejectedImmediately) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec());
+  WorkReport got;
+  bool called = false;
+  dev.submit({TaskClass::kNlp, 1.0, 0, [&](const WorkReport& r) {
+                got = r;
+                called = true;
+              }});
+  EXPECT_TRUE(called);  // synchronous rejection
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(dev.aborted(), 1u);
+}
+
+TEST(ComputeDevice, EstimateFinishTracksBacklog) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  auto e0 = dev.estimate_finish(TaskClass::kGeneric, 1.0);
+  ASSERT_TRUE(e0.has_value());
+  EXPECT_EQ(*e0, sim::seconds(1));
+  dev.submit({TaskClass::kGeneric, 1.0, 0, nullptr});
+  auto e1 = dev.estimate_finish(TaskClass::kGeneric, 1.0);
+  EXPECT_EQ(*e1, sim::seconds(2));  // behind one queued second
+  dev.submit({TaskClass::kGeneric, 1.0, 0, nullptr});
+  EXPECT_EQ(*dev.estimate_finish(TaskClass::kGeneric, 1.0), sim::seconds(3));
+  EXPECT_FALSE(dev.estimate_finish(TaskClass::kNlp, 1.0).has_value());
+}
+
+TEST(ComputeDevice, EstimateMatchesActualForFifoStream) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(2));
+  for (int i = 0; i < 6; ++i) {
+    double gflop = 0.5 + 0.25 * i;
+    auto est = dev.estimate_finish(TaskClass::kGeneric, gflop);
+    ASSERT_TRUE(est.has_value());
+    auto est_copy = *est;
+    dev.submit({TaskClass::kGeneric, gflop, 0,
+                [est_copy, &sim](const WorkReport& r) {
+                  EXPECT_EQ(r.finished, est_copy) << sim.now();
+                }});
+  }
+  sim.run_until();
+}
+
+TEST(ComputeDevice, OfflineAbortsRunningAndQueued) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  std::vector<bool> ok;
+  for (int i = 0; i < 3; ++i) {
+    dev.submit({TaskClass::kGeneric, 10.0, 0,
+                [&](const WorkReport& r) { ok.push_back(r.ok); }});
+  }
+  sim.after(sim::seconds(1), [&] { dev.set_online(false); });
+  sim.run_until();
+  EXPECT_EQ(ok, (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(dev.aborted(), 3u);
+  EXPECT_EQ(dev.completed(), 0u);
+  // New submissions while offline are rejected.
+  bool rejected_ok = true;
+  dev.submit({TaskClass::kGeneric, 1.0, 0,
+              [&](const WorkReport& r) { rejected_ok = r.ok; }});
+  EXPECT_FALSE(rejected_ok);
+}
+
+TEST(ComputeDevice, BackOnlineAcceptsWork) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  dev.set_online(false);
+  dev.set_online(true);
+  bool ok = false;
+  dev.submit({TaskClass::kGeneric, 1.0, 0,
+              [&](const WorkReport& r) { ok = r.ok; }});
+  sim.run_until();
+  EXPECT_TRUE(ok);
+}
+
+TEST(ComputeDevice, EnergyAccounting) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));  // 2 W idle, 10 W max
+  WorkReport got;
+  dev.submit({TaskClass::kGeneric, 5.0, 0,
+              [&](const WorkReport& r) { got = r; }});
+  sim.run_until(sim::seconds(10));
+  // 5 s busy at (10-2)=8 W dynamic + 10 s idle floor at 2 W.
+  EXPECT_NEAR(dev.dynamic_energy_joules(), 40.0, 1e-6);
+  EXPECT_NEAR(dev.energy_joules(), 40.0 + 20.0, 1e-6);
+  EXPECT_NEAR(got.dynamic_energy_j, 40.0, 1e-6);
+  EXPECT_NEAR(dev.average_utilization(), 0.5, 1e-6);
+}
+
+TEST(ComputeDevice, PowerNowReflectsLoad) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(2));
+  EXPECT_DOUBLE_EQ(dev.power_now(), 2.0);  // idle
+  dev.submit({TaskClass::kGeneric, 10.0, 0, nullptr});
+  EXPECT_DOUBLE_EQ(dev.power_now(), 2.0 + 4.0);  // one of two slots busy
+  dev.submit({TaskClass::kGeneric, 10.0, 0, nullptr});
+  EXPECT_DOUBLE_EQ(dev.power_now(), 10.0);  // saturated
+  EXPECT_DOUBLE_EQ(dev.utilization(), 1.0);
+  EXPECT_EQ(dev.queue_length(), 0u);
+}
+
+TEST(ComputeDevice, UtilizationAndQueueMetrics) {
+  sim::Simulator sim;
+  ComputeDevice dev(sim, simple_spec(1));
+  for (int i = 0; i < 3; ++i) {
+    dev.submit({TaskClass::kGeneric, 1.0, 0, nullptr});
+  }
+  EXPECT_EQ(dev.busy_slots(), 1);
+  EXPECT_EQ(dev.queue_length(), 2u);
+  sim.run_until();
+  EXPECT_EQ(dev.busy_slots(), 0);
+  EXPECT_EQ(dev.queue_length(), 0u);
+}
+
+TEST(ComputeDevice, RejectsZeroSlotSpec) {
+  sim::Simulator sim;
+  ProcessorSpec s = simple_spec();
+  s.slots = 0;
+  EXPECT_THROW(ComputeDevice(sim, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::hw

@@ -1,0 +1,79 @@
+#include "hw/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vdap::hw {
+namespace {
+
+SsdSpec small_ssd() {
+  SsdSpec s;
+  s.read_mbps = 100.0;   // 1 MB reads take ~10 ms
+  s.write_mbps = 50.0;
+  s.read_latency = sim::usec(100);
+  s.write_latency = sim::usec(50);
+  s.channels = 2;
+  return s;
+}
+
+TEST(Ssd, ReadLatencyModel) {
+  sim::Simulator sim;
+  SsdModel ssd(sim, small_ssd());
+  IoReport got;
+  ssd.read(1'000'000, [&](const IoReport& r) { got = r; });
+  sim.run_until();
+  // 100 µs fixed + 10 ms transfer.
+  EXPECT_EQ(got.latency(), sim::usec(100) + sim::msec(10));
+  EXPECT_FALSE(got.write);
+  EXPECT_EQ(ssd.bytes_read(), 1'000'000u);
+}
+
+TEST(Ssd, WriteSlowerThanRead) {
+  sim::Simulator sim;
+  SsdModel ssd(sim, small_ssd());
+  IoReport rr, wr;
+  ssd.read(1'000'000, [&](const IoReport& r) { rr = r; });
+  ssd.write(1'000'000, [&](const IoReport& r) { wr = r; });
+  sim.run_until();
+  EXPECT_GT(wr.latency(), rr.latency());
+  EXPECT_TRUE(wr.write);
+  EXPECT_EQ(ssd.bytes_written(), 1'000'000u);
+}
+
+TEST(Ssd, ChannelsBoundConcurrency) {
+  sim::Simulator sim;
+  SsdModel ssd(sim, small_ssd());  // 2 channels
+  std::vector<IoReport> done;
+  for (int i = 0; i < 4; ++i) {
+    ssd.read(1'000'000, [&](const IoReport& r) { done.push_back(r); });
+  }
+  EXPECT_EQ(ssd.busy_channels(), 2);
+  EXPECT_EQ(ssd.queue_length(), 2u);
+  sim.run_until();
+  ASSERT_EQ(done.size(), 4u);
+  // First two finish together; last two queue behind them.
+  EXPECT_EQ(done[0].finished, done[1].finished);
+  EXPECT_GT(done[2].finished, done[0].finished);
+  EXPECT_EQ(done[2].started, done[0].finished);
+  EXPECT_EQ(ssd.completed(), 4u);
+}
+
+TEST(Ssd, ZeroByteOpStillHasFixedCost) {
+  sim::Simulator sim;
+  SsdModel ssd(sim, small_ssd());
+  IoReport got;
+  ssd.write(0, [&](const IoReport& r) { got = r; });
+  sim.run_until();
+  EXPECT_EQ(got.latency(), sim::usec(50));
+}
+
+TEST(Ssd, RejectsZeroChannels) {
+  sim::Simulator sim;
+  SsdSpec s = small_ssd();
+  s.channels = 0;
+  EXPECT_THROW(SsdModel(sim, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::hw

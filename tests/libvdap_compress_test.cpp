@@ -1,0 +1,166 @@
+#include "libvdap/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "libvdap/pbeam.hpp"
+
+namespace vdap::libvdap {
+namespace {
+
+Mlp trained_model(util::RngStream& rng) {
+  Mlp model({DrivingFeatures::kDim, 32, 16, kNumStyles}, rng);
+  Dataset data = synth_fleet_dataset(150, rng);
+  TrainOptions opt;
+  opt.epochs = 40;
+  model.train(data, opt, rng);
+  return model;
+}
+
+TEST(Prune, ReachesTargetSparsity) {
+  util::RngStream rng(3);
+  Mlp model({10, 20, 5}, rng);
+  prune(model, 0.7);
+  EXPECT_NEAR(model_sparsity(model), 0.7, 0.02);
+}
+
+TEST(Prune, RemovesSmallestMagnitudes) {
+  util::RngStream rng(3);
+  Mlp model({10, 20, 5}, rng);
+  // Find the largest |w| before pruning; it must survive.
+  double max_w = 0.0;
+  for (double v : model.weights(0).data()) {
+    max_w = std::max(max_w, std::abs(v));
+  }
+  prune(model, 0.5);
+  double max_after = 0.0;
+  double min_nonzero = 1e300;
+  for (double v : model.weights(0).data()) {
+    if (v != 0.0) {
+      max_after = std::max(max_after, std::abs(v));
+      min_nonzero = std::min(min_nonzero, std::abs(v));
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_after, max_w);
+  EXPECT_GT(min_nonzero, 0.0);
+}
+
+TEST(Prune, ValidatesSparsity) {
+  util::RngStream rng(3);
+  Mlp model({4, 4, 2}, rng);
+  EXPECT_THROW(prune(model, -0.1), std::invalid_argument);
+  EXPECT_THROW(prune(model, 1.0), std::invalid_argument);
+  prune(model, 0.0);  // no-op is fine
+  EXPECT_DOUBLE_EQ(model_sparsity(model), 0.0);
+}
+
+TEST(Quantize, LimitsDistinctWeightValues) {
+  util::RngStream rng(3);
+  Mlp model({10, 20, 5}, rng);
+  quantize(model, 4);  // 16 centroids per layer
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    std::set<double> distinct;
+    for (double v : model.weights(l).data()) {
+      if (v != 0.0) distinct.insert(v);
+    }
+    EXPECT_LE(distinct.size(), 16u) << l;
+    EXPECT_GE(distinct.size(), 2u) << l;
+  }
+}
+
+TEST(Quantize, PreservesZeros) {
+  util::RngStream rng(3);
+  Mlp model({10, 20, 5}, rng);
+  prune(model, 0.6);
+  double sparsity_before = model_sparsity(model);
+  quantize(model, 4);
+  EXPECT_DOUBLE_EQ(model_sparsity(model), sparsity_before);
+}
+
+TEST(Quantize, ValidatesBits) {
+  util::RngStream rng(3);
+  Mlp model({4, 4, 2}, rng);
+  EXPECT_THROW(quantize(model, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(model, 17), std::invalid_argument);
+}
+
+TEST(CompressedBytes, DenseWhenUntouched) {
+  util::RngStream rng(3);
+  Mlp model({10, 20, 5}, rng);
+  EXPECT_EQ(compressed_bytes(model, 0),
+            model.weights(0).size() * 4 + model.weights(1).size() * 4 +
+                20 * 4 + 5 * 4);
+}
+
+TEST(CompressedBytes, ShrinksWithSparsityAndBits) {
+  util::RngStream rng(3);
+  Mlp a({10, 40, 5}, rng);
+  Mlp b = a;
+  Mlp c = a;
+  prune(b, 0.8);
+  prune(c, 0.8);
+  quantize(c, 4);
+  EXPECT_LT(compressed_bytes(b, 0), compressed_bytes(a, 0));
+  EXPECT_LT(compressed_bytes(c, 4), compressed_bytes(b, 0));
+}
+
+TEST(DeepCompress, EndToEndRatioAndAccuracy) {
+  util::RngStream rng(11);
+  Mlp model = trained_model(rng);
+  util::RngStream eval_rng(99);
+  Dataset test = synth_fleet_dataset(100, eval_rng);
+  double acc_before = model.accuracy(test);
+  EXPECT_GT(acc_before, 0.85);  // the classes are separable
+
+  CompressionReport rep = deep_compress(model, 0.6, 5);
+  EXPECT_NEAR(rep.sparsity, 0.6, 0.03);
+  EXPECT_EQ(rep.codebook_bits, 5);
+  EXPECT_GT(rep.ratio(), 3.0);  // worthwhile compression
+  double acc_after = model.accuracy(test);
+  // The paper's premise: compressed models stay usable on the edge.
+  EXPECT_GT(acc_after, acc_before - 0.10);
+}
+
+// Parameterized sweep: more aggressive compression monotonically shrinks
+// the model (the accuracy cost is measured in bench_pbeam).
+class SparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, SizeShrinksMonotonically) {
+  util::RngStream rng(7);
+  Mlp base({DrivingFeatures::kDim, 32, 16, kNumStyles}, rng);
+  Mlp pruned = base;
+  prune(pruned, GetParam());
+  EXPECT_LE(compressed_bytes(pruned, 5), compressed_bytes(base, 5));
+  EXPECT_NEAR(model_sparsity(pruned), GetParam(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparsitySweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+class BitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsSweep, FewerBitsFewerCentroidsSmallerModel) {
+  util::RngStream rng(7);
+  Mlp model({DrivingFeatures::kDim, 32, 16, kNumStyles}, rng);
+  prune(model, 0.5);
+  Mlp q = model;
+  quantize(q, GetParam());
+  std::set<double> distinct;
+  for (double v : q.weights(0).data()) {
+    if (v != 0.0) distinct.insert(v);
+  }
+  EXPECT_LE(distinct.size(), std::size_t{1} << GetParam());
+  // Pruned + quantized always beats the dense fp32 footprint. (At high bit
+  // widths on a tiny model the codebook overhead can exceed the pruned-fp32
+  // encoding, so the sparse baseline is not the right comparison there.)
+  EXPECT_LE(compressed_bytes(q, GetParam()), q.dense_bytes());
+  if (GetParam() <= 5) {
+    EXPECT_LE(compressed_bytes(q, GetParam()), compressed_bytes(model, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitsSweep, ::testing::Values(2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace vdap::libvdap

@@ -1,0 +1,168 @@
+#include "libvdap/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vdap::libvdap {
+namespace {
+
+TEST(Matrix, ApplyAndTranspose) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]]
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m.at(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  auto y = m.apply({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  auto yt = m.apply_transposed({1.0, 1.0});
+  ASSERT_EQ(yt.size(), 3u);
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[2], 9.0);
+}
+
+TEST(Matrix, RankOneUpdate) {
+  Matrix m(2, 2);
+  m.rank_one_update({1.0, 2.0}, {3.0, 4.0}, 0.1);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), -0.3);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), -0.8);
+}
+
+TEST(Matrix, SparsityCounting) {
+  Matrix m(2, 2);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+  m.at(0, 0) = 5.0;
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.75);
+}
+
+TEST(Activations, ReluAndSoftmax) {
+  std::vector<double> v{-1.0, 0.5, 2.0};
+  relu(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  auto mask = relu_mask(v);
+  EXPECT_DOUBLE_EQ(mask[0], 0.0);
+  EXPECT_DOUBLE_EQ(mask[1], 1.0);
+
+  std::vector<double> s{1.0, 2.0, 3.0};
+  softmax(s);
+  double sum = s[0] + s[1] + s[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(s[2], s[1]);
+  EXPECT_EQ(argmax(s), 2u);
+  // Stability under large logits.
+  std::vector<double> big{1000.0, 1001.0};
+  softmax(big);
+  EXPECT_FALSE(std::isnan(big[0]));
+  EXPECT_NEAR(big[0] + big[1], 1.0, 1e-12);
+}
+
+Dataset xor_dataset() {
+  // XOR with a margin: not linearly separable, needs the hidden layer.
+  Dataset d;
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int rep = 0; rep < 10; ++rep) {
+        LabeledSample s;
+        s.features = {static_cast<double>(a), static_cast<double>(b)};
+        s.label = a ^ b;
+        d.push_back(std::move(s));
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Mlp, LearnsXor) {
+  util::RngStream rng(17);
+  Mlp model({2, 8, 2}, rng);
+  Dataset data = xor_dataset();
+  double initial_loss = model.mean_loss(data);
+  TrainOptions opt;
+  opt.epochs = 200;
+  opt.lr = 0.1;
+  model.train(data, opt, rng);
+  EXPECT_LT(model.mean_loss(data), initial_loss);
+  EXPECT_DOUBLE_EQ(model.accuracy(data), 1.0);
+}
+
+TEST(Mlp, PredictProbaIsDistribution) {
+  util::RngStream rng(1);
+  Mlp model({4, 6, 3}, rng);
+  auto p = model.predict_proba({0.1, -0.2, 0.3, 0.4});
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Mlp, DimensionValidation) {
+  util::RngStream rng(1);
+  EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+  Mlp model({4, 3, 2}, rng);
+  EXPECT_EQ(model.input_dim(), 4u);
+  EXPECT_EQ(model.output_dim(), 2u);
+  EXPECT_THROW(model.predict_proba({1.0}), std::invalid_argument);
+  EXPECT_THROW(model.train({}, {}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, ParamCountAndBytes) {
+  util::RngStream rng(1);
+  Mlp model({7, 32, 16, 3}, rng);
+  // 32*7+32 + 16*32+16 + 3*16+3 = 256 + 528 + 819? compute: 224+32=256;
+  // 512+16=528; 48+3=51 → 835.
+  EXPECT_EQ(model.num_params(), 835u);
+  EXPECT_EQ(model.dense_bytes(), 835u * 4);
+}
+
+TEST(Mlp, FreezeHiddenOnlyChangesLastLayer) {
+  util::RngStream rng(5);
+  Mlp model({2, 8, 2}, rng);
+  Matrix hidden_before = model.weights(0);
+  Matrix out_before = model.weights(1);
+  TrainOptions opt;
+  opt.epochs = 5;
+  opt.freeze_hidden = true;
+  model.train(xor_dataset(), opt, rng);
+  // Hidden layer untouched; output layer moved.
+  EXPECT_EQ(model.weights(0).data(), hidden_before.data());
+  EXPECT_NE(model.weights(1).data(), out_before.data());
+}
+
+TEST(Mlp, PreserveZerosKeepsPrunedStructure) {
+  util::RngStream rng(5);
+  Mlp model({2, 8, 2}, rng);
+  // Zero a few weights by hand.
+  model.weights(0).at(0, 0) = 0.0;
+  model.weights(1).at(1, 3) = 0.0;
+  TrainOptions opt;
+  opt.epochs = 10;
+  opt.preserve_zeros = true;
+  model.train(xor_dataset(), opt, rng);
+  EXPECT_DOUBLE_EQ(model.weights(0).at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.weights(1).at(1, 3), 0.0);
+}
+
+TEST(Mlp, TrainingIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    util::RngStream rng(seed);
+    Mlp model({2, 8, 2}, rng);
+    TrainOptions opt;
+    opt.epochs = 20;
+    model.train(xor_dataset(), opt, rng);
+    return model.mean_loss(xor_dataset());
+  };
+  EXPECT_DOUBLE_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace vdap::libvdap

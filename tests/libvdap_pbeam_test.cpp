@@ -1,0 +1,148 @@
+#include "libvdap/pbeam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ddi/collectors.hpp"
+
+namespace vdap::libvdap {
+namespace {
+
+TEST(DrivingFeatures, VectorShapeAndScale) {
+  DrivingFeatures f;
+  f.mean_speed_mps = 30.0;
+  f.overspeed_frac = 0.5;
+  auto v = f.to_vector();
+  ASSERT_EQ(v.size(), DrivingFeatures::kDim);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[6], 0.5);
+}
+
+TEST(DrivingFeatures, FromRecordsComputesStatistics) {
+  std::vector<ddi::DataRecord> window;
+  for (int i = 0; i < 600; ++i) {  // one minute at 10 Hz
+    ddi::DataRecord r;
+    r.stream = "vehicle/obd";
+    r.timestamp = sim::msec(100) * i;
+    r.payload["speed_mps"] = 20.0 + (i % 2 == 0 ? 1.0 : -1.0);
+    r.payload["accel_mps2"] = i % 100 == 0 ? -3.0 : 0.2;  // 6 harsh brakes
+    window.push_back(std::move(r));
+  }
+  DrivingFeatures f = features_from_records(window);
+  EXPECT_NEAR(f.mean_speed_mps, 20.0, 0.1);
+  EXPECT_NEAR(f.speed_stddev, 1.0, 0.05);
+  EXPECT_NEAR(f.harsh_brake_rate, 6.0, 0.5);  // per minute
+  EXPECT_GT(f.mean_abs_jerk, 0.0);
+  EXPECT_DOUBLE_EQ(f.overspeed_frac, 0.0);
+}
+
+TEST(DrivingFeatures, TinyWindowIsZero) {
+  DrivingFeatures f = features_from_records({});
+  EXPECT_DOUBLE_EQ(f.mean_speed_mps, 0.0);
+}
+
+TEST(StyleGenerator, StylesAreOrderedInHarshness) {
+  util::RngStream rng(5);
+  double brake_rates[3] = {0, 0, 0};
+  for (int s = 0; s < kNumStyles; ++s) {
+    for (int i = 0; i < 200; ++i) {
+      brake_rates[s] +=
+          sample_style_features(static_cast<DrivingStyle>(s), rng)
+              .harsh_brake_rate / 200.0;
+    }
+  }
+  EXPECT_LT(brake_rates[0], brake_rates[1]);  // cautious < normal
+  EXPECT_LT(brake_rates[1], brake_rates[2]);  // normal < aggressive
+}
+
+TEST(PBeam, CloudTrainingSeparatesStyles) {
+  util::RngStream rng(21);
+  Dataset fleet = synth_fleet_dataset(200, rng);
+  PBeam pbeam = PBeam::build(fleet, {}, rng);
+  util::RngStream eval(77);
+  Dataset test = synth_fleet_dataset(100, eval);
+  EXPECT_GT(pbeam.accuracy(test), 0.85);
+  EXPECT_FALSE(pbeam.personalized());
+  EXPECT_GT(pbeam.compression().ratio(), 2.0);
+}
+
+TEST(PBeam, AggressivenessScoreTracksStyle) {
+  util::RngStream rng(21);
+  PBeam pbeam = PBeam::build(synth_fleet_dataset(200, rng), {}, rng);
+  util::RngStream eval(78);
+  double agg_sum = 0.0, caut_sum = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    agg_sum += pbeam.aggressiveness(
+        sample_style_features(DrivingStyle::kAggressive, eval));
+    caut_sum += pbeam.aggressiveness(
+        sample_style_features(DrivingStyle::kCautious, eval));
+  }
+  EXPECT_GT(agg_sum / 50.0, 0.7);
+  EXPECT_LT(caut_sum / 50.0, 0.3);
+}
+
+TEST(PBeam, PersonalizationImprovesOnBiasedDriver) {
+  // The paper's Fig. 9 story: the compressed fleet model transfers to the
+  // individual driver by learning on their DDI data.
+  util::RngStream rng(31);
+  PBeam pbeam = PBeam::build(synth_fleet_dataset(200, rng), {}, rng);
+
+  // A strongly idiosyncratic normal driver the fleet model misreads.
+  util::RngStream driver_rng(55);
+  Dataset driver_train =
+      synth_driver_dataset(DrivingStyle::kNormal, 150, 2.2, driver_rng);
+  Dataset driver_test =
+      synth_driver_dataset(DrivingStyle::kNormal, 150, 2.2, driver_rng);
+
+  double acc_before = pbeam.accuracy(driver_test);
+  pbeam.personalize(driver_train, rng);
+  double acc_after = pbeam.accuracy(driver_test);
+  EXPECT_TRUE(pbeam.personalized());
+  EXPECT_GT(acc_after, acc_before);
+  EXPECT_GT(acc_after, 0.8);
+}
+
+TEST(PBeam, PersonalizationPreservesCompressedStructure) {
+  util::RngStream rng(31);
+  PBeam pbeam = PBeam::build(synth_fleet_dataset(150, rng), {}, rng);
+  double sparsity_before = model_sparsity(pbeam.model());
+  util::RngStream driver_rng(56);
+  pbeam.personalize(
+      synth_driver_dataset(DrivingStyle::kCautious, 100, 1.0, driver_rng),
+      rng);
+  // Transfer learning must not densify the pruned model (it still has to
+  // fit on the edge).
+  EXPECT_GE(model_sparsity(pbeam.model()), sparsity_before - 1e-9);
+}
+
+TEST(PBeam, EndToEndFromObdCollector) {
+  // Whole-stack smoke: drive the OBD collector, window the records,
+  // extract features, score with pBEAM.
+  sim::Simulator sim(9);
+  std::vector<ddi::DataRecord> records;
+  ddi::ObdCollector obd(
+      sim, [&](ddi::DataRecord r) { records.push_back(std::move(r)); });
+  obd.set_target_speed(20.0);
+  obd.start();
+  sim.run_until(sim::minutes(2));
+  ASSERT_GT(records.size(), 600u);
+
+  util::RngStream rng(21);
+  PBeam pbeam = PBeam::build(synth_fleet_dataset(150, rng), {}, rng);
+  DrivingFeatures f = features_from_records(records);
+  double score = pbeam.aggressiveness(f);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  DrivingStyle style = pbeam.classify(f);
+  EXPECT_GE(static_cast<int>(style), 0);
+  EXPECT_LT(static_cast<int>(style), kNumStyles);
+}
+
+TEST(PBeam, RejectsEmptyDatasets) {
+  util::RngStream rng(1);
+  EXPECT_THROW(PBeam::build({}, {}, rng), std::invalid_argument);
+  PBeam pbeam = PBeam::build(synth_fleet_dataset(30, rng), {}, rng);
+  EXPECT_THROW(pbeam.personalize({}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::libvdap

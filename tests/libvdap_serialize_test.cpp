@@ -1,0 +1,94 @@
+// Model shipping (§IV-E): the compressed cBEAM travels cloud → vehicle as a
+// binary blob; round trips must be exact and corrupt blobs must be refused.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "libvdap/compress.hpp"
+#include "libvdap/pbeam.hpp"
+
+namespace vdap::libvdap {
+namespace {
+
+Mlp sample_model(std::uint64_t seed = 3) {
+  util::RngStream rng(seed);
+  Mlp model({DrivingFeatures::kDim, 16, 8, kNumStyles}, rng);
+  Dataset data = synth_fleet_dataset(50, rng);
+  TrainOptions opt;
+  opt.epochs = 10;
+  model.train(data, opt, rng);
+  return model;
+}
+
+TEST(ModelSerialize, RoundTripIsBitExact) {
+  Mlp model = sample_model();
+  Mlp back = Mlp::deserialize(model.serialize());
+  ASSERT_EQ(back.num_layers(), model.num_layers());
+  ASSERT_EQ(back.num_params(), model.num_params());
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    EXPECT_EQ(back.weights(l).data(), model.weights(l).data()) << l;
+    EXPECT_EQ(back.bias(l), model.bias(l)) << l;
+  }
+  // Identical predictions.
+  util::RngStream rng(9);
+  for (int i = 0; i < 20; ++i) {
+    auto f =
+        sample_style_features(DrivingStyle::kAggressive, rng).to_vector();
+    EXPECT_EQ(back.predict_proba(f), model.predict_proba(f));
+  }
+}
+
+TEST(ModelSerialize, CompressedModelSurvivesShipping) {
+  // The actual cloud → vehicle flow: compress, ship, use.
+  Mlp model = sample_model();
+  deep_compress(model, 0.6, 5);
+  double sparsity = model_sparsity(model);
+  Mlp shipped = Mlp::deserialize(model.serialize());
+  EXPECT_DOUBLE_EQ(model_sparsity(shipped), sparsity);
+  util::RngStream rng(99);
+  Dataset test = synth_fleet_dataset(50, rng);
+  EXPECT_DOUBLE_EQ(shipped.accuracy(test), model.accuracy(test));
+}
+
+TEST(ModelSerialize, TruncatedBlobRejected) {
+  auto bytes = sample_model().serialize();
+  for (std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{7}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::vector<std::uint8_t> trunc(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(Mlp::deserialize(trunc), std::runtime_error) << cut;
+  }
+}
+
+TEST(ModelSerialize, TrailingGarbageRejected) {
+  auto bytes = sample_model().serialize();
+  bytes.push_back(0x42);
+  EXPECT_THROW(Mlp::deserialize(bytes), std::runtime_error);
+}
+
+TEST(ModelSerialize, BadMagicRejected) {
+  auto bytes = sample_model().serialize();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(Mlp::deserialize(bytes), std::runtime_error);
+}
+
+TEST(ModelSerialize, ImplausibleShapesRejected) {
+  auto bytes = sample_model().serialize();
+  // Smash the first layer's row count to something absurd.
+  std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(bytes.data() + 8, &huge, 4);
+  EXPECT_THROW(Mlp::deserialize(bytes), std::runtime_error);
+}
+
+TEST(ModelSerialize, SizeMatchesDenseFootprint) {
+  Mlp model = sample_model();
+  auto bytes = model.serialize();
+  // fp64 here (simulation fidelity) vs the fp32 dense_bytes accounting:
+  // header + 2x params.
+  EXPECT_GE(bytes.size(), model.num_params() * 8);
+  EXPECT_LE(bytes.size(), model.num_params() * 8 + 128);
+}
+
+}  // namespace
+}  // namespace vdap::libvdap

@@ -1,0 +1,123 @@
+#include "net/cellular.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::net {
+namespace {
+
+TEST(MphToMps, Conversion) {
+  EXPECT_NEAR(mph_to_mps(35.0), 15.65, 0.01);
+  EXPECT_NEAR(mph_to_mps(70.0), 31.29, 0.01);
+  EXPECT_DOUBLE_EQ(mph_to_mps(0.0), 0.0);
+}
+
+TEST(CellularChannel, StaticVehicleHasStableCleanChannel) {
+  LteMobilityParams p;
+  CellularChannel ch(p, 0.0, 300.0, 1);
+  EXPECT_EQ(ch.handovers(), 0);
+  EXPECT_EQ(ch.rlf_count(), 0);
+  EXPECT_DOUBLE_EQ(ch.micro_loss(), 0.0);
+  // Mean capacity is near the profile value at the parking spot.
+  EXPECT_GT(ch.mean_capacity_mbps(), 0.6 * p.peak_uplink_mbps);
+  EXPECT_LT(ch.outage_fraction(), 0.03);  // only rare deep fades
+}
+
+TEST(CellularChannel, HandoverCountMatchesGeometry) {
+  LteMobilityParams p;
+  double v = mph_to_mps(70.0);
+  CellularChannel ch(p, v, 300.0, 2);
+  // Cells span 2R = 1 km; at ~31.3 m/s the car crosses ~9.4 boundaries
+  // in 300 s.
+  double expected = v * 300.0 / (2.0 * p.cell_radius_m);
+  EXPECT_NEAR(ch.handovers(), expected, 1.0);
+}
+
+TEST(CellularChannel, FasterMeansMoreHandovers) {
+  LteMobilityParams p;
+  CellularChannel slow(p, mph_to_mps(35), 300.0, 3);
+  CellularChannel fast(p, mph_to_mps(70), 300.0, 3);
+  EXPECT_GT(fast.handovers(), slow.handovers());
+}
+
+TEST(CellularChannel, MeanCapacityDecreasesWithSpeed) {
+  LteMobilityParams p;
+  double prev = 1e9;
+  for (double mph : {0.0, 35.0, 70.0}) {
+    CellularChannel ch(p, mph_to_mps(mph), 300.0, 4);
+    double cap = ch.mean_capacity_mbps();
+    EXPECT_LT(cap, prev) << mph;
+    prev = cap;
+  }
+}
+
+TEST(CellularChannel, SeventyMphCannotSustain720p) {
+  // The §III-A mechanism: at 70 MPH achievable capacity drops below the
+  // 3.8 Mbps the 720P stream needs, for much of the drive.
+  LteMobilityParams p;
+  CellularChannel ch(p, mph_to_mps(70.0), 300.0, 5);
+  EXPECT_LT(ch.mean_capacity_mbps(), 3.8);
+}
+
+TEST(CellularChannel, StaticSustainsBothStreams) {
+  LteMobilityParams p;
+  CellularChannel ch(p, 0.0, 300.0, 5);
+  EXPECT_GT(ch.mean_capacity_mbps(), 5.8);
+}
+
+TEST(CellularChannel, OutageFractionGrowsWithSpeed) {
+  LteMobilityParams p;
+  CellularChannel parked(p, 0.0, 300.0, 6);
+  CellularChannel slow(p, mph_to_mps(35), 300.0, 6);
+  CellularChannel fast(p, mph_to_mps(70), 300.0, 6);
+  EXPECT_LE(parked.outage_fraction(), slow.outage_fraction());
+  EXPECT_LT(slow.outage_fraction(), fast.outage_fraction());
+}
+
+TEST(CellularChannel, CapacityZeroDuringOutage) {
+  LteMobilityParams p;
+  CellularChannel ch(p, mph_to_mps(70.0), 300.0, 7);
+  int outage_blocks = 0;
+  for (double t = 0; t < 300.0; t += ch.block_s()) {
+    if (ch.in_outage(t)) {
+      ++outage_blocks;
+      EXPECT_DOUBLE_EQ(ch.capacity_mbps(t), 0.0);
+    }
+  }
+  EXPECT_GT(outage_blocks, 0);
+}
+
+TEST(CellularChannel, DeterministicForSeed) {
+  LteMobilityParams p;
+  CellularChannel a(p, mph_to_mps(35), 60.0, 42);
+  CellularChannel b(p, mph_to_mps(35), 60.0, 42);
+  CellularChannel c(p, mph_to_mps(35), 60.0, 43);
+  bool differs_from_c = false;
+  for (double t = 0; t < 60.0; t += 0.1) {
+    EXPECT_DOUBLE_EQ(a.capacity_mbps(t), b.capacity_mbps(t));
+    if (a.capacity_mbps(t) != c.capacity_mbps(t)) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(CellularChannel, MicroLossScalesWithSpeed) {
+  LteMobilityParams p;
+  CellularChannel slow(p, 10.0, 10.0, 1);
+  CellularChannel fast(p, 30.0, 10.0, 1);
+  EXPECT_NEAR(fast.micro_loss(), 3.0 * slow.micro_loss(), 1e-12);
+}
+
+TEST(CellularChannel, RejectsBadArguments) {
+  LteMobilityParams p;
+  EXPECT_THROW(CellularChannel(p, 10.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(CellularChannel(p, -1.0, 10.0, 1), std::invalid_argument);
+}
+
+TEST(CellularChannel, QueryClampsOutOfRangeTimes) {
+  LteMobilityParams p;
+  CellularChannel ch(p, 0.0, 10.0, 1);
+  EXPECT_NO_THROW(ch.capacity_mbps(-5.0));
+  EXPECT_NO_THROW(ch.capacity_mbps(1e6));
+}
+
+}  // namespace
+}  // namespace vdap::net

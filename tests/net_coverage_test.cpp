@@ -1,0 +1,115 @@
+#include "net/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace vdap::net {
+namespace {
+
+TEST(CoverageMap, SingleSite) {
+  CoverageMap map({{1000.0, 300.0}});
+  EXPECT_FALSE(map.covered(0.0));
+  EXPECT_FALSE(map.covered(699.9));
+  EXPECT_TRUE(map.covered(700.0));
+  EXPECT_TRUE(map.covered(1000.0));
+  EXPECT_TRUE(map.covered(1299.9));
+  EXPECT_FALSE(map.covered(1300.0));
+}
+
+TEST(CoverageMap, OverlappingSitesMerge) {
+  CoverageMap map({{1000.0, 300.0}, {1400.0, 300.0}});
+  // Ranges [700,1300) and [1100,1700) merge into [700,1700).
+  for (double p : {700.0, 1200.0, 1500.0, 1699.0}) {
+    EXPECT_TRUE(map.covered(p)) << p;
+  }
+  EXPECT_FALSE(map.covered(1700.0));
+  auto b = map.next_boundary(800.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(*b, 1700.0);  // one merged interval, one exit boundary
+}
+
+TEST(CoverageMap, NextBoundaryWalksGaps) {
+  CoverageMap map({{500.0, 100.0}, {2000.0, 100.0}});
+  EXPECT_DOUBLE_EQ(*map.next_boundary(0.0), 400.0);    // enter site 1
+  EXPECT_DOUBLE_EQ(*map.next_boundary(450.0), 600.0);  // leave site 1
+  EXPECT_DOUBLE_EQ(*map.next_boundary(700.0), 1900.0); // enter site 2
+  EXPECT_DOUBLE_EQ(*map.next_boundary(1950.0), 2100.0);
+  EXPECT_FALSE(map.next_boundary(2100.0).has_value());
+}
+
+TEST(CoverageMap, CoverageFraction) {
+  CoverageMap map({{500.0, 100.0}});  // covers [400, 600) of [0, 1000)
+  EXPECT_NEAR(map.coverage_fraction(1000.0), 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(CoverageMap({}).coverage_fraction(1000.0), 0.0);
+}
+
+TEST(CoverageMap, CorridorSpacing) {
+  CoverageMap city = CoverageMap::corridor(5000.0, 500.0, 300.0);
+  // RSUs every 500 m with 300 m range: contiguous coverage.
+  EXPECT_NEAR(city.coverage_fraction(5000.0), 1.0, 0.05);
+  CoverageMap rural = CoverageMap::corridor(5000.0, 2000.0, 300.0);
+  EXPECT_LT(rural.coverage_fraction(5000.0), 0.4);
+}
+
+TEST(RouteScenario, SegmentsSplitAtCoverageBoundaries) {
+  // 3 km at 35 MPH through one RSU at 1.5 km with 500 m range: the drive
+  // should produce uncovered / covered / uncovered segments.
+  CoverageMap map({{1500.0, 500.0}});
+  auto segments = core::DriveScenario::from_route(
+      {{3000.0, 35.0, false}}, map);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_FALSE(segments[0].rsu_coverage);
+  EXPECT_TRUE(segments[1].rsu_coverage);
+  EXPECT_FALSE(segments[2].rsu_coverage);
+  // Durations follow the geometry: 1000 m / 1000 m / 1000 m at 15.65 m/s.
+  for (const auto& s : segments) {
+    EXPECT_NEAR(s.duration_s, 1000.0 / net::mph_to_mps(35.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.speed_mph, 35.0);
+  }
+}
+
+TEST(RouteScenario, SpeedChangesPreserved) {
+  CoverageMap map = CoverageMap::corridor(4000.0, 1000.0, 600.0);
+  auto segments = core::DriveScenario::from_route(
+      {{2000.0, 25.0, true}, {2000.0, 70.0, false}}, map);
+  ASSERT_GE(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments.front().speed_mph, 25.0);
+  EXPECT_TRUE(segments.front().neighbor_present);
+  EXPECT_DOUBLE_EQ(segments.back().speed_mph, 70.0);
+  EXPECT_FALSE(segments.back().neighbor_present);
+  double total = 0.0;
+  for (const auto& s : segments) total += s.duration_s;
+  double expected =
+      2000.0 / net::mph_to_mps(25.0) + 2000.0 / net::mph_to_mps(70.0);
+  EXPECT_NEAR(total, expected, 1.0);
+}
+
+TEST(RouteScenario, RunsOnTheSimulatedPlatform) {
+  sim::Simulator sim(3);
+  Topology topo(sim);
+  CoverageMap map = CoverageMap::corridor(3000.0, 1500.0, 400.0);
+  auto segments =
+      core::DriveScenario::from_route({{3000.0, 35.0, false}}, map);
+  core::DriveScenario scenario(sim, topo, segments);
+  scenario.start();
+  // Sample RSU availability over the drive: it must flip at least twice.
+  int flips = 0;
+  bool last = topo.available(Tier::kRsuEdge);
+  sim.every(sim::seconds(1), [&] {
+    bool now = topo.available(Tier::kRsuEdge);
+    if (now != last) ++flips;
+    last = now;
+  });
+  sim.run_until(sim::from_seconds(scenario.total_duration_s()));
+  EXPECT_GE(flips, 2);
+}
+
+TEST(RouteScenario, RejectsEmptyProfile) {
+  CoverageMap map({});
+  EXPECT_THROW(core::DriveScenario::from_route({}, map),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::net

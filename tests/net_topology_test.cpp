@@ -1,0 +1,165 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::net {
+namespace {
+
+TEST(PathSpec, EstimatesSumHops) {
+  PathSpec p{{links::lte_uplink(), links::metro_fiber()}};
+  std::uint64_t bytes = 1'000'000;
+  EXPECT_EQ(p.estimate(bytes), links::lte_uplink().estimate(bytes) +
+                                   links::metro_fiber().estimate(bytes));
+  EXPECT_GE(p.estimate_reliable(bytes), p.estimate(bytes));
+}
+
+TEST(PathSpec, BottleneckAndDelivery) {
+  PathSpec p{{links::lte_uplink(), links::metro_fiber()}};
+  EXPECT_DOUBLE_EQ(p.bottleneck_mbps(), links::lte_uplink().bandwidth_mbps);
+  double expect = (1.0 - links::lte_uplink().loss_rate) *
+                  (1.0 - links::metro_fiber().loss_rate);
+  EXPECT_DOUBLE_EQ(p.delivery_probability(), expect);
+}
+
+TEST(PathSpec, CollapsePreservesAggregate) {
+  PathSpec p{{links::lte_uplink(), links::metro_fiber()}};
+  LinkSpec c = p.collapse("x");
+  EXPECT_DOUBLE_EQ(c.bandwidth_mbps, p.bottleneck_mbps());
+  EXPECT_EQ(c.latency,
+            links::lte_uplink().latency + links::metro_fiber().latency);
+  EXPECT_NEAR(c.loss_rate, 1.0 - p.delivery_probability(), 1e-12);
+}
+
+TEST(Topology, DefaultAvailability) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  EXPECT_TRUE(topo.available(Tier::kOnBoard));
+  EXPECT_FALSE(topo.available(Tier::kNeighbor));  // needs a willing peer
+  EXPECT_TRUE(topo.available(Tier::kRsuEdge));
+  EXPECT_TRUE(topo.available(Tier::kBaseStationEdge));
+  EXPECT_TRUE(topo.available(Tier::kCloud));
+}
+
+TEST(Topology, OnBoardCannotBeDisabled) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  EXPECT_THROW(topo.set_available(Tier::kOnBoard, false),
+               std::invalid_argument);
+  topo.set_available(Tier::kRsuEdge, false);
+  EXPECT_FALSE(topo.available(Tier::kRsuEdge));
+  EXPECT_FALSE(topo.estimate_round_trip(Tier::kRsuEdge, 100, 100).has_value());
+}
+
+TEST(Topology, OnBoardRoundTripIsZero) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  auto rt = topo.estimate_round_trip(Tier::kOnBoard, 1 << 20, 1 << 20);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, 0);
+}
+
+TEST(Topology, EdgeCloserThanCloud) {
+  // The edge premise (§I): RSU round trips beat cloud round trips for the
+  // same payload.
+  sim::Simulator sim;
+  Topology topo(sim);
+  std::uint64_t up = 500'000, down = 10'000;
+  auto rsu = topo.estimate_round_trip(Tier::kRsuEdge, up, down);
+  auto cloud = topo.estimate_round_trip(Tier::kCloud, up, down);
+  ASSERT_TRUE(rsu && cloud);
+  EXPECT_LT(*rsu, *cloud);
+}
+
+TEST(Topology, CellularDegradationSlowsCloudNotRsu) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  std::uint64_t up = 500'000, down = 10'000;
+  auto cloud_before = *topo.estimate_round_trip(Tier::kCloud, up, down);
+  auto rsu_before = *topo.estimate_round_trip(Tier::kRsuEdge, up, down);
+  topo.apply_cellular_condition(0.25, 0.2);
+  auto cloud_after = *topo.estimate_round_trip(Tier::kCloud, up, down);
+  auto rsu_after = *topo.estimate_round_trip(Tier::kRsuEdge, up, down);
+  EXPECT_GT(cloud_after, cloud_before);
+  EXPECT_EQ(rsu_after, rsu_before);  // DSRC path unaffected by cellular
+  // Restoring the condition restores the estimate.
+  topo.apply_cellular_condition(1.0, 0.0);
+  EXPECT_EQ(*topo.estimate_round_trip(Tier::kCloud, up, down), cloud_before);
+}
+
+TEST(Topology, ConditionClampsInputs) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.apply_cellular_condition(-1.0, 2.0);  // clamped, no crash
+  EXPECT_GT(topo.cellular_bandwidth_factor(), 0.0);
+  auto rt = topo.estimate_round_trip(Tier::kCloud, 1000, 1000);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_GT(*rt, 0);
+}
+
+TEST(Topology, TransferUpDeliversEventDriven) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  TransferOutcome got;
+  topo.transfer_up(Tier::kRsuEdge, 100'000,
+                   [&](const TransferOutcome& o) { got = o; });
+  sim.run_until();
+  EXPECT_TRUE(got.delivered);
+  EXPECT_GE(got.attempts, 1);
+  EXPECT_GT(got.latency(), 0);
+}
+
+TEST(Topology, TransferToUnavailableTierFailsFast) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  TransferOutcome got;
+  got.delivered = true;
+  topo.transfer_up(Tier::kNeighbor, 1000,
+                   [&](const TransferOutcome& o) { got = o; });
+  sim.run_until();
+  EXPECT_FALSE(got.delivered);
+  EXPECT_EQ(got.attempts, 0);
+}
+
+TEST(Topology, OnBoardTransferIsInstant) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  TransferOutcome got;
+  topo.transfer_up(Tier::kOnBoard, 1 << 20,
+                   [&](const TransferOutcome& o) { got = o; });
+  EXPECT_TRUE(got.delivered);
+  EXPECT_EQ(got.latency(), 0);
+}
+
+TEST(Topology, RetriesOnLoss) {
+  sim::Simulator sim(3);
+  Topology topo(sim);
+  // Heavy cellular loss: transfers should need >1 attempt sometimes but
+  // still mostly succeed within the retry budget.
+  topo.apply_cellular_condition(1.0, 0.5);
+  int delivered = 0;
+  int multi_attempt = 0;
+  int total = 50;
+  for (int i = 0; i < total; ++i) {
+    topo.transfer_up(Tier::kCloud, 10'000, [&](const TransferOutcome& o) {
+      delivered += o.delivered ? 1 : 0;
+      multi_attempt += o.attempts > 1 ? 1 : 0;
+    });
+  }
+  sim.run_until();
+  EXPECT_GT(delivered, total / 2);
+  EXPECT_GT(multi_attempt, 0);
+}
+
+TEST(Topology, NeighborBecomesUsableWhenEnabled) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.set_available(Tier::kNeighbor, true);
+  auto rt = topo.estimate_round_trip(Tier::kNeighbor, 100'000, 100'000);
+  ASSERT_TRUE(rt.has_value());
+  // One-hop DSRC: faster than the cellular base-station path.
+  auto bs = topo.estimate_round_trip(Tier::kBaseStationEdge, 100'000, 100'000);
+  EXPECT_LT(*rt, *bs);
+}
+
+}  // namespace
+}  // namespace vdap::net

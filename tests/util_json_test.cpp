@@ -1,0 +1,167 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::json {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, IntDoubleInterop) {
+  Value i(3);
+  Value d(3.5);
+  EXPECT_DOUBLE_EQ(i.as_double(), 3.0);
+  EXPECT_EQ(d.as_int(), 3);
+  EXPECT_TRUE(i.is_number());
+  EXPECT_TRUE(d.is_number());
+}
+
+TEST(JsonValue, ObjectInsertAndLookup) {
+  Value v;
+  v["a"] = 1;
+  v["b"]["nested"] = "x";
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").at("nested").as_string(), "x");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("zz"));
+  EXPECT_EQ(v.find("zz"), nullptr);
+  EXPECT_THROW(v.at("zz"), std::out_of_range);
+}
+
+TEST(JsonValue, TypedGettersWithDefaults) {
+  Value v;
+  v["i"] = 5;
+  v["d"] = 1.5;
+  v["s"] = "str";
+  v["b"] = true;
+  EXPECT_EQ(v.get_int("i"), 5);
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(v.get_double("d"), 1.5);
+  EXPECT_DOUBLE_EQ(v.get_double("i"), 5.0);  // int promotes
+  EXPECT_EQ(v.get_string("s"), "str");
+  EXPECT_EQ(v.get_string("i", "def"), "def");  // wrong type -> default
+  EXPECT_TRUE(v.get_bool("b"));
+}
+
+TEST(JsonValue, ArrayAccess) {
+  Value v(Array{1, "two", 3.0});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(std::size_t{0}).as_int(), 1);
+  EXPECT_EQ(v.at(std::size_t{1}).as_string(), "two");
+  EXPECT_THROW(v.at(std::size_t{3}), std::out_of_range);
+}
+
+TEST(JsonValue, WrongTypeAccessThrows) {
+  Value v(42);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(Value("x").as_int(), std::runtime_error);
+}
+
+TEST(JsonParse, Document) {
+  Value v = parse(R"({"name":"vdap","version":1,"pi":3.25,
+                      "tags":["edge","cav"],"nested":{"ok":true},
+                      "none":null})");
+  EXPECT_EQ(v.at("name").as_string(), "vdap");
+  EXPECT_EQ(v.at("version").as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("pi").as_double(), 3.25);
+  EXPECT_EQ(v.at("tags").size(), 2u);
+  EXPECT_TRUE(v.at("nested").at("ok").as_bool());
+  EXPECT_TRUE(v.at("none").is_null());
+}
+
+TEST(JsonParse, RoundTripCompact) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "-12",
+      "1.5",
+      "\"a\\nb\"",
+      "[]",
+      "{}",
+      "[1,2,[3,{\"k\":\"v\"}]]",
+      "{\"a\":{\"b\":[false,null,0.5]}}",
+  };
+  for (const char* d : docs) {
+    Value v = parse(d);
+    EXPECT_EQ(v, parse(v.dump())) << d;
+  }
+}
+
+TEST(JsonParse, PrettyRoundTrips) {
+  Value v = parse(R"({"a":[1,2],"b":{"c":"d"}})");
+  EXPECT_EQ(parse(v.pretty()), v);
+  EXPECT_NE(v.pretty().find('\n'), std::string::npos);
+}
+
+TEST(JsonParse, StringEscapes) {
+  Value v = parse(R"("line\n\ttab \"quote\" back\\slash Aé")");
+  EXPECT_EQ(v.as_string(), "line\n\ttab \"quote\" back\\slash A\xC3\xA9");
+  // Escaped control characters round-trip.
+  Value s(std::string("\x01 control"));
+  EXPECT_EQ(parse(s.dump()), s);
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_EQ(parse("0").as_int(), 0);
+  EXPECT_EQ(parse("-0").as_int(), 0);
+  EXPECT_EQ(parse("9223372036854775807").as_int(), INT64_MAX);
+  EXPECT_TRUE(parse("1e3").is_double());
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-1").as_double(), -0.25);
+}
+
+TEST(JsonParse, ErrorsThrow) {
+  const char* bad[] = {
+      "",      "{",          "[1,",     "{\"a\":}", "tru",
+      "nul",   "\"unterm",   "1 2",     "{'a':1}",  "[1,]",
+      "{\"a\":1,}",
+  };
+  for (const char* d : bad) {
+    EXPECT_THROW(parse(d), std::runtime_error) << d;
+    EXPECT_FALSE(try_parse(d).has_value()) << d;
+  }
+}
+
+TEST(JsonParse, TryParseOk) {
+  auto v = try_parse("[1,2,3]");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  Value v = parse("  \n\t { \"a\" : [ 1 , 2 ] } \r\n ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, DeterministicObjectOrder) {
+  // Keys serialize sorted, so semantically equal docs dump identically.
+  Value a = parse(R"({"z":1,"a":2})");
+  Value b = parse(R"({"a":2,"z":1})");
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(JsonParse, DoubleRoundTripPrecision) {
+  double values[] = {0.1, 1.0 / 3.0, 1e-9, 123456789.123456789, -2.5e300};
+  for (double d : values) {
+    Value v(d);
+    EXPECT_DOUBLE_EQ(parse(v.dump()).as_double(), d) << d;
+  }
+}
+
+}  // namespace
+}  // namespace vdap::json

@@ -1,0 +1,152 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace vdap::util {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  RngStream rng(7);
+  Summary whole;
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) h.add(i);  // unsorted insert
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.p50(), 50.0, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
+  EXPECT_NEAR(h.p99(), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, EmptyAndClear) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  h.add(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  RngStream rng(11);
+  for (int i = 0; i < 500; ++i) h.add(rng.exponential(10.0));
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(CounterSet, IncrementAndRead) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0);
+  c.inc("x");
+  c.inc("x", 4);
+  c.inc("y", 2);
+  EXPECT_EQ(c.get("x"), 5);
+  EXPECT_EQ(c.get("y"), 2);
+  EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.50"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormat) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Rng, DeterministicStreams) {
+  RngStream a(42, "alpha");
+  RngStream b(42, "alpha");
+  RngStream c(42, "beta");
+  double av = a.uniform();
+  EXPECT_DOUBLE_EQ(av, b.uniform());
+  EXPECT_NE(av, c.uniform());
+}
+
+TEST(Rng, RangesRespected) {
+  RngStream r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+    auto n = r.uniform_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+    EXPECT_GE(r.exponential(4.0), 0.0);
+    EXPECT_GE(r.normal_min(0.0, 1.0, -0.5), -0.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  RngStream r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace vdap::util

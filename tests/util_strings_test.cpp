@@ -1,0 +1,72 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdap::util {
+namespace {
+
+TEST(Split, DropsEmptyPieces) {
+  EXPECT_EQ(split("/a//b/", '/'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("", '/'), (std::vector<std::string>{}));
+  EXPECT_EQ(split("abc", '/'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitKeepEmpty, KeepsEmptyPieces) {
+  EXPECT_EQ(split_keep_empty("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split_keep_empty("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Join, Joins) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(JoinSplit, RoundTrip) {
+  std::vector<std::string> pieces{"v1", "models", "inception"};
+  EXPECT_EQ(split(join(pieces, "/"), '/'), pieces);
+}
+
+TEST(Affixes, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/v1/models", "/v1"));
+  EXPECT_FALSE(starts_with("/v1", "/v1/models"));
+  EXPECT_TRUE(ends_with("file.json", ".json"));
+  EXPECT_FALSE(ends_with("json", "file.json"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Trim, TrimsWhitespace) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(ToLower, Lowers) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(Format, FormatsLikePrintf) {
+  EXPECT_EQ(format("%s=%d", "x", 5), "x=5");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(HumanBytes, Scales) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(human_bytes(5ull * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(human_bytes(3ull << 30), "3.0 GiB");
+}
+
+}  // namespace
+}  // namespace vdap::util

@@ -1,0 +1,311 @@
+#include "vcu/dsf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+#include "workload/apps.hpp"
+
+namespace vdap::vcu {
+namespace {
+
+class DsfTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Dsf> make_dsf(std::unique_ptr<Scheduler> sched,
+                                DsfOptions opts = {}) {
+    return std::make_unique<Dsf>(sim, reg, std::move(sched), opts);
+  }
+
+  sim::Simulator sim;
+  hw::ComputeDevice cpu{sim, hw::catalog::core_i7_6700()};
+  hw::ComputeDevice gpu{sim, hw::catalog::jetson_tx2_maxp()};
+  hw::ComputeDevice fpga{sim, hw::catalog::automotive_fpga()};
+  hw::ComputeDevice asic{sim, hw::catalog::cnn_asic()};
+  ResourceRegistry reg;
+};
+
+TEST_F(DsfTest, RequiresScheduler) {
+  EXPECT_THROW(Dsf(sim, reg, nullptr), std::invalid_argument);
+}
+
+TEST_F(DsfTest, RunsSingleTaskApp) {
+  reg.join(&cpu);
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::lane_detection(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  EXPECT_TRUE(run.ok);
+  EXPECT_TRUE(run.deadline_met);
+  ASSERT_EQ(run.tasks.size(), 1u);
+  EXPECT_EQ(run.tasks[0].device, "core-i7-6700");
+  // 0.10856 GF at 40 GF/s classic-vision = 2.714 ms.
+  EXPECT_NEAR(sim::to_millis(run.latency()), 2.714, 0.01);
+}
+
+TEST_F(DsfTest, ChainRespectsPrecedence) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::license_plate_pipeline(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  ASSERT_EQ(run.tasks.size(), 3u);
+  EXPECT_LE(run.tasks[0].finished, run.tasks[1].started);
+  EXPECT_LE(run.tasks[1].finished, run.tasks[2].started);
+}
+
+TEST_F(DsfTest, GreedyEftPicksFastDeviceForCnn) {
+  reg.join(&cpu);
+  reg.join(&asic);  // 230 GF/s CNN vs CPU 74 GF/s
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tasks[0].device, "cnn-asic");
+}
+
+TEST_F(DsfTest, GreedyEftSpillsToSlowerDeviceUnderBacklog) {
+  reg.join(&cpu);
+  reg.join(&asic);
+  // Saturate the ASIC first.
+  for (int i = 0; i < 8; ++i) {
+    asic.submit({hw::TaskClass::kCnnInference, 230.0, 0, nullptr});  // 1 s each
+  }
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tasks[0].device, "core-i7-6700");  // faster *finish*, not speed
+}
+
+TEST_F(DsfTest, CpuOnlyBaselinePinsToCpu) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  reg.join(&asic);
+  auto dsf = make_dsf(std::make_unique<CpuOnlyScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tasks[0].device, "core-i7-6700");
+}
+
+TEST_F(DsfTest, RoundRobinCycles) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  auto dsf = make_dsf(std::make_unique<RoundRobinScheduler>());
+  std::vector<std::string> devices;
+  for (int i = 0; i < 4; ++i) {
+    dsf->submit(workload::apps::inception_v3(), [&](const DagRun& r) {
+      devices.push_back(r.tasks[0].device);
+    });
+  }
+  sim.run_until();
+  ASSERT_EQ(devices.size(), 4u);
+  // Alternating assignment: two instances land on each device.
+  int cpu_count = 0;
+  for (const auto& d : devices) cpu_count += d == "core-i7-6700" ? 1 : 0;
+  EXPECT_EQ(cpu_count, 2);
+}
+
+TEST_F(DsfTest, UnsupportedClassFailsInstance) {
+  reg.join(&asic);  // CNN only
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  DagRun run;
+  run.ok = true;
+  dsf->submit(workload::apps::speech_assistant(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  EXPECT_FALSE(run.ok);
+  EXPECT_FALSE(run.deadline_met);
+  EXPECT_EQ(dsf->failed(), 1u);
+  EXPECT_EQ(dsf->in_flight(), 0u);
+}
+
+TEST_F(DsfTest, DeviceExitMidTaskRetriesElsewhere) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  auto dsf = make_dsf(std::make_unique<CpuOnlyScheduler>());
+  DagRun run;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  // Yank the CPU mid-execution; the task must retry on the GPU.
+  sim.after(sim::msec(10), [&] { cpu.set_online(false); });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tasks[0].device, "jetson-tx2-maxp");
+  EXPECT_GE(run.tasks[0].attempts, 2);
+}
+
+TEST_F(DsfTest, ExhaustedRetriesFailTheInstance) {
+  reg.join(&cpu);
+  auto dsf = make_dsf(std::make_unique<CpuOnlyScheduler>(),
+                      DsfOptions{false, {}, 2});
+  DagRun run;
+  run.ok = true;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  sim.after(sim::msec(1), [&] { cpu.set_online(false); });
+  sim.run_until();
+  EXPECT_FALSE(run.ok);
+}
+
+TEST_F(DsfTest, PartitioningSpreadsAcrossDevices) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  reg.join(&asic);
+  DsfOptions opts;
+  opts.enable_partitioning = true;
+  opts.partition_policy.max_chunk_gflop = 3.0;
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>(), opts);
+  DagRun run;
+  dsf->submit(workload::apps::inception_v3(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_GT(run.tasks.size(), 2u);  // chunks + merge
+  std::set<std::string> used;
+  for (const auto& t : run.tasks) used.insert(t.device);
+  EXPECT_GE(used.size(), 2u);  // genuinely heterogeneous execution
+}
+
+TEST_F(DsfTest, PartitioningBeatsSingleDeviceLatency) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  reg.join(&asic);
+  // Unpartitioned on the best single device vs partitioned across all.
+  auto base = make_dsf(std::make_unique<GreedyEftScheduler>());
+  sim::SimDuration mono = 0;
+  base->submit(workload::apps::vehicle_detection_tf(),
+               [&](const DagRun& r) { mono = r.latency(); });
+  sim.run_until();
+
+  DsfOptions opts;
+  opts.enable_partitioning = true;
+  opts.partition_policy.max_chunk_gflop = 7.0;
+  auto part = make_dsf(std::make_unique<GreedyEftScheduler>(), opts);
+  sim::SimDuration split = 0;
+  part->submit(workload::apps::vehicle_detection_tf(),
+               [&](const DagRun& r) { split = r.latency(); });
+  sim.run_until();
+  EXPECT_LT(split, mono);
+}
+
+TEST_F(DsfTest, HeftPlansWholeDagAndCleansUp) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  reg.join(&fpga);
+  auto fetch = [this](const std::string& svc, hw::TaskClass cls) {
+    return reg.candidates(svc, cls);
+  };
+  auto dsf = make_dsf(std::make_unique<HeftScheduler>(fetch));
+  DagRun run;
+  dsf->submit(workload::apps::pedestrian_detection(),
+              [&](const DagRun& r) { run = r; });
+  sim.run_until();
+  ASSERT_TRUE(run.ok);
+  EXPECT_TRUE(run.deadline_met);
+  // Preprocess should land on the FPGA (120 GF/s vs CPU 30 / GPU 35).
+  EXPECT_EQ(run.tasks[0].device, "automotive-fpga");
+}
+
+TEST_F(DsfTest, ProfilesAggregateAcrossInstances) {
+  reg.join(&cpu);
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  for (int i = 0; i < 5; ++i) {
+    dsf->submit(workload::apps::lane_detection());
+  }
+  sim.run_until();
+  const auto& profiles = dsf->app_profiles();
+  ASSERT_TRUE(profiles.count("lane-detection"));
+  const ApplicationProfile& p = profiles.at("lane-detection");
+  EXPECT_EQ(p.released, 5u);
+  EXPECT_EQ(p.completed, 5u);
+  EXPECT_EQ(p.failed, 0u);
+  EXPECT_GT(p.latency_ms.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(p.miss_rate(), 0.0);
+}
+
+TEST_F(DsfTest, PriorityInversionAvoidedOnContention) {
+  reg.join(&asic);  // single slot
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  // Fill the ASIC with a long low-priority job, then race a low-priority
+  // and a high-priority instance; the high-priority one must start first.
+  asic.submit({hw::TaskClass::kCnnInference, 230.0, 0, nullptr});
+  sim::SimTime lo_started = 0, hi_started = 0;
+  workload::AppDag lo("lo", workload::ServiceCategory::kThirdParty,
+                      {0, 1, 0});
+  lo.add_task({"x", hw::TaskClass::kCnnInference, 23.0, 0, 0, true});
+  workload::AppDag hi("hi", workload::ServiceCategory::kAdas, {0, 9, 0});
+  hi.add_task({"y", hw::TaskClass::kCnnInference, 23.0, 0, 0, true});
+  dsf->submit(lo, [&](const DagRun& r) { lo_started = r.tasks[0].started; });
+  dsf->submit(hi, [&](const DagRun& r) { hi_started = r.tasks[0].started; });
+  sim.run_until();
+  EXPECT_LT(hi_started, lo_started);
+}
+
+TEST_F(DsfTest, MidDagDispatchFailureDoesNotCorruptState) {
+  // Regression: a task whose successor has no capable device used to
+  // finalize the instance inside the successor loop and then keep using
+  // the freed instance (use-after-free). The legacy OBC runs pedestrian
+  // preprocessing but cannot run the CNN stage.
+  hw::ComputeDevice obc{sim, hw::catalog::legacy_obc()};
+  reg.join(&obc);
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  std::vector<bool> oks;
+  for (int i = 0; i < 20; ++i) {
+    dsf->submit(workload::apps::pedestrian_detection(),
+                [&](const DagRun& r) { oks.push_back(r.ok); });
+  }
+  sim.run_until(sim::minutes(2));
+  ASSERT_EQ(oks.size(), 20u);
+  for (bool ok : oks) EXPECT_FALSE(ok);  // CNN stage unrunnable
+  EXPECT_EQ(dsf->in_flight(), 0u);
+  EXPECT_EQ(dsf->failed(), 20u);
+}
+
+TEST_F(DsfTest, EftBeatsRoundRobinOnBatchMakespan) {
+  // Property: on a heterogeneous board, backlog-aware EFT finishes a batch
+  // of identical CNN jobs no later than load-blind round-robin.
+  auto run_makespan = [&](std::unique_ptr<Scheduler> sched) {
+    sim::Simulator local_sim;
+    hw::ComputeDevice c(local_sim, hw::catalog::core_i7_6700());
+    hw::ComputeDevice g(local_sim, hw::catalog::jetson_tx2_maxp());
+    hw::ComputeDevice a(local_sim, hw::catalog::cnn_asic());
+    ResourceRegistry local_reg;
+    local_reg.join(&c);
+    local_reg.join(&g);
+    local_reg.join(&a);
+    Dsf local_dsf(local_sim, local_reg, std::move(sched));
+    sim::SimTime last = 0;
+    for (int i = 0; i < 30; ++i) {
+      local_dsf.submit(workload::apps::inception_v3(),
+                       [&](const DagRun& r) {
+                         last = std::max(last, r.finished);
+                       });
+    }
+    local_sim.run_until(sim::minutes(10));
+    return last;
+  };
+  sim::SimTime eft = run_makespan(std::make_unique<GreedyEftScheduler>());
+  sim::SimTime rr = run_makespan(std::make_unique<RoundRobinScheduler>());
+  EXPECT_LE(eft, rr);
+  EXPECT_GT(eft, 0);
+}
+
+TEST_F(DsfTest, RejectsInvalidDag) {
+  reg.join(&cpu);
+  auto dsf = make_dsf(std::make_unique<GreedyEftScheduler>());
+  workload::AppDag empty;
+  EXPECT_THROW(dsf->submit(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdap::vcu

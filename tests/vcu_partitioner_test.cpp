@@ -1,0 +1,124 @@
+#include "vcu/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/apps.hpp"
+
+namespace vdap::vcu {
+namespace {
+
+using workload::AppDag;
+using workload::TaskSpec;
+
+TEST(Partitioner, DivisibleClasses) {
+  EXPECT_TRUE(divisible(hw::TaskClass::kCnnInference));
+  EXPECT_TRUE(divisible(hw::TaskClass::kVisionClassic));
+  EXPECT_TRUE(divisible(hw::TaskClass::kPreprocess));
+  EXPECT_TRUE(divisible(hw::TaskClass::kCodec));
+  EXPECT_FALSE(divisible(hw::TaskClass::kGeneric));
+  EXPECT_FALSE(divisible(hw::TaskClass::kCnnTraining));
+  EXPECT_FALSE(divisible(hw::TaskClass::kDbQuery));
+}
+
+TEST(Partitioner, SmallTasksPassThrough) {
+  AppDag dag("d", workload::ServiceCategory::kAdas, {});
+  dag.add_task({"small", hw::TaskClass::kCnnInference, 1.0, 100, 10, true});
+  AppDag out = partition(dag, {2.0, 4, 0.002});
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_EQ(out.task(0).name, "small");
+}
+
+TEST(Partitioner, LargeTaskSplitsIntoChunksPlusMerge) {
+  AppDag dag("d", workload::ServiceCategory::kAdas, {});
+  dag.add_task({"big", hw::TaskClass::kCnnInference, 6.0, 1200, 48, true});
+  AppDag out = partition(dag, {2.0, 4, 0.002});
+  // ceil(6/2) = 3 chunks + merge.
+  ASSERT_EQ(out.size(), 4);
+  double chunk_sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.task(i).name, "big#" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(out.task(i).gflop, 2.0);
+    EXPECT_EQ(out.task(i).input_bytes, 400u);
+    chunk_sum += out.task(i).gflop;
+  }
+  EXPECT_DOUBLE_EQ(chunk_sum, 6.0);  // compute conserved
+  EXPECT_EQ(out.task(3).name, "big#merge");
+  EXPECT_EQ(out.predecessors(3).size(), 3u);
+  EXPECT_TRUE(out.validate());
+}
+
+TEST(Partitioner, FanoutIsCapped) {
+  AppDag dag("d", workload::ServiceCategory::kAdas, {});
+  dag.add_task({"huge", hw::TaskClass::kCodec, 100.0, 1000, 10, true});
+  AppDag out = partition(dag, {2.0, 4, 0.002});
+  EXPECT_EQ(out.size(), 5);  // 4 chunks (capped) + merge
+  EXPECT_DOUBLE_EQ(out.task(0).gflop, 25.0);
+}
+
+TEST(Partitioner, NonOffloadableTasksNotSplit) {
+  AppDag dag("d", workload::ServiceCategory::kAdas, {});
+  dag.add_task({"pinned", hw::TaskClass::kCnnInference, 50.0, 1000, 10,
+                /*offloadable=*/false});
+  AppDag out = partition(dag);
+  EXPECT_EQ(out.size(), 1);
+}
+
+TEST(Partitioner, PrecedencePreservedAcrossSplit) {
+  AppDag dag("d", workload::ServiceCategory::kThirdParty, {});
+  int a = dag.add_task({"a", hw::TaskClass::kGeneric, 0.1, 10, 10, true});
+  int b = dag.add_task({"b", hw::TaskClass::kCnnInference, 6.0, 600, 30, true});
+  int c = dag.add_task({"c", hw::TaskClass::kGeneric, 0.1, 10, 10, true});
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  AppDag out = partition(dag, {2.0, 4, 0.002});
+  // a + 3 chunks + merge + c = 6 tasks.
+  ASSERT_EQ(out.size(), 6);
+  EXPECT_TRUE(out.validate());
+  // a precedes every chunk; c follows the merge.
+  auto order = out.topo_order();
+  EXPECT_EQ(out.task(order.front()).name, "a");
+  EXPECT_EQ(out.task(order.back()).name, "c");
+  // Each chunk has exactly one predecessor (a) and one successor (merge).
+  for (int i = 0; i < out.size(); ++i) {
+    if (out.task(i).name.find("b#") == 0 &&
+        out.task(i).name.find("merge") == std::string::npos) {
+      EXPECT_EQ(out.predecessors(i).size(), 1u);
+      EXPECT_EQ(out.successors(i).size(), 1u);
+    }
+  }
+}
+
+TEST(Partitioner, QosAndIdentityPreserved) {
+  AppDag dag = workload::apps::pedestrian_detection();
+  AppDag out = partition(dag, {1.0, 4, 0.002});
+  EXPECT_EQ(out.name(), dag.name());
+  EXPECT_EQ(out.category(), dag.category());
+  EXPECT_EQ(out.qos().deadline, dag.qos().deadline);
+  EXPECT_TRUE(out.validate());
+  // The 5-GFLOP pedestrian CNN splits under a 1-GFLOP chunk policy.
+  EXPECT_GT(out.size(), dag.size());
+}
+
+TEST(Partitioner, CriticalPathShrinks) {
+  // Splitting a large serial task across devices shortens the compute
+  // critical path — the point of fine-grained division.
+  AppDag dag("d", workload::ServiceCategory::kThirdParty, {});
+  dag.add_task({"big", hw::TaskClass::kCnnInference, 8.0, 800, 10, true});
+  AppDag out = partition(dag, {2.0, 4, 0.002});
+  EXPECT_LT(out.critical_path_gflop(), dag.critical_path_gflop());
+  EXPECT_NEAR(out.total_gflop(), dag.total_gflop(), 0.01);
+}
+
+TEST(Partitioner, AllPackagedAppsSurvivePartitioning) {
+  for (const AppDag& dag : workload::apps::all()) {
+    AppDag out = partition(dag, {0.5, 4, 0.002});
+    std::string why;
+    EXPECT_TRUE(out.validate(&why)) << dag.name() << ": " << why;
+    EXPECT_NEAR(out.total_gflop(), dag.total_gflop(),
+                dag.total_gflop() * 0.05 + 0.05)
+        << dag.name();
+  }
+}
+
+}  // namespace
+}  // namespace vdap::vcu

@@ -1,0 +1,125 @@
+#include "vcu/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+
+namespace vdap::vcu {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  hw::ComputeDevice cpu{sim, hw::catalog::core_i7_6700()};
+  hw::ComputeDevice gpu{sim, hw::catalog::jetson_tx2_maxp()};
+  hw::ComputeDevice asic{sim, hw::catalog::cnn_asic()};
+  ResourceRegistry reg;
+};
+
+TEST_F(RegistryTest, JoinAndFind) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains("core-i7-6700"));
+  EXPECT_EQ(reg.find("jetson-tx2-maxp"), &gpu);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST_F(RegistryTest, DuplicateJoinRejected) {
+  reg.join(&cpu);
+  EXPECT_THROW(reg.join(&cpu), std::invalid_argument);
+  EXPECT_THROW(reg.join(nullptr), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, LeaveAbortsInFlightWork) {
+  reg.join(&cpu);
+  bool ok = true;
+  cpu.submit({hw::TaskClass::kGeneric, 1000.0, 0,
+              [&](const hw::WorkReport& r) { ok = r.ok; }});
+  reg.leave("core-i7-6700");
+  EXPECT_FALSE(ok);  // aborted synchronously
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_THROW(reg.leave("core-i7-6700"), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, CandidatesFilterByClassAndOnline) {
+  reg.join(&cpu);
+  reg.join(&gpu);
+  reg.join(&asic);
+  // Everyone supports CNN inference.
+  EXPECT_EQ(reg.candidates("svc", hw::TaskClass::kCnnInference).size(), 3u);
+  // Only CPU+GPU support generic work.
+  EXPECT_EQ(reg.candidates("svc", hw::TaskClass::kGeneric).size(), 2u);
+  gpu.set_online(false);
+  EXPECT_EQ(reg.candidates("svc", hw::TaskClass::kGeneric).size(), 1u);
+}
+
+TEST_F(RegistryTest, ControlKnobGatesAccess) {
+  reg.join(&asic);
+  // By default everyone is admitted.
+  EXPECT_EQ(reg.candidates("anyone", hw::TaskClass::kCnnInference).size(), 1u);
+  // Restrict the ASIC to the pedestrian service ("resources accessed by
+  // applications are tightly controlled by DSF").
+  reg.knob("cnn-asic").allow("pedestrian-alert");
+  EXPECT_TRUE(reg.candidates("third-party-x", hw::TaskClass::kCnnInference)
+                  .empty());
+  EXPECT_EQ(
+      reg.candidates("pedestrian-alert", hw::TaskClass::kCnnInference).size(),
+      1u);
+  // Disabling the knob blocks everyone.
+  reg.knob("cnn-asic").set_enabled(false);
+  EXPECT_TRUE(reg.candidates("pedestrian-alert", hw::TaskClass::kCnnInference)
+                  .empty());
+  // Re-enable and clear allowlist: open again.
+  reg.knob("cnn-asic").set_enabled(true);
+  reg.knob("cnn-asic").clear_allowlist();
+  EXPECT_EQ(reg.candidates("anyone", hw::TaskClass::kCnnInference).size(), 1u);
+  EXPECT_THROW(reg.knob("missing"), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, KnobRevoke) {
+  reg.join(&cpu);
+  reg.knob("core-i7-6700").allow("a");
+  reg.knob("core-i7-6700").allow("b");
+  reg.knob("core-i7-6700").revoke("a");
+  EXPECT_TRUE(reg.candidates("a", hw::TaskClass::kGeneric).empty());
+  EXPECT_FALSE(reg.candidates("b", hw::TaskClass::kGeneric).empty());
+}
+
+TEST_F(RegistryTest, ListenersSeeJoinAndLeave) {
+  std::vector<std::pair<std::string, bool>> events;
+  reg.subscribe([&](const std::string& name, bool joined) {
+    events.emplace_back(name, joined);
+  });
+  reg.join(&cpu);
+  reg.leave("core-i7-6700");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(std::string("core-i7-6700"), true));
+  EXPECT_EQ(events[1], std::make_pair(std::string("core-i7-6700"), false));
+}
+
+TEST_F(RegistryTest, ProfilesSnapshotDynamicState) {
+  reg.join(&cpu);
+  cpu.submit({hw::TaskClass::kGeneric, 100.0, 0, nullptr});
+  auto profiles = reg.profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  const ResourceProfile& p = profiles[0];
+  EXPECT_EQ(p.device, "core-i7-6700");
+  EXPECT_TRUE(p.online);
+  EXPECT_EQ(p.busy_slots, 1);
+  EXPECT_GT(p.power_now_w, cpu.spec().idle_power_w);
+  EXPECT_TRUE(p.gflops.count(hw::TaskClass::kCnnInference) > 0);
+}
+
+TEST_F(RegistryTest, SecondHepPhoneJoinsAndLeaves) {
+  // The 2ndHEP story: a passenger phone joins, contributes, then leaves.
+  reg.join(&cpu);
+  hw::ComputeDevice phone(sim, hw::catalog::phone_soc());
+  reg.join(&phone);
+  EXPECT_EQ(reg.candidates("svc", hw::TaskClass::kCnnInference).size(), 2u);
+  reg.leave("phone-soc");
+  EXPECT_EQ(reg.candidates("svc", hw::TaskClass::kCnnInference).size(), 1u);
+}
+
+}  // namespace
+}  // namespace vdap::vcu

@@ -1,0 +1,107 @@
+#include "workload/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+
+namespace vdap::workload {
+namespace {
+
+// Every packaged app must be a valid DAG with sane payloads.
+class AllApps : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllApps, ValidDag) {
+  auto dags = apps::all();
+  const AppDag& dag = dags[static_cast<std::size_t>(GetParam())];
+  std::string why;
+  EXPECT_TRUE(dag.validate(&why)) << dag.name() << ": " << why;
+  EXPECT_FALSE(dag.name().empty());
+  EXPECT_GT(dag.total_gflop(), 0.0) << dag.name();
+  for (int i = 0; i < dag.size(); ++i) {
+    EXPECT_FALSE(dag.task(i).name.empty()) << dag.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllApps,
+                         ::testing::Range(0, 11));
+
+TEST(Apps, CountMatches) { EXPECT_EQ(apps::all().size(), 11u); }
+
+// Table I reproduction at the model level: running each algorithm's demand
+// on the EC2 vCPU spec must give the paper's milliseconds.
+TEST(Apps, TableILatenciesOnEc2) {
+  auto ec2 = hw::catalog::ec2_vcpu();
+  auto run_ms = [&](const AppDag& dag) {
+    double total = 0.0;
+    for (int i = 0; i < dag.size(); ++i) {
+      auto d = ec2.service_time(dag.task(i).cls, dag.task(i).gflop);
+      EXPECT_TRUE(d.has_value()) << dag.name();
+      total += sim::to_millis(*d);
+    }
+    return total;
+  };
+  EXPECT_NEAR(run_ms(apps::lane_detection()), 13.57, 0.01);
+  EXPECT_NEAR(run_ms(apps::vehicle_detection_haar()), 269.46, 0.01);
+  EXPECT_NEAR(run_ms(apps::vehicle_detection_tf()), 13971.98, 0.01);
+}
+
+TEST(Apps, InceptionMatchesCatalogConstant) {
+  auto dag = apps::inception_v3();
+  EXPECT_DOUBLE_EQ(dag.total_gflop(), hw::kInceptionV3Gflop);
+}
+
+TEST(Apps, LicensePlatePipelineIsThreeStageChain) {
+  auto dag = apps::license_plate_pipeline();
+  ASSERT_EQ(dag.size(), 3);
+  EXPECT_EQ(dag.sources().size(), 1u);
+  EXPECT_EQ(dag.sinks().size(), 1u);
+  EXPECT_EQ(dag.task(0).name, "motion-detect");
+  EXPECT_EQ(dag.task(2).name, "plate-recognize");
+  // Stage outputs shrink along the pipeline (why partial offload saves
+  // bandwidth): camera frame > ROI > plate crop > result.
+  EXPECT_GT(dag.task(0).input_bytes, dag.task(1).input_bytes);
+  EXPECT_GT(dag.task(1).input_bytes, dag.task(2).input_bytes);
+  EXPECT_GT(dag.task(2).input_bytes, dag.task(2).output_bytes);
+}
+
+TEST(Apps, A3ExtendsPlatePipeline) {
+  auto dag = apps::a3_kidnapper_search();
+  EXPECT_EQ(dag.size(), 4);
+  EXPECT_EQ(dag.task(3).name, "watchlist-match");
+  EXPECT_TRUE(dag.validate());
+}
+
+TEST(Apps, SafetyStagesArePinned) {
+  auto ped = apps::pedestrian_detection();
+  bool has_pinned = false;
+  for (int i = 0; i < ped.size(); ++i) {
+    if (!ped.task(i).offloadable) has_pinned = true;
+  }
+  EXPECT_TRUE(has_pinned);
+  // The pinned stage is the actuation sink.
+  EXPECT_FALSE(ped.task(ped.sinks()[0]).offloadable);
+}
+
+TEST(Apps, AdasDeadlinesAreTight) {
+  EXPECT_LE(apps::pedestrian_detection().qos().deadline,
+            sim::from_millis(100));
+  EXPECT_LE(apps::lane_detection().qos().deadline, sim::from_millis(50));
+  EXPECT_GT(apps::pedestrian_detection().qos().priority,
+            apps::infotainment_chunk().qos().priority);
+}
+
+TEST(Apps, CategoriesCoverAllFour) {
+  bool diag = false, adas = false, info = false, third = false;
+  for (const auto& dag : apps::all()) {
+    switch (dag.category()) {
+      case ServiceCategory::kRealTimeDiagnostics: diag = true; break;
+      case ServiceCategory::kAdas: adas = true; break;
+      case ServiceCategory::kInfotainment: info = true; break;
+      case ServiceCategory::kThirdParty: third = true; break;
+    }
+  }
+  EXPECT_TRUE(diag && adas && info && third);
+}
+
+}  // namespace
+}  // namespace vdap::workload

@@ -1,0 +1,131 @@
+#include "workload/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vdap::workload {
+namespace {
+
+TaskSpec t(const std::string& name, double gflop = 1.0) {
+  return {name, hw::TaskClass::kGeneric, gflop, 100, 10, true};
+}
+
+TEST(AppDag, AddTaskAndLookup) {
+  AppDag dag("d", ServiceCategory::kAdas, {});
+  int a = dag.add_task(t("a"));
+  int b = dag.add_task(t("b", 2.0));
+  EXPECT_EQ(dag.size(), 2);
+  EXPECT_EQ(dag.task(a).name, "a");
+  EXPECT_DOUBLE_EQ(dag.task(b).gflop, 2.0);
+  EXPECT_THROW(dag.task(5), std::out_of_range);
+  EXPECT_THROW(dag.task(-1), std::out_of_range);
+}
+
+TEST(AppDag, RejectsInvalidTask) {
+  AppDag dag;
+  EXPECT_THROW(dag.add_task({"", hw::TaskClass::kGeneric, 1.0, 0, 0, true}),
+               std::invalid_argument);
+  EXPECT_THROW(dag.add_task({"x", hw::TaskClass::kGeneric, -1.0, 0, 0, true}),
+               std::invalid_argument);
+}
+
+TEST(AppDag, EdgesAndNeighbors) {
+  AppDag dag;
+  int a = dag.add_task(t("a"));
+  int b = dag.add_task(t("b"));
+  int c = dag.add_task(t("c"));
+  dag.add_edge(a, b);
+  dag.add_edge(a, c);
+  dag.add_edge(b, c);
+  EXPECT_EQ(dag.successors(a).size(), 2u);
+  EXPECT_EQ(dag.predecessors(c).size(), 2u);
+  EXPECT_EQ(dag.sources(), (std::vector<int>{a}));
+  EXPECT_EQ(dag.sinks(), (std::vector<int>{c}));
+}
+
+TEST(AppDag, EdgeValidation) {
+  AppDag dag;
+  int a = dag.add_task(t("a"));
+  int b = dag.add_task(t("b"));
+  EXPECT_THROW(dag.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(dag.add_edge(a, 7), std::out_of_range);
+  dag.add_edge(a, b);
+  EXPECT_THROW(dag.add_edge(a, b), std::invalid_argument);  // duplicate
+}
+
+TEST(AppDag, TopoOrderRespectsEdges) {
+  AppDag dag;
+  int a = dag.add_task(t("a"));
+  int b = dag.add_task(t("b"));
+  int c = dag.add_task(t("c"));
+  int d = dag.add_task(t("d"));
+  dag.add_edge(c, b);
+  dag.add_edge(b, a);
+  dag.add_edge(c, d);
+  auto order = dag.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(c), pos(b));
+  EXPECT_LT(pos(b), pos(a));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(AppDag, CycleDetected) {
+  AppDag dag("cyc", ServiceCategory::kThirdParty, {});
+  int a = dag.add_task(t("a"));
+  int b = dag.add_task(t("b"));
+  dag.add_edge(a, b);
+  dag.add_edge(b, a);
+  EXPECT_THROW(dag.topo_order(), std::logic_error);
+  std::string why;
+  EXPECT_FALSE(dag.validate(&why));
+  EXPECT_NE(why.find("cycle"), std::string::npos);
+}
+
+TEST(AppDag, ValidateEmptyFails) {
+  AppDag dag;
+  std::string why;
+  EXPECT_FALSE(dag.validate(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(AppDag, Aggregates) {
+  AppDag dag;
+  int a = dag.add_task(t("a", 1.0));
+  int b = dag.add_task(t("b", 2.0));
+  int c = dag.add_task(t("c", 4.0));
+  dag.add_edge(a, b);
+  dag.add_edge(a, c);
+  EXPECT_DOUBLE_EQ(dag.total_gflop(), 7.0);
+  EXPECT_EQ(dag.total_input_bytes(), 300u);
+  // Critical path: a -> c = 5.
+  EXPECT_DOUBLE_EQ(dag.critical_path_gflop(), 5.0);
+}
+
+TEST(AppDag, CriticalPathOnChainEqualsTotal) {
+  AppDag dag;
+  int prev = dag.add_task(t("t0", 1.5));
+  for (int i = 1; i < 5; ++i) {
+    int cur = dag.add_task(t("t" + std::to_string(i), 1.5));
+    dag.add_edge(prev, cur);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(dag.critical_path_gflop(), dag.total_gflop());
+}
+
+TEST(AppDag, QosAccessors) {
+  QosSpec q{sim::from_millis(100), 5, sim::seconds(1)};
+  AppDag dag("x", ServiceCategory::kInfotainment, q);
+  EXPECT_TRUE(dag.qos().has_deadline());
+  EXPECT_TRUE(dag.qos().periodic());
+  EXPECT_EQ(dag.category(), ServiceCategory::kInfotainment);
+  dag.set_qos({});
+  EXPECT_FALSE(dag.qos().has_deadline());
+  EXPECT_FALSE(dag.qos().periodic());
+}
+
+}  // namespace
+}  // namespace vdap::workload

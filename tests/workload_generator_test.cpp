@@ -1,0 +1,156 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace vdap::workload {
+namespace {
+
+StreamSpec periodic_stream(sim::SimDuration period,
+                           std::uint64_t max_instances = 0) {
+  StreamSpec s;
+  s.dag = apps::lane_detection();
+  s.period = period;
+  s.max_instances = max_instances;
+  return s;
+}
+
+TEST(Generator, PeriodicReleasesAtPeriod) {
+  sim::Simulator sim;
+  std::vector<sim::SimTime> releases;
+  WorkloadGenerator gen(sim, [&](const Release& r) {
+    releases.push_back(r.released_at);
+  });
+  gen.add_stream(periodic_stream(sim::seconds(1)));
+  gen.start();
+  sim.run_until(sim::seconds(5));
+  // t = 0,1,2,3,4,5.
+  ASSERT_EQ(releases.size(), 6u);
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    EXPECT_EQ(releases[i], sim::seconds(static_cast<std::int64_t>(i)));
+  }
+}
+
+TEST(Generator, MaxInstancesBoundsStream) {
+  sim::Simulator sim;
+  int count = 0;
+  WorkloadGenerator gen(sim, [&](const Release&) { ++count; });
+  gen.add_stream(periodic_stream(sim::msec(10), 7));
+  gen.start();
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ(gen.released(), 7u);
+}
+
+TEST(Generator, StopHaltsReleases) {
+  sim::Simulator sim;
+  int count = 0;
+  WorkloadGenerator gen(sim, [&](const Release&) { ++count; });
+  gen.add_stream(periodic_stream(sim::seconds(1)));
+  gen.start();
+  sim.after(sim::seconds(2) + 1, [&] { gen.stop(); });
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(count, 3);  // t = 0, 1, 2
+}
+
+TEST(Generator, PoissonRateApproximatelyHonored) {
+  sim::Simulator sim(77);
+  int count = 0;
+  WorkloadGenerator gen(sim, [&](const Release&) { ++count; });
+  StreamSpec s;
+  s.dag = apps::inception_v3();
+  s.poisson_rate_hz = 5.0;
+  gen.add_stream(std::move(s));
+  gen.start();
+  sim.run_until(sim::seconds(100));
+  EXPECT_NEAR(count, 500, 80);  // ~4 sigma
+}
+
+TEST(Generator, JitterStaysWithinBound) {
+  sim::Simulator sim(5);
+  std::vector<sim::SimTime> releases;
+  WorkloadGenerator gen(sim, [&](const Release& r) {
+    releases.push_back(r.released_at);
+  });
+  StreamSpec s = periodic_stream(sim::seconds(1));
+  s.jitter = sim::msec(100);
+  gen.add_stream(std::move(s));
+  gen.start();
+  sim.run_until(sim::seconds(10));
+  ASSERT_GE(releases.size(), 9u);
+  for (std::size_t i = 1; i < releases.size(); ++i) {
+    sim::SimDuration gap = releases[i] - releases[i - 1];
+    EXPECT_GE(gap, sim::seconds(1) - sim::msec(100));
+    EXPECT_LE(gap, sim::seconds(1) + sim::msec(200));
+  }
+}
+
+TEST(Generator, MultipleStreamsInterleave) {
+  sim::Simulator sim;
+  std::map<std::string, int> counts;
+  WorkloadGenerator gen(sim, [&](const Release& r) {
+    counts[r.dag->name()]++;
+  });
+  gen.add_stream(periodic_stream(sim::msec(100)));
+  StreamSpec s2;
+  s2.dag = apps::obd_diagnostics();
+  s2.period = sim::seconds(1);
+  gen.add_stream(std::move(s2));
+  gen.start();
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(counts["lane-detection"], 21);
+  EXPECT_EQ(counts["obd-diagnostics"], 3);
+}
+
+TEST(Generator, InstanceIdsAreUnique) {
+  sim::Simulator sim;
+  std::vector<std::uint64_t> ids;
+  WorkloadGenerator gen(sim, [&](const Release& r) {
+    ids.push_back(r.instance_id);
+  });
+  gen.add_stream(periodic_stream(sim::msec(10)));
+  gen.add_stream(periodic_stream(sim::msec(15)));
+  gen.start();
+  sim.run_until(sim::seconds(1));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Generator, RejectsBadStreams) {
+  sim::Simulator sim;
+  WorkloadGenerator gen(sim, nullptr);
+  StreamSpec bad;  // empty dag
+  EXPECT_THROW(gen.add_stream(bad), std::invalid_argument);
+  StreamSpec no_rate;
+  no_rate.dag = apps::lane_detection();
+  no_rate.period = 0;
+  EXPECT_THROW(gen.add_stream(no_rate), std::invalid_argument);
+  gen.add_stream(periodic_stream(sim::seconds(1)));
+  gen.start();
+  EXPECT_THROW(gen.add_stream(periodic_stream(sim::seconds(1))),
+               std::logic_error);
+}
+
+TEST(Generator, PredefinedMixesAreValid) {
+  for (auto mix : {full_vehicle_mix(), adas_mix()}) {
+    EXPECT_FALSE(mix.empty());
+    for (const auto& s : mix) {
+      EXPECT_TRUE(s.dag.validate()) << s.dag.name();
+      EXPECT_TRUE(s.period > 0 || s.poisson_rate_hz > 0) << s.dag.name();
+    }
+  }
+}
+
+TEST(Generator, FullMixRunsUnderSimulation) {
+  sim::Simulator sim(3);
+  int count = 0;
+  WorkloadGenerator gen(sim, [&](const Release&) { ++count; });
+  for (auto& s : full_vehicle_mix()) gen.add_stream(std::move(s));
+  gen.start();
+  sim.run_until(sim::seconds(10));
+  EXPECT_GT(count, 100);  // lane detection alone releases ~100
+}
+
+}  // namespace
+}  // namespace vdap::workload

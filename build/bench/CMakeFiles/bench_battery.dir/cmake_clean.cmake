@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_battery.dir/bench_battery.cpp.o"
+  "CMakeFiles/bench_battery.dir/bench_battery.cpp.o.d"
+  "bench_battery"
+  "bench_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

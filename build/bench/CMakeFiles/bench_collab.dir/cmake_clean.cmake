@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collab.dir/bench_collab.cpp.o"
+  "CMakeFiles/bench_collab.dir/bench_collab.cpp.o.d"
+  "bench_collab"
+  "bench_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddi.dir/bench_ddi.cpp.o"
+  "CMakeFiles/bench_ddi.dir/bench_ddi.cpp.o.d"
+  "bench_ddi"
+  "bench_ddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

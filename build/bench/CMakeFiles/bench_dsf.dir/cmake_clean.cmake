@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsf.dir/bench_dsf.cpp.o"
+  "CMakeFiles/bench_dsf.dir/bench_dsf.cpp.o.d"
+  "bench_dsf"
+  "bench_dsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_infotainment.dir/bench_infotainment.cpp.o"
+  "CMakeFiles/bench_infotainment.dir/bench_infotainment.cpp.o.d"
+  "bench_infotainment"
+  "bench_infotainment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_infotainment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathsplit.dir/bench_pathsplit.cpp.o"
+  "CMakeFiles/bench_pathsplit.dir/bench_pathsplit.cpp.o.d"
+  "bench_pathsplit"
+  "bench_pathsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pbeam.dir/bench_pbeam.cpp.o"
+  "CMakeFiles/bench_pbeam.dir/bench_pbeam.cpp.o.d"
+  "bench_pbeam"
+  "bench_pbeam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pbeam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

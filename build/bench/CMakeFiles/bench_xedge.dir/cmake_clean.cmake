@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xedge.dir/bench_xedge.cpp.o"
+  "CMakeFiles/bench_xedge.dir/bench_xedge.cpp.o.d"
+  "bench_xedge"
+  "bench_xedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

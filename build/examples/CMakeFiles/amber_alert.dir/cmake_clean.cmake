@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_alert.dir/amber_alert.cpp.o"
+  "CMakeFiles/amber_alert.dir/amber_alert.cpp.o.d"
+  "amber_alert"
+  "amber_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

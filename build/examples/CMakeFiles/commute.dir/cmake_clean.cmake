@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute.dir/commute.cpp.o"
+  "CMakeFiles/commute.dir/commute.cpp.o.d"
+  "commute"
+  "commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

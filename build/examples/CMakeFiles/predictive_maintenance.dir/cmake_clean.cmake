@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_maintenance.dir/predictive_maintenance.cpp.o"
+  "CMakeFiles/predictive_maintenance.dir/predictive_maintenance.cpp.o.d"
+  "predictive_maintenance"
+  "predictive_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/battery.cpp" "src/CMakeFiles/vdap_core.dir/core/battery.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/battery.cpp.o.d"
+  "/root/repo/src/core/collaboration.cpp" "src/CMakeFiles/vdap_core.dir/core/collaboration.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/collaboration.cpp.o.d"
+  "/root/repo/src/core/infotainment.cpp" "src/CMakeFiles/vdap_core.dir/core/infotainment.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/infotainment.cpp.o.d"
+  "/root/repo/src/core/offload.cpp" "src/CMakeFiles/vdap_core.dir/core/offload.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/offload.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/vdap_core.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/platform.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/vdap_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/vdap_core.dir/core/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_edgeos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_ddi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_libvdap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_vcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_core.dir/core/battery.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/battery.cpp.o.d"
+  "CMakeFiles/vdap_core.dir/core/collaboration.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/collaboration.cpp.o.d"
+  "CMakeFiles/vdap_core.dir/core/infotainment.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/infotainment.cpp.o.d"
+  "CMakeFiles/vdap_core.dir/core/offload.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/offload.cpp.o.d"
+  "CMakeFiles/vdap_core.dir/core/platform.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/platform.cpp.o.d"
+  "CMakeFiles/vdap_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/vdap_core.dir/core/scenario.cpp.o.d"
+  "libvdap_core.a"
+  "libvdap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

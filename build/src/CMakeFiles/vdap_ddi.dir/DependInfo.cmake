@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddi/cloudsync.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/cloudsync.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/cloudsync.cpp.o.d"
+  "/root/repo/src/ddi/collectors.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/collectors.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/collectors.cpp.o.d"
+  "/root/repo/src/ddi/ddi.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/ddi.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/ddi.cpp.o.d"
+  "/root/repo/src/ddi/diskdb.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/diskdb.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/diskdb.cpp.o.d"
+  "/root/repo/src/ddi/memdb.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/memdb.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/memdb.cpp.o.d"
+  "/root/repo/src/ddi/record.cpp" "src/CMakeFiles/vdap_ddi.dir/ddi/record.cpp.o" "gcc" "src/CMakeFiles/vdap_ddi.dir/ddi/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

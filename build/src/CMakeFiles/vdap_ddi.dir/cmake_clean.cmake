@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_ddi.dir/ddi/cloudsync.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/cloudsync.cpp.o.d"
+  "CMakeFiles/vdap_ddi.dir/ddi/collectors.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/collectors.cpp.o.d"
+  "CMakeFiles/vdap_ddi.dir/ddi/ddi.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/ddi.cpp.o.d"
+  "CMakeFiles/vdap_ddi.dir/ddi/diskdb.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/diskdb.cpp.o.d"
+  "CMakeFiles/vdap_ddi.dir/ddi/memdb.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/memdb.cpp.o.d"
+  "CMakeFiles/vdap_ddi.dir/ddi/record.cpp.o"
+  "CMakeFiles/vdap_ddi.dir/ddi/record.cpp.o.d"
+  "libvdap_ddi.a"
+  "libvdap_ddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_ddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdap_ddi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edgeos/edgeos.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/edgeos.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/edgeos.cpp.o.d"
+  "/root/repo/src/edgeos/elastic.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/elastic.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/elastic.cpp.o.d"
+  "/root/repo/src/edgeos/privacy.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/privacy.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/privacy.cpp.o.d"
+  "/root/repo/src/edgeos/security.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/security.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/security.cpp.o.d"
+  "/root/repo/src/edgeos/service.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/service.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/service.cpp.o.d"
+  "/root/repo/src/edgeos/sharing.cpp" "src/CMakeFiles/vdap_edgeos.dir/edgeos/sharing.cpp.o" "gcc" "src/CMakeFiles/vdap_edgeos.dir/edgeos/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_vcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

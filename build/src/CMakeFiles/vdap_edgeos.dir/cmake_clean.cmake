@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_edgeos.dir/edgeos/edgeos.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/edgeos.cpp.o.d"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/elastic.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/elastic.cpp.o.d"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/privacy.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/privacy.cpp.o.d"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/security.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/security.cpp.o.d"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/service.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/service.cpp.o.d"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/sharing.cpp.o"
+  "CMakeFiles/vdap_edgeos.dir/edgeos/sharing.cpp.o.d"
+  "libvdap_edgeos.a"
+  "libvdap_edgeos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_edgeos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/board.cpp" "src/CMakeFiles/vdap_hw.dir/hw/board.cpp.o" "gcc" "src/CMakeFiles/vdap_hw.dir/hw/board.cpp.o.d"
+  "/root/repo/src/hw/catalog.cpp" "src/CMakeFiles/vdap_hw.dir/hw/catalog.cpp.o" "gcc" "src/CMakeFiles/vdap_hw.dir/hw/catalog.cpp.o.d"
+  "/root/repo/src/hw/processor.cpp" "src/CMakeFiles/vdap_hw.dir/hw/processor.cpp.o" "gcc" "src/CMakeFiles/vdap_hw.dir/hw/processor.cpp.o.d"
+  "/root/repo/src/hw/storage.cpp" "src/CMakeFiles/vdap_hw.dir/hw/storage.cpp.o" "gcc" "src/CMakeFiles/vdap_hw.dir/hw/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

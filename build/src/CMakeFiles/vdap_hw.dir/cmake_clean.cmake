@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_hw.dir/hw/board.cpp.o"
+  "CMakeFiles/vdap_hw.dir/hw/board.cpp.o.d"
+  "CMakeFiles/vdap_hw.dir/hw/catalog.cpp.o"
+  "CMakeFiles/vdap_hw.dir/hw/catalog.cpp.o.d"
+  "CMakeFiles/vdap_hw.dir/hw/processor.cpp.o"
+  "CMakeFiles/vdap_hw.dir/hw/processor.cpp.o.d"
+  "CMakeFiles/vdap_hw.dir/hw/storage.cpp.o"
+  "CMakeFiles/vdap_hw.dir/hw/storage.cpp.o.d"
+  "libvdap_hw.a"
+  "libvdap_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libvdap/api.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/api.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/api.cpp.o.d"
+  "/root/repo/src/libvdap/compress.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/compress.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/compress.cpp.o.d"
+  "/root/repo/src/libvdap/models.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/models.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/models.cpp.o.d"
+  "/root/repo/src/libvdap/nn.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/nn.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/nn.cpp.o.d"
+  "/root/repo/src/libvdap/pbeam.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/pbeam.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/pbeam.cpp.o.d"
+  "/root/repo/src/libvdap/tensor.cpp" "src/CMakeFiles/vdap_libvdap.dir/libvdap/tensor.cpp.o" "gcc" "src/CMakeFiles/vdap_libvdap.dir/libvdap/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_ddi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_vcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_libvdap.dir/libvdap/api.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/api.cpp.o.d"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/compress.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/compress.cpp.o.d"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/models.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/models.cpp.o.d"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/nn.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/nn.cpp.o.d"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/pbeam.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/pbeam.cpp.o.d"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/tensor.cpp.o"
+  "CMakeFiles/vdap_libvdap.dir/libvdap/tensor.cpp.o.d"
+  "libvdap_libvdap.a"
+  "libvdap_libvdap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_libvdap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdap_libvdap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vdap_libvdap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cellular.cpp" "src/CMakeFiles/vdap_net.dir/net/cellular.cpp.o" "gcc" "src/CMakeFiles/vdap_net.dir/net/cellular.cpp.o.d"
+  "/root/repo/src/net/coverage.cpp" "src/CMakeFiles/vdap_net.dir/net/coverage.cpp.o" "gcc" "src/CMakeFiles/vdap_net.dir/net/coverage.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/vdap_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/vdap_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/vdap_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/vdap_net.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/video.cpp" "src/CMakeFiles/vdap_net.dir/net/video.cpp.o" "gcc" "src/CMakeFiles/vdap_net.dir/net/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_net.dir/net/cellular.cpp.o"
+  "CMakeFiles/vdap_net.dir/net/cellular.cpp.o.d"
+  "CMakeFiles/vdap_net.dir/net/coverage.cpp.o"
+  "CMakeFiles/vdap_net.dir/net/coverage.cpp.o.d"
+  "CMakeFiles/vdap_net.dir/net/link.cpp.o"
+  "CMakeFiles/vdap_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/vdap_net.dir/net/topology.cpp.o"
+  "CMakeFiles/vdap_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/vdap_net.dir/net/video.cpp.o"
+  "CMakeFiles/vdap_net.dir/net/video.cpp.o.d"
+  "libvdap_net.a"
+  "libvdap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdap_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/vdap_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vdap_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/vdap_sim.dir/sim/simulator.cpp.o.d"
+  "libvdap_sim.a"
+  "libvdap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_util.dir/util/json.cpp.o"
+  "CMakeFiles/vdap_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/vdap_util.dir/util/stats.cpp.o"
+  "CMakeFiles/vdap_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/vdap_util.dir/util/strings.cpp.o"
+  "CMakeFiles/vdap_util.dir/util/strings.cpp.o.d"
+  "libvdap_util.a"
+  "libvdap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

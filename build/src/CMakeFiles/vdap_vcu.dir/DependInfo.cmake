@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcu/dsf.cpp" "src/CMakeFiles/vdap_vcu.dir/vcu/dsf.cpp.o" "gcc" "src/CMakeFiles/vdap_vcu.dir/vcu/dsf.cpp.o.d"
+  "/root/repo/src/vcu/partitioner.cpp" "src/CMakeFiles/vdap_vcu.dir/vcu/partitioner.cpp.o" "gcc" "src/CMakeFiles/vdap_vcu.dir/vcu/partitioner.cpp.o.d"
+  "/root/repo/src/vcu/profile.cpp" "src/CMakeFiles/vdap_vcu.dir/vcu/profile.cpp.o" "gcc" "src/CMakeFiles/vdap_vcu.dir/vcu/profile.cpp.o.d"
+  "/root/repo/src/vcu/registry.cpp" "src/CMakeFiles/vdap_vcu.dir/vcu/registry.cpp.o" "gcc" "src/CMakeFiles/vdap_vcu.dir/vcu/registry.cpp.o.d"
+  "/root/repo/src/vcu/scheduler.cpp" "src/CMakeFiles/vdap_vcu.dir/vcu/scheduler.cpp.o" "gcc" "src/CMakeFiles/vdap_vcu.dir/vcu/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_vcu.dir/vcu/dsf.cpp.o"
+  "CMakeFiles/vdap_vcu.dir/vcu/dsf.cpp.o.d"
+  "CMakeFiles/vdap_vcu.dir/vcu/partitioner.cpp.o"
+  "CMakeFiles/vdap_vcu.dir/vcu/partitioner.cpp.o.d"
+  "CMakeFiles/vdap_vcu.dir/vcu/profile.cpp.o"
+  "CMakeFiles/vdap_vcu.dir/vcu/profile.cpp.o.d"
+  "CMakeFiles/vdap_vcu.dir/vcu/registry.cpp.o"
+  "CMakeFiles/vdap_vcu.dir/vcu/registry.cpp.o.d"
+  "CMakeFiles/vdap_vcu.dir/vcu/scheduler.cpp.o"
+  "CMakeFiles/vdap_vcu.dir/vcu/scheduler.cpp.o.d"
+  "libvdap_vcu.a"
+  "libvdap_vcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_vcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/vdap_workload.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/vdap_workload.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/dag.cpp" "src/CMakeFiles/vdap_workload.dir/workload/dag.cpp.o" "gcc" "src/CMakeFiles/vdap_workload.dir/workload/dag.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/vdap_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/vdap_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/task.cpp" "src/CMakeFiles/vdap_workload.dir/workload/task.cpp.o" "gcc" "src/CMakeFiles/vdap_workload.dir/workload/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdap_workload.dir/workload/apps.cpp.o"
+  "CMakeFiles/vdap_workload.dir/workload/apps.cpp.o.d"
+  "CMakeFiles/vdap_workload.dir/workload/dag.cpp.o"
+  "CMakeFiles/vdap_workload.dir/workload/dag.cpp.o.d"
+  "CMakeFiles/vdap_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/vdap_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/vdap_workload.dir/workload/task.cpp.o"
+  "CMakeFiles/vdap_workload.dir/workload/task.cpp.o.d"
+  "libvdap_workload.a"
+  "libvdap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

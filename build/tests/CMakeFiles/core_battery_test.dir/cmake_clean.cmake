@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_battery_test.dir/core_battery_test.cpp.o"
+  "CMakeFiles/core_battery_test.dir/core_battery_test.cpp.o.d"
+  "core_battery_test"
+  "core_battery_test.pdb"
+  "core_battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_collaboration_test.dir/core_collaboration_test.cpp.o"
+  "CMakeFiles/core_collaboration_test.dir/core_collaboration_test.cpp.o.d"
+  "core_collaboration_test"
+  "core_collaboration_test.pdb"
+  "core_collaboration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_collaboration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_infotainment_test.dir/core_infotainment_test.cpp.o"
+  "CMakeFiles/core_infotainment_test.dir/core_infotainment_test.cpp.o.d"
+  "core_infotainment_test"
+  "core_infotainment_test.pdb"
+  "core_infotainment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_infotainment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

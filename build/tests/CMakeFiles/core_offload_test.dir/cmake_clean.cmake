@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_offload_test.dir/core_offload_test.cpp.o"
+  "CMakeFiles/core_offload_test.dir/core_offload_test.cpp.o.d"
+  "core_offload_test"
+  "core_offload_test.pdb"
+  "core_offload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

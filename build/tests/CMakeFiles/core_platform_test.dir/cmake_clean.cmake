@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_platform_test.dir/core_platform_test.cpp.o"
+  "CMakeFiles/core_platform_test.dir/core_platform_test.cpp.o.d"
+  "core_platform_test"
+  "core_platform_test.pdb"
+  "core_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

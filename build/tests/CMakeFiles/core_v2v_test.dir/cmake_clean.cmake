@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_v2v_test.dir/core_v2v_test.cpp.o"
+  "CMakeFiles/core_v2v_test.dir/core_v2v_test.cpp.o.d"
+  "core_v2v_test"
+  "core_v2v_test.pdb"
+  "core_v2v_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_v2v_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_cloudsync_test.dir/ddi_cloudsync_test.cpp.o"
+  "CMakeFiles/ddi_cloudsync_test.dir/ddi_cloudsync_test.cpp.o.d"
+  "ddi_cloudsync_test"
+  "ddi_cloudsync_test.pdb"
+  "ddi_cloudsync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_cloudsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_diskdb_test.dir/ddi_diskdb_test.cpp.o"
+  "CMakeFiles/ddi_diskdb_test.dir/ddi_diskdb_test.cpp.o.d"
+  "ddi_diskdb_test"
+  "ddi_diskdb_test.pdb"
+  "ddi_diskdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_diskdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_memdb_test.dir/ddi_memdb_test.cpp.o"
+  "CMakeFiles/ddi_memdb_test.dir/ddi_memdb_test.cpp.o.d"
+  "ddi_memdb_test"
+  "ddi_memdb_test.pdb"
+  "ddi_memdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_memdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

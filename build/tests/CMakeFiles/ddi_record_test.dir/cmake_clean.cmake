@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_record_test.dir/ddi_record_test.cpp.o"
+  "CMakeFiles/ddi_record_test.dir/ddi_record_test.cpp.o.d"
+  "ddi_record_test"
+  "ddi_record_test.pdb"
+  "ddi_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_service_test.dir/ddi_service_test.cpp.o"
+  "CMakeFiles/ddi_service_test.dir/ddi_service_test.cpp.o.d"
+  "ddi_service_test"
+  "ddi_service_test.pdb"
+  "ddi_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_elastic_test.dir/edgeos_elastic_test.cpp.o"
+  "CMakeFiles/edgeos_elastic_test.dir/edgeos_elastic_test.cpp.o.d"
+  "edgeos_elastic_test"
+  "edgeos_elastic_test.pdb"
+  "edgeos_elastic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_elastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

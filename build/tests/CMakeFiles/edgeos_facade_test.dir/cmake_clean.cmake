@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_facade_test.dir/edgeos_facade_test.cpp.o"
+  "CMakeFiles/edgeos_facade_test.dir/edgeos_facade_test.cpp.o.d"
+  "edgeos_facade_test"
+  "edgeos_facade_test.pdb"
+  "edgeos_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

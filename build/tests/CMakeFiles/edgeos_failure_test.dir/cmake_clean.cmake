@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_failure_test.dir/edgeos_failure_test.cpp.o"
+  "CMakeFiles/edgeos_failure_test.dir/edgeos_failure_test.cpp.o.d"
+  "edgeos_failure_test"
+  "edgeos_failure_test.pdb"
+  "edgeos_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

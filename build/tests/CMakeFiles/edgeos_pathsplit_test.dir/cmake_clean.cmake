@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_pathsplit_test.dir/edgeos_pathsplit_test.cpp.o"
+  "CMakeFiles/edgeos_pathsplit_test.dir/edgeos_pathsplit_test.cpp.o.d"
+  "edgeos_pathsplit_test"
+  "edgeos_pathsplit_test.pdb"
+  "edgeos_pathsplit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_pathsplit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_privacy_test.dir/edgeos_privacy_test.cpp.o"
+  "CMakeFiles/edgeos_privacy_test.dir/edgeos_privacy_test.cpp.o.d"
+  "edgeos_privacy_test"
+  "edgeos_privacy_test.pdb"
+  "edgeos_privacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_privacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_security_test.dir/edgeos_security_test.cpp.o"
+  "CMakeFiles/edgeos_security_test.dir/edgeos_security_test.cpp.o.d"
+  "edgeos_security_test"
+  "edgeos_security_test.pdb"
+  "edgeos_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edgeos_security_test.
+# This may be replaced when dependencies are built.

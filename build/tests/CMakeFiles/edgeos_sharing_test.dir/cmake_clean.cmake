@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeos_sharing_test.dir/edgeos_sharing_test.cpp.o"
+  "CMakeFiles/edgeos_sharing_test.dir/edgeos_sharing_test.cpp.o.d"
+  "edgeos_sharing_test"
+  "edgeos_sharing_test.pdb"
+  "edgeos_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeos_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_catalog_test.dir/hw_catalog_test.cpp.o"
+  "CMakeFiles/hw_catalog_test.dir/hw_catalog_test.cpp.o.d"
+  "hw_catalog_test"
+  "hw_catalog_test.pdb"
+  "hw_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

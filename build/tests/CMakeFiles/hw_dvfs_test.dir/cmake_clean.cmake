@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_dvfs_test.dir/hw_dvfs_test.cpp.o"
+  "CMakeFiles/hw_dvfs_test.dir/hw_dvfs_test.cpp.o.d"
+  "hw_dvfs_test"
+  "hw_dvfs_test.pdb"
+  "hw_dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

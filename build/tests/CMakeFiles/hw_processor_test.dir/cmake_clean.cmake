@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_processor_test.dir/hw_processor_test.cpp.o"
+  "CMakeFiles/hw_processor_test.dir/hw_processor_test.cpp.o.d"
+  "hw_processor_test"
+  "hw_processor_test.pdb"
+  "hw_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_storage_test.dir/hw_storage_test.cpp.o"
+  "CMakeFiles/hw_storage_test.dir/hw_storage_test.cpp.o.d"
+  "hw_storage_test"
+  "hw_storage_test.pdb"
+  "hw_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

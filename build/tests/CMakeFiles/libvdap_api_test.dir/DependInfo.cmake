@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/libvdap_api_test.cpp" "tests/CMakeFiles/libvdap_api_test.dir/libvdap_api_test.cpp.o" "gcc" "tests/CMakeFiles/libvdap_api_test.dir/libvdap_api_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdap_libvdap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_ddi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_vcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvdap_api_test.dir/libvdap_api_test.cpp.o"
+  "CMakeFiles/libvdap_api_test.dir/libvdap_api_test.cpp.o.d"
+  "libvdap_api_test"
+  "libvdap_api_test.pdb"
+  "libvdap_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvdap_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

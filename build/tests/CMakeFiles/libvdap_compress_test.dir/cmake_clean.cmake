@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvdap_compress_test.dir/libvdap_compress_test.cpp.o"
+  "CMakeFiles/libvdap_compress_test.dir/libvdap_compress_test.cpp.o.d"
+  "libvdap_compress_test"
+  "libvdap_compress_test.pdb"
+  "libvdap_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvdap_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

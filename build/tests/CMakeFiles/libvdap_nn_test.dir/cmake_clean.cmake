@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvdap_nn_test.dir/libvdap_nn_test.cpp.o"
+  "CMakeFiles/libvdap_nn_test.dir/libvdap_nn_test.cpp.o.d"
+  "libvdap_nn_test"
+  "libvdap_nn_test.pdb"
+  "libvdap_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvdap_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

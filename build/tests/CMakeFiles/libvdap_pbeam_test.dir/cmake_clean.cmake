@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvdap_pbeam_test.dir/libvdap_pbeam_test.cpp.o"
+  "CMakeFiles/libvdap_pbeam_test.dir/libvdap_pbeam_test.cpp.o.d"
+  "libvdap_pbeam_test"
+  "libvdap_pbeam_test.pdb"
+  "libvdap_pbeam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvdap_pbeam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvdap_serialize_test.dir/libvdap_serialize_test.cpp.o"
+  "CMakeFiles/libvdap_serialize_test.dir/libvdap_serialize_test.cpp.o.d"
+  "libvdap_serialize_test"
+  "libvdap_serialize_test.pdb"
+  "libvdap_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvdap_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_cellular_test.dir/net_cellular_test.cpp.o"
+  "CMakeFiles/net_cellular_test.dir/net_cellular_test.cpp.o.d"
+  "net_cellular_test"
+  "net_cellular_test.pdb"
+  "net_cellular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_cellular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

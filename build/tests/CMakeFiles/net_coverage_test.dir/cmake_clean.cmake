@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_coverage_test.dir/net_coverage_test.cpp.o"
+  "CMakeFiles/net_coverage_test.dir/net_coverage_test.cpp.o.d"
+  "net_coverage_test"
+  "net_coverage_test.pdb"
+  "net_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

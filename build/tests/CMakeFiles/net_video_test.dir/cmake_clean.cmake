@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_video_test.dir/net_video_test.cpp.o"
+  "CMakeFiles/net_video_test.dir/net_video_test.cpp.o.d"
+  "net_video_test"
+  "net_video_test.pdb"
+  "net_video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

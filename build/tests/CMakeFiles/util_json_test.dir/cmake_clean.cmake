@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_json_test.dir/util_json_test.cpp.o"
+  "CMakeFiles/util_json_test.dir/util_json_test.cpp.o.d"
+  "util_json_test"
+  "util_json_test.pdb"
+  "util_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcu_dsf_test.dir/vcu_dsf_test.cpp.o"
+  "CMakeFiles/vcu_dsf_test.dir/vcu_dsf_test.cpp.o.d"
+  "vcu_dsf_test"
+  "vcu_dsf_test.pdb"
+  "vcu_dsf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcu_dsf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

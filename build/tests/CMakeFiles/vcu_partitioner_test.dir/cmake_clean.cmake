@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcu_partitioner_test.dir/vcu_partitioner_test.cpp.o"
+  "CMakeFiles/vcu_partitioner_test.dir/vcu_partitioner_test.cpp.o.d"
+  "vcu_partitioner_test"
+  "vcu_partitioner_test.pdb"
+  "vcu_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcu_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcu_registry_test.dir/vcu_registry_test.cpp.o"
+  "CMakeFiles/vcu_registry_test.dir/vcu_registry_test.cpp.o.d"
+  "vcu_registry_test"
+  "vcu_registry_test.pdb"
+  "vcu_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcu_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

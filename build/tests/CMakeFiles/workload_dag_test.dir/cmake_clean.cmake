@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_dag_test.dir/workload_dag_test.cpp.o"
+  "CMakeFiles/workload_dag_test.dir/workload_dag_test.cpp.o.d"
+  "workload_dag_test"
+  "workload_dag_test.pdb"
+  "workload_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

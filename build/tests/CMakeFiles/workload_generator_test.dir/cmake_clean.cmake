@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_generator_test.dir/workload_generator_test.cpp.o"
+  "CMakeFiles/workload_generator_test.dir/workload_generator_test.cpp.o.d"
+  "workload_generator_test"
+  "workload_generator_test.pdb"
+  "workload_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -46,6 +46,14 @@ class OffloadPlanner {
                     std::function<void(const edgeos::ServiceRunReport&)> done =
                         nullptr);
 
+  /// Arms mid-run tier failover in the underlying elastic manager: when
+  /// the chosen tier's link dies mid-run, the DAG is re-decided onto a
+  /// surviving tier instead of failing (see ElasticOptions::failover).
+  void enable_failover(int max_failovers = 3) {
+    elastic_.options().failover = true;
+    elastic_.options().max_failovers = max_failovers;
+  }
+
   const std::vector<net::Tier>& candidate_tiers() const { return tiers_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "ddi/cloudsync.hpp"
 
+#include <algorithm>
+
 namespace vdap::ddi {
 
 CloudSync::CloudSync(sim::Simulator& sim, Ddi& ddi, net::Topology& topo,
@@ -7,12 +9,14 @@ CloudSync::CloudSync(sim::Simulator& sim, Ddi& ddi, net::Topology& topo,
     : sim_(sim), ddi_(ddi), topo_(topo), options_(options) {}
 
 void CloudSync::start() {
+  stopped_ = false;
   if (handle_ && handle_->active()) return;
   handle_ = sim_.every(options_.check_period, [this]() { sync_once(); },
                        options_.check_period);
 }
 
 void CloudSync::stop() {
+  stopped_ = true;
   if (handle_) handle_->stop();
 }
 
@@ -26,50 +30,79 @@ std::uint64_t CloudSync::backlog() const {
   return n;
 }
 
+bool CloudSync::gate_closed() const {
+  return !topo_.available(options_.tier) ||
+         topo_.cellular_bandwidth_factor() < options_.min_bandwidth_factor;
+}
+
 std::size_t CloudSync::sync_once() {
-  if (!topo_.available(options_.tier) ||
-      topo_.cellular_bandwidth_factor() < options_.min_bandwidth_factor) {
+  if (gate_closed()) {
     ++skipped_;
     return 0;
   }
   std::size_t shipped = 0;
   for (const std::string& stream : ddi_.disk().streams()) {
-    if (in_flight_.count(stream) > 0) continue;  // batch still uploading
-    sim::SimTime from =
-        cursor_.count(stream) > 0 ? cursor_[stream] + 1 : 0;
-    std::vector<DataRecord> pending =
-        ddi_.disk().query(stream, from, sim::kTimeMax);
-    if (pending.empty()) continue;
-    if (pending.size() > options_.batch_records) {
-      pending.resize(options_.batch_records);
-    }
-    std::uint64_t bytes = 0;
-    for (const DataRecord& r : pending) bytes += encoded_size(r);
-
-    // Ship the batch; advance the cursor only on delivery.
-    sim::SimTime new_cursor = pending.back().timestamp;
-    auto batch = std::make_shared<std::vector<DataRecord>>(std::move(pending));
-    std::string stream_name = stream;
-    in_flight_.insert(stream_name);
-    topo_.transfer_up(
-        options_.tier, bytes,
-        [this, batch, bytes, stream_name,
-         new_cursor](const net::TransferOutcome& out) {
-          in_flight_.erase(stream_name);
-          if (!out.delivered) {
-            ++failed_;
-            return;  // cursor untouched; retried next wake-up
-          }
-          cursor_[stream_name] = new_cursor;
-          records_synced_ += batch->size();
-          bytes_synced_ += bytes;
-          if (sink_) {
-            for (const DataRecord& r : *batch) sink_(r);
-          }
-        });
-    shipped += batch->size();
+    shipped += sync_stream(stream);
   }
   return shipped;
+}
+
+std::size_t CloudSync::sync_stream(const std::string& stream) {
+  if (in_flight_.count(stream) > 0) return 0;  // batch still uploading
+  sim::SimTime from = cursor_.count(stream) > 0 ? cursor_[stream] + 1 : 0;
+  std::vector<DataRecord> pending =
+      ddi_.disk().query(stream, from, sim::kTimeMax);
+  if (pending.empty()) return 0;
+  if (pending.size() > options_.batch_records) {
+    pending.resize(options_.batch_records);
+  }
+  std::uint64_t bytes = 0;
+  for (const DataRecord& r : pending) bytes += encoded_size(r);
+
+  // Ship the batch; advance the cursor only on delivery — the never-lose-
+  // records invariant: a failed or half-delivered batch leaves the cursor
+  // where it was, so every record is re-shipped until the cloud confirms.
+  sim::SimTime new_cursor = pending.back().timestamp;
+  auto batch = std::make_shared<std::vector<DataRecord>>(std::move(pending));
+  std::string stream_name = stream;
+  in_flight_.insert(stream_name);
+  topo_.transfer_up(
+      options_.tier, bytes,
+      [this, batch, bytes, stream_name,
+       new_cursor](const net::TransferOutcome& out) {
+        in_flight_.erase(stream_name);
+        if (!out.delivered) {
+          ++failed_;
+          schedule_retry(stream_name);
+          return;  // cursor untouched
+        }
+        consecutive_failures_.erase(stream_name);
+        cursor_[stream_name] = new_cursor;
+        records_synced_ += batch->size();
+        bytes_synced_ += bytes;
+        if (sink_) {
+          for (const DataRecord& r : *batch) sink_(r);
+        }
+      });
+  return batch->size();
+}
+
+void CloudSync::schedule_retry(const std::string& stream) {
+  if (options_.retry_backoff <= 0 || stopped_) return;
+  int k = ++consecutive_failures_[stream];
+  sim::SimDuration delay = options_.retry_backoff;
+  for (int i = 1; i < k && delay < options_.retry_backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.retry_backoff_max);
+  sim_.after(delay, [this, stream]() {
+    if (stopped_) return;
+    // If conditions are still hostile, let the periodic wake-up retry
+    // instead of spinning against a closed gate.
+    if (gate_closed()) return;
+    ++retries_;
+    sync_stream(stream);
+  });
 }
 
 }  // namespace vdap::ddi

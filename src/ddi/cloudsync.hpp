@@ -26,6 +26,11 @@ struct CloudSyncOptions {
   /// Fig. 2 conditions for bulk data).
   double min_bandwidth_factor = 0.5;
   net::Tier tier = net::Tier::kCloud;
+  /// First retry delay after a failed upload; doubles per consecutive
+  /// failure of the same stream, capped at retry_backoff_max. 0 disables
+  /// backoff retries (the periodic wake-up still retries eventually).
+  sim::SimDuration retry_backoff = sim::seconds(2);
+  sim::SimDuration retry_backoff_max = sim::minutes(2);
 };
 
 class CloudSync {
@@ -50,25 +55,35 @@ class CloudSync {
   std::uint64_t bytes_synced() const { return bytes_synced_; }
   std::uint64_t skipped_bad_network() const { return skipped_; }
   std::uint64_t failed_uploads() const { return failed_; }
+  std::uint64_t retries() const { return retries_; }
 
   /// Records persisted on the vehicle but not yet migrated.
   std::uint64_t backlog() const;
 
  private:
+  bool gate_closed() const;
+  /// Attempts one batch for one stream; returns records submitted.
+  std::size_t sync_stream(const std::string& stream);
+  void schedule_retry(const std::string& stream);
+
   sim::Simulator& sim_;
   Ddi& ddi_;
   net::Topology& topo_;
   CloudSyncOptions options_;
   Sink sink_;
   std::optional<sim::Simulator::PeriodicHandle> handle_;
+  bool stopped_ = false;  // silences pending backoff retries after stop()
   // Per-stream cursor: every record with timestamp <= cursor is synced.
   std::map<std::string, sim::SimTime> cursor_;
   // Streams with an upload in flight (guards against duplicate batches).
   std::set<std::string> in_flight_;
+  // Consecutive failed uploads per stream, for exponential backoff.
+  std::map<std::string, int> consecutive_failures_;
   std::uint64_t records_synced_ = 0;
   std::uint64_t bytes_synced_ = 0;
   std::uint64_t skipped_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace vdap::ddi

@@ -30,9 +30,17 @@ void Ddi::flush_staged(bool force_all) {
   for (auto& [stream, vec] : staged_) {
     auto keep = vec.begin();
     for (auto it = vec.begin(); it != vec.end(); ++it) {
+      bool persisted = false;
       if (force_all || it->staged_at <= cutoff) {
-        disk_->put(it->rec);
-      } else {
+        try {
+          disk_->put(it->rec);
+          persisted = true;
+        } catch (const DiskWriteError&) {
+          // Disk fault: keep the record staged; a later flush retries it.
+          ++disk_write_failures_;
+        }
+      }
+      if (!persisted) {
         if (keep != it) *keep = std::move(*it);
         ++keep;
       }

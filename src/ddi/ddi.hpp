@@ -87,6 +87,9 @@ class Ddi {
   std::uint64_t uploads() const { return uploads_; }
   std::uint64_t downloads() const { return downloads_; }
   std::uint64_t staged_count() const;
+  /// Put attempts the staging flush absorbed because the disk was faulted
+  /// (records stayed staged and were retried; none were dropped).
+  std::uint64_t disk_write_failures() const { return disk_write_failures_; }
 
  private:
   static std::string cache_key(const DownloadRequest& req);
@@ -105,6 +108,7 @@ class Ddi {
   std::map<std::string, std::vector<Staged>> staged_;
   std::uint64_t uploads_ = 0;
   std::uint64_t downloads_ = 0;
+  std::uint64_t disk_write_failures_ = 0;
 };
 
 }  // namespace vdap::ddi

@@ -90,6 +90,12 @@ void DiskDb::index_record(const DataRecord& rec, int segment,
 
 void DiskDb::put(const DataRecord& rec) {
   if (rec.stream.empty()) throw std::invalid_argument("record needs a stream");
+  if (write_fault_) {
+    // Fail before any mutation so a retried put after the fault clears
+    // stores exactly one copy.
+    ++failed_puts_;
+    throw DiskWriteError("injected disk write fault");
+  }
   if (active_bytes_ >= options_.segment_bytes) {
     int next = segments_.back() + 1;
     segments_.push_back(next);

@@ -11,12 +11,20 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ddi/record.hpp"
 
 namespace vdap::ddi {
+
+/// Thrown by DiskDb::put while a write fault is injected (bad sector, full
+/// disk). The record is NOT stored; callers may retry after the fault ends.
+class DiskWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct DiskDbOptions {
   std::string dir;                          // storage directory (created)
@@ -32,8 +40,15 @@ class DiskDb {
   DiskDb(const DiskDb&) = delete;
   DiskDb& operator=(const DiskDb&) = delete;
 
-  /// Appends a record (write-through to the active segment file).
+  /// Appends a record (write-through to the active segment file). Throws
+  /// DiskWriteError — before mutating any state — while a write fault is
+  /// injected.
   void put(const DataRecord& rec);
+
+  /// Fault injection: while set, every put() throws DiskWriteError.
+  void set_write_fault(bool faulted) { write_fault_ = faulted; }
+  bool write_fault() const { return write_fault_; }
+  std::uint64_t failed_puts() const { return failed_puts_; }
 
   /// Forces buffered bytes to the OS.
   void flush();
@@ -96,6 +111,8 @@ class DiskDb {
   mutable std::map<std::string, bool> sorted_;
   std::uint64_t record_count_ = 0;
   std::uint64_t bytes_written_ = 0;
+  bool write_fault_ = false;
+  std::uint64_t failed_puts_ = 0;
 };
 
 }  // namespace vdap::ddi

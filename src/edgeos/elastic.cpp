@@ -193,11 +193,12 @@ std::uint64_t ElasticManager::run(
   const Pipeline* choice = choose(svc);
   std::uint64_t id = next_id_++;
   if (choice == nullptr) {
-    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done)});
+    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done), 0});
     return id;
   }
   auto run = std::make_unique<Run>();
   run->id = id;
+  run->public_id = id;
   run->svc = svc;
   run->pipeline = *choice;
   run->released = sim_.now();
@@ -214,16 +215,38 @@ void ElasticManager::reevaluate() {
       still_hung.push_back(std::move(h));
       continue;
     }
+    Pipeline chosen = *choice;  // copy: `choice` aliases h.svc.pipelines
     auto run = std::make_unique<Run>();
-    run->id = h.id;
+    run->id = next_id_++;
+    run->public_id = h.id;
     run->svc = std::move(h.svc);
-    run->pipeline = *choice;
+    run->pipeline = std::move(chosen);
     run->released = h.released;  // latency counts the hung time
     run->was_hung = true;
+    run->failovers = h.failovers;
     run->done = std::move(h.done);
     start(std::move(run));
   }
   hung_ = std::move(still_hung);
+}
+
+std::size_t ElasticManager::abandon_hung() {
+  std::vector<HungRun> hung = std::move(hung_);
+  hung_.clear();
+  for (HungRun& h : hung) {
+    ServiceRunReport rep;
+    rep.run_id = h.id;
+    rep.service = h.svc.dag.name();
+    rep.released = h.released;
+    rep.finished = sim_.now();
+    rep.ok = false;
+    rep.was_hung = true;
+    rep.infeasible = true;
+    rep.failovers = h.failovers;
+    ++failed_;
+    if (h.done) h.done(rep);
+  }
+  return hung.size();
 }
 
 void ElasticManager::start(std::unique_ptr<Run> run) {
@@ -332,6 +355,14 @@ void ElasticManager::complete_task(std::uint64_t run_id, int task_id,
   const workload::AppDag& dag = run.svc.dag;
   net::Tier tier = run.pipeline.placement[static_cast<std::size_t>(task_id)];
 
+  if (!ok && !run.failed && options_.failover &&
+      run.failovers < options_.max_failovers) {
+    // First failure of this attempt: re-decide under current conditions
+    // instead of failing the whole run. failover() erases run_id, so any
+    // other in-flight callbacks of this attempt no-op.
+    failover(run_id);
+    return;
+  }
   if (!ok && !run.failed) {
     run.failed = true;
   }
@@ -398,15 +429,44 @@ void ElasticManager::complete_task(std::uint64_t run_id, int task_id,
   if (run.remaining <= 0) finish(run);
 }
 
+void ElasticManager::failover(std::uint64_t run_id) {
+  auto it = runs_.find(run_id);
+  if (it == runs_.end()) return;
+  std::unique_ptr<Run> old = std::move(it->second);
+  runs_.erase(it);
+  ++failovers_;
+  const Pipeline* choice = choose(old->svc);
+  if (choice == nullptr) {
+    // Nothing fits right now: park it; reevaluate() retries when
+    // conditions change, abandon_hung() reports it infeasible.
+    hung_.push_back(HungRun{old->public_id, std::move(old->svc),
+                            old->released, std::move(old->done),
+                            old->failovers + 1});
+    return;
+  }
+  Pipeline chosen = *choice;  // copy before svc moves out from under it
+  auto run = std::make_unique<Run>();
+  run->id = next_id_++;
+  run->public_id = old->public_id;
+  run->svc = std::move(old->svc);
+  run->pipeline = std::move(chosen);
+  run->released = old->released;  // latency spans the whole ordeal
+  run->was_hung = old->was_hung;
+  run->failovers = old->failovers + 1;
+  run->done = std::move(old->done);
+  start(std::move(run));
+}
+
 void ElasticManager::finish(Run& run) {
   ServiceRunReport rep;
-  rep.run_id = run.id;
+  rep.run_id = run.public_id;
   rep.service = run.svc.dag.name();
   rep.pipeline = run.pipeline.name;
   rep.released = run.released;
   rep.finished = sim_.now();
   rep.ok = !run.failed;
   rep.was_hung = run.was_hung;
+  rep.failovers = run.failovers;
   const workload::QosSpec& qos = run.svc.dag.qos();
   rep.deadline_met =
       rep.ok && (!qos.has_deadline() || rep.latency() <= qos.deadline);

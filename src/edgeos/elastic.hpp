@@ -42,6 +42,8 @@ struct ServiceRunReport {
   bool ok = false;
   bool deadline_met = false;
   bool was_hung = false;          // spent time in the hung queue first
+  int failovers = 0;              // mid-run pipeline re-decisions taken
+  bool infeasible = false;        // abandoned: no pipeline could ever fit
 
   sim::SimDuration latency() const { return finished - released; }
 };
@@ -53,6 +55,13 @@ struct ElasticOptions {
   double radio_power_w = 2.5;
   /// Safety factor applied to estimates before the deadline check.
   double estimate_margin = 1.0;
+  /// When a task fails mid-run (its tier's link died, its device went
+  /// offline), re-choose a pipeline under the *current* conditions and
+  /// restart instead of failing the run. Bounded by max_failovers; when no
+  /// pipeline fits anymore the run hangs and reevaluate()/abandon_hung()
+  /// decide its fate.
+  bool failover = false;
+  int max_failovers = 3;
 };
 
 class ElasticManager {
@@ -82,15 +91,29 @@ class ElasticManager {
   /// "the service will be hung up until meeting requirements again").
   void reevaluate();
 
+  /// Reports every hung run as infeasible (ok=false, infeasible=true) and
+  /// clears the hung queue — the explicit give-up the chaos invariants
+  /// require ("every offloaded DAG completes or is reported infeasible").
+  /// Returns the number of runs abandoned.
+  std::size_t abandon_hung();
+
   std::size_t hung_count() const { return hung_.size(); }
+  /// Runs currently executing (in-flight DAGs, excluding hung ones).
+  std::size_t active_runs() const { return runs_.size(); }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t failed() const { return failed_; }
+  std::uint64_t failovers() const { return failovers_; }
 
   ElasticOptions& options() { return options_; }
 
  private:
   struct Run {
+    // Internal key into runs_. A failover restart gets a FRESH internal id
+    // so stale device/transfer callbacks from the abandoned attempt find
+    // nothing and no-op; public_id (what run() returned and reports carry)
+    // survives restarts.
     std::uint64_t id = 0;
+    std::uint64_t public_id = 0;
     PolymorphicService svc;
     Pipeline pipeline;
     sim::SimTime released = 0;
@@ -98,13 +121,15 @@ class ElasticManager {
     int remaining = 0;
     bool failed = false;
     bool was_hung = false;
+    int failovers = 0;
     std::function<void(const ServiceRunReport&)> done;
   };
   struct HungRun {
-    std::uint64_t id;
+    std::uint64_t id;  // public id
     PolymorphicService svc;
     sim::SimTime released;
     std::function<void(const ServiceRunReport&)> done;
+    int failovers = 0;
   };
 
   sim::SimDuration transfer_estimate(net::Tier from, net::Tier to,
@@ -113,6 +138,7 @@ class ElasticManager {
   void dispatch(Run& run, int task_id);
   void compute(Run& run, int task_id);
   void complete_task(std::uint64_t run_id, int task_id, bool ok);
+  void failover(std::uint64_t run_id);
   void finish(Run& run);
   void transfer(net::Tier from, net::Tier to, std::uint64_t bytes,
                 std::function<void(bool)> done);
@@ -127,6 +153,7 @@ class ElasticManager {
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace vdap::edgeos

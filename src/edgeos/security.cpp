@@ -106,23 +106,35 @@ void SecurityModule::stop_monitor() {
   if (monitor_) monitor_->stop();
 }
 
+bool SecurityModule::crash(const std::string& service) {
+  Entry& e = entry(service);
+  if (e.state != ServiceState::kRunning) return false;
+  ++crashes_;
+  e.state = ServiceState::kReinstalling;
+  schedule_reinstall(service);
+  return true;
+}
+
 void SecurityModule::scan() {
   for (auto& [name, e] : services_) {
     if (e.state != ServiceState::kCompromised) continue;
     ++detected_;
     e.state = ServiceState::kReinstalling;
-    // Fresh key on reinstall: stolen credentials die with the old instance.
-    std::string service = name;
-    sim_.after(options_.reinstall_duration, [this, service]() {
-      auto it = services_.find(service);
-      if (it == services_.end()) return;  // uninstalled meanwhile
-      it->second.state = ServiceState::kRunning;
-      it->second.key = next_key_;
-      next_key_ = next_key_ * 6364136223846793005ULL + 1442695040888963407ULL;
-      ++reinstalls_;
-      if (reinstall_cb_) reinstall_cb_(service);
-    });
+    schedule_reinstall(name);
   }
+}
+
+void SecurityModule::schedule_reinstall(const std::string& service) {
+  // Fresh key on reinstall: stolen credentials die with the old instance.
+  sim_.after(options_.reinstall_duration, [this, service]() {
+    auto it = services_.find(service);
+    if (it == services_.end()) return;  // uninstalled meanwhile
+    it->second.state = ServiceState::kRunning;
+    it->second.key = next_key_;
+    next_key_ = next_key_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    ++reinstalls_;
+    if (reinstall_cb_) reinstall_cb_(service);
+  });
 }
 
 std::optional<ContainerImage> SecurityModule::migrate_out(

@@ -83,6 +83,12 @@ class SecurityModule {
   /// resist: returns false and stays Running.
   bool compromise(const std::string& service);
 
+  /// Non-malicious failure (fault injection): the service drops straight to
+  /// kReinstalling — no integrity scan needed to notice a dead process —
+  /// and a clean instance comes back after reinstall_duration. Returns
+  /// false if the service was not Running (already down or mid-reinstall).
+  bool crash(const std::string& service);
+
   /// Starts the integrity monitor: every monitor_interval it scans, removes
   /// compromised services and schedules their reinstall.
   void start_monitor();
@@ -98,6 +104,7 @@ class SecurityModule {
 
   // --- stats ----------------------------------------------------------------
   std::uint64_t compromises_detected() const { return detected_; }
+  std::uint64_t crashes() const { return crashes_; }
   std::uint64_t reinstalls() const { return reinstalls_; }
   std::vector<std::string> services() const;
 
@@ -116,12 +123,14 @@ class SecurityModule {
   const Entry& entry(const std::string& service) const;
   Entry& entry(const std::string& service);
   void scan();
+  void schedule_reinstall(const std::string& service);
 
   sim::Simulator& sim_;
   SecurityOptions options_;
   std::map<std::string, Entry> services_;
   std::optional<sim::Simulator::PeriodicHandle> monitor_;
   std::uint64_t detected_ = 0;
+  std::uint64_t crashes_ = 0;
   std::uint64_t reinstalls_ = 0;
   std::uint64_t next_key_ = 0x9e3779b97f4a7c15ULL;
   std::function<void(const std::string&)> reinstall_cb_;

@@ -1,0 +1,88 @@
+#include "net/impair.hpp"
+
+namespace vdap::net {
+
+std::optional<Tier> tier_from_string(const std::string& name) {
+  for (Tier t : kAllTiers) {
+    if (name == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+ImpairmentController::ImpairmentController(Topology& topo) : topo_(topo) {}
+
+bool ImpairmentController::link_down(Tier t) {
+  auto [it, inserted] = down_.try_emplace(t, 0, topo_.available(t));
+  ++it->second.first;
+  if (inserted || it->second.first == 1) {
+    topo_.set_available(t, false);
+    return true;
+  }
+  return false;
+}
+
+bool ImpairmentController::link_up(Tier t) {
+  auto it = down_.find(t);
+  if (it == down_.end()) return false;
+  if (--it->second.first > 0) return false;
+  bool prior = it->second.second;
+  down_.erase(it);
+  topo_.set_available(t, prior);
+  return prior;
+}
+
+bool ImpairmentController::is_down(Tier t) const {
+  auto it = down_.find(t);
+  return it != down_.end() && it->second.first > 0;
+}
+
+std::uint64_t ImpairmentController::degrade(Tier t, double bandwidth_factor,
+                                            double extra_loss) {
+  topo_.apply_tier_condition(t, bandwidth_factor, extra_loss);
+  std::uint64_t token = next_token_++;
+  degradations_[token] = Degradation{/*cellular=*/false, t};
+  return token;
+}
+
+std::uint64_t ImpairmentController::cellular_collapse(double bandwidth_factor,
+                                                      double extra_loss) {
+  topo_.apply_cellular_impairment(bandwidth_factor, extra_loss);
+  std::uint64_t token = next_token_++;
+  degradations_[token] = Degradation{/*cellular=*/true};
+  return token;
+}
+
+void ImpairmentController::restore(std::uint64_t token) {
+  auto it = degradations_.find(token);
+  if (it == degradations_.end()) return;
+  Degradation d = it->second;
+  degradations_.erase(it);
+  if (d.cellular) {
+    // Restore only if no other cellular impairment window remains open.
+    for (const auto& [tok, deg] : degradations_) {
+      if (deg.cellular) return;
+    }
+    topo_.apply_cellular_impairment(1.0, 0.0);
+  } else {
+    for (const auto& [tok, deg] : degradations_) {
+      if (!deg.cellular && deg.tier == d.tier) return;
+    }
+    topo_.apply_tier_condition(d.tier, 1.0, 0.0);
+  }
+}
+
+void ImpairmentController::restore_all() {
+  while (!down_.empty()) {
+    auto it = down_.begin();
+    it->second.first = 1;  // collapse remaining windows
+    link_up(it->first);
+  }
+  degradations_.clear();
+  topo_.apply_cellular_impairment(1.0, 0.0);
+  for (Tier t : kAllTiers) {
+    if (t == Tier::kOnBoard) continue;
+    topo_.apply_tier_condition(t, 1.0, 0.0);
+  }
+}
+
+}  // namespace vdap::net

@@ -1,0 +1,72 @@
+// Network impairment controller: the bridge between the sim-layer fault
+// injector (sim/faults.hpp, which speaks in strings so it can stay free of
+// net dependencies) and the Topology.
+//
+// Two mechanisms:
+//  - Availability: link_down/link_up are REFCOUNTED per tier. Overlapping
+//    down-windows (a flap plan plus a one-shot outage) compose sanely: the
+//    tier comes back only when every window has ended, and it restores to
+//    whatever availability it had before the first window (a tier the
+//    coverage model had already marked unreachable stays unreachable).
+//  - Degradation: degrade/cellular_collapse hand out tokens; restore(token)
+//    undoes exactly that impairment. Only the most recent degradation per
+//    tier is in effect (they don't stack), matching how fault windows are
+//    typically authored; cellular collapse routes through the Topology's
+//    dedicated impairment channel so it composes with the drive scenario.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace vdap::net {
+
+/// Parses the names produced by to_string(Tier) ("rsu-edge", "cloud", ...).
+std::optional<Tier> tier_from_string(const std::string& name);
+
+class ImpairmentController {
+ public:
+  explicit ImpairmentController(Topology& topo);
+
+  /// Refcounted availability window. Returns true if the tier just went
+  /// down (first open window).
+  bool link_down(Tier t);
+  /// Closes one window; restores prior availability when the last window
+  /// closes. Returns true if the tier just came back up.
+  bool link_up(Tier t);
+  bool is_down(Tier t) const;
+
+  /// Degrades one tier's paths. Returns a token for restore().
+  std::uint64_t degrade(Tier t, double bandwidth_factor, double extra_loss);
+
+  /// Collapses the cellular channel (Fig. 2 regimes: e.g. 0.2 for a
+  /// congested cell, 0.05 for a near-outage). Returns a token.
+  std::uint64_t cellular_collapse(double bandwidth_factor, double extra_loss);
+
+  /// Undoes the impairment behind `token` (no-op for unknown/stale tokens,
+  /// so fault windows can end in any order).
+  void restore(std::uint64_t token);
+
+  /// Clears every impairment this controller applied: reopens all
+  /// availability windows and resets all degradations.
+  void restore_all();
+
+  Topology& topology() { return topo_; }
+
+ private:
+  struct Degradation {
+    bool cellular = false;
+    Tier tier = Tier::kCloud;
+  };
+
+  Topology& topo_;
+  // Tier -> (open windows, availability before the first window).
+  std::map<Tier, std::pair<int, bool>> down_;
+  std::map<std::uint64_t, Degradation> degradations_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace vdap::net

@@ -63,6 +63,13 @@ Link::Link(sim::Simulator& sim, LinkSpec spec)
   }
 }
 
+void Link::set_spec(LinkSpec spec) {
+  if (spec.bandwidth_mbps <= 0) {
+    throw std::invalid_argument("link bandwidth must be positive");
+  }
+  spec_ = std::move(spec);
+}
+
 std::uint64_t Link::send(std::uint64_t bytes,
                          std::function<void(const TransferReport&)> done) {
   std::uint64_t id = next_id_++;

@@ -80,6 +80,13 @@ class Link {
   std::uint64_t send(std::uint64_t bytes,
                      std::function<void(const TransferReport&)> done);
 
+  /// Swaps the link's spec in place (condition changes, fault injection).
+  /// The message currently serializing finishes at the rate it started
+  /// with; queued and future messages see the new spec. Keeping the Link
+  /// object alive across condition changes keeps in-flight completion
+  /// events valid.
+  void set_spec(LinkSpec spec);
+
   const LinkSpec& spec() const { return spec_; }
   std::size_t queue_length() const { return pending_.size(); }
   bool busy() const { return busy_; }

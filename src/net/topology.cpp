@@ -41,27 +41,32 @@ LinkSpec PathSpec::collapse(const std::string& name) const {
   return out;
 }
 
+namespace {
+// Compounds two independent loss probabilities.
+double combine_loss(double a, double b) {
+  return 1.0 - (1.0 - a) * (1.0 - b);
+}
+}  // namespace
+
 Topology::Topology(sim::Simulator& sim) : sim_(sim) {
   // On-board: no hops; always available.
   state(Tier::kOnBoard).available = true;
 
-  state(Tier::kNeighbor).up = PathSpec{{links::dsrc()}};
-  state(Tier::kNeighbor).down = PathSpec{{links::dsrc()}};
+  state(Tier::kNeighbor).base_up = PathSpec{{links::dsrc()}};
+  state(Tier::kNeighbor).base_down = PathSpec{{links::dsrc()}};
   state(Tier::kNeighbor).available = false;  // needs a willing peer
 
-  state(Tier::kRsuEdge).up = PathSpec{{links::dsrc()}};
-  state(Tier::kRsuEdge).down = PathSpec{{links::dsrc()}};
+  state(Tier::kRsuEdge).base_up = PathSpec{{links::dsrc()}};
+  state(Tier::kRsuEdge).base_down = PathSpec{{links::dsrc()}};
 
-  base_bs_up_ = PathSpec{{links::lte_uplink()}};
-  base_bs_down_ = PathSpec{{links::lte_downlink()}};
-  base_cloud_up_ = PathSpec{{links::lte_uplink(), links::metro_fiber()}};
-  base_cloud_down_ = PathSpec{{links::metro_fiber(), links::lte_downlink()}};
-  state(Tier::kBaseStationEdge).up = base_bs_up_;
-  state(Tier::kBaseStationEdge).down = base_bs_down_;
-  state(Tier::kCloud).up = base_cloud_up_;
-  state(Tier::kCloud).down = base_cloud_down_;
+  state(Tier::kBaseStationEdge).base_up = PathSpec{{links::lte_uplink()}};
+  state(Tier::kBaseStationEdge).base_down = PathSpec{{links::lte_downlink()}};
+  state(Tier::kCloud).base_up =
+      PathSpec{{links::lte_uplink(), links::metro_fiber()}};
+  state(Tier::kCloud).base_down =
+      PathSpec{{links::metro_fiber(), links::lte_downlink()}};
 
-  for (Tier t : kAllTiers) rebuild_links(t);
+  for (Tier t : kAllTiers) recompute(t);
 }
 
 bool Topology::available(Tier t) const { return state(t).available; }
@@ -77,34 +82,60 @@ void Topology::apply_cellular_condition(double bandwidth_factor,
                                         double extra_loss) {
   cell_factor_ = std::clamp(bandwidth_factor, 0.01, 1.0);
   cell_extra_loss_ = std::clamp(extra_loss, 0.0, 0.99);
-  auto degrade = [&](PathSpec base) {
-    for (LinkSpec& hop : base.hops) {
-      if (hop.kind == LinkKind::kLte || hop.kind == LinkKind::k5g) {
-        hop.bandwidth_mbps *= cell_factor_;
-        hop.loss_rate =
-            1.0 - (1.0 - hop.loss_rate) * (1.0 - cell_extra_loss_);
-      }
-    }
-    return base;
-  };
-  state(Tier::kBaseStationEdge).up = degrade(base_bs_up_);
-  state(Tier::kBaseStationEdge).down = degrade(base_bs_down_);
-  state(Tier::kCloud).up = degrade(base_cloud_up_);
-  state(Tier::kCloud).down = degrade(base_cloud_down_);
-  rebuild_links(Tier::kBaseStationEdge);
-  rebuild_links(Tier::kCloud);
+  recompute(Tier::kBaseStationEdge);
+  recompute(Tier::kCloud);
 }
 
-void Topology::rebuild_links(Tier t) {
-  TierState& s = state(t);
-  if (s.up.empty()) {
-    s.up_link.reset();
-    s.down_link.reset();
-    return;
+void Topology::apply_cellular_impairment(double bandwidth_factor,
+                                         double extra_loss) {
+  imp_factor_ = std::clamp(bandwidth_factor, 0.01, 1.0);
+  imp_loss_ = std::clamp(extra_loss, 0.0, 0.99);
+  recompute(Tier::kBaseStationEdge);
+  recompute(Tier::kCloud);
+}
+
+void Topology::apply_tier_condition(Tier t, double bandwidth_factor,
+                                    double extra_loss) {
+  if (t == Tier::kOnBoard) {
+    throw std::invalid_argument("the on-board tier has no links to degrade");
   }
+  TierState& s = state(t);
+  s.cond_factor = std::clamp(bandwidth_factor, 0.01, 1.0);
+  s.cond_loss = std::clamp(extra_loss, 0.0, 0.99);
+  recompute(t);
+}
+
+void Topology::recompute(Tier t) {
+  TierState& s = state(t);
+  if (s.base_up.empty()) return;  // kOnBoard
+  double cell_f = cell_factor_ * imp_factor_;
+  double cell_l = combine_loss(cell_extra_loss_, imp_loss_);
+  auto degrade = [&](const PathSpec& base) {
+    PathSpec out = base;
+    for (LinkSpec& hop : out.hops) {
+      double f = s.cond_factor;
+      double l = s.cond_loss;
+      if (hop.kind == LinkKind::kLte || hop.kind == LinkKind::k5g) {
+        f *= cell_f;
+        l = combine_loss(l, cell_l);
+      }
+      hop.bandwidth_mbps *= f;
+      hop.loss_rate = combine_loss(hop.loss_rate, l);
+    }
+    return out;
+  };
+  s.up = degrade(s.base_up);
+  s.down = degrade(s.base_down);
   std::string base = std::string(to_string(t));
-  s.up_link = std::make_unique<Link>(sim_, s.up.collapse(base + ".up"));
-  s.down_link = std::make_unique<Link>(sim_, s.down.collapse(base + ".down"));
+  LinkSpec up_spec = s.up.collapse(base + ".up");
+  LinkSpec down_spec = s.down.collapse(base + ".down");
+  if (s.up_link == nullptr) {
+    s.up_link = std::make_unique<Link>(sim_, std::move(up_spec));
+    s.down_link = std::make_unique<Link>(sim_, std::move(down_spec));
+  } else {
+    s.up_link->set_spec(std::move(up_spec));
+    s.down_link->set_spec(std::move(down_spec));
+  }
 }
 
 const PathSpec& Topology::uplink(Tier t) const { return state(t).up; }
@@ -119,30 +150,38 @@ std::optional<sim::SimDuration> Topology::estimate_round_trip(
          s.down.estimate_reliable(down_bytes);
 }
 
-void Topology::transfer(Link* link, bool available, std::uint64_t bytes,
-                        int attempt, sim::SimTime submitted,
+void Topology::transfer(Tier t, bool up, std::uint64_t bytes, int attempt,
+                        sim::SimTime submitted,
                         std::function<void(const TransferOutcome&)> done) {
   constexpr int kMaxAttempts = 5;
-  if (link == nullptr || !available) {
+  // Re-resolve the tier each attempt: availability and link specs may have
+  // changed (fault injection, coverage) since the transfer was submitted.
+  TierState& s = state(t);
+  Link* link = up ? s.up_link.get() : s.down_link.get();
+  if (link == nullptr || !s.available) {
     TransferOutcome out;
     out.delivered = false;
-    out.attempts = 0;
-    out.submitted = out.finished = sim_.now();
+    out.attempts = attempt;
+    out.submitted = submitted;
+    out.finished = sim_.now();
     if (done) done(out);
     return;
   }
-  link->send(bytes, [this, link, available, bytes, attempt, submitted,
+  link->send(bytes, [this, t, up, bytes, attempt, submitted,
                      done](const TransferReport& rep) {
-    if (rep.delivered || attempt + 1 >= kMaxAttempts) {
+    // A tier that dropped out while the message was in flight never
+    // delivered anything the receiver could act on.
+    bool delivered = rep.delivered && state(t).available;
+    if (delivered || attempt + 1 >= kMaxAttempts) {
       TransferOutcome out;
-      out.delivered = rep.delivered;
+      out.delivered = delivered;
       out.attempts = attempt + 1;
       out.submitted = submitted;
       out.finished = sim_.now();
       if (done) done(out);
       return;
     }
-    transfer(link, available, bytes, attempt + 1, submitted, done);
+    transfer(t, up, bytes, attempt + 1, submitted, done);
   });
 }
 
@@ -156,9 +195,7 @@ void Topology::transfer_up(Tier t, std::uint64_t bytes,
     if (done) done(out);
     return;
   }
-  TierState& s = state(t);
-  transfer(s.up_link.get(), s.available, bytes, 0, sim_.now(),
-           std::move(done));
+  transfer(t, /*up=*/true, bytes, 0, sim_.now(), std::move(done));
 }
 
 void Topology::transfer_down(Tier t, std::uint64_t bytes,
@@ -171,9 +208,7 @@ void Topology::transfer_down(Tier t, std::uint64_t bytes,
     if (done) done(out);
     return;
   }
-  TierState& s = state(t);
-  transfer(s.down_link.get(), s.available, bytes, 0, sim_.now(),
-           std::move(done));
+  transfer(t, /*up=*/false, bytes, 0, sim_.now(), std::move(done));
 }
 
 }  // namespace vdap::net

@@ -84,7 +84,25 @@ class Topology {
   /// adds mobility loss — driven by the drive scenario's speed profile.
   /// Affects kBaseStationEdge and kCloud paths.
   void apply_cellular_condition(double bandwidth_factor, double extra_loss);
-  double cellular_bandwidth_factor() const { return cell_factor_; }
+
+  /// A second, independent cellular degradation channel used by fault
+  /// injection (net::ImpairmentController), so an injected bandwidth
+  /// collapse composes multiplicatively with whatever condition the drive
+  /// scenario applied instead of clobbering it.
+  void apply_cellular_impairment(double bandwidth_factor, double extra_loss);
+
+  /// Per-tier degradation (any tier but kOnBoard): scales every hop of the
+  /// tier's paths and compounds loss. Composes with the cellular channels
+  /// above. Fault injection restores by re-applying (1.0, 0.0).
+  void apply_tier_condition(Tier t, double bandwidth_factor,
+                            double extra_loss);
+  double tier_bandwidth_factor(Tier t) const { return state(t).cond_factor; }
+
+  /// Effective cellular bandwidth factor (scenario x impairment) — the
+  /// CloudSync gate reads this.
+  double cellular_bandwidth_factor() const {
+    return cell_factor_ * imp_factor_;
+  }
 
   const PathSpec& uplink(Tier t) const;
   const PathSpec& downlink(Tier t) const;
@@ -107,27 +125,39 @@ class Topology {
  private:
   struct TierState {
     bool available = true;
+    // Pristine paths, so conditions always re-apply from a clean base.
+    PathSpec base_up;
+    PathSpec base_down;
+    // Effective paths under the current conditions.
     PathSpec up;
     PathSpec down;
+    // Per-tier degradation (fault injection).
+    double cond_factor = 1.0;
+    double cond_loss = 0.0;
     std::unique_ptr<Link> up_link;    // collapsed, event-driven
     std::unique_ptr<Link> down_link;
   };
 
-  void rebuild_links(Tier t);
+  /// Recomputes the tier's effective paths from base + conditions and
+  /// updates the event-driven links in place (they are never destroyed
+  /// while the topology lives, so in-flight completions stay valid).
+  void recompute(Tier t);
   TierState& state(Tier t) { return tiers_[static_cast<std::size_t>(t)]; }
   const TierState& state(Tier t) const {
     return tiers_[static_cast<std::size_t>(t)];
   }
-  void transfer(Link* link, bool available, std::uint64_t bytes, int attempt,
+  void transfer(Tier t, bool up, std::uint64_t bytes, int attempt,
                 sim::SimTime submitted,
                 std::function<void(const TransferOutcome&)> done);
 
   sim::Simulator& sim_;
   std::array<TierState, 5> tiers_;
+  // Scenario-applied cellular condition (drive speed profile).
   double cell_factor_ = 1.0;
   double cell_extra_loss_ = 0.0;
-  // Pristine cellular paths, so conditions re-apply from a clean base.
-  PathSpec base_bs_up_, base_bs_down_, base_cloud_up_, base_cloud_down_;
+  // Fault-injected cellular impairment; composes with the scenario.
+  double imp_factor_ = 1.0;
+  double imp_loss_ = 0.0;
 };
 
 }  // namespace vdap::net

@@ -16,14 +16,19 @@ Simulator::PeriodicHandle Simulator::every(SimDuration period, EventFn fn,
   PeriodicHandle handle;
   auto alive = handle.alive_;
   // Self-rescheduling closure: each firing checks liveness, runs the user
-  // callback, then re-arms itself.
+  // callback, then re-arms itself. The closure holds only a weak_ptr to
+  // itself — ownership lives in the queued events — so no shared_ptr cycle
+  // outlives the queue.
   auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = tick;
   auto cb = std::move(fn);
-  *tick = [this, alive, period, cb, tick]() {
+  *tick = [this, alive, period, cb, weak]() {
     if (!*alive) return;
     cb();
     if (!*alive) return;
-    after(period, [tick]() { (*tick)(); });
+    if (auto self = weak.lock()) {
+      after(period, [self]() { (*self)(); });
+    }
   };
   after(first_delay, [tick]() { (*tick)(); });
   return handle;

@@ -1,0 +1,124 @@
+// Chaos suite: every canned fault plan x several seeds, each run TWICE.
+// Asserts the platform's conservation invariants under injected faults and
+// that the whole run — fault trace, service reports, sync counters — is
+// bit-identical for a repeated (seed, plan) pair.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "chaos_harness.hpp"
+
+namespace vdap {
+namespace {
+
+using chaos::ChaosOutcome;
+using chaos::run_chaos;
+
+class ChaosMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  static sim::FaultPlan plan_by_name(const std::string& name) {
+    for (const sim::FaultPlan& p : sim::plans::all()) {
+      if (p.name == name) return p;
+    }
+    ADD_FAILURE() << "unknown plan " << name;
+    return {};
+  }
+};
+
+TEST_P(ChaosMatrix, InvariantsHoldAndRunsAreDeterministic) {
+  const auto& [plan_name, seed] = GetParam();
+  sim::FaultPlan plan = plan_by_name(plan_name);
+  std::string tag = std::to_string(seed);
+  ChaosOutcome a = run_chaos(plan, seed, tag + "-a");
+  ChaosOutcome b = run_chaos(plan, seed, tag + "-b");
+
+  // --- the plan actually did something -----------------------------------
+  EXPECT_GT(a.faults_applied, 0u);
+  EXPECT_FALSE(a.fault_trace.empty());
+
+  // --- conservation: no DDI record lost or duplicated --------------------
+  EXPECT_GT(a.uploads, 0u);
+  EXPECT_EQ(a.cloud.size(), a.uploads)
+      << "cloud is missing records (lost across flaps/retries)";
+  for (const auto& [key, copies] : a.cloud) {
+    ASSERT_EQ(copies, 1) << "duplicate delivery of " << key.first << "@"
+                         << key.second;
+  }
+  EXPECT_EQ(a.backlog, 0u) << "sync never drained after healing";
+  EXPECT_EQ(a.staged, 0u) << "records stuck in staging after force flush";
+
+  // --- conservation: every released DAG is accounted for -----------------
+  EXPECT_GT(a.releases, 0u);
+  EXPECT_EQ(a.reports, a.releases)
+      << "a released service never produced a completion report";
+  EXPECT_EQ(a.active_runs, 0u) << "run leaked in the elastic manager";
+  EXPECT_EQ(a.hung, 0u) << "hung run neither resumed nor abandoned";
+  // Whatever wasn't completed ok was explicitly reported, not dropped.
+  EXPECT_LE(a.completed_ok + a.infeasible, a.reports);
+
+  // --- determinism: identical (seed, plan) => identical run --------------
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.report_trace, b.report_trace);
+  EXPECT_EQ(a.cloud, b.cloud);
+  EXPECT_EQ(a.uploads, b.uploads);
+  EXPECT_EQ(a.completed_ok, b.completed_ok);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.reinstalls, b.reinstalls);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.sync_failed, b.sync_failed);
+  EXPECT_EQ(a.sync_retries, b.sync_retries);
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+}
+
+std::vector<std::string> plan_names() {
+  std::vector<std::string> names;
+  for (const sim::FaultPlan& p : sim::plans::all()) names.push_back(p.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlans, ChaosMatrix,
+    ::testing::Combine(::testing::ValuesIn(plan_names()),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const ::testing::TestParamInfo<ChaosMatrix::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- targeted scenario checks on top of the generic invariants -------------
+
+TEST(ChaosScenario, CloudBlackoutForcesRetriesThenDrains) {
+  ChaosOutcome out = run_chaos(sim::plans::cloud_blackout(), 11, "scenario");
+  // The 75 s cloud outage must have made CloudSync fail and retry.
+  EXPECT_GT(out.sync_failed, 0u);
+  EXPECT_GT(out.sync_retries, 0u);
+  EXPECT_EQ(out.backlog, 0u);
+  EXPECT_EQ(out.cloud.size(), out.uploads);
+}
+
+TEST(ChaosScenario, EdgeAttackTriggersSecurityAndFailover) {
+  ChaosOutcome out = run_chaos(sim::plans::edge_attack(), 11, "scenario");
+  // The container compromise is detected; crashes trigger reinstalls.
+  EXPECT_GT(out.detected, 0u);
+  EXPECT_GT(out.crashes, 0u);
+  EXPECT_GT(out.reinstalls, 0u);
+  EXPECT_EQ(out.reports, out.releases);
+}
+
+TEST(ChaosScenario, DiskHiccupsAreRetriedWithoutLoss) {
+  ChaosOutcome out = run_chaos(sim::plans::disk_hiccups(), 11, "scenario");
+  // Write faults were hit, yet nothing was lost end to end.
+  EXPECT_GT(out.disk_failures, 0u);
+  EXPECT_EQ(out.cloud.size(), out.uploads);
+  EXPECT_EQ(out.staged, 0u);
+}
+
+}  // namespace
+}  // namespace vdap

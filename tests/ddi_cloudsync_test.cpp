@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
+#include <utility>
+
+#include "net/impair.hpp"
 
 namespace vdap::ddi {
 namespace {
@@ -175,6 +179,100 @@ TEST_F(CloudSyncTest, CommunityDataServerReceivesQueryableData) {
   DiskDb reopened({cloud_dir.string(), 4 << 20});
   EXPECT_EQ(reopened.record_count(), 80u);
   fs::remove_all(cloud_dir);
+}
+
+// --- gate exactness at min_bandwidth_factor --------------------------------
+
+TEST_F(CloudSyncTest, GateOpensAtExactlyTheThresholdFactor) {
+  CloudSync sync(sim_, ddi_, topo_);  // min_bandwidth_factor = 0.5
+  ingest(10);
+  // Exactly at the threshold: `factor < min` is false, so the gate is open.
+  topo_.apply_cellular_impairment(0.5, 0.0);
+  EXPECT_GT(sync.sync_once(), 0u);
+  sim_.run_until(sim_.now() + sim::minutes(1));
+  EXPECT_EQ(sync.records_synced(), 10u);
+
+  // A hair below: the gate closes.
+  ingest(10, sim::minutes(5));
+  topo_.apply_cellular_impairment(0.499, 0.0);
+  EXPECT_EQ(sync.sync_once(), 0u);
+  EXPECT_GE(sync.skipped_bad_network(), 1u);
+  EXPECT_EQ(sync.backlog(), 10u);
+}
+
+TEST_F(CloudSyncTest, GateUsesScenarioTimesImpairmentComposition) {
+  CloudSync sync(sim_, ddi_, topo_);
+  net::ImpairmentController imp(topo_);
+  ingest(10);
+  topo_.apply_cellular_condition(0.8, 0.0);         // drive regime
+  std::uint64_t tok = imp.cellular_collapse(0.625, 0.0);  // 0.8*0.625 = 0.5
+  EXPECT_GT(sync.sync_once(), 0u);  // composed factor right at the gate
+  sim_.run_until(sim_.now() + sim::minutes(1));
+  EXPECT_EQ(sync.records_synced(), 10u);
+  imp.restore(tok);
+
+  ingest(10, sim::minutes(5));
+  tok = imp.cellular_collapse(0.6, 0.0);  // 0.8*0.6 = 0.48 < gate
+  EXPECT_EQ(sync.sync_once(), 0u);
+  EXPECT_GE(sync.skipped_bad_network(), 1u);
+  imp.restore(tok);
+  EXPECT_GT(sync.sync_once(), 0u);  // restored: gate open again
+}
+
+// --- failed uploads retry with exponential backoff, losing nothing ---------
+
+TEST_F(CloudSyncTest, LossyLinkRetriesWithBackoffUntilDelivered) {
+  CloudSyncOptions opts;
+  opts.check_period = sim::seconds(30);
+  opts.batch_records = 5;  // several batches => several chances to fail
+  opts.retry_backoff = sim::seconds(2);
+  CloudSync sync(sim_, ddi_, topo_, opts);
+  std::map<std::pair<std::string, long long>, int> cloud;
+  sync.set_sink([&](const DataRecord& r) {
+    ++cloud[{r.stream, static_cast<long long>(r.timestamp)}];
+  });
+  ingest(30);
+  // Hostile but above-gate conditions: the gate stays open, the link drops
+  // most packets, so uploads fail and the backoff path engages.
+  topo_.apply_cellular_condition(0.6, 0.95);
+  sync.start();
+  sim_.run_until(sim::minutes(20));
+  topo_.apply_cellular_condition(1.0, 0.0);  // conditions recover
+  sim_.run_until(sim::minutes(40));
+  sync.stop();
+
+  EXPECT_GT(sync.failed_uploads(), 0u);
+  EXPECT_GT(sync.retries(), 0u);
+  // Conservation despite the carnage: everything arrived exactly once.
+  EXPECT_EQ(sync.records_synced(), 30u);
+  EXPECT_EQ(sync.backlog(), 0u);
+  EXPECT_EQ(cloud.size(), 30u);
+  for (const auto& [key, copies] : cloud) {
+    EXPECT_EQ(copies, 1) << key.first << "@" << key.second;
+  }
+}
+
+TEST_F(CloudSyncTest, BackoffGivesUpToPeriodicWakeupWhenGateCloses) {
+  CloudSyncOptions opts;
+  opts.retry_backoff = sim::seconds(2);
+  CloudSync sync(sim_, ddi_, topo_, opts);
+  ingest(10);
+  // Tier vanishes mid-flight: the upload fails and a retry is scheduled.
+  sync.sync_once();
+  sim_.after(sim::msec(1), [&]() {
+    topo_.set_available(net::Tier::kCloud, false);
+  });
+  sim_.run_until(sim::minutes(5));
+  EXPECT_GT(sync.failed_uploads(), 0u);
+  EXPECT_EQ(sync.records_synced(), 0u);
+  // The retry fired against a closed gate and stood down; nothing was lost.
+  EXPECT_EQ(sync.backlog(), 10u);
+  // Tier returns: the next explicit sync drains the backlog.
+  topo_.set_available(net::Tier::kCloud, true);
+  sync.sync_once();
+  sim_.run_until(sim_.now() + sim::minutes(1));
+  EXPECT_EQ(sync.records_synced(), 10u);
+  EXPECT_EQ(sync.backlog(), 0u);
 }
 
 }  // namespace

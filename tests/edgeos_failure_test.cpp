@@ -79,6 +79,69 @@ TEST_F(ElasticFailureTest, RemoteDeviceGoesOfflineMidRun) {
   EXPECT_EQ(mgr.failed(), 1u);
 }
 
+TEST_F(ElasticFailureTest, FailoverReplansOntoSurvivingTierMidRun) {
+  mgr.options().failover = true;
+  mgr.options().max_failovers = 3;
+  // Cripple the on-board CPU so the planner's first choice is the cloud —
+  // the slow local pipeline stays feasible as the failover target.
+  hw::ProcessorSpec slow = cpu.spec();
+  for (auto& [cls, gf] : slow.gflops) gf *= 0.05;
+  cpu.reconfigure(slow);
+
+  auto svc = make_polymorphic(workload::apps::inception_v3(),
+                              net::Tier::kCloud);
+  // Deadline generous enough that the slow on-board fallback stays eligible
+  // when the planner re-decides (min-latency still prefers the cloud first).
+  svc.dag.set_qos({sim::seconds(10), 3, 0});
+  const Pipeline* first = mgr.choose(svc);
+  ASSERT_NE(first, nullptr);
+  EXPECT_NE(first->name.find("cloud"), std::string::npos);
+
+  ServiceRunReport rep;
+  bool done = false;
+  mgr.run(svc, [&](const ServiceRunReport& r) {
+    rep = r;
+    done = true;
+  });
+  // The chosen tier dies mid-flight; failover must re-plan onto what's left.
+  sim.after(sim::msec(30), [&] { cloud.set_online(false); });
+  sim.run_until(sim::minutes(5));
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.failovers, 1);
+  EXPECT_EQ(rep.pipeline.find("cloud"), std::string::npos);
+  EXPECT_EQ(mgr.failovers(), 1u);
+  EXPECT_EQ(mgr.failed(), 0u);
+  EXPECT_EQ(mgr.active_runs(), 0u);
+}
+
+TEST_F(ElasticFailureTest, FailoverWithNoAlternativeHangsThenResumes) {
+  mgr.options().failover = true;
+  ServiceRunReport rep;
+  bool done = false;
+  mgr.run(cloud_only_service(), [&](const ServiceRunReport& r) {
+    rep = r;
+    done = true;
+  });
+  sim.after(sim::msec(30), [&] { cloud.set_online(false); });
+  sim.run_until(sim::minutes(1));
+  // Only pipeline's tier is gone: the failover parks the run instead of
+  // failing it.
+  EXPECT_FALSE(done);
+  EXPECT_EQ(mgr.hung_count(), 1u);
+  EXPECT_EQ(mgr.failed(), 0u);
+
+  cloud.set_online(true);
+  mgr.reevaluate();
+  sim.run_until(sim::minutes(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.was_hung);
+  EXPECT_EQ(rep.failovers, 1);
+  EXPECT_EQ(mgr.hung_count(), 0u);
+}
+
 TEST_F(ElasticFailureTest, TierDisappearingBetweenChooseAndRunIsSafe) {
   // choose() sees the cloud; by the time data moves the tier is gone.
   PolymorphicService svc = cloud_only_service();

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario.hpp"
+#include "ddi/cloudsync.hpp"
+#include "net/impair.hpp"
 
 namespace vdap::net {
 namespace {
@@ -109,6 +111,41 @@ TEST(RouteScenario, RejectsEmptyProfile) {
   CoverageMap map({});
   EXPECT_THROW(core::DriveScenario::from_route({}, map),
                std::invalid_argument);
+}
+
+// --- Fig. 2 regimes against the CloudSync gate threshold --------------------
+//
+// CloudSyncOptions::min_bandwidth_factor defaults to 0.5; the Doppler knee
+// 1/(1+(v/v0)^k) crosses exactly 0.5 at v = doppler_v0_mps. These pin the
+// regimes the sync gate separates.
+
+TEST(Fig2Gate, DopplerKneeCrossesTheSyncThresholdAtV0) {
+  core::CellularConditionModel m;
+  ddi::CloudSyncOptions opts;
+  double v0_mph = m.lte.doppler_v0_mps / 0.44704;
+  EXPECT_NEAR(m.bandwidth_factor(v0_mph), opts.min_bandwidth_factor, 1e-9);
+  EXPECT_GT(m.bandwidth_factor(v0_mph - 1.0), opts.min_bandwidth_factor);
+  EXPECT_LT(m.bandwidth_factor(v0_mph + 1.0), opts.min_bandwidth_factor);
+  // The two canonical Fig. 2 operating points sit on opposite sides.
+  EXPECT_GT(m.bandwidth_factor(35.0), opts.min_bandwidth_factor);
+  EXPECT_LT(m.bandwidth_factor(70.0), opts.min_bandwidth_factor);
+}
+
+TEST(Fig2Gate, InjectedCollapseComposesWithTheDriveRegime) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  core::CellularConditionModel m;
+  double f35 = m.bandwidth_factor(35.0);  // city regime: gate open
+  topo.apply_cellular_condition(f35, m.loss_rate(35.0));
+  EXPECT_NEAR(topo.cellular_bandwidth_factor(), f35, 1e-12);
+
+  // A fault-injected cellular collapse multiplies on top of the scenario
+  // and pushes the composed factor through the 0.5 gate.
+  ImpairmentController imp(topo);
+  std::uint64_t tok = imp.cellular_collapse(0.45 / f35, 0.0);
+  EXPECT_LT(topo.cellular_bandwidth_factor(), 0.5);
+  imp.restore(tok);
+  EXPECT_NEAR(topo.cellular_bandwidth_factor(), f35, 1e-12);
 }
 
 }  // namespace

@@ -154,6 +154,27 @@ TEST(Simulator, PeriodicSelfStopInsideCallback) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(Simulator, PeriodicStopBeforeFirstFiringFiresNothing) {
+  Simulator sim;
+  int count = 0;
+  auto h = sim.every(seconds(5), [&] { ++count; }, seconds(5));
+  EXPECT_TRUE(h.active());
+  h.stop();  // cancelled before the first tick was ever due
+  EXPECT_FALSE(h.active());
+  sim.run_until(seconds(60));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Simulator, PeriodicStopFromAnotherEventBeforeFirstFiring) {
+  Simulator sim;
+  int count = 0;
+  auto h = sim.every(seconds(10), [&] { ++count; }, seconds(10));
+  sim.at(seconds(3), [&] { h.stop(); });
+  sim.run_until(seconds(60));
+  EXPECT_EQ(count, 0);
+  EXPECT_FALSE(h.active());
+}
+
 TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
   Simulator sim;
   EXPECT_THROW(sim.every(0, [] {}), std::invalid_argument);

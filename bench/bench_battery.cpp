@@ -9,6 +9,8 @@
 // premium after the switch; the ungoverned run burns the budget flat-out.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/battery.hpp"
@@ -80,6 +82,7 @@ void print_table() {
              ? util::TextTable::num(sim::to_seconds(r.switched_at), 0) + " s"
              : "-"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: the governor trades some latency after the switch "
@@ -101,6 +104,7 @@ BENCHMARK(BM_GovernorCheck);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("battery");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -10,6 +10,8 @@
 // cost of millisecond-scale DSRC lookups.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/collaboration.hpp"
@@ -96,6 +98,7 @@ void print_table() {
                    util::TextTable::num(r.gflop_spent, 0),
                    util::TextTable::num(r.lookup_ms.mean(), 2)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: collaboration cuts recognitions roughly by the "
@@ -115,6 +118,7 @@ BENCHMARK(BM_LocalLookup);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("collab");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

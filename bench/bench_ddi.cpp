@@ -8,6 +8,8 @@
 // decrease the response latency of request").
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 #include <filesystem>
 
@@ -84,6 +86,7 @@ void print_table() {
                    util::TextTable::num(100.0 * r.hit_rate, 1) + "%",
                    std::to_string(r.disk_records)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: the cached config answers hot queries roughly an order of magnitude faster "
@@ -138,6 +141,7 @@ BENCHMARK(BM_RecordCodecRoundTrip);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("ddi");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

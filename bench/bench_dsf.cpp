@@ -8,6 +8,8 @@
 // mismatched work; EFT/HEFT hold deadlines at a fraction of the latency.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "hw/board.hpp"
@@ -99,6 +101,7 @@ void print_table() {
                  util::TextTable::num(r2.latency_ms.p95(), 1),
                  std::to_string(r2.misses),
                  util::TextTable::num(r2.energy_j, 0)});
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: cpu-only worst (legacy controller world), dynamic "
@@ -127,6 +130,7 @@ BENCHMARK(BM_GreedyEftPlacement);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("dsf");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

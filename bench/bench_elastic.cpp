@@ -8,6 +8,8 @@
 // tracks the per-segment winner and never strands a release.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 #include <map>
 
@@ -89,6 +91,7 @@ void print_table() {
                    util::TextTable::num(r.latency_ms.p95(), 1),
                    std::to_string(r.misses)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf("Elastic pipeline usage across the commute:\n");
   for (const auto& [pipeline, n] : elastic_result.pipeline_use) {
@@ -114,6 +117,7 @@ BENCHMARK(BM_PipelineEstimation);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("elastic");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

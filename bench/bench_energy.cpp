@@ -11,6 +11,8 @@
 // workload outright.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "hw/board.hpp"
@@ -86,6 +88,7 @@ void print_table() {
                    std::to_string(r.misses),
                    util::TextTable::num(r.mean_latency_ms, 1)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: the legacy controller cannot run the suite; the "
@@ -106,6 +109,7 @@ BENCHMARK(BM_EnergyAccounting);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("energy");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 //              frame  loss .012/.027/.390/.763/.911/.980
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "net/video.hpp"
@@ -51,6 +53,7 @@ void print_table() {
                    util::TextTable::num(c.paper_frame, 3),
                    util::TextTable::num(frame, 3)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Shape checks: frame >= packet everywhere; loss grows superlinearly "
@@ -89,6 +92,7 @@ BENCHMARK(BM_ChannelTraceConstruction)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("fig2");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,6 +8,8 @@
 // while its corresponding max power consumption is considerably bigger."
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "hw/catalog.hpp"
@@ -63,6 +65,7 @@ void print_table() {
                    util::TextTable::num(e.spec.max_power_w, 1),
                    util::TextTable::num(energy, 2)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Shape: V100 is fastest and most power-hungry; the embedded parts\n"
@@ -81,6 +84,7 @@ BENCHMARK(BM_InceptionOnV100Model);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("fig3");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,8 @@
 // buffers trade startup delay for stall resistance.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/infotainment.hpp"
@@ -69,6 +71,7 @@ void print_table() {
            util::TextTable::num(sim::to_millis(r.startup_delay), 0)});
     }
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
 
   // Prefetch-depth ablation in the worst cell (4K at 70 MPH): prefetching
@@ -85,6 +88,7 @@ void print_table() {
                     util::TextTable::num(sim::to_seconds(r.stall_time), 1),
                     util::TextTable::num(sim::to_millis(r.startup_delay), 0)});
   }
+  bench::BenchOutput::record(ablate);
   std::printf("%s", ablate.to_string().c_str());
   std::printf(
       "Expected shape: clean at parked; rebuffering grows with speed and "
@@ -103,6 +107,7 @@ BENCHMARK(BM_OneStreamingSession)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("infotainment");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

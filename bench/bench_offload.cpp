@@ -10,6 +10,8 @@
 // edge offloading tracks the best of both.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/platform.hpp"
@@ -116,6 +118,7 @@ void print_table() {
                      util::TextTable::num(r.energy_j, 0)});
     }
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: cloud-only degrades sharply with speed; in-vehicle "
@@ -136,6 +139,7 @@ BENCHMARK(BM_OffloadDecision);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("offload");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

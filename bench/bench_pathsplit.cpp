@@ -12,6 +12,8 @@
 // vehicle; the chosen cut is never worse than the best pure-tier pipeline.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/platform.hpp"
@@ -92,6 +94,7 @@ void print_table() {
                    pure_choice ? pure_choice->name : "(none)",
                    pure_ms >= 0 ? util::TextTable::num(pure_ms, 1) : "-"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Stages: motion-detect, plate-detect, plate-recognize. V=vehicle, "
@@ -115,6 +118,7 @@ BENCHMARK(BM_EnumerateAndChooseCuts);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("pathsplit");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

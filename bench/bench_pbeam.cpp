@@ -8,6 +8,8 @@
 // fleet model misreads.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "hw/catalog.hpp"
@@ -62,6 +64,7 @@ void print_compression_sweep() {
          util::TextTable::num(100.0 * raw_acc, 1) + "%",
          util::TextTable::num(100.0 * retrained_acc, 1) + "%"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -87,6 +90,7 @@ void print_personalization() {
                    util::TextTable::num(100.0 * after, 1) + "%",
                    util::TextTable::num(100.0 * (after - before), 1) + "pp"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -109,6 +113,7 @@ void print_edge_latency() {
                      : "n/a",
                    util::TextTable::num(100.0 * m->accuracy, 1) + "%"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -136,6 +141,7 @@ BENCHMARK(BM_DeepCompress);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("pbeam");
   print_compression_sweep();
   print_personalization();
   print_edge_latency();

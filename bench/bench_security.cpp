@@ -7,6 +7,8 @@
 //       availability over a 10-minute window.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "core/platform.hpp"
@@ -46,6 +48,7 @@ void print_overhead_table() {
                    util::TextTable::num(ms, 1),
                    util::TextTable::num(100.0 * (ms / base - 1.0), 1) + "%"});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -98,6 +101,7 @@ void print_reliability_table() {
                  util::TextTable::num(recovery_s.max(), 2)});
   table.add_row({"container availability",
                  util::TextTable::num(100.0 * available / samples, 2) + "%"});
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: recovery bounded by scan interval + reinstall time "
@@ -118,6 +122,7 @@ BENCHMARK(BM_AttestVerify);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("security");
   print_overhead_table();
   print_reliability_table();
   benchmark::Initialize(&argc, argv);

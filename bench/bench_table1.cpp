@@ -5,6 +5,8 @@
 // Vehicle Detection (TensorFlow) 13 971.98 ms; Haar ≈ 51x faster than TF.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 
 #include "hw/catalog.hpp"
@@ -56,6 +58,7 @@ void print_table() {
     table.add_row({r.name, util::TextTable::num(r.paper_ms, 2),
                    util::TextTable::num(ms, 2)});
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Haar vs TensorFlow speedup: paper ~51x, measured %.1fx\n\n",
@@ -82,6 +85,7 @@ BENCHMARK(BM_SimulateTfDetection);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("table1");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,8 @@
 // forced everyone-to-the-RSU policy degrades.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -104,6 +106,7 @@ void print_table() {
                      force ? "-" : mix});
     }
   }
+  bench::BenchOutput::record(table);
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "Expected shape: all-to-RSU latency grows with fleet size as the box "
@@ -122,6 +125,7 @@ BENCHMARK(BM_FleetOfFourSixtySeconds)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("xedge");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 build + test run from ROADMAP.md, then an
+# AddressSanitizer+UBSan build running the chaos/soak and telemetry-trace
+# suites (the long-horizon paths most likely to hide lifetime bugs).
+#
+# Usage: scripts/check.sh [--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + full ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "OK (tier-1 only)"
+  exit 0
+fi
+
+echo "== asan: chaos + trace suites under AddressSanitizer/UBSan =="
+cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace'
+
+echo "OK"

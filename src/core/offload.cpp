@@ -1,5 +1,7 @@
 #include "core/offload.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::core {
 
 edgeos::PolymorphicService whole_dag_service(
@@ -27,15 +29,43 @@ OffloadDecision OffloadPlanner::decide(const workload::AppDag& dag) const {
   edgeos::PolymorphicService svc = whole_dag_service(dag, tiers_);
   const edgeos::Pipeline* best = elastic_.choose(svc);
   OffloadDecision d;
-  if (best == nullptr) return d;  // infeasible everywhere
-  auto ests = elastic_.estimate(svc);
-  for (std::size_t i = 0; i < svc.pipelines.size(); ++i) {
-    if (svc.pipelines[i].name == best->name) {
-      d.tier = tiers_[i];
-      d.est_latency = ests[i].latency;
-      d.onboard_energy_j = ests[i].onboard_energy_j;
-      d.feasible = true;
-      break;
+  if (best != nullptr) {
+    auto ests = elastic_.estimate(svc);
+    for (std::size_t i = 0; i < svc.pipelines.size(); ++i) {
+      if (svc.pipelines[i].name == best->name) {
+        d.tier = tiers_[i];
+        d.est_latency = ests[i].latency;
+        d.onboard_energy_j = ests[i].onboard_energy_j;
+        d.feasible = true;
+        break;
+      }
+    }
+  }
+
+  if (telemetry::on()) {
+    // Record the decision with the per-tier scores that drove it.
+    json::Object scores;
+    for (const edgeos::PipelineEstimate& e : elastic_.estimate(svc)) {
+      json::Object s;
+      s["feasible"] = e.feasible;
+      if (e.feasible) {
+        s["latency_ms"] = sim::to_millis(e.latency);
+        s["energy_j"] = e.onboard_energy_j;
+      }
+      scores[e.pipeline] = json::Value(std::move(s));
+    }
+    json::Object args;
+    args["chosen"] =
+        d.feasible ? std::string(net::to_string(d.tier)) : "(infeasible)";
+    args["scores"] = json::Value(std::move(scores));
+    telemetry::tracer().instant(elastic_.simulator().now(), "offload",
+                                "decide:" + dag.name(), "offload",
+                                std::move(args));
+    if (d.feasible) {
+      telemetry::count("offload.decisions",
+                       {{"tier", net::to_string(d.tier)}});
+    } else {
+      telemetry::count("offload.infeasible");
     }
   }
   return d;

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "telemetry/telemetry.hpp"
 #include "workload/apps.hpp"
 
 namespace vdap::core {
@@ -76,6 +77,16 @@ OpenVdap::OpenVdap(sim::Simulator& sim, PlatformConfig config)
     traffic_->start();
     social_->start();
   }
+
+  if (telemetry::on()) {
+    json::Object args;
+    args["vehicle"] = config_.vehicle_name;
+    args["devices"] = static_cast<std::int64_t>(board_->devices().size());
+    args["remote_tiers"] = config_.with_remote_tiers;
+    telemetry::tracer().instant(sim_.now(), "platform", "platform.boot",
+                                "platform", std::move(args));
+    telemetry::count("platform.boots");
+  }
 }
 
 OpenVdap::~OpenVdap() {
@@ -131,6 +142,7 @@ void OpenVdap::install_standard_services() {
   os_->install_service(
       make_polymorphic_multi(workload::apps::speech_assistant(), tiers),
       IsolationMode::kContainer);
+  telemetry::count("platform.services_installed", 7);
 }
 
 }  // namespace vdap::core

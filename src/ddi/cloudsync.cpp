@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::ddi {
 
 CloudSync::CloudSync(sim::Simulator& sim, Ddi& ddi, net::Topology& topo,
@@ -38,6 +40,7 @@ bool CloudSync::gate_closed() const {
 std::size_t CloudSync::sync_once() {
   if (gate_closed()) {
     ++skipped_;
+    telemetry::count("sync.skipped");
     return 0;
   }
   std::size_t shipped = 0;
@@ -66,13 +69,27 @@ std::size_t CloudSync::sync_stream(const std::string& stream) {
   auto batch = std::make_shared<std::vector<DataRecord>>(std::move(pending));
   std::string stream_name = stream;
   in_flight_.insert(stream_name);
+  std::uint64_t span = 0;
+  if (telemetry::on()) {
+    json::Object args;
+    args["records"] = static_cast<std::int64_t>(batch->size());
+    args["bytes"] = static_cast<std::int64_t>(bytes);
+    span = telemetry::tracer().begin(sim_.now(), "ddi", "sync:" + stream_name,
+                                     "cloudsync", std::move(args));
+  }
   topo_.transfer_up(
       options_.tier, bytes,
-      [this, batch, bytes, stream_name,
-       new_cursor](const net::TransferOutcome& out) {
+      [this, batch, bytes, stream_name, new_cursor,
+       span](const net::TransferOutcome& out) {
         in_flight_.erase(stream_name);
+        if (telemetry::on()) {
+          json::Object args;
+          args["delivered"] = out.delivered;
+          telemetry::tracer().end(sim_.now(), span, std::move(args));
+        }
         if (!out.delivered) {
           ++failed_;
+          telemetry::count("sync.failed");
           schedule_retry(stream_name);
           return;  // cursor untouched
         }
@@ -80,6 +97,10 @@ std::size_t CloudSync::sync_stream(const std::string& stream) {
         cursor_[stream_name] = new_cursor;
         records_synced_ += batch->size();
         bytes_synced_ += bytes;
+        telemetry::count("sync.batches");
+        telemetry::count("sync.records",
+                         static_cast<std::int64_t>(batch->size()));
+        telemetry::count("sync.bytes", static_cast<std::int64_t>(bytes));
         if (sink_) {
           for (const DataRecord& r : *batch) sink_(r);
         }
@@ -95,12 +116,21 @@ void CloudSync::schedule_retry(const std::string& stream) {
     delay *= 2;
   }
   delay = std::min(delay, options_.retry_backoff_max);
+  if (telemetry::on()) {
+    json::Object args;
+    args["stream"] = stream;
+    args["attempt"] = k;
+    args["delay_ms"] = sim::to_millis(delay);
+    telemetry::tracer().instant(sim_.now(), "ddi", "sync.backoff", "cloudsync",
+                                std::move(args));
+  }
   sim_.after(delay, [this, stream]() {
     if (stopped_) return;
     // If conditions are still hostile, let the periodic wake-up retry
     // instead of spinning against a closed gate.
     if (gate_closed()) return;
     ++retries_;
+    telemetry::count("sync.retries");
     sync_stream(stream);
   });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::ddi {
 
 namespace {
@@ -63,6 +65,7 @@ void ObdCollector::tick() {
   rec.payload["odometer_m"] = state_.odometer_m;
   rec.payload["heading_rad"] = state_.heading_rad;
   ++emitted_;
+  telemetry::count("ddi.collected", {{"stream", "vehicle/obd"}});
   sink_(std::move(rec));
 }
 
@@ -105,6 +108,7 @@ void WeatherFeed::tick() {
   rec.payload["visibility_m"] =
       condition_ == "clear" ? 10000.0 : condition_ == "rain" ? 3000.0 : 800.0;
   ++emitted_;
+  telemetry::count("ddi.collected", {{"stream", "env/weather"}});
   sink_(std::move(rec));
 }
 
@@ -134,6 +138,7 @@ void TrafficFeed::tick() {
   rec.payload["congestion"] = congestion_;
   rec.payload["avg_speed_mps"] = 31.0 * (1.0 - 0.8 * congestion_);
   ++emitted_;
+  telemetry::count("ddi.collected", {{"stream", "env/traffic"}});
   sink_(std::move(rec));
 }
 
@@ -164,6 +169,7 @@ void SocialFeed::arm() {
     rec.payload["kind"] = kKinds[rng.uniform_int(0, 4)];
     rec.payload["severity"] = rng.uniform_int(1, 5);
     ++emitted_;
+    telemetry::count("ddi.collected", {{"stream", "social/events"}});
     sink_(std::move(rec));
     arm();
   });

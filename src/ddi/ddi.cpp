@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::ddi {
@@ -17,6 +18,7 @@ Ddi::Ddi(sim::Simulator& sim, DdiOptions options)
 
 void Ddi::upload(DataRecord rec) {
   ++uploads_;
+  telemetry::count("ddi.uploads", {{"stream", rec.stream}});
   // New data invalidates cached query results for the stream: rather than
   // track per-range dependencies we simply let cached entries age out via
   // TTL, matching the paper's survival-time design. Staged records are
@@ -27,6 +29,8 @@ void Ddi::upload(DataRecord rec) {
 
 void Ddi::flush_staged(bool force_all) {
   sim::SimTime cutoff = sim_.now() - options_.staging_ttl;
+  std::int64_t flushed = 0;
+  std::int64_t failures = 0;
   for (auto& [stream, vec] : staged_) {
     auto keep = vec.begin();
     for (auto it = vec.begin(); it != vec.end(); ++it) {
@@ -35,9 +39,11 @@ void Ddi::flush_staged(bool force_all) {
         try {
           disk_->put(it->rec);
           persisted = true;
+          ++flushed;
         } catch (const DiskWriteError&) {
           // Disk fault: keep the record staged; a later flush retries it.
           ++disk_write_failures_;
+          ++failures;
         }
       }
       if (!persisted) {
@@ -48,6 +54,18 @@ void Ddi::flush_staged(bool force_all) {
     vec.erase(keep, vec.end());
   }
   disk_->flush();
+  if (telemetry::on()) {
+    telemetry::count("ddi.flushed", flushed);
+    if (failures > 0) telemetry::count("ddi.disk_write_failures", failures);
+    telemetry::gauge("ddi.staged", static_cast<double>(staged_count()));
+    if (flushed > 0 || failures > 0) {
+      json::Object args;
+      args["flushed"] = flushed;
+      if (failures > 0) args["failures"] = failures;
+      telemetry::tracer().instant(sim_.now(), "ddi", "ddi.flush", "ddi",
+                                  std::move(args));
+    }
+  }
   if (options_.retention_max_bytes > 0 || options_.retention_max_age > 0) {
     sim::SimTime cutoff_ts =
         options_.retention_max_age > 0
@@ -101,10 +119,12 @@ std::vector<DataRecord> Ddi::collect(const DownloadRequest& req) {
 
 DownloadResponse Ddi::download_now(const DownloadRequest& req) {
   ++downloads_;
+  telemetry::count("ddi.downloads", {{"stream", req.stream}});
   DownloadResponse resp;
   std::string key = cache_key(req);
   auto cached = cache_.get(key, sim_.now());
   if (cached.has_value()) {
+    telemetry::count("ddi.cache_hits");
     // Cached responses store the packed records in the payload.
     resp.from_cache = true;
     resp.latency = options_.mem_latency;
@@ -121,6 +141,7 @@ DownloadResponse Ddi::download_now(const DownloadRequest& req) {
     }
     return resp;
   }
+  telemetry::count("ddi.cache_misses");
   resp.from_cache = false;
   resp.latency = options_.disk_latency;
   resp.records = collect(req);

@@ -4,7 +4,24 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::edgeos {
+
+namespace {
+
+// Opens the whole-service-run telemetry span ('b' on the "elastic" track).
+std::uint64_t open_run_span(sim::SimTime now, const std::string& service,
+                            std::uint64_t public_id,
+                            const std::string& pipeline) {
+  json::Object args;
+  args["run"] = static_cast<std::int64_t>(public_id);
+  args["pipeline"] = pipeline;
+  return telemetry::tracer().begin(now, "service", service, "elastic",
+                                   std::move(args));
+}
+
+}  // namespace
 
 ElasticManager::ElasticManager(sim::Simulator& sim, vcu::Dsf& dsf,
                                net::Topology& topo, ElasticOptions options)
@@ -193,7 +210,12 @@ std::uint64_t ElasticManager::run(
   const Pipeline* choice = choose(svc);
   std::uint64_t id = next_id_++;
   if (choice == nullptr) {
-    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done), 0});
+    std::uint64_t span = 0;
+    if (telemetry::on()) {
+      span = open_run_span(sim_.now(), svc.dag.name(), id, "(hung)");
+      telemetry::count("elastic.hung");
+    }
+    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done), 0, span});
     return id;
   }
   auto run = std::make_unique<Run>();
@@ -203,6 +225,12 @@ std::uint64_t ElasticManager::run(
   run->pipeline = *choice;
   run->released = sim_.now();
   run->done = std::move(done);
+  if (telemetry::on()) {
+    run->telem_span =
+        open_run_span(sim_.now(), svc.dag.name(), id, run->pipeline.name);
+    telemetry::count("elastic.released",
+                     {{"pipeline", run->pipeline.name}});
+  }
   start(std::move(run));
   return id;
 }
@@ -225,6 +253,15 @@ void ElasticManager::reevaluate() {
     run->was_hung = true;
     run->failovers = h.failovers;
     run->done = std::move(h.done);
+    run->telem_span = h.telem_span;
+    if (telemetry::on()) {
+      json::Object args;
+      args["run"] = static_cast<std::int64_t>(run->public_id);
+      args["pipeline"] = run->pipeline.name;
+      telemetry::tracer().instant(sim_.now(), "service", "elastic.resume",
+                                  "elastic", std::move(args));
+      telemetry::count("elastic.resumed");
+    }
     start(std::move(run));
   }
   hung_ = std::move(still_hung);
@@ -244,6 +281,14 @@ std::size_t ElasticManager::abandon_hung() {
     rep.infeasible = true;
     rep.failovers = h.failovers;
     ++failed_;
+    if (telemetry::on()) {
+      if (h.telem_span != 0) {
+        json::Object args;
+        args["infeasible"] = true;
+        telemetry::tracer().end(sim_.now(), h.telem_span, std::move(args));
+      }
+      telemetry::count("elastic.abandoned");
+    }
     if (h.done) h.done(rep);
   }
   return hung.size();
@@ -436,12 +481,21 @@ void ElasticManager::failover(std::uint64_t run_id) {
   runs_.erase(it);
   ++failovers_;
   const Pipeline* choice = choose(old->svc);
+  if (telemetry::on()) {
+    json::Object args;
+    args["run"] = static_cast<std::int64_t>(old->public_id);
+    args["failovers"] = old->failovers + 1;
+    args["rechosen"] = choice != nullptr ? choice->name : "(hung)";
+    telemetry::tracer().instant(sim_.now(), "service", "elastic.failover",
+                                "elastic", std::move(args));
+    telemetry::count("elastic.failovers");
+  }
   if (choice == nullptr) {
     // Nothing fits right now: park it; reevaluate() retries when
     // conditions change, abandon_hung() reports it infeasible.
     hung_.push_back(HungRun{old->public_id, std::move(old->svc),
                             old->released, std::move(old->done),
-                            old->failovers + 1});
+                            old->failovers + 1, old->telem_span});
     return;
   }
   Pipeline chosen = *choice;  // copy before svc moves out from under it
@@ -454,6 +508,7 @@ void ElasticManager::failover(std::uint64_t run_id) {
   run->was_hung = old->was_hung;
   run->failovers = old->failovers + 1;
   run->done = std::move(old->done);
+  run->telem_span = old->telem_span;
   start(std::move(run));
 }
 
@@ -474,6 +529,20 @@ void ElasticManager::finish(Run& run) {
     ++completed_;
   } else {
     ++failed_;
+  }
+  if (telemetry::on()) {
+    if (run.telem_span != 0) {
+      json::Object args;
+      args["ok"] = rep.ok;
+      args["pipeline"] = rep.pipeline;
+      args["deadline_met"] = rep.deadline_met;
+      if (rep.failovers > 0) args["failovers"] = rep.failovers;
+      args["latency_ms"] = sim::to_millis(rep.latency());
+      telemetry::tracer().end(sim_.now(), run.telem_span, std::move(args));
+    }
+    telemetry::count(rep.ok ? "elastic.completed" : "elastic.failed");
+    telemetry::observe("elastic.latency_ms", {{"service", rep.service}},
+                       sim::to_millis(rep.latency()));
   }
   auto done = std::move(run.done);
   runs_.erase(run.id);

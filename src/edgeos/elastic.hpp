@@ -105,6 +105,7 @@ class ElasticManager {
   std::uint64_t failovers() const { return failovers_; }
 
   ElasticOptions& options() { return options_; }
+  sim::Simulator& simulator() { return sim_; }
 
  private:
   struct Run {
@@ -123,6 +124,9 @@ class ElasticManager {
     bool was_hung = false;
     int failovers = 0;
     std::function<void(const ServiceRunReport&)> done;
+    // Open telemetry span for the whole service run; survives failover
+    // restarts and hang/resume cycles (it follows public_id, not id).
+    std::uint64_t telem_span = 0;
   };
   struct HungRun {
     std::uint64_t id;  // public id
@@ -130,6 +134,7 @@ class ElasticManager {
     sim::SimTime released;
     std::function<void(const ServiceRunReport&)> done;
     int failovers = 0;
+    std::uint64_t telem_span = 0;
   };
 
   sim::SimDuration transfer_estimate(net::Tier from, net::Tier to,

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::edgeos {
@@ -91,9 +92,25 @@ bool SecurityModule::compromise(const std::string& service) {
   Entry& e = entry(service);
   if (e.mode == IsolationMode::kTee) {
     // Encrypted instructions in memory: the internal attack fails (§IV-C).
+    if (telemetry::on()) {
+      json::Object args;
+      args["service"] = service;
+      telemetry::tracer().instant(sim_.now(), "security",
+                                  "attack-blocked:" + service, "security",
+                                  std::move(args));
+      telemetry::count("security.attacks_blocked");
+    }
     return false;
   }
   if (e.state == ServiceState::kRunning) e.state = ServiceState::kCompromised;
+  if (telemetry::on() && e.state == ServiceState::kCompromised) {
+    json::Object args;
+    args["service"] = service;
+    telemetry::tracer().instant(sim_.now(), "security",
+                                "compromised:" + service, "security",
+                                std::move(args));
+    telemetry::count("security.compromised");
+  }
   return e.state == ServiceState::kCompromised;
 }
 
@@ -110,6 +127,7 @@ bool SecurityModule::crash(const std::string& service) {
   Entry& e = entry(service);
   if (e.state != ServiceState::kRunning) return false;
   ++crashes_;
+  telemetry::count("security.crashes");
   e.state = ServiceState::kReinstalling;
   schedule_reinstall(service);
   return true;
@@ -119,20 +137,31 @@ void SecurityModule::scan() {
   for (auto& [name, e] : services_) {
     if (e.state != ServiceState::kCompromised) continue;
     ++detected_;
+    telemetry::count("security.detected");
     e.state = ServiceState::kReinstalling;
     schedule_reinstall(name);
   }
 }
 
 void SecurityModule::schedule_reinstall(const std::string& service) {
+  std::uint64_t span = 0;
+  if (telemetry::on()) {
+    json::Object args;
+    args["service"] = service;
+    span = telemetry::tracer().begin(sim_.now(), "security",
+                                     "reinstall:" + service, "security",
+                                     std::move(args));
+  }
   // Fresh key on reinstall: stolen credentials die with the old instance.
-  sim_.after(options_.reinstall_duration, [this, service]() {
+  sim_.after(options_.reinstall_duration, [this, service, span]() {
+    if (telemetry::on()) telemetry::tracer().end(sim_.now(), span);
     auto it = services_.find(service);
     if (it == services_.end()) return;  // uninstalled meanwhile
     it->second.state = ServiceState::kRunning;
     it->second.key = next_key_;
     next_key_ = next_key_ * 6364136223846793005ULL + 1442695040888963407ULL;
     ++reinstalls_;
+    telemetry::count("security.reinstalls");
     if (reinstall_cb_) reinstall_cb_(service);
   });
 }

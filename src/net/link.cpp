@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::net {
 
 sim::SimDuration LinkSpec::estimate(std::uint64_t bytes) const {
@@ -98,6 +100,19 @@ void Link::maybe_start() {
         ++dropped_;
       } else {
         ++delivered_;
+      }
+      if (telemetry::on()) {
+        json::Object args;
+        args["bytes"] = static_cast<std::int64_t>(msg->bytes);
+        args["delivered"] = !lost;
+        telemetry::tracer().complete(msg->submitted,
+                                     sim_.now() - msg->submitted, "net",
+                                     "xfer", "net/" + spec_.name,
+                                     std::move(args));
+        telemetry::count("net.messages", {{"link", spec_.name}});
+        telemetry::count("net.bytes", {{"link", spec_.name}},
+                         static_cast<std::int64_t>(msg->bytes));
+        if (lost) telemetry::count("net.dropped", {{"link", spec_.name}});
       }
       if (msg->done) {
         TransferReport rep;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::net {
 
 sim::SimDuration PathSpec::estimate(std::uint64_t bytes) const {
@@ -75,7 +77,17 @@ void Topology::set_available(Tier t, bool available) {
   if (t == Tier::kOnBoard && !available) {
     throw std::invalid_argument("the on-board tier cannot be disabled");
   }
-  state(t).available = available;
+  TierState& s2 = state(t);
+  if (s2.available != available && telemetry::on()) {
+    json::Object args;
+    args["tier"] = std::string(to_string(t));
+    args["available"] = available;
+    telemetry::tracer().instant(sim_.now(), "net",
+                                available ? "tier-up" : "tier-down",
+                                "net/topology", std::move(args));
+    telemetry::count("net.tier_changes", {{"tier", to_string(t)}});
+  }
+  s2.available = available;
 }
 
 void Topology::apply_cellular_condition(double bandwidth_factor,
@@ -84,6 +96,7 @@ void Topology::apply_cellular_condition(double bandwidth_factor,
   cell_extra_loss_ = std::clamp(extra_loss, 0.0, 0.99);
   recompute(Tier::kBaseStationEdge);
   recompute(Tier::kCloud);
+  record_cellular_sample();
 }
 
 void Topology::apply_cellular_impairment(double bandwidth_factor,
@@ -92,6 +105,16 @@ void Topology::apply_cellular_impairment(double bandwidth_factor,
   imp_loss_ = std::clamp(extra_loss, 0.0, 0.99);
   recompute(Tier::kBaseStationEdge);
   recompute(Tier::kCloud);
+  record_cellular_sample();
+}
+
+void Topology::record_cellular_sample() {
+  if (!telemetry::on()) return;
+  telemetry::tracer().counter(sim_.now(), "net/cellular",
+                              "cellular.bandwidth_factor",
+                              cellular_bandwidth_factor());
+  telemetry::gauge("net.cellular_bandwidth_factor",
+                   cellular_bandwidth_factor());
 }
 
 void Topology::apply_tier_condition(Tier t, double bandwidth_factor,

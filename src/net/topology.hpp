@@ -142,6 +142,9 @@ class Topology {
   /// updates the event-driven links in place (they are never destroyed
   /// while the topology lives, so in-flight completions stay valid).
   void recompute(Tier t);
+  /// Records the effective cellular bandwidth factor as a telemetry counter
+  /// sample + gauge (no-op when telemetry is off).
+  void record_cellular_sample();
   TierState& state(Tier t) { return tiers_[static_cast<std::size_t>(t)]; }
   const TierState& state(Tier t) const {
     return tiers_[static_cast<std::size_t>(t)];

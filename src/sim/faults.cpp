@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::sim {
 
 void FaultInjector::on(FaultKind kind, Handler handler) {
@@ -68,6 +70,31 @@ void FaultInjector::fire(const FaultSpec& spec, bool begin) {
     if (spec.duration > 0) ++active_;
   } else {
     --active_;
+  }
+  if (telemetry::on()) {
+    telemetry::Tracer& tr = telemetry::tracer();
+    json::Object args;
+    args["kind"] = std::string(to_string(spec.kind));
+    args["target"] = spec.target;
+    args["severity"] = spec.severity;
+    if (begin) {
+      telemetry::count("faults.applied",
+                       {{"kind", to_string(spec.kind)}});
+      if (spec.duration > 0) {
+        telem_open_[spec.name].push_back(tr.begin(
+            sim_.now(), "fault", spec.name, "faults", std::move(args)));
+      } else {
+        tr.instant(sim_.now(), "fault", spec.name, "faults", std::move(args));
+      }
+    } else {
+      auto it = telem_open_.find(spec.name);
+      if (it != telem_open_.end() && !it->second.empty()) {
+        tr.end(sim_.now(), it->second.back());
+        it->second.pop_back();
+        if (it->second.empty()) telem_open_.erase(it);
+      }
+    }
+    telemetry::gauge("faults.active", active_);
   }
   auto it = handlers_.find(spec.kind);
   if (it != handlers_.end() && it->second) it->second(spec, begin);

@@ -129,6 +129,9 @@ class FaultInjector {
   bool armed_ = false;
   int active_ = 0;
   std::size_t applied_ = 0;
+  // Telemetry span ids for windows currently open, keyed by fault name
+  // (recurrence can overlap a fault with itself, hence a stack per name).
+  std::map<std::string, std::vector<std::uint64_t>> telem_open_;
 };
 
 /// Canned fault plans used by the chaos/soak suites; also reasonable

@@ -1,0 +1,129 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace vdap::telemetry {
+
+namespace {
+
+// Async begin/end events need a string id; hex matches what Chrome's own
+// exporters emit.
+std::string span_id(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  json::Array events;
+  events.reserve(tracer.events().size() + tracer.tracks().size());
+
+  // Track names first, as thread_name metadata (tid order = first use).
+  for (std::size_t tid = 0; tid < tracer.tracks().size(); ++tid) {
+    json::Object meta;
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = static_cast<std::int64_t>(tid);
+    json::Object args;
+    args["name"] = tracer.tracks()[tid];
+    meta["args"] = json::Value(std::move(args));
+    events.emplace_back(std::move(meta));
+  }
+
+  for (const TraceEvent& ev : tracer.events()) {
+    json::Object o;
+    o["name"] = ev.name;
+    o["cat"] = ev.cat;
+    o["ph"] = std::string(1, ev.ph);
+    o["ts"] = ev.ts;  // already µs, the unit the format expects
+    o["pid"] = 1;
+    o["tid"] = static_cast<std::int64_t>(ev.tid);
+    if (ev.ph == 'X') o["dur"] = ev.dur;
+    if (ev.ph == 'b' || ev.ph == 'e') o["id"] = span_id(ev.id);
+    if (ev.ph == 'i') o["s"] = "t";  // instant scoped to its track
+    if (!ev.args.empty()) o["args"] = json::Value(ev.args);
+    events.emplace_back(std::move(o));
+  }
+
+  json::Object root;
+  root["displayTimeUnit"] = "ms";
+  root["traceEvents"] = json::Value(std::move(events));
+  return json::Value(std::move(root)).dump();
+}
+
+json::Value metrics_snapshot_json(const MetricsRegistry& metrics,
+                                  sim::SimTime now) {
+  json::Object root;
+  root["t"] = now;
+
+  json::Object counters;
+  for (const auto& [name, v] : metrics.counters().all()) counters[name] = v;
+  root["counters"] = json::Value(std::move(counters));
+
+  json::Object gauges;
+  for (const auto& [name, v] : metrics.gauges()) gauges[name] = v;
+  root["gauges"] = json::Value(std::move(gauges));
+
+  json::Object hists;
+  for (const auto& [name, h] : metrics.histograms()) {
+    json::Object digest;
+    digest["count"] = static_cast<std::int64_t>(h.count());
+    digest["mean"] = h.mean();
+    digest["min"] = h.min();
+    digest["max"] = h.max();
+    digest["p50"] = h.p50();
+    digest["p95"] = h.p95();
+    digest["p99"] = h.p99();
+    hists[name] = json::Value(std::move(digest));
+  }
+  root["histograms"] = json::Value(std::move(hists));
+  return json::Value(std::move(root));
+}
+
+std::string metrics_text_report(const MetricsRegistry& metrics) {
+  std::string out;
+  if (!metrics.counters().all().empty()) {
+    util::TextTable t("telemetry counters");
+    t.set_header({"counter", "value"});
+    for (const auto& [name, v] : metrics.counters().all()) {
+      t.add_row({name, std::to_string(v)});
+    }
+    out += t.to_string();
+  }
+  if (!metrics.gauges().empty()) {
+    util::TextTable t("telemetry gauges");
+    t.set_header({"gauge", "value"});
+    for (const auto& [name, v] : metrics.gauges()) {
+      t.add_row({name, util::TextTable::num(v, 3)});
+    }
+    out += t.to_string();
+  }
+  if (!metrics.histograms().empty()) {
+    util::TextTable t("telemetry histograms");
+    t.set_header({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : metrics.histograms()) {
+      t.add_row({name, std::to_string(h.count()),
+                 util::TextTable::num(h.mean(), 3),
+                 util::TextTable::num(h.p50(), 3),
+                 util::TextTable::num(h.p95(), 3),
+                 util::TextTable::num(h.p99(), 3),
+                 util::TextTable::num(h.max(), 3)});
+    }
+    out += t.to_string();
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace vdap::telemetry

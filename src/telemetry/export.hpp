@@ -1,0 +1,37 @@
+// Telemetry exporters:
+//   * chrome_trace_json() — the Chrome trace-event JSON format, loadable
+//     in Perfetto (https://ui.perfetto.dev) or chrome://tracing. Track
+//     names become thread_name metadata records; span/instant/counter
+//     events follow. Serialization goes through util::json, whose ordered
+//     objects make the output byte-deterministic — the `trace` test suite
+//     compares whole exports across replayed runs.
+//   * metrics_snapshot_json() — one JSON object per call with every
+//     counter, gauge, and histogram digest; Session emits these
+//     periodically as JSONL (one snapshot per line).
+//   * metrics_text_report() — the end-of-run human-readable table.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::telemetry {
+
+/// Serializes the tracer's events as a Chrome trace-event JSON document:
+/// {"displayTimeUnit":"ms","traceEvents":[...]}. Deterministic for a
+/// deterministic event sequence.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// One metrics snapshot: {"t": <sim µs>, "counters": {...}, "gauges":
+/// {...}, "histograms": {name: {count,mean,min,max,p50,p95,p99}, ...}}.
+json::Value metrics_snapshot_json(const MetricsRegistry& metrics,
+                                  sim::SimTime now);
+
+/// End-of-run report: one util::TextTable per metric family.
+std::string metrics_text_report(const MetricsRegistry& metrics);
+
+/// Writes `content` to `path` (truncating); returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace vdap::telemetry

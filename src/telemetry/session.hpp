@@ -1,0 +1,92 @@
+// One telemetry capture, scoped to one simulation run.
+//
+// Construction resets the process-wide registry/tracer and enables
+// collection; destruction disables it again. Captures must not nest (the
+// registry is process-wide — see telemetry.hpp); the constructor enforces
+// this. Periodic JSONL metric snapshots ride on Simulator::every, so they
+// land at deterministic sim times and appear in the event stream like any
+// other scheduled work.
+//
+// Header-only on purpose: the telemetry library proper depends only on
+// util + sim/time; the Simulator coupling below compiles into the caller,
+// which links vdap_sim anyway.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::telemetry {
+
+class Session {
+ public:
+  explicit Session(sim::Simulator& sim) : sim_(sim) {
+    if (Telemetry::enabled()) {
+      throw std::logic_error("telemetry session already active");
+    }
+    Telemetry::instance().reset();
+    Telemetry::instance().enable();
+  }
+
+  ~Session() {
+    stop_snapshots();
+    Telemetry::instance().disable();
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Starts periodic metric snapshots (one JSONL line per period).
+  void start_snapshots(sim::SimDuration period) {
+    stop_snapshots();
+    handle_ = sim_.every(period, [this]() { snapshot(); }, period);
+  }
+  void stop_snapshots() {
+    if (handle_) handle_->stop();
+    handle_.reset();
+  }
+
+  /// Takes one snapshot now (also called by the periodic schedule).
+  void snapshot() {
+    lines_.push_back(metrics_snapshot_json(metrics(), sim_.now()).dump());
+  }
+
+  /// JSONL metric snapshots collected so far, one JSON object per line.
+  const std::vector<std::string>& snapshot_lines() const { return lines_; }
+  std::string snapshots_jsonl() const {
+    std::string out;
+    for (const std::string& line : lines_) {
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// Chrome trace-event JSON of everything recorded so far.
+  std::string chrome_trace() const { return chrome_trace_json(tracer()); }
+
+  /// End-of-run text report (util::TextTable per metric family).
+  std::string text_report() const { return metrics_text_report(metrics()); }
+
+  /// Spans opened but never closed — must be 0 after a full drain.
+  std::size_t open_spans() const { return tracer().open_spans(); }
+
+  bool write_chrome_trace(const std::string& path) const {
+    return write_text_file(path, chrome_trace());
+  }
+  bool write_snapshots(const std::string& path) const {
+    return write_text_file(path, snapshots_jsonl());
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::optional<sim::Simulator::PeriodicHandle> handle_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace vdap::telemetry

@@ -1,0 +1,147 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+namespace vdap::telemetry {
+
+std::uint32_t Tracer::track(std::string_view name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.emplace_back(name);
+  track_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void Tracer::complete(sim::SimTime ts, sim::SimDuration dur,
+                      std::string_view cat, std::string_view name,
+                      std::string_view track, json::Object args) {
+  TraceEvent ev;
+  ev.ph = 'X';
+  ev.ts = ts;
+  ev.dur = dur < 0 ? 0 : dur;
+  ev.tid = this->track(track);
+  ev.cat = cat;
+  ev.name = name;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+std::uint64_t Tracer::begin(sim::SimTime ts, std::string_view cat,
+                            std::string_view name, std::string_view track,
+                            json::Object args) {
+  std::uint64_t id = next_span_++;
+  TraceEvent ev;
+  ev.ph = 'b';
+  ev.ts = ts;
+  ev.id = id;
+  ev.tid = this->track(track);
+  ev.cat = cat;
+  ev.name = name;
+  ev.args = std::move(args);
+  open_[id] = OpenSpan{ev.cat, ev.name, ev.tid};
+  events_.push_back(std::move(ev));
+  return id;
+}
+
+void Tracer::end(sim::SimTime ts, std::uint64_t id, json::Object args) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // unknown or already closed (or id 0)
+  TraceEvent ev;
+  ev.ph = 'e';
+  ev.ts = ts;
+  ev.id = id;
+  ev.tid = it->second.tid;
+  ev.cat = std::move(it->second.cat);
+  ev.name = std::move(it->second.name);
+  ev.args = std::move(args);
+  open_.erase(it);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(sim::SimTime ts, std::string_view cat,
+                     std::string_view name, std::string_view track,
+                     json::Object args) {
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.ts = ts;
+  ev.tid = this->track(track);
+  ev.cat = cat;
+  ev.name = name;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(sim::SimTime ts, std::string_view track,
+                     std::string_view name, double value) {
+  TraceEvent ev;
+  ev.ph = 'C';
+  ev.ts = ts;
+  ev.tid = this->track(track);
+  ev.cat = "metric";
+  ev.name = name;
+  ev.args["value"] = value;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::clear() {
+  events_.clear();
+  tracks_.clear();
+  track_ids_.clear();
+  open_.clear();
+  next_span_ = 1;
+}
+
+std::string labeled(std::string_view name, Labels labels) {
+  if (labels.size() == 0) return std::string(name);
+  // Sort label keys so the same set always canonicalizes identically.
+  std::vector<std::pair<std::string_view, std::string_view>> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = hists_.find(std::string(name));
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), util::Histogram{}).first;
+    it->second.set_sample_cap(kHistogramSampleCap);
+  }
+  it->second.add(value);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  counters_.merge(other.counters_);
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, hist] : other.hists_) {
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+      it = hists_.emplace(name, util::Histogram{}).first;
+      it->second.set_sample_cap(kHistogramSampleCap);
+    }
+    it->second.merge(hist);
+  }
+}
+
+void MetricsRegistry::reset() {
+  counters_.reset();
+  gauges_.clear();
+  hists_.clear();
+}
+
+Telemetry& Telemetry::instance() {
+  static Telemetry t;
+  return t;
+}
+
+}  // namespace vdap::telemetry

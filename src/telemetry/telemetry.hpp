@@ -1,0 +1,259 @@
+// Platform-wide telemetry: structured span tracing timestamped on the sim
+// clock plus a process-wide metrics registry (counters / gauges /
+// histograms with label support).
+//
+// Design constraints (DESIGN.md §6c):
+//   * Determinism — telemetry must never perturb a run. No wall-clock
+//     reads, no RNG draws; every event is timestamped by the caller with
+//     sim::Simulator::now(). Two runs of the same (seed, plan) therefore
+//     produce byte-identical exported traces — the `trace` test suite
+//     enforces this.
+//   * Near-zero disabled cost — every instrumentation site is guarded by
+//     `if (telemetry::on())`, a single branch on a plain bool; no argument
+//     marshalling, no allocation, no virtual dispatch on the cold path.
+//     The simulator is single-threaded, so no atomics are needed.
+//   * One capture at a time — the registry and tracer are process-wide
+//     (instrumented code lives many layers below whoever runs the
+//     experiment); telemetry::Session (session.hpp) scopes a capture to
+//     one run and resets state on entry.
+//
+// The trace model follows the Chrome trace-event format so exports load
+// directly into Perfetto / chrome://tracing (see export.hpp):
+//   * complete slices ('X'): an operation whose duration is known at
+//     record time (a network transfer, a task execution);
+//   * async span pairs ('b'/'e'): operations that overlap freely on one
+//     track (service runs, fault windows, sync batches) — begin() returns
+//     an id that end() closes, and open_spans() counts the unclosed ones
+//     (the chaos suites assert it drains to zero);
+//   * instants ('i'): decision points (offload choice, failover, hang);
+//   * counter samples ('C'): numeric series (backlog depth, bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace vdap::telemetry {
+
+/// One recorded trace event. `tid` indexes Tracer::tracks().
+struct TraceEvent {
+  char ph = 'X';            // 'X','b','e','i','C'
+  sim::SimTime ts = 0;      // µs on the sim clock
+  sim::SimDuration dur = 0; // 'X' only
+  std::uint64_t id = 0;     // 'b'/'e' async span id, 0 otherwise
+  std::uint32_t tid = 0;    // track index
+  std::string cat;          // category: "task","offload","ddi","net","fault",...
+  std::string name;
+  json::Object args;        // std::map => deterministic serialization order
+};
+
+/// Append-only event log with interned track names. All methods assume the
+/// caller already checked telemetry::on() — the Tracer itself never
+/// branches on the enabled flag.
+class Tracer {
+ public:
+  /// Interns a track name ("dsf", "net/cloud", "faults/rsu-flap", ...) and
+  /// returns its stable index. First-use order is deterministic because
+  /// the simulation is.
+  std::uint32_t track(std::string_view name);
+
+  /// Records a complete slice: [ts, ts+dur) on `track`.
+  void complete(sim::SimTime ts, sim::SimDuration dur, std::string_view cat,
+                std::string_view name, std::string_view track,
+                json::Object args = {});
+
+  /// Opens an async span; returns the id end() closes. Spans on one track
+  /// may overlap freely (they render as async tracks in Perfetto).
+  std::uint64_t begin(sim::SimTime ts, std::string_view cat,
+                      std::string_view name, std::string_view track,
+                      json::Object args = {});
+
+  /// Closes an async span; extra args are attached to the end event.
+  /// Unknown / already-closed ids are ignored (id 0 — a begin() recorded
+  /// while telemetry was off — is always safe to pass).
+  void end(sim::SimTime ts, std::uint64_t id, json::Object args = {});
+
+  /// Records an instant event (a point-in-time decision).
+  void instant(sim::SimTime ts, std::string_view cat, std::string_view name,
+               std::string_view track, json::Object args = {});
+
+  /// Records a counter sample (numeric time series).
+  void counter(sim::SimTime ts, std::string_view track, std::string_view name,
+               double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& tracks() const { return tracks_; }
+  /// Spans opened but not yet closed — the leak the chaos suites check.
+  std::size_t open_spans() const { return open_.size(); }
+
+  void clear();
+
+ private:
+  struct OpenSpan {
+    std::string cat;
+    std::string name;
+    std::uint32_t tid = 0;
+  };
+
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> tracks_;
+  std::map<std::string, std::uint32_t, std::less<>> track_ids_;
+  std::map<std::uint64_t, OpenSpan> open_;
+  std::uint64_t next_span_ = 1;
+};
+
+/// A label set attached to a metric name, canonicalized into the key as
+/// `name{k1=v1,k2=v2}` (keys sorted, Prometheus-style).
+using Labels =
+    std::initializer_list<std::pair<std::string_view, std::string_view>>;
+
+/// Builds the canonical labeled metric key.
+std::string labeled(std::string_view name, Labels labels);
+
+/// Process-wide named metrics: monotonic counters, last-value gauges and
+/// sample histograms (built on util::CounterSet / util::Histogram). Like
+/// Tracer, the registry assumes the caller checked telemetry::on().
+class MetricsRegistry {
+ public:
+  /// Histograms are capped at this many stored samples (deterministic
+  /// half-thinning; see util::Histogram::set_sample_cap) so soak-length
+  /// runs cannot grow telemetry memory without bound.
+  static constexpr std::size_t kHistogramSampleCap = 8192;
+
+  void inc(std::string_view name, std::int64_t by = 1) {
+    counters_.inc(std::string(name), by);
+  }
+  void inc(std::string_view name, Labels labels, std::int64_t by = 1) {
+    counters_.inc(labeled(name, labels), by);
+  }
+
+  void set_gauge(std::string_view name, double value) {
+    gauges_[std::string(name)] = value;
+  }
+  void set_gauge(std::string_view name, Labels labels, double value) {
+    gauges_[labeled(name, labels)] = value;
+  }
+
+  void observe(std::string_view name, double value);
+  void observe(std::string_view name, Labels labels, double value) {
+    observe(std::string_view(labeled(name, labels)), value);
+  }
+
+  std::int64_t counter_value(const std::string& name) const {
+    return counters_.get(name);
+  }
+  double gauge_value(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  const util::Histogram* histogram(const std::string& name) const {
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+  }
+
+  const util::CounterSet& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, util::Histogram>& histograms() const {
+    return hists_;
+  }
+
+  /// Folds another registry into this one (multi-vehicle aggregation).
+  void merge(const MetricsRegistry& other);
+
+  void reset();
+
+ private:
+  util::CounterSet counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::Histogram> hists_;
+};
+
+/// The process-wide telemetry instance. Disabled by default; Session
+/// (session.hpp) enables it for the duration of one capture.
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// The one branch every instrumentation site pays when telemetry is off.
+  static bool enabled() { return enabled_; }
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  Tracer& tracer() { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Drops all recorded events and metrics (start of a fresh capture).
+  void reset() {
+    tracer_.clear();
+    metrics_.reset();
+  }
+
+ private:
+  Telemetry() = default;
+  static inline bool enabled_ = false;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+// --- instrumentation-site helpers -----------------------------------------
+
+/// The guard every instrumentation site starts with.
+inline bool on() { return Telemetry::enabled(); }
+
+inline Tracer& tracer() { return Telemetry::instance().tracer(); }
+inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
+
+/// Guarded one-liners for sites that only bump a metric.
+inline void count(std::string_view name, std::int64_t by = 1) {
+  if (on()) metrics().inc(name, by);
+}
+inline void count(std::string_view name, Labels labels, std::int64_t by = 1) {
+  if (on()) metrics().inc(name, labels, by);
+}
+inline void observe(std::string_view name, double value) {
+  if (on()) metrics().observe(name, value);
+}
+inline void observe(std::string_view name, Labels labels, double value) {
+  if (on()) metrics().observe(name, labels, value);
+}
+inline void gauge(std::string_view name, double value) {
+  if (on()) metrics().set_gauge(name, value);
+}
+
+/// RAII helper for stack-shaped spans (scoped sections of driver code; the
+/// async layers store raw begin() ids in their run state instead).
+class ScopedSpan {
+ public:
+  ScopedSpan(sim::SimTime now, std::string_view cat, std::string_view name,
+             std::string_view track, json::Object args = {})
+      : end_ts_(now) {
+    if (on()) id_ = tracer().begin(now, cat, name, track, std::move(args));
+  }
+  ~ScopedSpan() { close(end_ts_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Sets the timestamp the destructor closes with (call before scope exit
+  /// when sim time advanced inside the scope).
+  void close_at(sim::SimTime ts) { end_ts_ = ts; }
+  void close(sim::SimTime ts, json::Object args = {}) {
+    if (id_ != 0 && on()) tracer().end(ts, id_, std::move(args));
+    id_ = 0;
+  }
+
+ private:
+  std::uint64_t id_ = 0;
+  sim::SimTime end_ts_;
+};
+
+}  // namespace vdap::telemetry

@@ -44,8 +44,55 @@ double Summary::variance() const {
 double Summary::stddev() const { return std::sqrt(variance()); }
 
 void Histogram::add(double x) {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+  if (stride_ > 1) {
+    if (++skipped_ < stride_) return;
+    skipped_ = 0;
+  }
   samples_.push_back(x);
   sorted_ = false;
+  if (cap_ > 0 && samples_.size() >= cap_) thin();
+}
+
+void Histogram::thin() {
+  // Keep every other retained sample and double the record stride: memory
+  // stays ≤ cap while the subsample remains uniform over arrival order.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < samples_.size(); i += 2) {
+    samples_[kept++] = samples_[i];
+  }
+  samples_.resize(kept);
+  stride_ *= 2;
+  skipped_ = 0;
+}
+
+void Histogram::set_sample_cap(std::size_t cap) {
+  cap_ = cap;
+  while (cap_ > 0 && samples_.size() >= cap_ && samples_.size() > 1) thin();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  while (cap_ > 0 && samples_.size() >= cap_ && samples_.size() > 1) thin();
 }
 
 void Histogram::ensure_sorted() const {
@@ -56,24 +103,14 @@ void Histogram::ensure_sorted() const {
 }
 
 double Histogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  double s = 0.0;
-  for (double v : samples_) s += v;
-  return s / static_cast<double>(samples_.size());
-}
-
-double Histogram::min() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.front();
-}
-
-double Histogram::max() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.back();
+  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
 }
 
 double Histogram::quantile(double q) const {
   if (samples_.empty()) return 0.0;
+  // The extremes are tracked exactly even when samples were thinned.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
   ensure_sorted();
   q = std::clamp(q, 0.0, 1.0);
   std::size_t idx = static_cast<std::size_t>(
@@ -84,6 +121,11 @@ double Histogram::quantile(double q) const {
 void Histogram::clear() {
   samples_.clear();
   sorted_ = true;
+  total_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+  stride_ = 1;
+  skipped_ = 0;
 }
 
 std::string TextTable::num(double v, int precision) {

@@ -34,15 +34,22 @@ class Summary {
   double max_ = 0.0;
 };
 
-/// Exact-quantile histogram: stores samples and sorts lazily on query.
-/// Fine for simulation-scale sample counts (≤ tens of millions).
+/// Quantile histogram: stores samples and sorts lazily on query. Exact by
+/// default (fine for simulation-scale sample counts); with a sample cap it
+/// switches to deterministic stride thinning so soak-length runs don't grow
+/// memory without limit — count/mean/min/max stay exact, quantiles come
+/// from the retained subsample.
 class Histogram {
  public:
   void add(double x);
-  std::size_t count() const { return samples_.size(); }
+  /// Total values observed (exact even when samples were thinned).
+  std::size_t count() const { return total_; }
+  /// Values currently retained for quantile queries (≤ count()).
+  std::size_t retained() const { return samples_.size(); }
   double mean() const;
-  double min() const;
-  double max() const;
+  double min() const { return total_ > 0 ? min_ : 0.0; }
+  double max() const { return total_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
   /// Quantile in [0,1]; nearest-rank. Returns 0 when empty.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
@@ -50,10 +57,29 @@ class Histogram {
   double p99() const { return quantile(0.99); }
   void clear();
 
+  /// Bounds retained samples to `cap` (0 = unbounded, the default). When
+  /// the store fills, every other retained sample is dropped and the
+  /// record stride doubles — deterministic, allocation-bounded thinning.
+  void set_sample_cap(std::size_t cap);
+  std::size_t sample_cap() const { return cap_; }
+
+  /// Folds `other` into this histogram. Count/mean/min/max merge exactly;
+  /// quantiles afterwards reflect the union of both retained sample sets
+  /// (re-thinned if a cap is set).
+  void merge(const Histogram& other);
+
  private:
   void ensure_sorted() const;
+  void thin();
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t cap_ = 0;
+  std::size_t stride_ = 1;   // record every stride-th add
+  std::size_t skipped_ = 0;  // adds since the last recorded sample
 };
 
 /// Named monotonically-increasing counters.
@@ -65,6 +91,12 @@ class CounterSet {
     return it == c_.end() ? 0 : it->second;
   }
   const std::map<std::string, std::int64_t>& all() const { return c_; }
+
+  /// Adds every counter of `other` into this set.
+  void merge(const CounterSet& other) {
+    for (const auto& [name, v] : other.c_) c_[name] += v;
+  }
+  void reset() { c_.clear(); }
 
  private:
   std::map<std::string, std::int64_t> c_;
@@ -78,6 +110,11 @@ class TextTable {
   void set_header(std::vector<std::string> header) { header_ = std::move(header); }
   void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
   std::string to_string() const;
+
+  // Structured access, for machine-readable exports (bench/bench_output.hpp).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Formats a double with the given precision (helper for row building).
   static std::string num(double v, int precision = 2);

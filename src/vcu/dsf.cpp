@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::vcu {
 
 Dsf::Dsf(sim::Simulator& sim, ResourceRegistry& registry,
@@ -40,6 +42,24 @@ std::uint64_t Dsf::submit(const workload::AppDag& dag, Callback done) {
   profiles_[dag.name()].app = dag.name();
   profiles_[dag.name()].released++;
 
+  if (telemetry::on()) {
+    telemetry::Tracer& tr = telemetry::tracer();
+    json::Object args;
+    args["instance"] = static_cast<std::int64_t>(inst->id);
+    args["tasks"] = n;
+    args["scheduler"] = std::string(scheduler_->name());
+    inst->telem_span =
+        tr.begin(sim_.now(), "task", dag.name(), "dsf", std::move(args));
+    telemetry::count("dsf.submitted", {{"app", dag.name()}});
+    if (options_.enable_partitioning && n != dag.size()) {
+      json::Object pargs;
+      pargs["tasks_in"] = dag.size();
+      pargs["tasks_out"] = n;
+      tr.instant(sim_.now(), "task", "partition:" + dag.name(), "dsf",
+                 std::move(pargs));
+    }
+  }
+
   scheduler_->on_release(inst->dag, inst->id);
 
   std::uint64_t id = inst->id;
@@ -61,6 +81,11 @@ void Dsf::dispatch(Instance& inst, int task_id) {
   ++rec.attempts;
   rec.submitted = sim_.now();
 
+  if (telemetry::on()) {
+    telemetry::count("vcu.place", {{"policy", scheduler_->name()}});
+    if (rec.attempts > 1) telemetry::count("dsf.task_retries");
+  }
+
   PlacementQuery q;
   q.dag = &inst.dag;
   q.instance = inst.id;
@@ -71,6 +96,7 @@ void Dsf::dispatch(Instance& inst, int task_id) {
   if (dev == nullptr) {
     // No capable device on board: surface the failure through the normal
     // completion path so the caller (e.g. the elastic manager) can react.
+    if (telemetry::on()) telemetry::count("dsf.placement_failed");
     inst.failed = true;
     hw::WorkReport rep;
     rep.submitted = rep.started = rep.finished = sim_.now();
@@ -103,6 +129,18 @@ void Dsf::on_task_done(std::uint64_t instance_id, int task_id,
   rec.finished = rep.finished;
   rec.ok = rep.ok;
   --inst.remaining;
+
+  if (telemetry::on() && !rec.device.empty()) {
+    telemetry::Tracer& tr = telemetry::tracer();
+    json::Object args;
+    args["instance"] = static_cast<std::int64_t>(instance_id);
+    args["ok"] = rep.ok;
+    if (rec.attempts > 1) args["attempts"] = rec.attempts;
+    tr.complete(rep.started, rep.finished - rep.started, "task", rec.task,
+                "vcu/" + rec.device, std::move(args));
+    telemetry::observe("dsf.task_ms", {{"device", rec.device}},
+                       sim::to_millis(rep.finished - rep.started));
+  }
 
   if (rep.ok && !inst.failed) {
     std::vector<int> ready;
@@ -158,6 +196,19 @@ void Dsf::finish(Instance& inst) {
   } else {
     ++prof.failed;
     ++failed_;
+  }
+
+  if (telemetry::on()) {
+    if (inst.telem_span != 0) {
+      json::Object args;
+      args["ok"] = run.ok;
+      args["deadline_met"] = run.deadline_met;
+      args["latency_ms"] = sim::to_millis(run.latency());
+      telemetry::tracer().end(sim_.now(), inst.telem_span, std::move(args));
+    }
+    telemetry::count(run.ok ? "dsf.completed" : "dsf.failed");
+    telemetry::observe("dsf.latency_ms", {{"app", run.app}},
+                       sim::to_millis(run.latency()));
   }
 
   scheduler_->on_complete(inst.id);

@@ -84,6 +84,7 @@ class Dsf {
     int remaining = 0;
     bool failed = false;
     Callback done;
+    std::uint64_t telem_span = 0;  // open telemetry span, 0 = none
   };
 
   void dispatch(Instance& inst, int task_id);

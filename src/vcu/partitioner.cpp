@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::vcu {
 
 bool divisible(hw::TaskClass cls) {
@@ -26,6 +28,7 @@ workload::AppDag partition(const workload::AppDag& dag,
   std::vector<std::vector<int>> entries(static_cast<std::size_t>(dag.size()));
   std::vector<int> exits(static_cast<std::size_t>(dag.size()), -1);
 
+  int split_tasks = 0;
   for (int id = 0; id < dag.size(); ++id) {
     const workload::TaskSpec& t = dag.task(id);
     int k = 1;
@@ -62,6 +65,14 @@ workload::AppDag partition(const workload::AppDag& dag,
     for (int c : chunks) out.add_edge(c, m);
     entries[static_cast<std::size_t>(id)] = chunks;
     exits[static_cast<std::size_t>(id)] = m;
+    ++split_tasks;
+  }
+  if (telemetry::on()) {
+    telemetry::count("vcu.partition.calls");
+    if (split_tasks > 0) {
+      telemetry::count("vcu.partition.split_tasks", split_tasks);
+      telemetry::count("vcu.partition.tasks_added", out.size() - dag.size());
+    }
   }
 
   // Re-create precedence: every original edge u→v becomes exit(u)→each

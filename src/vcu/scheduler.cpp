@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::vcu {
 
 hw::ComputeDevice* CpuOnlyScheduler::place(const PlacementQuery& q) {
@@ -122,10 +124,15 @@ hw::ComputeDevice* HeftScheduler::place(const PlacementQuery& q) {
     auto tit = pit->second.find(q.task_id);
     if (tit != pit->second.end()) {
       for (hw::ComputeDevice* d : q.candidates) {
-        if (d->name() == tit->second) return d;
+        if (d->name() == tit->second) {
+          if (telemetry::on()) telemetry::count("vcu.heft.plan_hits");
+          return d;
+        }
       }
     }
   }
+  // Planned device gone (offline / plug-and-play churn): greedy fallback.
+  if (telemetry::on()) telemetry::count("vcu.heft.fallbacks");
   return fallback_.place(q);
 }
 

@@ -18,7 +18,9 @@
 #include "ddi/collectors.hpp"
 #include "net/impair.hpp"
 #include "sim/faults.hpp"
+#include "telemetry/session.hpp"
 #include "util/strings.hpp"
+#include "workload/apps.hpp"
 
 namespace vdap::chaos {
 
@@ -51,6 +53,13 @@ struct ChaosOutcome {
   std::uint64_t sync_failed = 0;
   std::uint64_t sync_retries = 0;
   std::uint64_t disk_failures = 0;
+
+  // Telemetry evidence: the full Chrome-trace export (byte-identical across
+  // same-(seed, plan) runs), periodic metric snapshots, and the number of
+  // spans still open at drain — which must be zero (no leaked begin()s).
+  std::string trace_json;
+  std::string snapshots_jsonl;
+  std::size_t open_spans = 0;
 };
 
 struct ChaosConfig {
@@ -74,6 +83,8 @@ inline ChaosOutcome run_chaos(const sim::FaultPlan& plan, std::uint64_t seed,
   ChaosOutcome out;
   {
     sim::Simulator sim(seed);
+    telemetry::Session session(sim);
+    session.start_snapshots(sim::seconds(30));
     core::PlatformConfig cfg;
     cfg.vehicle_name = "chaos-cav";
     cfg.ddi_dir = dir.string();
@@ -192,6 +203,14 @@ inline ChaosOutcome run_chaos(const sim::FaultPlan& plan, std::uint64_t seed,
     const std::vector<std::string> services = {
         "lane-detection",   "obd-diagnostics", "infotainment-chunk",
         "license-plate",    "speech-assistant"};
+    // The matching app DAGs, so each release also records an offload-tier
+    // decision (decide() is a pure estimator: no RNG, no queue events —
+    // it only adds the decision instant + scores to the telemetry trace).
+    const std::vector<workload::AppDag> service_dags = {
+        workload::apps::lane_detection(), workload::apps::obd_diagnostics(),
+        workload::apps::infotainment_chunk(),
+        workload::apps::license_plate_pipeline(),
+        workload::apps::speech_assistant()};
     auto record_report = [&](const edgeos::ServiceRunReport& rep) {
       ++out.reports;
       if (rep.ok) ++out.completed_ok;
@@ -208,6 +227,7 @@ inline ChaosOutcome run_chaos(const sim::FaultPlan& plan, std::uint64_t seed,
       int idx = release_idx++;
       sim.at(t, [&, idx]() {
         ++out.releases;
+        car.offload().decide(service_dags[idx % service_dags.size()]);
         car.run_service(services[idx % services.size()], record_report);
       });
     }
@@ -251,6 +271,9 @@ inline ChaosOutcome run_chaos(const sim::FaultPlan& plan, std::uint64_t seed,
     out.sync_failed = sync.failed_uploads();
     out.sync_retries = sync.retries();
     out.disk_failures = car.ddi().disk_write_failures();
+    out.trace_json = session.chrome_trace();
+    out.snapshots_jsonl = session.snapshots_jsonl();
+    out.open_spans = session.open_spans();
   }
   fs::remove_all(dir);
   return out;

@@ -58,6 +58,10 @@ TEST_P(ChaosMatrix, InvariantsHoldAndRunsAreDeterministic) {
   // Whatever wasn't completed ok was explicitly reported, not dropped.
   EXPECT_LE(a.completed_ok + a.infeasible, a.reports);
 
+  // --- telemetry: every begin() was matched by an end() -------------------
+  EXPECT_EQ(a.open_spans, 0u) << "telemetry span leaked across the drain";
+  EXPECT_FALSE(a.trace_json.empty());
+
   // --- determinism: identical (seed, plan) => identical run --------------
   EXPECT_EQ(a.fault_trace, b.fault_trace);
   EXPECT_EQ(a.report_trace, b.report_trace);

@@ -127,6 +127,9 @@ void check_invariants(const ChaosOutcome& out) {
   EXPECT_GT(out.disk_failures, 0u);
   EXPECT_GT(out.crashes, 0u);
   EXPECT_GT(out.reinstalls, 0u);
+  // No telemetry span may survive the drain — an hour of recurring faults,
+  // failovers and hang/resume cycles must still balance every begin()/end().
+  EXPECT_EQ(out.open_spans, 0u);
 }
 
 TEST(Soak, OneVehicleHourOfRollingFaults) {
@@ -149,6 +152,8 @@ TEST(Soak, HourLongRunReplaysBitIdentically) {
   EXPECT_EQ(a.sync_retries, b.sync_retries);
   EXPECT_EQ(a.failovers, b.failovers);
   EXPECT_EQ(a.reinstalls, b.reinstalls);
+  EXPECT_EQ(a.trace_json, b.trace_json) << "exported trace not byte-stable";
+  EXPECT_EQ(a.snapshots_jsonl, b.snapshots_jsonl);
 }
 
 }  // namespace

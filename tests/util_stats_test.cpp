@@ -89,6 +89,97 @@ TEST(Histogram, QuantileMonotone) {
   }
 }
 
+TEST(Histogram, SampleCapKeepsExactMomentsWhileThinning) {
+  Histogram h;
+  h.set_sample_cap(64);
+  for (int i = 1; i <= 10000; ++i) h.add(i);
+  // count/mean/min/max/sum are exact no matter how hard the store thinned.
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5000.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10000.0 * 10001.0 / 2.0);
+  // Memory stays bounded by the cap.
+  EXPECT_LE(h.retained(), 64u);
+  EXPECT_GT(h.retained(), 0u);
+  // Quantiles come from the uniform subsample: approximate but sane.
+  EXPECT_NEAR(h.p50(), 5000.0, 1000.0);
+  EXPECT_GE(h.p95(), h.p50());
+  // The exact extremes still anchor q=0 / q=1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10000.0);
+}
+
+TEST(Histogram, SampleCapAppliesRetroactively) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(i);
+  EXPECT_EQ(h.retained(), 1000u);
+  h.set_sample_cap(100);
+  EXPECT_LE(h.retained(), 100u);
+  EXPECT_EQ(h.count(), 1000u);  // exact totals untouched
+}
+
+TEST(Histogram, ThinningIsDeterministic) {
+  auto build = []() {
+    Histogram h;
+    h.set_sample_cap(32);
+    for (int i = 0; i < 5000; ++i) h.add((i * 37) % 1000);
+    return h;
+  };
+  Histogram a = build();
+  Histogram b = build();
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+  }
+  EXPECT_EQ(a.retained(), b.retained());
+}
+
+TEST(Histogram, MergeCombinesExactMoments) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 50; ++i) a.add(i);
+  for (int i = 51; i <= 100; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_NEAR(a.p50(), 50.0, 1.0);
+
+  // Merging into an empty histogram copies the other's stats.
+  Histogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  // And merging an empty one changes nothing.
+  a.merge(Histogram{});
+  EXPECT_EQ(a.count(), 100u);
+}
+
+TEST(Histogram, MergeRespectsCapOfTheDestination) {
+  Histogram a;
+  a.set_sample_cap(64);
+  Histogram b;
+  for (int i = 0; i < 1000; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_LE(a.retained(), 64u);
+}
+
+TEST(CounterSet, MergeAddsAndResetClears) {
+  CounterSet a;
+  CounterSet b;
+  a.inc("x", 2);
+  b.inc("x", 3);
+  b.inc("y", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5);
+  EXPECT_EQ(a.get("y"), 1);
+  a.reset();
+  EXPECT_EQ(a.get("x"), 0);
+  EXPECT_TRUE(a.all().empty());
+}
+
 TEST(CounterSet, IncrementAndRead) {
   CounterSet c;
   EXPECT_EQ(c.get("x"), 0);
@@ -115,6 +206,27 @@ TEST(TextTable, AlignsColumns) {
 TEST(TextTable, NumFormat) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, StructuredAccessors) {
+  TextTable t("accessors");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.title(), "accessors");
+  ASSERT_EQ(t.header().size(), 2u);
+  EXPECT_EQ(t.header()[1], "b");
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "3");
+}
+
+TEST(TextTable, NoHeaderMeansNoSeparator) {
+  TextTable t;
+  t.add_row({"just", "rows"});
+  std::string s = t.to_string();
+  EXPECT_EQ(s.find("=="), std::string::npos);    // no title banner
+  EXPECT_EQ(s.find("----"), std::string::npos);  // no header separator
+  EXPECT_NE(s.find("just"), std::string::npos);
 }
 
 TEST(Rng, DeterministicStreams) {

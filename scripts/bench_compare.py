@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_*.json results against baselines.
+
+Usage: bench_compare.py <baseline_dir> <candidate_dir> [--threshold 0.15]
+
+Each BENCH_<name>.json is {"bench": name, "tables": [{title, header,
+rows}, ...]} (bench/bench_output.hpp). The tables are paper-shaped
+simulation results, deterministic for the fixed seeds baked into each
+bench, so against up-to-date baselines every cell matches exactly.
+
+The gate compares numeric cells (relative drift, symmetric so both
+directions of surprise fail) and ignores non-numeric cells. A result file
+missing from the candidate set, a table missing from the baseline, or a
+changed table shape fails with a pointer at --bench-rebaseline. Candidate
+files with no baseline are reported but pass — new benches land together
+with their baseline in the same commit.
+
+Exit codes: 0 ok, 1 regressions/shape mismatches, 2 usage/IO errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    """name -> parsed document, for every BENCH_*.json under path."""
+    docs = {}
+    if not os.path.isdir(path):
+        return docs
+    for entry in sorted(os.listdir(path)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        with open(os.path.join(path, entry), "rb") as f:
+            docs[entry] = json.load(f)
+    return docs
+
+
+def as_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def drift(base, cand):
+    """Symmetric relative drift in [0, 1]."""
+    denom = max(abs(base), abs(cand))
+    if denom < 1e-12:
+        return 0.0
+    return abs(cand - base) / denom
+
+
+def compare_tables(name, base, cand, threshold, failures):
+    base_tables = {t.get("title", ""): t for t in base.get("tables", [])}
+    cand_tables = {t.get("title", ""): t for t in cand.get("tables", [])}
+    for title, bt in base_tables.items():
+        ct = cand_tables.get(title)
+        where = f"{name}: table {title!r}"
+        if ct is None:
+            failures.append(f"{where} missing from candidate")
+            continue
+        if bt.get("header") != ct.get("header"):
+            failures.append(f"{where} header changed")
+            continue
+        brows, crows = bt.get("rows", []), ct.get("rows", [])
+        if len(brows) != len(crows):
+            failures.append(
+                f"{where} row count {len(brows)} -> {len(crows)}")
+            continue
+        for brow, crow in zip(brows, crows):
+            label = brow[0] if brow else "?"
+            if len(brow) != len(crow):
+                failures.append(f"{where} row {label!r} width changed")
+                continue
+            for col, (b, c) in enumerate(zip(brow, crow)):
+                bn, cn = as_number(b), as_number(c)
+                if bn is None or cn is None:
+                    continue
+                d = drift(bn, cn)
+                if d > threshold:
+                    header = bt.get("header", [])
+                    col_name = header[col] if col < len(header) else str(col)
+                    failures.append(
+                        f"{where} row {label!r} col {col_name!r}: "
+                        f"{b} -> {c} ({d:.1%} drift)")
+    for title in cand_tables:
+        if title not in base_tables:
+            print(f"note: {name}: new table {title!r} (no baseline)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir")
+    ap.add_argument("candidate_dir")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max relative drift per numeric cell (default 0.15)")
+    args = ap.parse_args()
+
+    baselines = load_dir(args.baseline_dir)
+    candidates = load_dir(args.candidate_dir)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir} "
+              f"(run scripts/check.sh --bench-rebaseline)", file=sys.stderr)
+        return 2
+    if not candidates:
+        print(f"error: no BENCH_*.json results in {args.candidate_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base in baselines.items():
+        cand = candidates.get(name)
+        if cand is None:
+            failures.append(f"{name}: result file missing from candidate run")
+            continue
+        compare_tables(name, base, cand, args.threshold, failures)
+    for name in candidates:
+        if name not in baselines:
+            print(f"note: {name}: no baseline (new bench)")
+
+    if failures:
+        print(f"bench regression gate: {len(failures)} failure(s) at "
+              f">{args.threshold:.0%} drift:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        print("if intentional, refresh with scripts/check.sh "
+              "--bench-rebaseline and commit bench/baselines/")
+        return 1
+    print(f"bench regression gate: {len(baselines)} result file(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,46 @@
 #!/usr/bin/env bash
-# Full local gate: the tier-1 build + test run from ROADMAP.md, then an
-# AddressSanitizer+UBSan build running the chaos/soak and telemetry-trace
-# suites (the long-horizon paths most likely to hide lifetime bugs).
+# Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
+# regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
+# then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
+# trace and SLO-health suites (the long-horizon paths most likely to hide
+# lifetime bugs).
 #
-# Usage: scripts/check.sh [--tier1-only]
+# Usage: scripts/check.sh [--tier1-only | --bench-rebaseline]
+#   --tier1-only        build + full ctest, skip bench gate and ASan pass
+#   --bench-rebaseline  regenerate bench/baselines/ from this build and
+#                       exit (bench tables are deterministic — fixed seeds
+#                       — so the refreshed files are byte-stable)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== tier-1: build + full ctest =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
+
+# Emits every bench's BENCH_*.json into $1 without timing loops:
+# the paper tables print from main() before RunSpecifiedBenchmarks(), so
+# --benchmark_list_tests skips the (wall-clock, non-deterministic) part.
+run_benches() {
+  local out_dir="$1"
+  mkdir -p "$out_dir"
+  for b in "$ROOT"/build/bench/bench_*; do
+    [[ -x "$b" && ! "$b" == *.* ]] || continue
+    (cd "$out_dir" && "$b" --benchmark_list_tests=true >/dev/null)
+  done
+}
+
+if [[ "${1:-}" == "--bench-rebaseline" ]]; then
+  echo "== regenerating bench/baselines/ =="
+  rm -f "$ROOT"/bench/baselines/BENCH_*.json
+  run_benches "$ROOT/bench/baselines"
+  ls "$ROOT"/bench/baselines/
+  echo "OK (rebaselined — review and commit bench/baselines/)"
+  exit 0
+fi
+
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
@@ -19,9 +48,14 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
 
-echo "== asan: chaos + trace suites under AddressSanitizer/UBSan =="
+echo "== bench regression gate =="
+rm -rf build/bench-results
+run_benches "$ROOT/build/bench-results"
+python3 scripts/bench_compare.py bench/baselines build/bench-results
+
+echo "== asan: chaos + trace + slo suites under AddressSanitizer/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace'
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace|slo'
 
 echo "OK"

@@ -1,0 +1,103 @@
+#include "core/health.hpp"
+
+#include "net/impair.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::core {
+
+namespace analysis = telemetry::analysis;
+
+HealthController::HealthController(sim::Simulator& sim,
+                                   edgeos::ElasticManager& elastic,
+                                   HealthOptions options)
+    : sim_(sim), elastic_(elastic), options_(std::move(options)),
+      evaluator_(options_.evaluator) {
+  std::vector<analysis::SloTarget> targets =
+      options_.targets.empty() ? analysis::standard_slos() : options_.targets;
+  for (analysis::SloTarget& t : targets) {
+    evaluator_.add_target(std::move(t));
+  }
+  evaluator_.set_listener(
+      [this](const analysis::HealthEvent& ev) { on_event(ev); });
+}
+
+void HealthController::on_run(const edgeos::ServiceRunReport& report) {
+  analysis::RunObservation obs;
+  obs.service = report.service;
+  obs.finished = report.finished;
+  obs.latency = report.latency();
+  obs.ok = report.ok;
+  obs.dominant_segment = std::string(report.segments.dominant());
+  obs.implicated_tier = report.implicated_tier;
+  evaluator_.observe(obs);
+}
+
+void HealthController::flush() { evaluator_.flush(sim_.now()); }
+
+void HealthController::on_event(const analysis::HealthEvent& event) {
+  const bool breach = event.kind == analysis::HealthEventKind::kLatencyBreach ||
+                      event.kind ==
+                          analysis::HealthEventKind::kAvailabilityBreach;
+  if (telemetry::on()) {
+    json::Object args;
+    args["service"] = event.service;
+    args["observed"] = event.observed;
+    args["target"] = event.target;
+    args["severity"] = std::string(analysis::to_string(event.severity));
+    if (!event.attributed_segment.empty()) {
+      args["segment"] = event.attributed_segment;
+    }
+    if (!event.implicated_tier.empty()) args["tier"] = event.implicated_tier;
+    telemetry::tracer().instant(
+        event.at, "health", std::string(analysis::to_string(event.kind)),
+        "health", std::move(args));
+    telemetry::count(breach ? "health.breaches" : "health.recoveries",
+                     {{"service", event.service}});
+  }
+
+  if (breach) {
+    std::optional<net::Tier> tier =
+        net::tier_from_string(event.implicated_tier);
+    if (tier.has_value() && *tier != net::Tier::kOnBoard) {
+      blame_[event.service] = *tier;
+    }
+  } else if (!evaluator_.breached(event.service)) {
+    blame_.erase(event.service);
+  }
+  reconcile_penalties();
+}
+
+void HealthController::reconcile_penalties() {
+  std::map<net::Tier, double> desired;
+  for (const auto& [service, tier] : blame_) {
+    desired[tier] = options_.tier_penalty;
+  }
+  for (const auto& [tier, factor] : desired) {
+    auto it = applied_.find(tier);
+    if (it == applied_.end() || it->second != factor) {
+      elastic_.set_tier_penalty(tier, factor);
+      if (telemetry::on()) {
+        json::Object args;
+        args["tier"] = std::string(net::to_string(tier));
+        args["factor"] = factor;
+        telemetry::tracer().instant(sim_.now(), "health", "health.penalize",
+                                    "health", std::move(args));
+        telemetry::count("health.penalties");
+      }
+    }
+  }
+  for (const auto& [tier, factor] : applied_) {
+    if (desired.count(tier) == 0) {
+      elastic_.clear_tier_penalty(tier);
+      if (telemetry::on()) {
+        json::Object args;
+        args["tier"] = std::string(net::to_string(tier));
+        telemetry::tracer().instant(sim_.now(), "health", "health.restore",
+                                    "health", std::move(args));
+      }
+    }
+  }
+  applied_ = std::move(desired);
+}
+
+}  // namespace vdap::core

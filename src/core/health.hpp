@@ -1,0 +1,75 @@
+// Closed-loop service health (DESIGN.md §6d): adapts every final
+// ServiceRunReport into the streaming SLO evaluator
+// (telemetry/analysis/slo.hpp) and wires breach/recover events back into
+// the platform's control knobs:
+//
+//   * latency/availability breach whose attribution implicates a remote
+//     tier → ElasticManager::set_tier_penalty() demotes that tier in
+//     choose()'s ranking, steering subsequent releases (and
+//     OffloadPlanner::decide(), which routes through choose()) toward
+//     healthier variants;
+//   * recovery → the penalty is lifted once no breaching service blames
+//     the tier anymore.
+//
+// The deadline feasibility gate stays on the honest estimate (see
+// elastic.hpp), so health pressure re-ranks feasible pipelines but never
+// hangs a feasible service. Everything runs on the sim clock off the
+// observation stream — no wall time, no RNG — and the whole loop is off
+// by default (PlatformConfig::health.enabled), like the tracer.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "edgeos/elastic.hpp"
+#include "telemetry/analysis/slo.hpp"
+
+namespace vdap::core {
+
+struct HealthOptions {
+  /// Master switch; when false OpenVdap builds no controller at all.
+  bool enabled = false;
+  telemetry::analysis::SloEvaluator::Options evaluator;
+  /// Per-service targets; empty ⇒ analysis::standard_slos() (Table I).
+  std::vector<telemetry::analysis::SloTarget> targets;
+  /// Ranking penalty factor applied to an implicated tier while any
+  /// breaching service blames it.
+  double tier_penalty = 4.0;
+};
+
+class HealthController {
+ public:
+  HealthController(sim::Simulator& sim, edgeos::ElasticManager& elastic,
+                   HealthOptions options);
+
+  /// Observer entry point (OpenVdap wires elastic.set_run_observer here).
+  void on_run(const edgeos::ServiceRunReport& report);
+
+  /// Closes the in-progress SLO window (call at end of run before reading
+  /// the compliance table).
+  void flush();
+
+  telemetry::analysis::SloEvaluator& evaluator() { return evaluator_; }
+  const telemetry::analysis::SloEvaluator& evaluator() const {
+    return evaluator_;
+  }
+  const std::vector<telemetry::analysis::HealthEvent>& events() const {
+    return evaluator_.events();
+  }
+  /// Tiers currently demoted by this controller.
+  const std::map<net::Tier, double>& penalized() const { return applied_; }
+
+ private:
+  void on_event(const telemetry::analysis::HealthEvent& event);
+  void reconcile_penalties();
+
+  sim::Simulator& sim_;
+  edgeos::ElasticManager& elastic_;
+  HealthOptions options_;
+  telemetry::analysis::SloEvaluator evaluator_;
+  /// Breaching service → the tier its breach implicated.
+  std::map<std::string, net::Tier> blame_;
+  std::map<net::Tier, double> applied_;
+};
+
+}  // namespace vdap::core

@@ -63,6 +63,12 @@ OpenVdap::OpenVdap(sim::Simulator& sim, PlatformConfig config)
       libvdap::ModelRegistry::with_default_catalog(), registry_, *ddi_);
 
   offload_ = std::make_unique<OffloadPlanner>(os_->elastic());
+  if (config_.health.enabled) {
+    health_ = std::make_unique<HealthController>(sim_, os_->elastic(),
+                                                 config_.health);
+    os_->elastic().set_run_observer(
+        [this](const edgeos::ServiceRunReport& rep) { health_->on_run(rep); });
+  }
   collab_ = std::make_unique<CollaborationCache>(
       sim_, config_.vehicle_name, os_->pseudonyms().pseudonym(sim_.now()));
 

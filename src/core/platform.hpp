@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/collaboration.hpp"
+#include "core/health.hpp"
 #include "core/offload.hpp"
 #include "core/scenario.hpp"
 #include "edgeos/edgeos.hpp"
@@ -38,6 +39,8 @@ struct PlatformConfig {
   bool start_collectors = false;
   edgeos::SecurityOptions security;
   edgeos::ElasticOptions elastic;
+  /// Closed-loop SLO health (core/health.hpp); disabled by default.
+  HealthOptions health;
 };
 
 class OpenVdap {
@@ -60,6 +63,8 @@ class OpenVdap {
   libvdap::LibVdap& api() { return *api_; }
   OffloadPlanner& offload() { return *offload_; }
   CollaborationCache& collaboration() { return *collab_; }
+  /// nullptr unless PlatformConfig::health.enabled.
+  HealthController* health() { return health_.get(); }
 
   /// Shared remote endpoints (nullptr when with_remote_tiers is false).
   hw::ComputeDevice* remote_device(net::Tier tier);
@@ -94,6 +99,7 @@ class OpenVdap {
   std::unique_ptr<libvdap::LibVdap> api_;
   std::unique_ptr<OffloadPlanner> offload_;
   std::unique_ptr<CollaborationCache> collab_;
+  std::unique_ptr<HealthController> health_;
 
   std::unique_ptr<hw::ComputeDevice> rsu_server_;
   std::unique_ptr<hw::ComputeDevice> bs_server_;

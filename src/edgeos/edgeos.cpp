@@ -13,6 +13,7 @@ EdgeOSv::EdgeOSv(sim::Simulator& sim, vcu::Dsf& dsf, net::Topology& topo,
       security_(sim, sec),
       pseudonyms_(vehicle_secret, sim::minutes(5)),
       fuzzer_() {
+  bus_.set_clock([&sim] { return sim.now(); });
   security_.start_monitor();
   // A reinstalled service gets a fresh bus credential: whatever the attacker
   // exfiltrated stops authenticating.

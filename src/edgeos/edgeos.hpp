@@ -39,6 +39,7 @@ class EdgeOSv {
   EdgeOSv(sim::Simulator& sim, vcu::Dsf& dsf, net::Topology& topo,
           std::uint64_t vehicle_secret = 0xC0FFEE,
           SecurityOptions sec = {}, ElasticOptions elastic = {});
+  // (the ctor wires the bus' telemetry clock to sim.now())
 
   /// Installs a polymorphic service under an isolation mode: registers it
   /// with the security module (attestation key) and enrolls it on the bus.

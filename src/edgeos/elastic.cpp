@@ -21,11 +21,68 @@ std::uint64_t open_run_span(sim::SimTime now, const std::string& service,
                                    std::move(args));
 }
 
+// The tier a run's fate is pinned on: an explicit failure wins, then the
+// remote tier with the most attributed time, then the board itself.
+std::string implicated_tier_of(
+    const std::string& failed_tier,
+    const std::map<std::string, sim::SimDuration>& tier_time) {
+  if (!failed_tier.empty()) return failed_tier;
+  std::string best = "on-board";
+  sim::SimDuration most = 0;
+  for (const auto& [tier, d] : tier_time) {
+    if (d > most) {
+      most = d;
+      best = tier;
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+std::string_view SegmentBreakdown::dominant() const {
+  std::string_view name = "compute";
+  sim::SimDuration top = compute;
+  if (queue > top) {
+    top = queue;
+    name = "queue";
+  }
+  if (network > top) {
+    top = network;
+    name = "net";
+  }
+  if (failover > top) {
+    name = "failover";
+  }
+  return name;
+}
 
 ElasticManager::ElasticManager(sim::Simulator& sim, vcu::Dsf& dsf,
                                net::Topology& topo, ElasticOptions options)
     : sim_(sim), dsf_(dsf), topo_(topo), options_(options) {}
+
+void ElasticManager::set_tier_penalty(net::Tier tier, double factor) {
+  penalties_[tier] = factor;
+}
+
+void ElasticManager::clear_tier_penalty(net::Tier tier) {
+  penalties_.erase(tier);
+}
+
+double ElasticManager::tier_penalty(net::Tier tier) const {
+  auto it = penalties_.find(tier);
+  return it == penalties_.end() ? 1.0 : it->second;
+}
+
+double ElasticManager::pipeline_penalty(const Pipeline& p) const {
+  if (penalties_.empty()) return 1.0;
+  double f = 1.0;
+  for (net::Tier t : p.placement) {
+    auto it = penalties_.find(t);
+    if (it != penalties_.end()) f = std::max(f, it->second);
+  }
+  return f;
+}
 
 void ElasticManager::set_remote_device(net::Tier tier,
                                        hw::ComputeDevice* device) {
@@ -186,19 +243,20 @@ const Pipeline* ElasticManager::choose(const PolymorphicService& svc) const {
   auto ests = estimate(svc);
   const workload::QosSpec& qos = svc.dag.qos();
   const Pipeline* best = nullptr;
-  sim::SimDuration best_latency = std::numeric_limits<sim::SimDuration>::max();
-  double best_energy = std::numeric_limits<double>::max();
+  double best_score = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < ests.size(); ++i) {
     const PipelineEstimate& e = ests[i];
     if (!e.feasible) continue;
+    // The deadline gate uses the honest estimate; health penalties only
+    // re-rank the feasible variants (so a breach steers, never hangs).
     if (qos.has_deadline() && e.latency > qos.deadline) continue;
-    bool better = options_.goal == Goal::kMinLatency
-                      ? e.latency < best_latency
-                      : e.onboard_energy_j < best_energy;
-    if (best == nullptr || better) {
+    double score = options_.goal == Goal::kMinLatency
+                       ? sim::to_seconds(e.latency)
+                       : e.onboard_energy_j;
+    score *= pipeline_penalty(svc.pipelines[i]);
+    if (best == nullptr || score < best_score) {
       best = &svc.pipelines[i];
-      best_latency = e.latency;
-      best_energy = e.onboard_energy_j;
+      best_score = score;
     }
   }
   return best;
@@ -215,7 +273,14 @@ std::uint64_t ElasticManager::run(
       span = open_run_span(sim_.now(), svc.dag.name(), id, "(hung)");
       telemetry::count("elastic.hung");
     }
-    hung_.push_back(HungRun{id, svc, sim_.now(), std::move(done), 0, span});
+    HungRun h;
+    h.id = id;
+    h.svc = svc;
+    h.released = sim_.now();
+    h.done = std::move(done);
+    h.telem_span = span;
+    h.hung_since = sim_.now();
+    hung_.push_back(std::move(h));
     return id;
   }
   auto run = std::make_unique<Run>();
@@ -254,6 +319,17 @@ void ElasticManager::reevaluate() {
     run->failovers = h.failovers;
     run->done = std::move(h.done);
     run->telem_span = h.telem_span;
+    run->seg = h.seg;
+    run->tier_time = std::move(h.tier_time);
+    run->failed_tier = std::move(h.failed_tier);
+    sim::SimDuration waited = sim_.now() - h.hung_since;
+    run->seg.queue += waited;
+    if (telemetry::on() && waited > 0) {
+      json::Object seg_args;
+      seg_args["run"] = static_cast<std::int64_t>(run->public_id);
+      telemetry::tracer().complete(h.hung_since, waited, "segment", "queue",
+                                   "elastic/segments", std::move(seg_args));
+    }
     if (telemetry::on()) {
       json::Object args;
       args["run"] = static_cast<std::int64_t>(run->public_id);
@@ -280,22 +356,37 @@ std::size_t ElasticManager::abandon_hung() {
     rep.was_hung = true;
     rep.infeasible = true;
     rep.failovers = h.failovers;
+    rep.segments = h.seg;
+    rep.segments.queue += sim_.now() - h.hung_since;
+    rep.tier_time = std::move(h.tier_time);
+    rep.implicated_tier = implicated_tier_of(h.failed_tier, rep.tier_time);
     ++failed_;
     if (telemetry::on()) {
+      sim::SimDuration waited = sim_.now() - h.hung_since;
+      if (waited > 0) {
+        json::Object seg_args;
+        seg_args["run"] = static_cast<std::int64_t>(h.id);
+        telemetry::tracer().complete(h.hung_since, waited, "segment", "queue",
+                                     "elastic/segments", std::move(seg_args));
+      }
       if (h.telem_span != 0) {
         json::Object args;
         args["infeasible"] = true;
         telemetry::tracer().end(sim_.now(), h.telem_span, std::move(args));
       }
       telemetry::count("elastic.abandoned");
+      telemetry::count("elastic.runs",
+                       {{"service", rep.service}, {"ok", "false"}});
     }
     if (h.done) h.done(rep);
+    if (observer_) observer_(rep);
   }
   return hung.size();
 }
 
 void ElasticManager::start(std::unique_ptr<Run> run) {
   Run& r = *run;
+  r.attempt_started = sim_.now();
   const workload::AppDag& dag = r.svc.dag;
   r.remaining = dag.size();
   r.waiting_preds.resize(static_cast<std::size_t>(dag.size()));
@@ -340,6 +431,43 @@ void ElasticManager::transfer(net::Tier from, net::Tier to,
   }
 }
 
+void ElasticManager::tracked_transfer(std::uint64_t run_id, net::Tier from,
+                                      net::Tier to, std::uint64_t bytes,
+                                      std::function<void(bool)> done) {
+  sim::SimTime t0 = sim_.now();
+  transfer(from, to, bytes,
+           [this, run_id, from, to, t0, done = std::move(done)](bool ok) {
+             auto it = runs_.find(run_id);
+             if (it != runs_.end()) {
+               Run& r = *it->second;
+               sim::SimDuration d = sim_.now() - t0;
+               r.seg.network += d;
+               // Attribute the wall time (and any failure) to the remote
+               // endpoint; for a remote→remote edge, the `from` leg runs
+               // first and gets the blame.
+               net::Tier remote = from != net::Tier::kOnBoard ? from : to;
+               if (remote != net::Tier::kOnBoard) {
+                 r.tier_time[std::string(net::to_string(remote))] += d;
+                 if (!ok) r.failed_tier = std::string(net::to_string(remote));
+               }
+               if (from != net::Tier::kOnBoard && to != net::Tier::kOnBoard &&
+                   from != to) {
+                 r.tier_time[std::string(net::to_string(to))] += d;
+               }
+               if (telemetry::on() && d > 0) {
+                 json::Object args;
+                 args["run"] = static_cast<std::int64_t>(r.public_id);
+                 args["tier"] = std::string(net::to_string(remote));
+                 if (!ok) args["failed"] = true;
+                 telemetry::tracer().complete(t0, d, "segment", "net",
+                                              "elastic/segments",
+                                              std::move(args));
+               }
+             }
+             done(ok);
+           });
+}
+
 void ElasticManager::dispatch(Run& run, int task_id) {
   const workload::TaskSpec& t = run.svc.dag.task(task_id);
   net::Tier tier = run.pipeline.placement[static_cast<std::size_t>(task_id)];
@@ -347,16 +475,16 @@ void ElasticManager::dispatch(Run& run, int task_id) {
   if (run.svc.dag.predecessors(task_id).empty() &&
       tier != net::Tier::kOnBoard) {
     // Ship the sensor input up before computing.
-    transfer(net::Tier::kOnBoard, tier, t.input_bytes,
-             [this, id, task_id](bool ok) {
-               auto it = runs_.find(id);
-               if (it == runs_.end()) return;
-               if (!ok) {
-                 complete_task(id, task_id, false);
-               } else {
-                 compute(*it->second, task_id);
-               }
-             });
+    tracked_transfer(id, net::Tier::kOnBoard, tier, t.input_bytes,
+                     [this, id, task_id](bool ok) {
+                       auto it = runs_.find(id);
+                       if (it == runs_.end()) return;
+                       if (!ok) {
+                         complete_task(id, task_id, false);
+                       } else {
+                         compute(*it->second, task_id);
+                       }
+                     });
   } else {
     compute(run, task_id);
   }
@@ -383,11 +511,37 @@ void ElasticManager::compute(Run& run, int task_id) {
     dev = it != remote_.end() ? it->second : nullptr;
   }
   if (dev == nullptr) {
+    auto it = runs_.find(id);
+    if (it != runs_.end() && tier != net::Tier::kOnBoard) {
+      it->second->failed_tier = std::string(net::to_string(tier));
+    }
     complete_task(id, task_id, false);
     return;
   }
   dev->submit({t.cls, t.gflop, run.svc.dag.qos().priority,
-               [this, id, task_id](const hw::WorkReport& rep) {
+               [this, id, task_id, tier](const hw::WorkReport& rep) {
+                 auto it = runs_.find(id);
+                 if (it != runs_.end()) {
+                   Run& r = *it->second;
+                   sim::SimDuration d = rep.finished - rep.submitted;
+                   r.seg.compute += d;
+                   if (tier != net::Tier::kOnBoard) {
+                     r.tier_time[std::string(net::to_string(tier))] += d;
+                     if (!rep.ok) {
+                       r.failed_tier = std::string(net::to_string(tier));
+                     }
+                   }
+                   if (telemetry::on() && d > 0) {
+                     json::Object args;
+                     args["run"] = static_cast<std::int64_t>(r.public_id);
+                     args["tier"] = std::string(net::to_string(tier));
+                     args["device"] = rep.device;
+                     telemetry::tracer().complete(rep.submitted, d, "segment",
+                                                  "compute",
+                                                  "elastic/segments",
+                                                  std::move(args));
+                   }
+                 }
                  complete_task(id, task_id, rep.ok);
                }});
 }
@@ -417,15 +571,15 @@ void ElasticManager::complete_task(std::uint64_t run_id, int task_id,
   if (ok && is_sink && tier != net::Tier::kOnBoard) {
     std::uint64_t bytes = dag.task(task_id).output_bytes;
     // Re-enter completion with the tier rewritten so we don't loop.
-    transfer(tier, net::Tier::kOnBoard, bytes,
-             [this, run_id, task_id](bool delivered) {
-               auto rit = runs_.find(run_id);
-               if (rit == runs_.end()) return;
-               Run& r = *rit->second;
-               r.pipeline.placement[static_cast<std::size_t>(task_id)] =
-                   net::Tier::kOnBoard;
-               complete_task(run_id, task_id, delivered);
-             });
+    tracked_transfer(run_id, tier, net::Tier::kOnBoard, bytes,
+                     [this, run_id, task_id](bool delivered) {
+                       auto rit = runs_.find(run_id);
+                       if (rit == runs_.end()) return;
+                       Run& r = *rit->second;
+                       r.pipeline.placement[static_cast<std::size_t>(task_id)] =
+                           net::Tier::kOnBoard;
+                       complete_task(run_id, task_id, delivered);
+                     });
     return;
   }
 
@@ -447,7 +601,7 @@ void ElasticManager::complete_task(std::uint64_t run_id, int task_id,
       net::Tier st = r.pipeline.placement[static_cast<std::size_t>(s)];
       if (st != tier) {
         std::uint64_t bytes = r.svc.dag.task(task_id).output_bytes;
-        transfer(tier, st, bytes, [this, rid, s](bool delivered) {
+        tracked_transfer(rid, tier, st, bytes, [this, rid, s](bool delivered) {
           auto rit2 = runs_.find(rid);
           if (rit2 == runs_.end()) return;
           if (!delivered) {
@@ -480,8 +634,20 @@ void ElasticManager::failover(std::uint64_t run_id) {
   std::unique_ptr<Run> old = std::move(it->second);
   runs_.erase(it);
   ++failovers_;
+  // The whole abandoned attempt is failover-wasted time; the net/compute
+  // accounted inside it stays too (sums attribute, they don't partition).
+  sim::SimDuration wasted = sim_.now() - old->attempt_started;
+  old->seg.failover += wasted;
   const Pipeline* choice = choose(old->svc);
   if (telemetry::on()) {
+    if (wasted > 0) {
+      json::Object seg_args;
+      seg_args["run"] = static_cast<std::int64_t>(old->public_id);
+      if (!old->failed_tier.empty()) seg_args["tier"] = old->failed_tier;
+      telemetry::tracer().complete(old->attempt_started, wasted, "segment",
+                                   "failover", "elastic/segments",
+                                   std::move(seg_args));
+    }
     json::Object args;
     args["run"] = static_cast<std::int64_t>(old->public_id);
     args["failovers"] = old->failovers + 1;
@@ -493,9 +659,18 @@ void ElasticManager::failover(std::uint64_t run_id) {
   if (choice == nullptr) {
     // Nothing fits right now: park it; reevaluate() retries when
     // conditions change, abandon_hung() reports it infeasible.
-    hung_.push_back(HungRun{old->public_id, std::move(old->svc),
-                            old->released, std::move(old->done),
-                            old->failovers + 1, old->telem_span});
+    HungRun h;
+    h.id = old->public_id;
+    h.svc = std::move(old->svc);
+    h.released = old->released;
+    h.done = std::move(old->done);
+    h.failovers = old->failovers + 1;
+    h.telem_span = old->telem_span;
+    h.hung_since = sim_.now();
+    h.seg = old->seg;
+    h.tier_time = std::move(old->tier_time);
+    h.failed_tier = std::move(old->failed_tier);
+    hung_.push_back(std::move(h));
     return;
   }
   Pipeline chosen = *choice;  // copy before svc moves out from under it
@@ -509,6 +684,9 @@ void ElasticManager::failover(std::uint64_t run_id) {
   run->failovers = old->failovers + 1;
   run->done = std::move(old->done);
   run->telem_span = old->telem_span;
+  run->seg = old->seg;
+  run->tier_time = std::move(old->tier_time);
+  run->failed_tier = std::move(old->failed_tier);
   start(std::move(run));
 }
 
@@ -525,6 +703,9 @@ void ElasticManager::finish(Run& run) {
   const workload::QosSpec& qos = run.svc.dag.qos();
   rep.deadline_met =
       rep.ok && (!qos.has_deadline() || rep.latency() <= qos.deadline);
+  rep.segments = run.seg;
+  rep.tier_time = run.tier_time;
+  rep.implicated_tier = implicated_tier_of(run.failed_tier, run.tier_time);
   if (rep.ok) {
     ++completed_;
   } else {
@@ -541,12 +722,15 @@ void ElasticManager::finish(Run& run) {
       telemetry::tracer().end(sim_.now(), run.telem_span, std::move(args));
     }
     telemetry::count(rep.ok ? "elastic.completed" : "elastic.failed");
+    telemetry::count("elastic.runs", {{"service", rep.service},
+                                      {"ok", rep.ok ? "true" : "false"}});
     telemetry::observe("elastic.latency_ms", {{"service", rep.service}},
                        sim::to_millis(rep.latency()));
   }
   auto done = std::move(run.done);
   runs_.erase(run.id);
   if (done) done(rep);
+  if (observer_) observer_(rep);
 }
 
 }  // namespace vdap::edgeos

@@ -33,6 +33,24 @@ struct PipelineEstimate {
   double onboard_energy_j = 0.0;  // vehicle-side compute + radio energy
 };
 
+/// Where one service run's wall time went (DESIGN.md §6d). These are
+/// attribution *sums*, not a partition of latency: parallel DAG branches
+/// overlap, and a failed attempt's network/compute time also lies inside
+/// its failover window. The trace-based critical-path extractor
+/// (telemetry/analysis/critical_path.hpp) computes the exclusive
+/// decomposition offline; these streaming sums give the SLO evaluator its
+/// attribution without trace parsing.
+struct SegmentBreakdown {
+  sim::SimDuration queue = 0;     // hung, waiting for any pipeline to fit
+  sim::SimDuration network = 0;   // tier-crossing transfers, wall time
+  sim::SimDuration compute = 0;   // device queueing + execution, all tasks
+  sim::SimDuration failover = 0;  // attempts abandoned to mid-run failover
+
+  /// The largest segment ("queue"/"net"/"compute"/"failover"); "compute"
+  /// when all are zero (a run that never left the board lives there).
+  std::string_view dominant() const;
+};
+
 struct ServiceRunReport {
   std::uint64_t run_id = 0;
   std::string service;
@@ -44,6 +62,16 @@ struct ServiceRunReport {
   bool was_hung = false;          // spent time in the hung queue first
   int failovers = 0;              // mid-run pipeline re-decisions taken
   bool infeasible = false;        // abandoned: no pipeline could ever fit
+
+  // Critical-path attribution (fed to the health layer, core/health.hpp).
+  SegmentBreakdown segments;
+  /// Attributed wall time per remote tier (transfers + remote compute),
+  /// keyed by net::to_string(tier).
+  std::map<std::string, sim::SimDuration> tier_time;
+  /// The tier implicated in this run's fate: the tier whose transfer or
+  /// device failed when a failover/hang was involved, else the remote tier
+  /// with the most attributed time, else "on-board".
+  std::string implicated_tier;
 
   sim::SimDuration latency() const { return finished - released; }
 };
@@ -97,6 +125,25 @@ class ElasticManager {
   /// Returns the number of runs abandoned.
   std::size_t abandon_hung();
 
+  /// Observer called with every final ServiceRunReport (completions,
+  /// failures and abandon_hung()), after the per-run `done` callback. The
+  /// health layer (core/health.hpp) feeds its SLO evaluator from this.
+  void set_run_observer(std::function<void(const ServiceRunReport&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  /// Health-driven ranking penalty: choose() multiplies the score of any
+  /// pipeline placing a task on `tier` by `factor` (>1 demotes it). The
+  /// deadline feasibility gate stays on the honest estimate, so penalties
+  /// steer the choice between feasible variants without hanging
+  /// otherwise-feasible services.
+  void set_tier_penalty(net::Tier tier, double factor);
+  void clear_tier_penalty(net::Tier tier);
+  double tier_penalty(net::Tier tier) const;
+  const std::map<net::Tier, double>& tier_penalties() const {
+    return penalties_;
+  }
+
   std::size_t hung_count() const { return hung_.size(); }
   /// Runs currently executing (in-flight DAGs, excluding hung ones).
   std::size_t active_runs() const { return runs_.size(); }
@@ -127,6 +174,11 @@ class ElasticManager {
     // Open telemetry span for the whole service run; survives failover
     // restarts and hang/resume cycles (it follows public_id, not id).
     std::uint64_t telem_span = 0;
+    // Segment accounting (carried across failovers and hang/resume).
+    sim::SimTime attempt_started = 0;
+    SegmentBreakdown seg;
+    std::map<std::string, sim::SimDuration> tier_time;
+    std::string failed_tier;  // tier of the most recent task/transfer failure
   };
   struct HungRun {
     std::uint64_t id;  // public id
@@ -135,6 +187,10 @@ class ElasticManager {
     std::function<void(const ServiceRunReport&)> done;
     int failovers = 0;
     std::uint64_t telem_span = 0;
+    sim::SimTime hung_since = 0;
+    SegmentBreakdown seg;
+    std::map<std::string, sim::SimDuration> tier_time;
+    std::string failed_tier;
   };
 
   sim::SimDuration transfer_estimate(net::Tier from, net::Tier to,
@@ -147,6 +203,10 @@ class ElasticManager {
   void finish(Run& run);
   void transfer(net::Tier from, net::Tier to, std::uint64_t bytes,
                 std::function<void(bool)> done);
+  /// transfer() plus per-run segment accounting and a "net" trace slice.
+  void tracked_transfer(std::uint64_t run_id, net::Tier from, net::Tier to,
+                        std::uint64_t bytes, std::function<void(bool)> done);
+  double pipeline_penalty(const Pipeline& p) const;
 
   sim::Simulator& sim_;
   vcu::Dsf& dsf_;
@@ -159,6 +219,8 @@ class ElasticManager {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t failovers_ = 0;
+  std::function<void(const ServiceRunReport&)> observer_;
+  std::map<net::Tier, double> penalties_;
 };
 
 }  // namespace vdap::edgeos

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::edgeos {
@@ -23,6 +24,15 @@ std::uint64_t PseudonymManager::epoch(sim::SimTime now) const {
 
 std::string PseudonymManager::pseudonym(sim::SimTime now) const {
   std::uint64_t e = epoch(now);
+  if (last_epoch_ != ~0ULL && e != last_epoch_ && telemetry::on()) {
+    json::Object args;
+    args["epoch"] = static_cast<std::int64_t>(e);
+    args["from_epoch"] = static_cast<std::int64_t>(last_epoch_);
+    telemetry::tracer().instant(now, "privacy", "privacy.rotate", "privacy",
+                                std::move(args));
+    telemetry::count("privacy.rotations");
+  }
+  last_epoch_ = e;
   // One-way derivation: knowing a pseudonym (or many) does not reveal the
   // secret or link epochs. fnv1a is a stand-in for a keyed PRF.
   std::uint64_t h = util::fnv1a(util::format(

@@ -19,7 +19,10 @@ class PseudonymManager {
  public:
   PseudonymManager(std::uint64_t vehicle_secret, sim::SimDuration rotation);
 
-  /// The pseudonym valid at `now`.
+  /// The pseudonym valid at `now`. When successive queries cross an epoch
+  /// boundary a rotation is observed — counted and traced as a
+  /// "privacy.rotate" instant (telemetry only; the pseudonym itself is a
+  /// pure function of (secret, epoch)).
   std::string pseudonym(sim::SimTime now) const;
 
   /// Epoch index at `now` (exposed for tests/analysis).
@@ -36,6 +39,9 @@ class PseudonymManager {
  private:
   std::uint64_t secret_;
   sim::SimDuration rotation_;
+  /// Epoch of the last pseudonym() query, for rotation observation only —
+  /// never feeds back into the derived pseudonym.
+  mutable std::uint64_t last_epoch_ = ~0ULL;
 };
 
 struct GeoPoint {

@@ -1,12 +1,41 @@
 #include "edgeos/sharing.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace vdap::edgeos {
+
+void DataSharingBus::note_grant(const char* op, const std::string& topic,
+                                const std::string& service) {
+  if (!telemetry::on()) return;
+  json::Object args;
+  args["op"] = op;
+  args["topic"] = topic;
+  args["service"] = service;
+  telemetry::tracer().instant(now(), "sharing", "sharing.grant", "sharing",
+                              std::move(args));
+  telemetry::count("sharing.grants", {{"op", op}});
+}
+
+void DataSharingBus::note_deny(const char* op, const char* reason,
+                               const std::string& topic,
+                               const std::string& service) {
+  if (!telemetry::on()) return;
+  json::Object args;
+  args["op"] = op;
+  args["reason"] = reason;
+  args["topic"] = topic;
+  args["service"] = service;
+  telemetry::tracer().instant(now(), "sharing", "sharing.deny", "sharing",
+                              std::move(args));
+  telemetry::count("sharing.denials", {{"reason", reason}});
+}
 
 std::uint64_t DataSharingBus::enroll(const std::string& service) {
   std::uint64_t cred = next_credential_;
   next_credential_ =
       next_credential_ * 2862933555777941757ULL + 3037000493ULL;
   credentials_[service] = cred;
+  telemetry::count("sharing.enrollments");
   return cred;
 }
 
@@ -17,11 +46,13 @@ bool DataSharingBus::enrolled(const std::string& service) const {
 void DataSharingBus::grant_publish(const std::string& topic,
                                    const std::string& service) {
   pub_acl_[topic].insert(service);
+  note_grant("publish", topic, service);
 }
 
 void DataSharingBus::grant_subscribe(const std::string& topic,
                                      const std::string& service) {
   sub_acl_[topic].insert(service);
+  note_grant("subscribe", topic, service);
 }
 
 void DataSharingBus::revoke_publish(const std::string& topic,
@@ -66,13 +97,16 @@ int DataSharingBus::publish(const std::string& service,
                             const std::string& topic, json::Value payload) {
   if (!authenticate(service, credential)) {
     ++rejected_auth_;
+    note_deny("publish", "auth", topic, service);
     return -1;
   }
   if (!can_publish(topic, service)) {
     ++rejected_acl_;
+    note_deny("publish", "acl", topic, service);
     return -1;
   }
   ++published_;
+  telemetry::count("sharing.published", {{"topic", topic}});
   SharedMessage msg;
   msg.topic = topic;
   msg.publisher = service;
@@ -87,6 +121,7 @@ int DataSharingBus::publish(const std::string& service,
       ++delivered_;
     }
   }
+  telemetry::count("sharing.delivered", count);
   return count;
 }
 
@@ -95,13 +130,16 @@ bool DataSharingBus::subscribe(const std::string& service,
                                const std::string& topic, Handler handler) {
   if (!authenticate(service, credential)) {
     ++rejected_auth_;
+    note_deny("subscribe", "auth", topic, service);
     return false;
   }
   if (!can_subscribe(topic, service)) {
     ++rejected_acl_;
+    note_deny("subscribe", "acl", topic, service);
     return false;
   }
   subs_[topic].push_back({service, std::move(handler)});
+  telemetry::count("sharing.subscriptions", {{"topic", topic}});
   return true;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/time.hpp"
 #include "util/json.hpp"
 
 namespace vdap::edgeos {
@@ -28,6 +29,11 @@ struct SharedMessage {
 class DataSharingBus {
  public:
   using Handler = std::function<void(const SharedMessage&)>;
+
+  /// Clock for telemetry instants (EdgeOSv wires the simulator's now()).
+  /// Without one, events are stamped at t=0; the bus itself never reads
+  /// wall time.
+  void set_clock(std::function<sim::SimTime()> now) { now_ = std::move(now); }
 
   /// Enrolls a service; returns its credential. Re-enrolling rotates it
   /// (used after a compromised service is reinstalled).
@@ -62,12 +68,18 @@ class DataSharingBus {
  private:
   bool authenticate(const std::string& service,
                     std::uint64_t credential) const;
+  sim::SimTime now() const { return now_ ? now_() : 0; }
+  void note_grant(const char* op, const std::string& topic,
+                  const std::string& service);
+  void note_deny(const char* op, const char* reason, const std::string& topic,
+                 const std::string& service);
 
   struct Subscription {
     std::string service;
     Handler handler;
   };
 
+  std::function<sim::SimTime()> now_;
   std::map<std::string, std::uint64_t> credentials_;
   std::map<std::string, std::set<std::string>> pub_acl_;   // topic -> services
   std::map<std::string, std::set<std::string>> sub_acl_;

@@ -1,0 +1,115 @@
+// Critical-path extraction (DESIGN.md §6d): walks a captured trace and
+// decomposes each end-to-end service latency into exclusive queue /
+// compute / network / failover / slack segments, attributed per offload
+// tier.
+//
+// The extractor consumes the "segment" slices ElasticManager emits on the
+// "elastic/segments" track (one 'X' per hung wait, tier transfer, task
+// execution and abandoned failover attempt, each carrying the public run
+// id in args) together with the per-run "service" async spans on the
+// "elastic" track. Unlike the streaming sums in ServiceRunReport — which
+// attribute overlapping work to every segment that claims it — the
+// extractor runs an interval sweep over each run's slices, so the five
+// exclusive buckets partition the run's latency exactly:
+//
+//   latency = queue + network + compute + failover + slack
+//
+// When intervals overlap, the covered instant goes to one bucket by fixed
+// precedence (failover > network > compute > queue): an abandoned
+// attempt's transfers count as failover waste, a transfer overlapping a
+// computation is charged to the network (it is the off-board cost the
+// offload decision bought). Uncovered time inside the run span — scheduler
+// hops, result assembly — is slack.
+//
+// Everything here is a pure function of the event list, so reports are
+// byte-identical for byte-identical traces (the determinism contract the
+// `trace` suite enforces extends to analysis output).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::telemetry::analysis {
+
+/// Exclusive decomposition of one run's latency; the five fields sum to
+/// `finished - released` exactly.
+struct ExclusiveSegments {
+  sim::SimDuration queue = 0;
+  sim::SimDuration network = 0;
+  sim::SimDuration compute = 0;
+  sim::SimDuration failover = 0;
+  sim::SimDuration slack = 0;  // inside the run span, covered by no slice
+
+  sim::SimDuration total() const {
+    return queue + network + compute + failover + slack;
+  }
+  /// Largest non-slack bucket ("queue"/"net"/"compute"/"failover");
+  /// "compute" when all four are zero.
+  std::string_view dominant() const;
+};
+
+/// One service run reconstructed from its trace span + segment slices.
+struct RunCriticalPath {
+  std::uint64_t run_id = 0;  // public id (args["run"] on every slice)
+  std::string service;
+  std::string pipeline;  // final pipeline, from the span end args
+  sim::SimTime released = 0;
+  sim::SimTime finished = 0;
+  bool ok = false;
+  bool deadline_met = false;
+  int failovers = 0;
+  ExclusiveSegments segments;
+  /// Exclusive time per tier, from the sweep: each covered instant is
+  /// charged to the tier of its winning slice ("on-board" for queue and
+  /// untagged slices). Values sum to total() minus slack.
+  std::map<std::string, sim::SimDuration> tier_time;
+
+  sim::SimDuration latency() const { return finished - released; }
+};
+
+/// Per-service aggregate across runs.
+struct ServiceCriticalPath {
+  std::string service;
+  std::size_t runs = 0;
+  std::size_t ok = 0;
+  std::size_t deadline_met = 0;
+  ExclusiveSegments segments;  // summed over runs
+  std::map<std::string, sim::SimDuration> tier_time;
+  sim::SimDuration latency_sum = 0;
+  sim::SimDuration latency_max = 0;
+};
+
+struct CriticalPathReport {
+  /// Completed runs, ordered by (finished, run_id) — trace order.
+  std::vector<RunCriticalPath> runs;
+  /// Aggregates keyed by service name (ordered ⇒ deterministic tables).
+  std::map<std::string, ServiceCriticalPath> services;
+};
+
+/// Extracts the critical-path report from a raw event list. `tracks` maps
+/// TraceEvent::tid to track names (Tracer::tracks() or the parsed
+/// thread_name metadata). Runs whose span never ends are skipped.
+CriticalPathReport extract_critical_paths(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::string>& tracks);
+
+inline CriticalPathReport extract_critical_paths(const Tracer& tracer) {
+  return extract_critical_paths(tracer.events(), tracer.tracks());
+}
+
+/// Renders the per-service table (`vdap-report` output): one row per
+/// service with run counts and the mean exclusive split in ms.
+std::string critical_path_table(const CriticalPathReport& report);
+
+/// Parses a chrome_trace_json() document back into events + track names —
+/// the inverse the round-trip tests and `vdap-report` rely on. Returns
+/// false (and sets *error) on malformed input; 'M' metadata records become
+/// track names, not events.
+bool parse_chrome_trace(std::string_view text, std::vector<TraceEvent>* events,
+                        std::vector<std::string>* tracks, std::string* error);
+
+}  // namespace vdap::telemetry::analysis

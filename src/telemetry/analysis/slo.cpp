@@ -1,0 +1,221 @@
+#include "telemetry/analysis/slo.hpp"
+
+#include <algorithm>
+
+namespace vdap::telemetry::analysis {
+
+namespace {
+
+constexpr double kMs = 1000.0;  // µs per ms
+
+/// Largest-count key; ties go to the lexicographically smallest (map
+/// order), keeping attribution deterministic.
+std::string top_key(const std::map<std::string, std::size_t>& counts) {
+  std::string best;
+  std::size_t n = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > n) {
+      n = count;
+      best = key;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string_view to_string(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kLatencyBreach: return "latency-breach";
+    case HealthEventKind::kLatencyRecover: return "latency-recover";
+    case HealthEventKind::kAvailabilityBreach: return "availability-breach";
+    case HealthEventKind::kAvailabilityRecover: return "availability-recover";
+  }
+  return "?";
+}
+
+std::string_view to_string(Severity severity) {
+  return severity == Severity::kCritical ? "critical" : "warning";
+}
+
+std::vector<SloTarget> standard_slos() {
+  // Table I QoS requirements, deadline → p95 latency target.
+  auto ms = [](double v) { return static_cast<sim::SimDuration>(v * kMs); };
+  return {
+      {"lane-detection", ms(50), 0.95, 0.99},
+      {"pedestrian-alert", ms(100), 0.95, 0.99},
+      {"speech-assistant", ms(800), 0.95, 0.95},
+      {"license-plate", ms(1000), 0.95, 0.95},
+      {"a3-kidnapper-search", ms(2000), 0.95, 0.90},
+      {"infotainment-chunk", ms(2000), 0.95, 0.95},
+      {"obd-diagnostics", ms(5000), 0.95, 0.95},
+  };
+}
+
+SloEvaluator::SloEvaluator() : SloEvaluator(Options{}) {}
+
+SloEvaluator::SloEvaluator(Options options) : options_(options) {}
+
+void SloEvaluator::add_target(SloTarget target) {
+  targets_.push_back(target);
+  ServiceState& state = states_[target.service];
+  state.target = std::move(target);
+  state.window.latency_ms.set_sample_cap(4096);
+}
+
+void SloEvaluator::observe(const RunObservation& obs) {
+  close_windows_before(obs.finished);
+  auto it = states_.find(obs.service);
+  if (it == states_.end()) return;  // no target, not judged
+  ServiceState& state = it->second;
+  double lat_ms = sim::to_millis(obs.latency);
+  state.window.latency_ms.add(lat_ms);
+  ++state.window.total;
+  ++state.runs;
+  if (obs.ok) {
+    ++state.window.ok;
+    ++state.runs_ok;
+  }
+  const SloTarget& target = state.target;
+  bool slow = target.latency_target > 0 &&
+              obs.latency > target.latency_target;
+  if (slow || !obs.ok) {
+    if (!obs.dominant_segment.empty()) {
+      ++state.window.segments[obs.dominant_segment];
+    }
+    if (!obs.implicated_tier.empty()) {
+      ++state.window.tiers[obs.implicated_tier];
+    }
+  }
+}
+
+void SloEvaluator::close_windows_before(sim::SimTime t) {
+  if (!saw_any_) {
+    saw_any_ = true;
+    window_start_ = (t / options_.window) * options_.window;
+    return;
+  }
+  while (t >= window_start_ + options_.window) {
+    sim::SimTime boundary = window_start_ + options_.window;
+    for (auto& [service, state] : states_) {
+      if (state.window.total >= options_.min_samples) {
+        judge(service, state, boundary);
+      }
+      // Below min_samples the window carries forward unjudged.
+    }
+    window_start_ = boundary;
+  }
+}
+
+void SloEvaluator::judge(const std::string& service, ServiceState& state,
+                         sim::SimTime boundary) {
+  const SloTarget& target = state.target;
+  Window& w = state.window;
+  ++state.windows_judged;
+
+  if (target.latency_target > 0) {
+    double observed = w.latency_ms.quantile(target.quantile);
+    double limit = sim::to_millis(target.latency_target);
+    state.worst_latency_ms = std::max(state.worst_latency_ms, observed);
+    bool breach = observed > limit;
+    if (breach) ++state.latency_windows_breached;
+    if (breach != state.latency_breached) {
+      state.latency_breached = breach;
+      HealthEvent ev;
+      ev.kind = breach ? HealthEventKind::kLatencyBreach
+                       : HealthEventKind::kLatencyRecover;
+      ev.severity = breach && observed >= limit * options_.critical_factor
+                        ? Severity::kCritical
+                        : Severity::kWarning;
+      ev.at = boundary;
+      ev.service = service;
+      ev.observed = observed;
+      ev.target = limit;
+      if (breach) {
+        ev.attributed_segment = top_key(w.segments);
+        ev.implicated_tier = top_key(w.tiers);
+      }
+      emit(std::move(ev));
+    }
+  }
+
+  if (target.min_availability >= 0.0 && w.total > 0) {
+    double observed =
+        static_cast<double>(w.ok) / static_cast<double>(w.total);
+    bool breach = observed < target.min_availability;
+    if (breach) ++state.availability_windows_breached;
+    if (breach != state.availability_breached) {
+      state.availability_breached = breach;
+      HealthEvent ev;
+      ev.kind = breach ? HealthEventKind::kAvailabilityBreach
+                       : HealthEventKind::kAvailabilityRecover;
+      ev.severity =
+          breach && observed <= target.min_availability / options_.critical_factor
+              ? Severity::kCritical
+              : Severity::kWarning;
+      ev.at = boundary;
+      ev.service = service;
+      ev.observed = observed;
+      ev.target = target.min_availability;
+      if (breach) {
+        ev.attributed_segment = top_key(w.segments);
+        ev.implicated_tier = top_key(w.tiers);
+      }
+      emit(std::move(ev));
+    }
+  }
+
+  w.latency_ms.clear();
+  w.latency_ms.set_sample_cap(4096);
+  w.total = 0;
+  w.ok = 0;
+  w.segments.clear();
+  w.tiers.clear();
+}
+
+void SloEvaluator::flush(sim::SimTime now) {
+  close_windows_before(now);
+  sim::SimTime boundary = saw_any_ ? window_start_ + options_.window : now;
+  for (auto& [service, state] : states_) {
+    if (state.window.total >= options_.min_samples) {
+      judge(service, state, boundary);
+    }
+  }
+}
+
+void SloEvaluator::emit(HealthEvent ev) {
+  events_.push_back(ev);
+  if (listener_) listener_(events_.back());
+}
+
+bool SloEvaluator::breached(const std::string& service) const {
+  auto it = states_.find(service);
+  if (it == states_.end()) return false;
+  return it->second.latency_breached || it->second.availability_breached;
+}
+
+std::string SloEvaluator::compliance_table() const {
+  util::TextTable t("SLO compliance (tumbling windows)");
+  t.set_header({"service", "target ms", "q", "min avail", "runs", "ok",
+                "windows", "lat brch", "avail brch", "worst ms", "status"});
+  for (const SloTarget& target : targets_) {
+    auto it = states_.find(target.service);
+    if (it == states_.end()) continue;
+    const ServiceState& s = it->second;
+    std::string status =
+        s.latency_breached || s.availability_breached ? "BREACHED" : "ok";
+    if (s.windows_judged == 0) status = "no data";
+    t.add_row({target.service,
+               util::TextTable::num(sim::to_millis(target.latency_target), 1),
+               util::TextTable::num(target.quantile, 2),
+               util::TextTable::num(target.min_availability, 2),
+               std::to_string(s.runs), std::to_string(s.runs_ok),
+               std::to_string(s.windows_judged),
+               std::to_string(s.latency_windows_breached),
+               std::to_string(s.availability_windows_breached),
+               util::TextTable::num(s.worst_latency_ms, 3), status});
+  }
+  return t.to_string();
+}
+
+}  // namespace vdap::telemetry::analysis

@@ -1,0 +1,153 @@
+// Streaming SLO evaluation (DESIGN.md §6d): per-service latency and
+// availability targets — seeded from the paper's Table I QoS deadlines —
+// evaluated online over tumbling windows of run observations, emitting
+// typed HealthEvents on breach/recover transitions.
+//
+// The evaluator is a pure stream consumer: it never reads the clock or
+// draws randomness; every observation is timestamped by the caller (with
+// the run's finish time), so window boundaries — and therefore the exact
+// event sequence — are a deterministic function of the observation
+// stream. It lives in the telemetry layer and knows nothing about
+// ElasticManager; core/health.hpp adapts ServiceRunReport into
+// RunObservation and wires breach events back into the control knobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace vdap::telemetry::analysis {
+
+/// One service's target. Latency is judged at `quantile` over a window;
+/// availability is the window's ok-fraction.
+struct SloTarget {
+  std::string service;
+  sim::SimDuration latency_target = 0;  // 0 ⇒ latency not judged
+  double quantile = 0.95;
+  double min_availability = 0.99;  // <0 ⇒ availability not judged
+};
+
+/// Targets for the standard service catalog, seeded from Table I: the QoS
+/// deadline becomes the p95 latency target.
+std::vector<SloTarget> standard_slos();
+
+/// One finished service run, as the evaluator sees it.
+struct RunObservation {
+  std::string service;
+  sim::SimTime finished = 0;
+  sim::SimDuration latency = 0;
+  bool ok = false;
+  std::string dominant_segment;  // SegmentBreakdown::dominant()
+  std::string implicated_tier;   // ServiceRunReport::implicated_tier
+};
+
+enum class HealthEventKind {
+  kLatencyBreach,
+  kLatencyRecover,
+  kAvailabilityBreach,
+  kAvailabilityRecover,
+};
+enum class Severity { kWarning, kCritical };
+
+std::string_view to_string(HealthEventKind kind);
+std::string_view to_string(Severity severity);
+
+struct HealthEvent {
+  HealthEventKind kind = HealthEventKind::kLatencyBreach;
+  Severity severity = Severity::kWarning;
+  sim::SimTime at = 0;  // the window boundary that triggered it
+  std::string service;
+  double observed = 0.0;  // latency ms at the quantile, or ok-fraction
+  double target = 0.0;
+  /// Dominant segment across the window's breaching runs ("queue"/"net"/
+  /// "compute"/"failover"); empty on recover events.
+  std::string attributed_segment;
+  /// Most implicated tier across the window's breaching runs.
+  std::string implicated_tier;
+};
+
+class SloEvaluator {
+ public:
+  struct Options {
+    /// Tumbling window length on the sim clock.
+    sim::SimDuration window = 2'000'000;  // 2 s
+    /// Windows with fewer observations are carried forward, not judged.
+    std::size_t min_samples = 3;
+    /// observed ≥ target × factor escalates kWarning → kCritical.
+    double critical_factor = 2.0;
+  };
+
+  SloEvaluator();
+  explicit SloEvaluator(Options options);
+
+  void add_target(SloTarget target);
+  const std::vector<SloTarget>& targets() const { return targets_; }
+
+  /// Sets the breach/recover listener. Events fire from inside observe()
+  /// and flush(), in deterministic (window, service, kind) order.
+  void set_listener(std::function<void(const HealthEvent&)> listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Feeds one finished run. Observations must arrive in nondecreasing
+  /// `finished` order (they do: the simulator is single-threaded).
+  /// Windows that closed before this observation are evaluated first.
+  void observe(const RunObservation& obs);
+
+  /// Evaluates the in-progress window (end of run). Idempotent.
+  void flush(sim::SimTime now);
+
+  /// All events emitted so far, in emission order.
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+  /// True when the service's last judged window breached (either axis).
+  bool breached(const std::string& service) const;
+
+  /// Per-service compliance over the whole stream: windows judged vs
+  /// breached, run totals, worst window latency. One row per target.
+  std::string compliance_table() const;
+
+ private:
+  struct Window {
+    util::Histogram latency_ms;
+    std::size_t total = 0;
+    std::size_t ok = 0;
+    // Attribution across runs that individually exceeded the latency
+    // target (or failed), weighted by count.
+    std::map<std::string, std::size_t> segments;
+    std::map<std::string, std::size_t> tiers;
+  };
+  struct ServiceState {
+    SloTarget target;
+    Window window;
+    bool latency_breached = false;
+    bool availability_breached = false;
+    // Lifetime stats for the compliance table.
+    std::size_t windows_judged = 0;
+    std::size_t latency_windows_breached = 0;
+    std::size_t availability_windows_breached = 0;
+    std::size_t runs = 0;
+    std::size_t runs_ok = 0;
+    double worst_latency_ms = 0.0;
+  };
+
+  void close_windows_before(sim::SimTime t);
+  void judge(const std::string& service, ServiceState& state,
+             sim::SimTime boundary);
+  void emit(HealthEvent ev);
+
+  Options options_;
+  std::vector<SloTarget> targets_;
+  std::map<std::string, ServiceState> states_;
+  std::function<void(const HealthEvent&)> listener_;
+  std::vector<HealthEvent> events_;
+  sim::SimTime window_start_ = 0;
+  bool saw_any_ = false;
+};
+
+}  // namespace vdap::telemetry::analysis

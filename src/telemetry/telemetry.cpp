@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace vdap::telemetry {
 
@@ -74,6 +75,7 @@ void Tracer::instant(sim::SimTime ts, std::string_view cat,
 
 void Tracer::counter(sim::SimTime ts, std::string_view track,
                      std::string_view name, double value) {
+  if (!std::isfinite(value)) return;  // JSON has no NaN/Inf; drop the sample
   TraceEvent ev;
   ev.ph = 'C';
   ev.ts = ts;
@@ -112,6 +114,7 @@ std::string labeled(std::string_view name, Labels labels) {
 }
 
 void MetricsRegistry::observe(std::string_view name, double value) {
+  if (!std::isfinite(value)) return;  // keep digests (and JSONL) finite
   auto it = hists_.find(std::string(name));
   if (it == hists_.end()) {
     it = hists_.emplace(std::string(name), util::Histogram{}).first;

@@ -29,6 +29,7 @@
 //   * counter samples ('C'): numeric series (backlog depth, bandwidth).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
@@ -136,9 +137,11 @@ class MetricsRegistry {
   }
 
   void set_gauge(std::string_view name, double value) {
+    if (!std::isfinite(value)) return;  // JSON has no NaN/Inf
     gauges_[std::string(name)] = value;
   }
   void set_gauge(std::string_view name, Labels labels, double value) {
+    if (!std::isfinite(value)) return;
     gauges_[labeled(name, labels)] = value;
   }
 

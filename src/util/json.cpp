@@ -81,27 +81,93 @@ bool Value::get_bool(const std::string& key, bool def) const {
   return (v != nullptr && v->is_bool()) ? v->as_bool() : def;
 }
 
+namespace {
+
+void append_u_escape(std::string& out, unsigned code) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\u%04x", code);
+  out += buf;
+}
+
+/// Decodes one UTF-8 sequence starting at s[i]; advances i past it and
+/// returns the code point, or returns 0xFFFD (advancing one byte) on an
+/// invalid/truncated/overlong sequence so malformed labels still yield
+/// valid JSON.
+unsigned decode_utf8(std::string_view s, std::size_t& i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  int len = 0;
+  unsigned code = 0;
+  unsigned min = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2; code = b0 & 0x1Fu; min = 0x80;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3; code = b0 & 0x0Fu; min = 0x800;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4; code = b0 & 0x07u; min = 0x10000;
+  } else {
+    ++i;
+    return 0xFFFD;  // stray continuation or invalid lead byte
+  }
+  if (i + static_cast<std::size_t>(len) > s.size()) {
+    ++i;
+    return 0xFFFD;
+  }
+  for (int k = 1; k < len; ++k) {
+    const auto b = static_cast<unsigned char>(s[i + static_cast<std::size_t>(k)]);
+    if ((b & 0xC0) != 0x80) {
+      ++i;
+      return 0xFFFD;
+    }
+    code = (code << 6) | (b & 0x3Fu);
+  }
+  // Reject overlong encodings, UTF-16 surrogate code points and
+  // out-of-range values — all invalid UTF-8.
+  if (code < min || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF)) {
+    ++i;
+    return 0xFFFD;
+  }
+  i += static_cast<std::size_t>(len);
+  return code;
+}
+
+}  // namespace
+
 std::string escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   out.push_back('"');
-  for (char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      default: break;
+    }
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x20) {
+      append_u_escape(out, b);
+      ++i;
+    } else if (b < 0x80) {
+      out.push_back(c);
+      ++i;
+    } else {
+      // Non-ASCII: BMP code points become \uXXXX (the output stays pure
+      // ASCII and our own parser decodes them back); valid astral
+      // sequences pass through as raw UTF-8 (the parser has no surrogate
+      // pairs); invalid bytes become U+FFFD instead of corrupting the
+      // document.
+      std::size_t start = i;
+      unsigned code = decode_utf8(s, i);
+      if (code <= 0xFFFF) {
+        append_u_escape(out, code);
+      } else {
+        out.append(s.substr(start, i - start));
+      }
     }
   }
   out.push_back('"');

@@ -1,0 +1,230 @@
+// Exporter robustness and Session misuse (DESIGN.md §6c): hostile strings
+// (non-ASCII, control chars, invalid UTF-8) must round-trip through every
+// exported artifact; non-finite metric values are rejected at the door; and
+// Session misuse is non-throwing except the documented nested-capture
+// throw.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "telemetry/analysis/critical_path.hpp"
+#include "telemetry/session.hpp"
+#include "util/json.hpp"
+
+namespace vdap {
+namespace {
+
+// Decodes an escaped JSON string by parsing it back.
+std::string roundtrip(const std::string& s) {
+  return json::parse(json::escape(s)).as_string();
+}
+
+TEST(JsonEscape, BmpNonAsciiBecomesEscapesAndRoundTrips) {
+  // Latin-1 and CJK stay inside the BMP: pure-ASCII output, lossless.
+  for (const std::string s :
+       {std::string("\u00b5s"), std::string("na\u00efve"),
+        std::string("\u8eca\u8f09")}) {
+    std::string escaped = json::escape(s);
+    for (char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+      EXPECT_LT(static_cast<unsigned char>(c), 0x80u);
+    }
+    EXPECT_EQ(roundtrip(s), s);
+  }
+  EXPECT_EQ(json::escape("\u00b5s"), "\"\\u00b5s\"");
+}
+
+TEST(JsonEscape, ControlCharsAreEscaped) {
+  std::string s = "a\x01\x1f\n\t\"b\\";
+  std::string escaped = json::escape(s);
+  EXPECT_EQ(escaped, "\"a\\u0001\\u001f\\n\\t\\\"b\\\\\"");
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(JsonEscape, AstralPlanesPassThroughRaw) {
+  // 4-byte UTF-8 (outside the BMP) passes through unescaped — the parser
+  // has no surrogate pairs — and round-trips byte-for-byte.
+  std::string car = "\xF0\x9F\x9A\x97";  // U+1F697
+  EXPECT_EQ(json::escape(car), "\"" + car + "\"");
+  EXPECT_EQ(roundtrip(car), car);
+}
+
+TEST(JsonEscape, InvalidUtf8BecomesReplacementChar) {
+  for (const std::string s :
+       {std::string("a\xffz"), std::string("\xc3"),      // truncated lead
+        std::string("\xe2\x28\xa1"),                     // bad continuation
+        std::string("\xc0\xaf")}) {                      // overlong
+    std::string escaped = json::escape(s);
+    std::string decoded = json::parse(escaped).as_string();
+    EXPECT_NE(decoded.find("\xEF\xBF\xBD"), std::string::npos) << escaped;
+  }
+  // The valid neighbors survive.
+  EXPECT_EQ(roundtrip("a\xffz").front(), 'a');
+  EXPECT_EQ(roundtrip("a\xffz").back(), 'z');
+}
+
+TEST(Metrics, NonFiniteValuesAreRejected) {
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  telemetry::observe("lat", nan);
+  telemetry::observe("lat", {{"svc", "x"}}, inf);
+  telemetry::gauge("g", -inf);
+  telemetry::metrics().set_gauge("g2", {{"svc", "x"}}, nan);
+  telemetry::tracer().counter(0, "track", "c", nan);
+  telemetry::tracer().counter(0, "track", "c", inf);
+
+  EXPECT_EQ(telemetry::metrics().histogram("lat"), nullptr);
+  EXPECT_EQ(telemetry::metrics().histogram("lat{svc=x}"), nullptr);
+  EXPECT_TRUE(telemetry::metrics().gauges().empty());
+  EXPECT_TRUE(telemetry::tracer().events().empty());
+
+  // Finite values still land, and a later non-finite write can't clobber.
+  telemetry::gauge("g", 2.5);
+  telemetry::gauge("g", nan);
+  EXPECT_DOUBLE_EQ(telemetry::metrics().gauge_value("g"), 2.5);
+  telemetry::observe("lat", 10.0);
+  ASSERT_NE(telemetry::metrics().histogram("lat"), nullptr);
+  EXPECT_EQ(telemetry::metrics().histogram("lat")->count(), 1u);
+
+  // No artifact ever contains a non-finite token.
+  session.snapshot();
+  for (const std::string& artifact :
+       {session.chrome_trace(), session.snapshots_jsonl()}) {
+    EXPECT_EQ(artifact.find("nan"), std::string::npos);
+    EXPECT_EQ(artifact.find("inf"), std::string::npos);
+  }
+}
+
+TEST(Exporters, HostileStringsRoundTripThroughEveryArtifact) {
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  session.start_snapshots(sim::seconds(1));
+
+  const std::string weird = "svc \u00b5/\u8eca \xF0\x9F\x9A\x97 \x01\"\\";
+  const std::string bad = "bad\xff bytes";
+  json::Object args;
+  args[weird] = weird;
+  telemetry::tracer().instant(5, weird, weird, weird, std::move(args));
+  std::uint64_t id = telemetry::tracer().begin(10, "cat", bad, bad);
+  telemetry::tracer().end(20, id);
+  telemetry::count("runs", {{"svc", weird}});
+  telemetry::observe("lat", {{"svc", bad}}, 1.5);
+  telemetry::gauge(weird, 1.0);
+  sim.run_until(sim::seconds(3));
+
+  // Chrome trace: parses as JSON, and through the analysis parser; the
+  // BMP/control portions decode back losslessly.
+  std::string trace = session.chrome_trace();
+  json::Value doc = json::parse(trace);
+  ASSERT_TRUE(doc.contains("traceEvents"));
+
+  std::vector<telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::string error;
+  ASSERT_TRUE(telemetry::analysis::parse_chrome_trace(trace, &events, &tracks,
+                                                      &error))
+      << error;
+  bool found = false;
+  for (const telemetry::TraceEvent& ev : events) {
+    if (ev.ph == 'i' && ev.ts == 5) {
+      found = true;
+      EXPECT_EQ(ev.name, weird);
+      EXPECT_EQ(ev.cat, weird);
+      ASSERT_LT(ev.tid, tracks.size());
+      EXPECT_EQ(tracks[ev.tid], weird);
+      EXPECT_EQ(ev.args.at(weird).as_string(), weird);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Snapshots: every JSONL line is valid JSON with the expected keys.
+  ASSERT_FALSE(session.snapshot_lines().empty());
+  for (const std::string& line : session.snapshot_lines()) {
+    json::Value snap = json::parse(line);
+    EXPECT_TRUE(snap.contains("t"));
+    EXPECT_TRUE(snap.contains("counters"));
+    EXPECT_TRUE(snap.contains("histograms"));
+  }
+
+  // The text report renders without throwing.
+  EXPECT_FALSE(session.text_report().empty());
+}
+
+TEST(Session, NestedCaptureThrows) {
+  sim::Simulator sim(1);
+  telemetry::Session outer(sim);
+  EXPECT_THROW(telemetry::Session inner(sim), std::logic_error);
+  // The failed nested construction must not have disabled the outer one.
+  EXPECT_TRUE(telemetry::on());
+}
+
+TEST(Session, MidRunCaptureUsesCurrentSimTime) {
+  sim::Simulator sim(1);
+  sim.run_until(sim::seconds(5));
+  telemetry::Session session(sim);  // capture starts mid-run: fine
+  session.snapshot();
+  ASSERT_EQ(session.snapshot_lines().size(), 1u);
+  EXPECT_EQ(json::parse(session.snapshot_lines()[0]).get_int("t"),
+            static_cast<std::int64_t>(sim::seconds(5)));
+}
+
+TEST(Session, StopAndDoubleStopAreNoops) {
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  session.stop_snapshots();  // never started: no-op
+  session.start_snapshots(sim::seconds(1));
+  session.start_snapshots(sim::seconds(2));  // restart replaces the schedule
+  sim.run_until(sim::seconds(5));
+  std::size_t n = session.snapshot_lines().size();
+  EXPECT_EQ(n, 2u);  // t=2s, t=4s — the 1 s schedule was replaced
+  session.stop_snapshots();
+  session.stop_snapshots();  // double stop: no-op
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(session.snapshot_lines().size(), n);
+}
+
+TEST(Session, ZeroEventExportsAreValid) {
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  std::string trace = session.chrome_trace();
+  json::Value doc = json::parse(trace);
+  EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+  EXPECT_TRUE(session.snapshots_jsonl().empty());
+  EXPECT_TRUE(session.text_report().empty());  // no metrics, no tables
+  EXPECT_EQ(session.open_spans(), 0u);
+
+  // And the zero-event trace feeds the analysis layer cleanly.
+  std::vector<telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::string error;
+  EXPECT_TRUE(telemetry::analysis::parse_chrome_trace(trace, &events, &tracks,
+                                                      &error))
+      << error;
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Tracer, EndOfUnknownOrDoubleClosedSpanIsIgnored) {
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  telemetry::Tracer& tracer = telemetry::tracer();
+  tracer.end(5, 12345);  // unknown id: ignored
+  tracer.end(5, 0);      // id 0 (begin recorded while off): ignored
+  std::uint64_t id = tracer.begin(1, "cat", "op", "track");
+  tracer.end(2, id);
+  tracer.end(3, id);  // double close: ignored
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  std::size_t ends = 0;
+  for (const telemetry::TraceEvent& ev : tracer.events()) {
+    if (ev.ph == 'e') ++ends;
+  }
+  EXPECT_EQ(ends, 1u);
+}
+
+}  // namespace
+}  // namespace vdap

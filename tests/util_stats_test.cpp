@@ -156,6 +156,68 @@ TEST(Histogram, MergeCombinesExactMoments) {
   EXPECT_EQ(a.count(), 100u);
 }
 
+// Percentile-accuracy bounds (DESIGN.md §6): the SLO evaluator judges p95
+// over capped windows, so thinning error must stay a small fraction of the
+// value range. A permutation of 1..N makes the exact quantiles known.
+TEST(Histogram, PercentileAccuracyBoundsUnderThinning) {
+  constexpr int kN = 20000;
+  Histogram exact;
+  Histogram thinned;
+  thinned.set_sample_cap(512);
+  for (int i = 0; i < kN; ++i) {
+    double v = static_cast<double>((i * 7919) % kN + 1);  // permutation
+    exact.add(v);
+    thinned.add(v);
+  }
+  EXPECT_NEAR(exact.p50(), kN * 0.50, 2.0);
+  EXPECT_NEAR(exact.p95(), kN * 0.95, 2.0);
+  EXPECT_NEAR(exact.p99(), kN * 0.99, 2.0);
+
+  EXPECT_LE(thinned.retained(), 512u);
+  // The thinned subsample is uniform over arrival order, so each quantile
+  // stays within 5% of the range of its exact value.
+  EXPECT_NEAR(thinned.p50(), exact.p50(), kN * 0.05);
+  EXPECT_NEAR(thinned.p95(), exact.p95(), kN * 0.05);
+  EXPECT_NEAR(thinned.p99(), exact.p99(), kN * 0.05);
+  // The tracked extremes stay exact.
+  EXPECT_DOUBLE_EQ(thinned.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(thinned.quantile(1.0), kN);
+}
+
+TEST(Histogram, PercentileAccuracyBoundsAfterMergingThinnedAndUnthinned) {
+  constexpr int kN = 20000;  // per part; union covers 1..2N
+  Histogram thinned_evens;
+  thinned_evens.set_sample_cap(512);
+  Histogram exact_odds;
+  for (int i = 0; i < kN; ++i) {
+    int k = (i * 7919) % kN;
+    thinned_evens.add(static_cast<double>(2 * k + 2));
+    exact_odds.add(static_cast<double>(2 * k + 1));
+  }
+
+  // Uncapped destination: both parts sample the same 1..2N range, so the
+  // pooled quantiles track the union even though the thinned part
+  // contributes far fewer retained samples.
+  Histogram merged = exact_odds;
+  merged.merge(thinned_evens);
+  EXPECT_EQ(merged.count(), 2u * kN);
+  EXPECT_NEAR(merged.p50(), kN, 2 * kN * 0.05);
+  EXPECT_NEAR(merged.p95(), 2 * kN * 0.95, 2 * kN * 0.05);
+  EXPECT_NEAR(merged.p99(), 2 * kN * 0.99, 2 * kN * 0.05);
+
+  // Capped destination: the merge re-thins to the cap without losing the
+  // accuracy bound or the exact moments.
+  Histogram capped = thinned_evens;
+  capped.merge(exact_odds);
+  EXPECT_LE(capped.retained(), 512u);
+  EXPECT_EQ(capped.count(), 2u * kN);
+  EXPECT_DOUBLE_EQ(capped.min(), 1.0);
+  EXPECT_DOUBLE_EQ(capped.max(), 2.0 * kN);
+  EXPECT_NEAR(capped.p50(), kN, 2 * kN * 0.05);
+  EXPECT_NEAR(capped.p95(), 2 * kN * 0.95, 2 * kN * 0.05);
+  EXPECT_NEAR(capped.p99(), 2 * kN * 0.99, 2 * kN * 0.05);
+}
+
 TEST(Histogram, MergeRespectsCapOfTheDestination) {
   Histogram a;
   a.set_sample_cap(64);

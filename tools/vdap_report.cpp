@@ -1,0 +1,155 @@
+// vdap-report: offline trace analytics (DESIGN.md §6d).
+//
+//   vdap-report <trace.json> [metrics.jsonl]
+//
+// Reads a chrome_trace_json() capture (and optionally the JSONL metrics
+// snapshots Session emits), then prints:
+//   1. the per-service critical-path table — each run's latency decomposed
+//      by interval sweep into exclusive queue/net/compute/failover/slack
+//      segments (see telemetry/analysis/critical_path.hpp);
+//   2. the SLO-compliance table — the Table I targets replayed over the
+//      extracted runs through the streaming evaluator;
+//   3. with a metrics file, the final snapshot's counters and histogram
+//      digests.
+//
+// Output is a pure function of the input files, so for a fixed
+// (seed, fault plan) capture the tables are byte-identical across runs —
+// the analysis suite asserts this.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/analysis/critical_path.hpp"
+#include "telemetry/analysis/slo.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+namespace analysis = vdap::telemetry::analysis;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Non-"on-board" tier with the most exclusive time; "on-board" if none.
+std::string implicated_tier(const analysis::RunCriticalPath& run) {
+  std::string best = "on-board";
+  vdap::sim::SimDuration top = -1;
+  for (const auto& [tier, d] : run.tier_time) {
+    if (tier != "on-board" && d > top) {
+      top = d;
+      best = tier;
+    }
+  }
+  return best;
+}
+
+/// Replays the extracted runs through the SLO evaluator (Table I targets).
+std::string slo_table(const analysis::CriticalPathReport& report) {
+  analysis::SloEvaluator evaluator;
+  for (analysis::SloTarget& t : analysis::standard_slos()) {
+    evaluator.add_target(std::move(t));
+  }
+  vdap::sim::SimTime last = 0;
+  for (const analysis::RunCriticalPath& run : report.runs) {
+    analysis::RunObservation obs;
+    obs.service = run.service;
+    obs.finished = run.finished;
+    obs.latency = run.latency();
+    obs.ok = run.ok;
+    obs.dominant_segment = std::string(run.segments.dominant());
+    obs.implicated_tier = implicated_tier(run);
+    evaluator.observe(obs);
+    last = std::max(last, run.finished);
+  }
+  evaluator.flush(last);
+  return evaluator.compliance_table();
+}
+
+/// Renders the last JSONL metrics snapshot (counters + histogram digests).
+int print_metrics(const std::string& text) {
+  std::optional<vdap::json::Value> last;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::optional<vdap::json::Value> v = vdap::json::try_parse(line);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "vdap-report: bad JSONL line %zu\n", n + 1);
+      return 1;
+    }
+    last = std::move(v);
+    ++n;
+  }
+  if (!last.has_value()) return 0;
+
+  vdap::util::TextTable counters("final counters (t=" +
+                                 std::to_string(last->get_int("t")) + " us, " +
+                                 std::to_string(n) + " snapshots)");
+  counters.set_header({"counter", "value"});
+  if (const vdap::json::Value* c = last->find("counters");
+      c != nullptr && c->is_object()) {
+    for (const auto& [name, v] : c->as_object()) {
+      counters.add_row({name, std::to_string(v.as_int())});
+    }
+  }
+  std::fputs(counters.to_string().c_str(), stdout);
+
+  vdap::util::TextTable hists("final histograms");
+  hists.set_header({"histogram", "count", "mean", "p50", "p95", "p99"});
+  if (const vdap::json::Value* h = last->find("histograms");
+      h != nullptr && h->is_object()) {
+    for (const auto& [name, digest] : h->as_object()) {
+      hists.add_row({name, std::to_string(digest.get_int("count")),
+                     vdap::util::TextTable::num(digest.get_double("mean"), 3),
+                     vdap::util::TextTable::num(digest.get_double("p50"), 3),
+                     vdap::util::TextTable::num(digest.get_double("p95"), 3),
+                     vdap::util::TextTable::num(digest.get_double("p99"), 3)});
+    }
+  }
+  std::fputs(hists.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: vdap-report <trace.json> [metrics.jsonl]\n");
+    return 2;
+  }
+  std::string trace_text;
+  if (!read_file(argv[1], &trace_text)) {
+    std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::vector<vdap::telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::string error;
+  if (!analysis::parse_chrome_trace(trace_text, &events, &tracks, &error)) {
+    std::fprintf(stderr, "vdap-report: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  analysis::CriticalPathReport report =
+      analysis::extract_critical_paths(events, tracks);
+  std::fputs(analysis::critical_path_table(report).c_str(), stdout);
+  std::fputs(slo_table(report).c_str(), stdout);
+
+  if (argc == 3) {
+    std::string metrics_text;
+    if (!read_file(argv[2], &metrics_text)) {
+      std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    return print_metrics(metrics_text);
+  }
+  return 0;
+}

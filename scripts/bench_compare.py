@@ -11,9 +11,11 @@ bench, so against up-to-date baselines every cell matches exactly.
 The gate compares numeric cells (relative drift, symmetric so both
 directions of surprise fail) and ignores non-numeric cells. A result file
 missing from the candidate set, a table missing from the baseline, or a
-changed table shape fails with a pointer at --bench-rebaseline. Candidate
-files with no baseline are reported but pass — new benches land together
-with their baseline in the same commit.
+changed table shape fails with a pointer at --bench-rebaseline. A
+candidate file with no baseline is AUTO-SEEDED: the candidate is copied
+into the baseline dir verbatim (loudly — the warning tells you to review
+and commit it) so a brand-new bench doesn't fail the gate before its
+first baseline lands.
 
 Exit codes: 0 ok, 1 regressions/shape mismatches, 2 usage/IO errors.
 """
@@ -21,6 +23,7 @@ Exit codes: 0 ok, 1 regressions/shape mismatches, 2 usage/IO errors.
 import argparse
 import json
 import os
+import shutil
 import sys
 
 
@@ -118,7 +121,17 @@ def main():
         compare_tables(name, base, cand, args.threshold, failures)
     for name in candidates:
         if name not in baselines:
-            print(f"note: {name}: no baseline (new bench)")
+            # A brand-new bench: seed its baseline from this run instead of
+            # failing. Copy bytes verbatim so the baseline is exactly what
+            # the (deterministic) bench wrote.
+            seeded = os.path.join(args.baseline_dir, name)
+            shutil.copyfile(os.path.join(args.candidate_dir, name), seeded)
+            print("!" * 72, file=sys.stderr)
+            print(f"WARNING: {name}: no baseline found — AUTO-SEEDED it from "
+                  f"this run into {seeded}.\n"
+                  f"Review the numbers and COMMIT that file; future runs are "
+                  f"gated against it.", file=sys.stderr)
+            print("!" * 72, file=sys.stderr)
 
     if failures:
         print(f"bench regression gate: {len(failures)} failure(s) at "

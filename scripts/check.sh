@@ -2,8 +2,8 @@
 # Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
 # regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
 # then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
-# trace and SLO-health suites (the long-horizon paths most likely to hide
-# lifetime bugs).
+# trace, SLO-health and fleet-telemetry suites (the long-horizon paths
+# most likely to hide lifetime bugs).
 #
 # Usage: scripts/check.sh [--tier1-only | --bench-rebaseline]
 #   --tier1-only        build + full ctest, skip bench gate and ASan pass
@@ -53,9 +53,9 @@ rm -rf build/bench-results
 run_benches "$ROOT/build/bench-results"
 python3 scripts/bench_compare.py bench/baselines build/bench-results
 
-echo "== asan: chaos + trace + slo suites under AddressSanitizer/UBSan =="
+echo "== asan: chaos + trace + slo + fleet suites under AddressSanitizer/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace|slo'
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace|slo|fleet'
 
 echo "OK"

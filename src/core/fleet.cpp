@@ -1,0 +1,301 @@
+#include "core/fleet.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <utility>
+
+#include "core/platform.hpp"
+#include "net/impair.hpp"
+#include "util/strings.hpp"
+
+namespace vdap::core {
+
+namespace fs = std::filesystem;
+namespace fleet = telemetry::fleet;
+
+sim::FaultPlan fleet_compute_outlier_plan(int vehicle_index, double severity) {
+  sim::FaultPlan plan;
+  plan.name = util::format("fleet-compute-outlier-%d", vehicle_index);
+  // The reference 1stHEP has four devices (CPU+GPU+FPGA+ASIC); slow them
+  // all so the elastic manager cannot shuffle the work to a healthy
+  // sibling device and hide the fault.
+  for (int j = 0; j < 4; ++j) {
+    sim::FaultSpec f;
+    f.name = util::format("slow-cav%d-proc%d", vehicle_index, j);
+    f.kind = sim::FaultKind::kProcessorSlowdown;
+    f.target = util::format("cav-%d/proc:%d", vehicle_index, j);
+    f.start = sim::seconds(40);
+    f.duration = sim::seconds(70);
+    f.severity = severity;
+    plan.faults.push_back(std::move(f));
+  }
+  return plan;
+}
+
+sim::FaultPlan fleet_uplink_chaos_plan() {
+  sim::FaultPlan plan;
+  plan.name = "fleet-uplink-chaos";
+
+  sim::FaultSpec outage;
+  outage.name = "cloud-outage";
+  outage.kind = sim::FaultKind::kLinkDown;
+  outage.target = "cloud";
+  outage.start = sim::seconds(30);
+  outage.duration = sim::seconds(25);
+  plan.faults.push_back(outage);
+
+  sim::FaultSpec degrade;
+  degrade.name = "cloud-degrade";
+  degrade.kind = sim::FaultKind::kLinkDegrade;
+  degrade.target = "cloud";
+  degrade.start = sim::seconds(70);
+  degrade.duration = sim::seconds(30);
+  degrade.severity = 0.25;
+  degrade.extra_loss = 0.3;
+  plan.faults.push_back(degrade);
+
+  sim::FaultSpec flap;
+  flap.name = "cloud-flap";
+  flap.kind = sim::FaultKind::kLinkFlap;
+  flap.target = "cloud";
+  flap.start = sim::seconds(110);
+  flap.duration = sim::seconds(30);
+  flap.down_time = sim::seconds(3);
+  flap.up_time = sim::seconds(4);
+  flap.jitter = 0.2;
+  plan.faults.push_back(flap);
+
+  sim::FaultSpec late;
+  late.name = "cloud-outage-late";
+  late.kind = sim::FaultKind::kLinkDown;
+  late.target = "cloud";
+  late.start = sim::seconds(150);
+  late.duration = sim::seconds(20);
+  plan.faults.push_back(late);
+
+  return plan;
+}
+
+FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
+  const int n = std::max(config.vehicles, 2);
+  std::vector<fs::path> dirs;
+  for (int i = 0; i < n; ++i) {
+    fs::path dir = fs::temp_directory_path() /
+                   util::format("vdap-fleet-%s-%d", config.dir_tag.c_str(), i);
+    fs::remove_all(dir);
+    dirs.push_back(std::move(dir));
+  }
+
+  FleetOutcome out;
+  {
+    sim::Simulator sim(config.seed);
+
+    // The shared shipping network every vehicle's frames traverse — the
+    // one surface tier-named fault targets impair.
+    net::Topology ship_topo(sim);
+    net::ImpairmentController imp(ship_topo);
+
+    // --- platforms -------------------------------------------------------
+    std::vector<std::unique_ptr<OpenVdap>> cars;
+    for (int i = 0; i < n; ++i) {
+      PlatformConfig cfg;
+      cfg.vehicle_name = util::format("cav-%d", i);
+      cfg.vehicle_secret = 0xC0FFEE00 + static_cast<std::uint64_t>(i);
+      cfg.ddi_dir = dirs[static_cast<std::size_t>(i)].string();
+      cfg.with_remote_tiers = config.remote_tiers;
+      cfg.health.enabled = config.health;
+      cars.push_back(std::make_unique<OpenVdap>(sim, cfg));
+      cars.back()->install_standard_services();
+    }
+
+    // --- aggregator + shippers ------------------------------------------
+    fleet::FleetAggregator agg(config.aggregator);
+    std::vector<std::unique_ptr<fleet::TelemetryShipper>> shippers;
+    for (int i = 0; i < n; ++i) {
+      shippers.push_back(std::make_unique<fleet::TelemetryShipper>(
+          sim, cars[static_cast<std::size_t>(i)]->name(), ship_topo,
+          [&out, &agg](const std::string& bytes) {
+            out.frames_jsonl += bytes;
+            out.frames_jsonl += '\n';
+            agg.ingest_wire(bytes);
+          },
+          config.shipper));
+      shippers.back()->start();
+      if (HealthController* health = cars[static_cast<std::size_t>(i)]->health()) {
+        fleet::TelemetryShipper* shipper = shippers.back().get();
+        health->set_event_sink(
+            [shipper](const telemetry::analysis::HealthEvent& ev) {
+              shipper->on_health_event(ev);
+            });
+      }
+    }
+
+    // --- fault injector --------------------------------------------------
+    sim::FaultInjector inj(sim);
+    auto link_toggle = [&](const sim::FaultSpec& f, bool begin) {
+      auto t = net::tier_from_string(f.target);
+      if (!t) return;
+      if (begin) {
+        imp.link_down(*t);
+      } else {
+        imp.link_up(*t);
+      }
+    };
+    inj.on(sim::FaultKind::kLinkDown, link_toggle);
+    inj.on(sim::FaultKind::kLinkFlap, link_toggle);
+
+    std::map<std::string, std::vector<std::uint64_t>> tokens;
+    inj.on(sim::FaultKind::kLinkDegrade,
+           [&](const sim::FaultSpec& f, bool begin) {
+             auto t = net::tier_from_string(f.target);
+             if (!t) return;
+             if (begin) {
+               tokens[f.name].push_back(
+                   imp.degrade(*t, f.severity, f.extra_loss));
+             } else if (!tokens[f.name].empty()) {
+               imp.restore(tokens[f.name].back());
+               tokens[f.name].pop_back();
+             }
+           });
+    inj.on(sim::FaultKind::kCellularCollapse,
+           [&](const sim::FaultSpec& f, bool begin) {
+             if (begin) {
+               tokens[f.name].push_back(
+                   imp.cellular_collapse(f.severity, f.extra_loss));
+             } else if (!tokens[f.name].empty()) {
+               imp.restore(tokens[f.name].back());
+               tokens[f.name].pop_back();
+             }
+           });
+
+    auto fleet_device = [&](const std::string& target) -> hw::ComputeDevice* {
+      int vi = -1;
+      int pj = -1;
+      if (std::sscanf(target.c_str(), "cav-%d/proc:%d", &vi, &pj) != 2) {
+        return nullptr;
+      }
+      if (vi < 0 || vi >= n) return nullptr;
+      const auto& devs = cars[static_cast<std::size_t>(vi)]->board().devices();
+      if (pj < 0 || static_cast<std::size_t>(pj) >= devs.size()) {
+        return nullptr;
+      }
+      return devs[static_cast<std::size_t>(pj)].get();
+    };
+    std::map<std::string, hw::ProcessorSpec> saved_specs;
+    inj.on(sim::FaultKind::kProcessorSlowdown,
+           [&](const sim::FaultSpec& f, bool begin) {
+             hw::ComputeDevice* dev = fleet_device(f.target);
+             if (dev == nullptr) return;
+             if (begin) {
+               saved_specs[f.name] = dev->spec();
+               hw::ProcessorSpec slow = dev->spec();
+               for (auto& [cls, gf] : slow.gflops) gf *= f.severity;
+               dev->reconfigure(slow);
+             } else if (saved_specs.count(f.name) > 0) {
+               dev->reconfigure(saved_specs[f.name]);
+               saved_specs.erase(f.name);
+             }
+           });
+    inj.on(sim::FaultKind::kProcessorOffline,
+           [&](const sim::FaultSpec& f, bool begin) {
+             hw::ComputeDevice* dev = fleet_device(f.target);
+             if (dev != nullptr) dev->set_online(!begin);
+           });
+    inj.arm(plan);
+
+    // --- load: every vehicle runs the same staggered schedule ------------
+    std::map<std::string, FleetVehicleStats> stats;
+    for (int i = 0; i < n; ++i) stats[cars[static_cast<std::size_t>(i)]->name()];
+    int release_idx = 0;
+    for (sim::SimTime t = config.release_period; t <= config.load_until;
+         t += config.release_period) {
+      const std::string& service =
+          config.services[static_cast<std::size_t>(release_idx) %
+                          config.services.size()];
+      ++release_idx;
+      for (int i = 0; i < n; ++i) {
+        OpenVdap* car = cars[static_cast<std::size_t>(i)].get();
+        fleet::TelemetryShipper* shipper =
+            shippers[static_cast<std::size_t>(i)].get();
+        FleetVehicleStats* vs = &stats[car->name()];
+        // Small per-vehicle stagger so releases do not all tie-break on
+        // one clock tick.
+        sim.at(t + sim::usec(137) * i, [=, &service_name = service]() {
+          ++vs->releases;
+          shipper->count("svc." + service_name + ".released");
+          car->run_service(
+              service_name,
+              [=](const edgeos::ServiceRunReport& r) {
+                ++vs->reports;
+                if (r.ok) ++vs->completed_ok;
+                shipper->count("svc." + r.service +
+                               (r.ok ? ".ok" : ".fail"));
+                shipper->observe("svc." + r.service + ".latency_ms",
+                                 sim::to_millis(r.latency()));
+              });
+        });
+      }
+    }
+    std::vector<sim::Simulator::PeriodicHandle> tickers;
+    for (int i = 0; i < n; ++i) {
+      OpenVdap* car = cars[static_cast<std::size_t>(i)].get();
+      fleet::TelemetryShipper* shipper =
+          shippers[static_cast<std::size_t>(i)].get();
+      tickers.push_back(sim.every(sim::seconds(7), [car]() {
+        car->elastic().reevaluate();
+      }));
+      tickers.push_back(sim.every(sim::seconds(5), [car, shipper]() {
+        shipper->gauge("elastic.active_runs",
+                       static_cast<double>(car->elastic().active_runs()));
+      }));
+    }
+
+    // --- run under fire, then heal and drain -----------------------------
+    sim.run_until(config.run_until);
+    imp.restore_all();
+    for (auto& car : cars) car->elastic().reevaluate();
+    sim.run_until(config.run_until + sim::seconds(20));
+    for (auto& t : tickers) t.stop();
+    for (auto& car : cars) {
+      car->elastic().abandon_hung();
+      if (HealthController* health = car->health()) health->flush();
+    }
+    for (auto& shipper : shippers) {
+      shipper->stop();
+      shipper->flush_now();
+    }
+    sim.run_until(config.run_until + sim::seconds(20) + config.drain);
+
+    // --- snapshot --------------------------------------------------------
+    for (int i = 0; i < n; ++i) {
+      const fleet::TelemetryShipper& s = *shippers[static_cast<std::size_t>(i)];
+      FleetVehicleStats& vs = stats[s.vehicle()];
+      vs.frames_enqueued = s.stats().frames_enqueued;
+      vs.frames_acked = s.stats().frames_acked;
+      vs.frames_dropped = s.stats().frames_dropped;
+      vs.send_attempts = s.stats().send_attempts;
+      vs.retries = s.stats().retries;
+      vs.wire_bytes = s.stats().wire_bytes;
+      out.releases += vs.releases;
+      out.reports += vs.reports;
+      out.completed_ok += vs.completed_ok;
+    }
+    out.vehicles = std::move(stats);
+    out.rollup_table = agg.rollup_table();
+    out.anomaly_table = agg.anomaly_table();
+    out.vehicle_table = agg.vehicle_table();
+    out.anomalies = agg.anomalies();
+    out.anomalous_vehicles = agg.anomalous_vehicles();
+    out.frames_ingested = agg.frames_ingested();
+    out.duplicates = agg.duplicates();
+    out.reordered = agg.reordered();
+    out.lost_frames = agg.lost_frames();
+    out.decode_errors = agg.decode_errors();
+    out.fault_trace = inj.trace_lines();
+  }
+  for (const fs::path& dir : dirs) fs::remove_all(dir);
+  return out;
+}
+
+}  // namespace vdap::core

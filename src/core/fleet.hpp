@@ -1,0 +1,104 @@
+// Multi-vehicle fleet scenario (DESIGN.md §6e): N OpenVdap platforms in
+// one simulator, each running the same staggered service schedule and
+// shipping its telemetry (latency samples, run counters, health events)
+// through a per-vehicle TelemetryShipper over one SHARED shipping
+// net::Topology to a FleetAggregator at the cloud tier — the paper's
+// XEdge/cloud observing a fleet at once (§III, Fig. 1).
+//
+// Fault plans address two surfaces:
+//   * "cav-<i>/proc:<j>" processor faults hit one vehicle's board (the
+//     compute-outlier experiment);
+//   * plain tier names ("cloud", "basestation-edge") hit the shared
+//     shipping topology via one ImpairmentController — everybody's
+//     frames suffer together (the shipper-accounting experiment).
+// Everything is driven by the sim clock and named RNG streams, so a
+// (seed, plan) pair reproduces the outcome — frames, tables, anomalies —
+// byte for byte; the `fleet` ctest label asserts it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "telemetry/fleet/aggregator.hpp"
+#include "telemetry/fleet/shipper.hpp"
+
+namespace vdap::core {
+
+struct FleetConfig {
+  int vehicles = 6;
+  std::uint64_t seed = 7;
+  /// Distinguishes DDI temp dirs of concurrently running scenarios.
+  std::string dir_tag = "fleet";
+  /// Services every vehicle releases round-robin.
+  std::vector<std::string> services = {"license-plate", "obd-diagnostics"};
+  sim::SimDuration release_period = sim::seconds(2);
+  /// Stop releasing load here (runs in flight still finish)...
+  sim::SimTime load_until = sim::seconds(150);
+  /// ...keep the fleet (and the fault plan) running until here...
+  sim::SimTime run_until = sim::minutes(3);
+  /// ...then heal, flush every shipper and drain this much longer.
+  sim::SimDuration drain = sim::seconds(45);
+  /// On-board-only compute (no private remote tiers): a processor fault
+  /// shows up in the vehicle's service latency instead of being offloaded
+  /// around.
+  bool remote_tiers = false;
+  /// Per-vehicle closed-loop SLO health; its events ride the wire frames.
+  bool health = true;
+  telemetry::fleet::TelemetryShipper::Options shipper;
+  telemetry::fleet::FleetAggregator::Options aggregator;
+};
+
+struct FleetVehicleStats {
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_acked = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t send_attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t completed_ok = 0;
+};
+
+struct FleetOutcome {
+  // Aggregator-side report (byte-identical per (seed, plan)).
+  std::string rollup_table;
+  std::string anomaly_table;
+  std::string vehicle_table;
+  std::vector<telemetry::fleet::FleetAnomaly> anomalies;
+  std::vector<std::string> anomalous_vehicles;
+  /// Every delivered frame, in delivery order, one JSON line each —
+  /// feed it to `vdap-report --fleet`.
+  std::string frames_jsonl;
+
+  // Transport accounting.
+  std::map<std::string, FleetVehicleStats> vehicles;
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t lost_frames = 0;
+  std::uint64_t decode_errors = 0;
+
+  // Run accounting + determinism evidence.
+  std::uint64_t releases = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t completed_ok = 0;
+  std::vector<std::string> fault_trace;
+};
+
+/// Canned plan: slow every processor of vehicle `vehicle_index` to
+/// `severity` of its speed for a mid-run window — the one-sick-vehicle
+/// experiment the fleet ctest runs.
+sim::FaultPlan fleet_compute_outlier_plan(int vehicle_index,
+                                          double severity = 0.45);
+
+/// Canned plan: outage + degradation windows on the shared shipping
+/// uplink, forcing shipper retries, backoff and queue-overflow drops.
+sim::FaultPlan fleet_uplink_chaos_plan();
+
+FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config);
+
+}  // namespace vdap::core

@@ -65,6 +65,17 @@ void HealthController::on_event(const analysis::HealthEvent& event) {
     blame_.erase(event.service);
   }
   reconcile_penalties();
+  if (event_sink_) event_sink_(event);
+}
+
+std::string HealthController::blaming_services(net::Tier tier) const {
+  std::string out;
+  for (const auto& [service, blamed] : blame_) {
+    if (blamed != tier) continue;
+    if (!out.empty()) out += ",";
+    out += service;
+  }
+  return out;
 }
 
 void HealthController::reconcile_penalties() {
@@ -77,9 +88,13 @@ void HealthController::reconcile_penalties() {
     if (it == applied_.end() || it->second != factor) {
       elastic_.set_tier_penalty(tier, factor);
       if (telemetry::on()) {
+        // The "services" arg answers *why* the loop acted: which breaching
+        // services blame this tier right now (vdap-report's health
+        // timeline prints it next to the demotion).
         json::Object args;
         args["tier"] = std::string(net::to_string(tier));
         args["factor"] = factor;
+        args["services"] = blaming_services(tier);
         telemetry::tracer().instant(sim_.now(), "health", "health.penalize",
                                     "health", std::move(args));
         telemetry::count("health.penalties");
@@ -92,8 +107,10 @@ void HealthController::reconcile_penalties() {
       if (telemetry::on()) {
         json::Object args;
         args["tier"] = std::string(net::to_string(tier));
+        args["services"] = blaming_services(tier);  // empty: nobody blames it
         telemetry::tracer().instant(sim_.now(), "health", "health.restore",
                                     "health", std::move(args));
+        telemetry::count("health.restores");
       }
     }
   }

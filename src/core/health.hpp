@@ -18,6 +18,7 @@
 // by default (PlatformConfig::health.enabled), like the tracer.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -59,9 +60,18 @@ class HealthController {
   /// Tiers currently demoted by this controller.
   const std::map<net::Tier, double>& penalized() const { return applied_; }
 
+  /// Forwards every breach/recover HealthEvent (after the controller has
+  /// acted on it) to an external consumer — e.g. a fleet TelemetryShipper.
+  void set_event_sink(
+      std::function<void(const telemetry::analysis::HealthEvent&)> sink) {
+    event_sink_ = std::move(sink);
+  }
+
  private:
   void on_event(const telemetry::analysis::HealthEvent& event);
   void reconcile_penalties();
+  /// Services currently blaming `tier`, comma-joined (instant args).
+  std::string blaming_services(net::Tier tier) const;
 
   sim::Simulator& sim_;
   edgeos::ElasticManager& elastic_;
@@ -70,6 +80,7 @@ class HealthController {
   /// Breaching service → the tier its breach implicated.
   std::map<std::string, net::Tier> blame_;
   std::map<net::Tier, double> applied_;
+  std::function<void(const telemetry::analysis::HealthEvent&)> event_sink_;
 };
 
 }  // namespace vdap::core

@@ -237,10 +237,19 @@ bool parse_chrome_trace(std::string_view text, std::vector<TraceEvent>* events,
       if (error != nullptr) *error = "bad ph field";
       return false;
     }
+    // Hostile/corrupt input must fail cleanly, not allocate: a track id
+    // far beyond anything the Tracer interns rejects the document instead
+    // of driving tracks->resize() to out-of-memory.
+    constexpr std::int64_t kMaxTid = 1 << 20;
+    const std::int64_t raw_tid = ev.get_int("tid");
+    if (raw_tid < 0 || raw_tid > kMaxTid) {
+      if (error != nullptr) *error = "tid out of range";
+      return false;
+    }
     if (ph[0] == 'M') {
       // thread_name metadata records rebuild the track table.
       if (ev.get_string("name") != "thread_name") continue;
-      auto tid = static_cast<std::size_t>(ev.get_int("tid"));
+      auto tid = static_cast<std::size_t>(raw_tid);
       const json::Value* args = ev.find("args");
       if (args == nullptr) continue;
       if (tracks->size() <= tid) tracks->resize(tid + 1);
@@ -251,7 +260,7 @@ bool parse_chrome_trace(std::string_view text, std::vector<TraceEvent>* events,
     out.ph = ph[0];
     out.ts = ev.get_int("ts");
     out.dur = ev.get_int("dur");
-    out.tid = static_cast<std::uint32_t>(ev.get_int("tid"));
+    out.tid = static_cast<std::uint32_t>(raw_tid);
     out.cat = ev.get_string("cat");
     out.name = ev.get_string("name");
     std::string id = ev.get_string("id");

@@ -1,0 +1,239 @@
+#include "telemetry/fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  // values non-empty, by caller contract.
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+bool is_breach_kind(const std::string& kind) {
+  return kind.find("breach") != std::string::npos;
+}
+
+}  // namespace
+
+FleetAggregator::FleetAggregator(Options options)
+    : opts_(options), fleet_(options.store) {
+  opts_.min_vehicles = std::max<std::size_t>(opts_.min_vehicles, 2);
+  opts_.seq_window = std::max<std::size_t>(opts_.seq_window, 16);
+  opts_.detect_window = std::max<sim::SimDuration>(opts_.detect_window, 1);
+  opts_.detect_period = std::max<sim::SimDuration>(opts_.detect_period, 1);
+}
+
+bool FleetAggregator::ingest(const WireFrame& frame) {
+  Vehicle* v = nullptr;
+  if (auto it = vehicles_.find(frame.vehicle); it != vehicles_.end()) {
+    v = &it->second;
+  } else {
+    v = &vehicles_.emplace(frame.vehicle, Vehicle{TimeSeriesStore(opts_.store)})
+             .first->second;
+  }
+
+  // Duplicate / reorder accounting by sequence number. Sequence numbers
+  // older than the remembered window are treated as duplicates: the
+  // shipper retries in order, so anything that far behind has been seen.
+  const std::uint64_t floor_seq =
+      v->max_seq > opts_.seq_window ? v->max_seq - opts_.seq_window : 0;
+  if (frame.seq <= floor_seq || v->seen.count(frame.seq) > 0) {
+    ++v->duplicates;
+    ++duplicates_;
+    return false;
+  }
+  if (frame.seq < v->max_seq) {
+    ++v->reordered;
+    ++reordered_;
+  }
+  v->seen.insert(frame.seq);
+  v->max_seq = std::max(v->max_seq, frame.seq);
+  while (!v->seen.empty() &&
+         *v->seen.begin() + opts_.seq_window < v->max_seq) {
+    v->seen.erase(v->seen.begin());
+  }
+  ++v->frames;
+  ++frames_;
+  watermark_ = std::max(watermark_, frame.created);
+
+  for (const auto& [name, delta] : frame.counters) v->counters[name] += delta;
+  for (const auto& [name, value] : frame.gauges) v->gauges[name] = value;
+  for (const WireHealthEvent& ev : frame.events) {
+    ++v->health_events;
+    if (is_breach_kind(ev.kind)) ++v->breaches;
+  }
+  for (const auto& [metric, samples] : frame.samples) {
+    for (const WireSample& s : samples) {
+      v->store.observe(metric, s.first, s.second);
+      fleet_.observe(metric, s.first, s.second);
+      watermark_ = std::max(watermark_, s.first);
+    }
+  }
+  for (const auto& [metric, samples] : frame.samples) {
+    if (samples.empty()) continue;
+    auto last = last_detect_.find(metric);
+    if (last != last_detect_.end() &&
+        watermark_ < last->second + opts_.detect_period) {
+      continue;
+    }
+    last_detect_[metric] = watermark_;
+    detect(metric);
+  }
+  return true;
+}
+
+bool FleetAggregator::ingest_wire(std::string_view line, std::string* error) {
+  std::optional<WireFrame> frame = wire_decode(line, error);
+  if (!frame.has_value()) {
+    ++decode_errors_;
+    return false;
+  }
+  return ingest(*frame);
+}
+
+void FleetAggregator::detect(const std::string& metric) {
+  const sim::SimTime from =
+      watermark_ > opts_.detect_window ? watermark_ - opts_.detect_window : 0;
+  std::vector<std::pair<const std::string*, double>> means;
+  means.reserve(vehicles_.size());
+  for (const auto& [name, v] : vehicles_) {
+    TimeSeriesStore::RangeStats rs = v.store.summarize(metric, from, watermark_);
+    if (rs.count > 0) means.emplace_back(&name, rs.mean());
+  }
+  if (means.size() < opts_.min_vehicles) return;
+
+  std::vector<double> values;
+  values.reserve(means.size());
+  for (const auto& [name, m] : means) values.push_back(m);
+  const double med = median_of(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double x : values) deviations.push_back(std::abs(x - med));
+  double mad = median_of(std::move(deviations));
+  // Floor the MAD so a near-uniform fleet (MAD → 0) cannot produce
+  // unbounded scores from numeric dust.
+  mad = std::max(mad, 0.005 * std::max(std::abs(med), 1e-6));
+
+  for (const auto& [name, x] : means) {
+    const double score = 0.6745 * std::abs(x - med) / mad;
+    const std::string key = metric + "|" + *name;
+    const bool flagged = active_.count(key) > 0;
+    if (!flagged && score >= opts_.mad_threshold) {
+      active_.insert(key);
+      FleetAnomaly a;
+      a.at = watermark_;
+      a.vehicle = *name;
+      a.metric = metric;
+      a.value = x;
+      a.fleet_median = med;
+      a.score = score;
+      anomalies_.push_back(a);
+      if (sink_) sink_(anomalies_.back());
+    } else if (flagged && score < opts_.mad_threshold * opts_.clear_factor) {
+      active_.erase(key);
+    }
+  }
+}
+
+std::vector<std::string> FleetAggregator::anomalous_vehicles() const {
+  std::vector<std::string> out;
+  for (const FleetAnomaly& a : anomalies_) {
+    if (std::find(out.begin(), out.end(), a.vehicle) == out.end()) {
+      out.push_back(a.vehicle);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FleetAggregator::vehicles() const {
+  std::vector<std::string> out;
+  out.reserve(vehicles_.size());
+  for (const auto& [name, v] : vehicles_) out.push_back(name);
+  return out;
+}
+
+const TimeSeriesStore* FleetAggregator::vehicle_store(
+    const std::string& vehicle) const {
+  auto it = vehicles_.find(vehicle);
+  return it == vehicles_.end() ? nullptr : &it->second.store;
+}
+
+std::int64_t FleetAggregator::counter_total(const std::string& vehicle,
+                                            const std::string& name) const {
+  auto it = vehicles_.find(vehicle);
+  if (it == vehicles_.end()) return 0;
+  auto c = it->second.counters.find(name);
+  return c == it->second.counters.end() ? 0 : c->second;
+}
+
+std::uint64_t FleetAggregator::lost_frames() const {
+  std::uint64_t lost = 0;
+  for (const auto& [name, v] : vehicles_) {
+    if (v.max_seq > v.frames) lost += v.max_seq - v.frames;
+  }
+  return lost;
+}
+
+std::string FleetAggregator::rollup_table() const {
+  util::TextTable table("fleet metric rollup");
+  table.set_header({"metric", "vehicles", "count", "mean", "p50", "p95",
+                    "p99", "max", "outliers"});
+  for (const std::string& metric : fleet_.names()) {
+    std::size_t reporting = 0;
+    for (const auto& [name, v] : vehicles_) {
+      if (v.store.has(metric)) ++reporting;
+    }
+    std::size_t outliers = 0;
+    for (const std::string& key : active_) {
+      if (key.compare(0, metric.size() + 1, metric + "|") == 0) ++outliers;
+    }
+    util::Histogram sketch = fleet_.sketch(metric, 0, sim::kTimeMax);
+    const std::size_t count = fleet_.total_count(metric);
+    const double mean =
+        count > 0 ? fleet_.total_sum(metric) / static_cast<double>(count) : 0.0;
+    table.add_row({metric, std::to_string(reporting), std::to_string(count),
+                   util::TextTable::num(mean), util::TextTable::num(sketch.p50()),
+                   util::TextTable::num(sketch.p95()),
+                   util::TextTable::num(sketch.p99()),
+                   util::TextTable::num(sketch.max()),
+                   std::to_string(outliers)});
+  }
+  return table.to_string();
+}
+
+std::string FleetAggregator::anomaly_table() const {
+  util::TextTable table("fleet anomalies");
+  table.set_header({"t(s)", "vehicle", "metric", "value", "fleet p50",
+                    "score"});
+  for (const FleetAnomaly& a : anomalies_) {
+    table.add_row({util::TextTable::num(sim::to_seconds(a.at)), a.vehicle,
+                   a.metric, util::TextTable::num(a.value),
+                   util::TextTable::num(a.fleet_median),
+                   util::TextTable::num(a.score, 1)});
+  }
+  return table.to_string();
+}
+
+std::string FleetAggregator::vehicle_table() const {
+  util::TextTable table("fleet vehicles");
+  table.set_header({"vehicle", "frames", "dup", "reorder", "lost", "health ev",
+                    "breaches"});
+  for (const auto& [name, v] : vehicles_) {
+    const std::uint64_t lost = v.max_seq > v.frames ? v.max_seq - v.frames : 0;
+    table.add_row({name, std::to_string(v.frames), std::to_string(v.duplicates),
+                   std::to_string(v.reordered), std::to_string(lost),
+                   std::to_string(v.health_events),
+                   std::to_string(v.breaches)});
+  }
+  return table.to_string();
+}
+
+}  // namespace vdap::telemetry::fleet

@@ -1,0 +1,142 @@
+// Cross-vehicle telemetry aggregation (DESIGN.md §6e): the component an
+// XEdge/cloud node runs over the frame streams of many TelemetryShippers.
+//
+// Responsibilities:
+//   * Ingest wire frames tolerating the transport's sins — duplicates are
+//     detected per vehicle via sequence numbers and dropped, reordering is
+//     tolerated (and counted), and gaps are accounted as lost frames
+//     (max_seq − distinct frames seen, an underestimate while trailing
+//     frames are still in flight).
+//   * Maintain a downsampling TimeSeriesStore per vehicle plus one fused
+//     fleet-wide store, and accumulate shipped counter deltas / gauges.
+//   * Detect outlier vehicles per metric with a MAD-based modified
+//     z-score (0.6745·|x − median| / MAD over the per-vehicle means of a
+//     trailing window), emitting a FleetAnomaly on the scoring transition
+//     (with hysteresis, so one sick vehicle yields one event, not one per
+//     frame). The MAD is floored at a small fraction of the median so a
+//     perfectly uniform fleet — MAD 0 — cannot flag anybody.
+//
+// Pure stream consumer: no clock, no RNG. Time advances only via the
+// ingested frames' watermark, so the same frame sequence produces the same
+// stores, events and report tables, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/fleet/tsdb.hpp"
+#include "telemetry/fleet/wire.hpp"
+
+namespace vdap::telemetry::fleet {
+
+/// One outlier transition: `vehicle`'s `metric` deviates from the fleet.
+struct FleetAnomaly {
+  sim::SimTime at = 0;        // ingest watermark when flagged
+  std::string vehicle;
+  std::string metric;
+  double value = 0.0;         // the vehicle's window mean
+  double fleet_median = 0.0;  // median of per-vehicle window means
+  double score = 0.0;         // modified z-score
+};
+
+class FleetAggregator {
+ public:
+  struct Options {
+    TimeSeriesStore::Options store;
+    /// Modified z-score above which a vehicle is flagged...
+    double mad_threshold = 3.5;
+    /// ...and the fraction of the threshold it must fall back below to
+    /// clear (hysteresis).
+    double clear_factor = 0.7;
+    /// Detection needs at least this many vehicles reporting the metric.
+    std::size_t min_vehicles = 3;
+    /// Trailing window (ending at the watermark) whose per-vehicle means
+    /// are compared.
+    sim::SimDuration detect_window = sim::seconds(15);
+    /// Detection for a metric reruns only after the watermark advances
+    /// this much — it scans every vehicle's window, so per-frame
+    /// re-evaluation would make ingest O(vehicles²) per round.
+    sim::SimDuration detect_period = sim::seconds(1);
+    /// Recent sequence numbers remembered per vehicle for duplicate
+    /// detection; older ones are assumed already-seen.
+    std::size_t seq_window = 4096;
+  };
+
+  FleetAggregator() : FleetAggregator(Options{}) {}
+  explicit FleetAggregator(Options options);
+
+  /// Ingests one decoded frame. Returns false for duplicates (frame
+  /// ignored), true otherwise.
+  bool ingest(const WireFrame& frame);
+
+  /// Decodes and ingests one JSONL line. Malformed lines are counted and
+  /// reported via *error (when non-null); they never throw.
+  bool ingest_wire(std::string_view line, std::string* error = nullptr);
+
+  /// Called synchronously on every anomaly transition (after it is
+  /// appended to anomalies()).
+  void set_anomaly_sink(std::function<void(const FleetAnomaly&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  const std::vector<FleetAnomaly>& anomalies() const { return anomalies_; }
+  /// Distinct vehicles flagged, in first-flag order.
+  std::vector<std::string> anomalous_vehicles() const;
+
+  std::vector<std::string> vehicles() const;
+  const TimeSeriesStore& fleet_store() const { return fleet_; }
+  const TimeSeriesStore* vehicle_store(const std::string& vehicle) const;
+  std::int64_t counter_total(const std::string& vehicle,
+                             const std::string& name) const;
+
+  std::uint64_t frames_ingested() const { return frames_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+  /// Sum over vehicles of max_seq − distinct frames (gaps).
+  std::uint64_t lost_frames() const;
+  sim::SimTime watermark() const { return watermark_; }
+
+  /// Report tables (util::TextTable), deterministic per ingest sequence.
+  std::string rollup_table() const;
+  std::string anomaly_table() const;
+  std::string vehicle_table() const;
+
+ private:
+  struct Vehicle {
+    TimeSeriesStore store;
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::uint64_t frames = 0;      // distinct frames ingested
+    std::uint64_t duplicates = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t max_seq = 0;
+    std::set<std::uint64_t> seen;  // pruned to the seq window
+    std::uint64_t health_events = 0;
+    std::uint64_t breaches = 0;
+  };
+
+  void detect(const std::string& metric);
+
+  Options opts_;
+  TimeSeriesStore fleet_;
+  std::map<std::string, Vehicle> vehicles_;
+  std::vector<FleetAnomaly> anomalies_;
+  /// metric + "|" + vehicle → currently flagged (hysteresis state).
+  std::set<std::string> active_;
+  /// metric → watermark of its last detection pass (throttle state).
+  std::map<std::string, sim::SimTime> last_detect_;
+  std::function<void(const FleetAnomaly&)> sink_;
+  sim::SimTime watermark_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t decode_errors_ = 0;
+};
+
+}  // namespace vdap::telemetry::fleet

@@ -1,0 +1,198 @@
+#include "telemetry/fleet/shipper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+net::LinkSpec shipping_spec(const net::Topology& topo, net::Tier tier,
+                            const std::string& link_name) {
+  const net::PathSpec& path = topo.uplink(tier);
+  if (!path.empty()) return path.collapse(link_name);
+  // kOnBoard (or an empty path): a loopback-ish wired link so the shipper
+  // still works in single-box setups.
+  net::LinkSpec spec;
+  spec.name = link_name;
+  spec.kind = net::LinkKind::kWired;
+  spec.bandwidth_mbps = 1000.0;
+  spec.latency = sim::usec(50);
+  return spec;
+}
+
+}  // namespace
+
+TelemetryShipper::TelemetryShipper(sim::Simulator& sim, std::string vehicle,
+                                   net::Topology& topo, DeliverFn deliver,
+                                   Options options)
+    : sim_(sim), vehicle_(std::move(vehicle)), topo_(topo),
+      deliver_(std::move(deliver)), opts_(options) {
+  opts_.max_queue = std::max<std::size_t>(opts_.max_queue, 1);
+  opts_.max_attempts = std::max(opts_.max_attempts, 1);
+  opts_.flush_period = std::max<sim::SimDuration>(opts_.flush_period, 1);
+  link_ = std::make_unique<net::Link>(
+      sim_, shipping_spec(topo_, opts_.tier, "ship/" + vehicle_));
+}
+
+TelemetryShipper::~TelemetryShipper() {
+  *alive_ = false;
+  flusher_.stop();
+}
+
+void TelemetryShipper::count(std::string_view name, std::int64_t by) {
+  pending_counters_[std::string(name)] += by;
+}
+
+void TelemetryShipper::gauge(std::string_view name, double value) {
+  if (!std::isfinite(value)) return;
+  pending_gauges_[std::string(name)] = value;
+}
+
+void TelemetryShipper::observe(std::string_view name, double value) {
+  if (!std::isfinite(value)) return;
+  std::vector<WireSample>& buf = pending_samples_[std::string(name)];
+  buf.emplace_back(sim_.now(), value);
+  ++stats_.samples_recorded;
+  if (buf.size() > opts_.max_samples_per_metric) {
+    buf.erase(buf.begin());
+    ++stats_.samples_dropped;
+  }
+}
+
+void TelemetryShipper::on_health_event(const analysis::HealthEvent& event) {
+  WireHealthEvent w;
+  w.at = event.at;
+  w.kind = std::string(analysis::to_string(event.kind));
+  w.severity = std::string(analysis::to_string(event.severity));
+  w.service = event.service;
+  w.observed = event.observed;
+  w.target = event.target;
+  w.implicated_tier = event.implicated_tier;
+  pending_events_.push_back(std::move(w));
+  if (pending_events_.size() > opts_.max_events) {
+    pending_events_.erase(pending_events_.begin());
+  }
+}
+
+void TelemetryShipper::start() {
+  if (started_) return;
+  started_ = true;
+  flusher_ = sim_.every(opts_.flush_period, [this, alive = alive_]() {
+    if (*alive) cut_frame();
+  });
+}
+
+void TelemetryShipper::stop() {
+  flusher_.stop();
+  started_ = false;
+}
+
+void TelemetryShipper::flush_now() { cut_frame(); }
+
+void TelemetryShipper::cut_frame() {
+  if (pending_counters_.empty() && pending_gauges_.empty() &&
+      pending_samples_.empty() && pending_events_.empty()) {
+    return;
+  }
+  WireFrame frame;
+  frame.vehicle = vehicle_;
+  frame.seq = ++seq_;
+  frame.created = sim_.now();
+  frame.counters = std::move(pending_counters_);
+  frame.gauges = std::move(pending_gauges_);
+  frame.samples = std::move(pending_samples_);
+  frame.events = std::move(pending_events_);
+  pending_counters_.clear();
+  pending_gauges_.clear();
+  pending_samples_.clear();
+  pending_events_.clear();
+
+  Outbound ob;
+  ob.seq = frame.seq;
+  ob.bytes = wire_encode(frame);
+  ++stats_.frames_enqueued;
+  mirror_count("fleet.shipper.enqueued", 1);
+  enqueue(std::move(ob));
+}
+
+void TelemetryShipper::enqueue(Outbound frame) {
+  queue_.push_back(std::move(frame));
+  while (queue_.size() > opts_.max_queue) {
+    queue_.pop_front();
+    drop_frame(1);
+  }
+  maybe_send();
+}
+
+void TelemetryShipper::maybe_send() {
+  if (inflight_.has_value() || waiting_ || queue_.empty()) return;
+  inflight_ = std::move(queue_.front());
+  queue_.pop_front();
+  attempts_ = 0;
+  attempt();
+}
+
+void TelemetryShipper::attempt() {
+  if (!inflight_.has_value()) return;
+  ++stats_.send_attempts;
+  if (attempts_ > 0) ++stats_.retries;
+  ++attempts_;
+  if (!topo_.available(opts_.tier)) {
+    settle(false);
+    return;
+  }
+  link_->set_spec(shipping_spec(topo_, opts_.tier, "ship/" + vehicle_));
+  const std::uint64_t bytes = inflight_->bytes.size();
+  stats_.wire_bytes += bytes;
+  mirror_count("fleet.shipper.wire_bytes", static_cast<std::int64_t>(bytes));
+  link_->send(bytes, [this, alive = alive_](const net::TransferReport& r) {
+    if (*alive) settle(r.delivered);
+  });
+}
+
+void TelemetryShipper::settle(bool delivered) {
+  if (!inflight_.has_value()) return;
+  if (delivered) {
+    ++stats_.frames_acked;
+    mirror_count("fleet.shipper.acked", 1);
+    std::string bytes = std::move(inflight_->bytes);
+    inflight_.reset();
+    attempts_ = 0;
+    if (deliver_) deliver_(bytes);
+    maybe_send();
+    return;
+  }
+  if (attempts_ >= opts_.max_attempts) {
+    drop_frame(1);
+    inflight_.reset();
+    attempts_ = 0;
+    maybe_send();
+    return;
+  }
+  waiting_ = true;
+  sim_.after(backoff(attempts_), [this, alive = alive_]() {
+    if (!*alive) return;
+    waiting_ = false;
+    attempt();
+  });
+}
+
+void TelemetryShipper::drop_frame(std::uint64_t count) {
+  stats_.frames_dropped += count;
+  mirror_count("fleet.shipper.dropped", static_cast<std::int64_t>(count));
+}
+
+sim::SimDuration TelemetryShipper::backoff(int attempt) const {
+  sim::SimDuration delay = opts_.backoff_base;
+  for (int i = 1; i < attempt && delay < opts_.backoff_cap; ++i) delay *= 2;
+  return std::min(delay, opts_.backoff_cap);
+}
+
+void TelemetryShipper::mirror_count(std::string_view name, std::int64_t by) {
+  telemetry::count(name, {{"vehicle", vehicle_}}, by);
+}
+
+}  // namespace vdap::telemetry::fleet

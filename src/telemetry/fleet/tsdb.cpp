@@ -1,0 +1,211 @@
+#include "telemetry/fleet/tsdb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+sim::SimTime align(sim::SimTime at, sim::SimDuration interval) {
+  return (at / interval) * interval;
+}
+
+void bucket_add(TimeSeriesStore::Bucket& b, double value) {
+  if (b.count == 0) {
+    b.min = value;
+    b.max = value;
+  } else {
+    b.min = std::min(b.min, value);
+    b.max = std::max(b.max, value);
+  }
+  ++b.count;
+  b.sum += value;
+  b.sketch.add(value);
+}
+
+void bucket_absorb(TimeSeriesStore::Bucket& into,
+                   const TimeSeriesStore::Bucket& from) {
+  if (from.count == 0) return;
+  if (into.count == 0) {
+    into.min = from.min;
+    into.max = from.max;
+  } else {
+    into.min = std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+  into.sketch.merge(from.sketch);
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(Options options) : opts_(options) {
+  // Sanitize so a zero/descending configuration cannot divide by zero or
+  // livelock the cascade.
+  opts_.raw_interval = std::max<sim::SimDuration>(opts_.raw_interval, 1);
+  opts_.mid_interval = std::max(opts_.mid_interval, opts_.raw_interval);
+  opts_.coarse_interval = std::max(opts_.coarse_interval, opts_.mid_interval);
+  opts_.raw_buckets = std::max<std::size_t>(opts_.raw_buckets, 1);
+  opts_.mid_buckets = std::max<std::size_t>(opts_.mid_buckets, 1);
+  opts_.coarse_buckets = std::max<std::size_t>(opts_.coarse_buckets, 1);
+}
+
+sim::SimDuration TimeSeriesStore::interval(Tier tier) const {
+  switch (tier) {
+    case Tier::kRaw: return opts_.raw_interval;
+    case Tier::kMid: return opts_.mid_interval;
+    case Tier::kCoarse: return opts_.coarse_interval;
+  }
+  return opts_.raw_interval;
+}
+
+std::size_t TimeSeriesStore::budget(Tier tier) const {
+  switch (tier) {
+    case Tier::kRaw: return opts_.raw_buckets;
+    case Tier::kMid: return opts_.mid_buckets;
+    case Tier::kCoarse: return opts_.coarse_buckets;
+  }
+  return opts_.raw_buckets;
+}
+
+TimeSeriesStore::Bucket& TimeSeriesStore::bucket_for(Series& s, Tier tier,
+                                                     sim::SimTime at) {
+  std::deque<Bucket>& tq = s.tiers[static_cast<std::size_t>(tier)];
+  const sim::SimTime start = align(at, interval(tier));
+  auto it = std::lower_bound(
+      tq.begin(), tq.end(), start,
+      [](const Bucket& b, sim::SimTime t) { return b.start < t; });
+  if (it != tq.end() && it->start == start) return *it;
+  Bucket fresh;
+  fresh.start = start;
+  fresh.sketch.set_sample_cap(opts_.sketch_cap);
+  return *tq.insert(it, std::move(fresh));
+}
+
+void TimeSeriesStore::compact(Series& s) {
+  static constexpr Tier kOrder[kTierCount] = {Tier::kRaw, Tier::kMid,
+                                              Tier::kCoarse};
+  for (std::size_t i = 0; i < kTierCount; ++i) {
+    std::deque<Bucket>& tq = s.tiers[static_cast<std::size_t>(kOrder[i])];
+    while (tq.size() > budget(kOrder[i])) {
+      Bucket oldest = std::move(tq.front());
+      tq.pop_front();
+      if (i + 1 < kTierCount) {
+        bucket_absorb(bucket_for(s, kOrder[i + 1], oldest.start), oldest);
+      } else {
+        ++s.evicted_buckets;
+        s.evicted_samples += oldest.count;
+      }
+    }
+  }
+}
+
+bool TimeSeriesStore::observe(const std::string& series, sim::SimTime at,
+                              double value) {
+  if (!std::isfinite(value) || at < 0) {
+    ++rejected_;
+    return false;
+  }
+  Series& s = series_[series];
+  bucket_add(bucket_for(s, Tier::kRaw, at), value);
+  ++s.total;
+  s.sum += value;
+  s.latest = std::max(s.latest, at);
+  compact(s);
+  return true;
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+bool TimeSeriesStore::has(const std::string& series) const {
+  return series_.count(series) > 0;
+}
+
+std::size_t TimeSeriesStore::total_count(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.total;
+}
+
+double TimeSeriesStore::total_sum(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? 0.0 : it->second.sum;
+}
+
+sim::SimTime TimeSeriesStore::latest(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.latest;
+}
+
+const std::deque<TimeSeriesStore::Bucket>* TimeSeriesStore::buckets(
+    const std::string& series, Tier tier) const {
+  auto it = series_.find(series);
+  if (it == series_.end()) return nullptr;
+  return &it->second.tiers[static_cast<std::size_t>(tier)];
+}
+
+std::size_t TimeSeriesStore::evicted_buckets(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.evicted_buckets;
+}
+
+std::size_t TimeSeriesStore::evicted_samples(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.evicted_samples;
+}
+
+TimeSeriesStore::RangeStats TimeSeriesStore::summarize(
+    const std::string& series, sim::SimTime from, sim::SimTime to) const {
+  RangeStats out;
+  auto it = series_.find(series);
+  if (it == series_.end() || from > to) return out;
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    const sim::SimDuration iv = interval(static_cast<Tier>(t));
+    for (const Bucket& b : it->second.tiers[t]) {
+      if (b.start + iv <= from) continue;
+      if (b.start > to) break;
+      if (out.count == 0) {
+        out.min = b.min;
+        out.max = b.max;
+      } else {
+        out.min = std::min(out.min, b.min);
+        out.max = std::max(out.max, b.max);
+      }
+      out.count += b.count;
+      out.sum += b.sum;
+    }
+  }
+  return out;
+}
+
+util::Histogram TimeSeriesStore::sketch(const std::string& series,
+                                        sim::SimTime from,
+                                        sim::SimTime to) const {
+  util::Histogram out;
+  // The merged sketch covers many buckets; give it more headroom than one
+  // bucket's cap but keep it bounded.
+  out.set_sample_cap(opts_.sketch_cap * 16);
+  auto it = series_.find(series);
+  if (it == series_.end() || from > to) return out;
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    const sim::SimDuration iv = interval(static_cast<Tier>(t));
+    for (const Bucket& b : it->second.tiers[t]) {
+      if (b.start + iv <= from) continue;
+      if (b.start > to) break;
+      out.merge(b.sketch);
+    }
+  }
+  return out;
+}
+
+double TimeSeriesStore::quantile(const std::string& series, double q) const {
+  return sketch(series, 0, sim::kTimeMax).quantile(q);
+}
+
+}  // namespace vdap::telemetry::fleet

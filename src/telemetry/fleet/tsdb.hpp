@@ -1,0 +1,131 @@
+// Downsampling in-memory time-series store (DESIGN.md §6e): the metric
+// database a fleet aggregation point keeps per vehicle and fleet-wide.
+//
+// Each series is bucketed at a fixed raw interval; every bucket holds the
+// exact count/sum/min/max of the samples that landed in it plus a capped
+// util::Histogram sketch for quantiles. Three retention tiers — raw, mid
+// (1 s) and coarse (10 s) by default — cascade: when a tier overflows its
+// bucket budget, its oldest bucket is folded into the next tier's bucket
+// via Histogram::merge (count/mean/min/max stay exact; quantiles reflect
+// the merged, re-thinned sample sets). Old data therefore loses time
+// resolution before it loses existence, and only the coarse tier ever
+// evicts — with the evicted samples counted.
+//
+// Determinism: no clock, no RNG — every sample is timestamped by the
+// caller, and Histogram thinning is deterministic, so two identical
+// observation streams produce identical stores.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace vdap::telemetry::fleet {
+
+class TimeSeriesStore {
+ public:
+  struct Options {
+    sim::SimDuration raw_interval = sim::msec(100);
+    sim::SimDuration mid_interval = sim::seconds(1);
+    sim::SimDuration coarse_interval = sim::seconds(10);
+    /// Bucket budget per tier; overflow cascades raw→mid→coarse→evict.
+    std::size_t raw_buckets = 64;
+    std::size_t mid_buckets = 120;
+    std::size_t coarse_buckets = 360;
+    /// Per-bucket histogram sample cap (deterministic thinning).
+    std::size_t sketch_cap = 256;
+  };
+
+  enum class Tier : std::size_t { kRaw = 0, kMid = 1, kCoarse = 2 };
+  static constexpr std::size_t kTierCount = 3;
+
+  /// One fixed-interval bucket: [start, start + tier interval).
+  struct Bucket {
+    sim::SimTime start = 0;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    util::Histogram sketch;
+  };
+
+  /// Aggregate over a queried time range (whole buckets intersecting it).
+  struct RangeStats {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  TimeSeriesStore() : TimeSeriesStore(Options{}) {}
+  explicit TimeSeriesStore(Options options);
+
+  /// Records one sample. Returns false (and records nothing) for
+  /// non-finite values or negative timestamps.
+  bool observe(const std::string& series, sim::SimTime at, double value);
+
+  /// Series names in lexicographic order.
+  std::vector<std::string> names() const;
+  bool has(const std::string& series) const;
+
+  /// Lifetime totals — exact even after downsampling and eviction.
+  std::size_t total_count(const std::string& series) const;
+  double total_sum(const std::string& series) const;
+  sim::SimTime latest(const std::string& series) const;
+
+  /// Retained buckets of one tier, oldest first (nullptr: unknown series).
+  const std::deque<Bucket>* buckets(const std::string& series, Tier tier) const;
+
+  /// Coarse-tier evictions (buckets / samples) for this series.
+  std::size_t evicted_buckets(const std::string& series) const;
+  std::size_t evicted_samples(const std::string& series) const;
+
+  /// Exact aggregate over retained buckets intersecting [from, to].
+  RangeStats summarize(const std::string& series, sim::SimTime from,
+                       sim::SimTime to) const;
+
+  /// Merged quantile sketch over retained buckets intersecting [from, to].
+  util::Histogram sketch(const std::string& series, sim::SimTime from,
+                         sim::SimTime to) const;
+
+  /// Quantile over everything retained for the series.
+  double quantile(const std::string& series, double q) const;
+
+  /// Samples rejected at observe() (non-finite value / negative time).
+  std::size_t rejected() const { return rejected_; }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  struct Series {
+    std::deque<Bucket> tiers[kTierCount];
+    std::size_t total = 0;
+    double sum = 0.0;
+    sim::SimTime latest = 0;
+    std::size_t evicted_buckets = 0;
+    std::size_t evicted_samples = 0;
+  };
+
+  sim::SimDuration interval(Tier tier) const;
+  std::size_t budget(Tier tier) const;
+  /// Finds or creates the bucket of `tier` covering `at` (kept sorted by
+  /// start so out-of-order arrivals land in the right place).
+  Bucket& bucket_for(Series& s, Tier tier, sim::SimTime at);
+  /// Folds the oldest bucket of an overflowing tier into the next tier
+  /// (or evicts, with accounting, from the coarse tier).
+  void compact(Series& s);
+
+  Options opts_;
+  std::map<std::string, Series> series_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace vdap::telemetry::fleet

@@ -1,0 +1,176 @@
+#include "telemetry/fleet/wire.hpp"
+
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool decode_counters(const json::Value& v, WireFrame& out,
+                     std::string* error) {
+  if (!v.is_object()) return fail(error, "wire: \"counters\" is not an object");
+  for (const auto& [name, val] : v.as_object()) {
+    if (!val.is_int()) {
+      return fail(error, "wire: counter \"" + name + "\" is not an integer");
+    }
+    out.counters[name] = val.as_int();
+  }
+  return true;
+}
+
+bool decode_gauges(const json::Value& v, WireFrame& out, std::string* error) {
+  if (!v.is_object()) return fail(error, "wire: \"gauges\" is not an object");
+  for (const auto& [name, val] : v.as_object()) {
+    if (!val.is_number()) {
+      return fail(error, "wire: gauge \"" + name + "\" is not a number");
+    }
+    out.gauges[name] = val.as_double();
+  }
+  return true;
+}
+
+bool decode_samples(const json::Value& v, WireFrame& out, std::string* error) {
+  if (!v.is_object()) return fail(error, "wire: \"samples\" is not an object");
+  for (const auto& [name, arr] : v.as_object()) {
+    if (!arr.is_array()) {
+      return fail(error, "wire: samples \"" + name + "\" is not an array");
+    }
+    std::vector<WireSample>& dst = out.samples[name];
+    for (const json::Value& pair : arr.as_array()) {
+      if (!pair.is_array() || pair.size() != 2 || !pair.at(0).is_int() ||
+          !pair.at(1).is_number()) {
+        return fail(error, "wire: samples \"" + name +
+                               "\" entry is not [ts, value]");
+      }
+      const double value = pair.at(1).as_double();
+      if (!std::isfinite(value)) {
+        return fail(error, "wire: samples \"" + name + "\" value not finite");
+      }
+      dst.emplace_back(pair.at(0).as_int(), value);
+    }
+  }
+  return true;
+}
+
+bool decode_events(const json::Value& v, WireFrame& out, std::string* error) {
+  if (!v.is_array()) return fail(error, "wire: \"events\" is not an array");
+  for (const json::Value& ev : v.as_array()) {
+    if (!ev.is_object()) {
+      return fail(error, "wire: events entry is not an object");
+    }
+    WireHealthEvent w;
+    w.at = ev.get_int("at");
+    w.kind = ev.get_string("kind");
+    w.severity = ev.get_string("severity");
+    w.service = ev.get_string("service");
+    w.observed = ev.get_double("observed");
+    w.target = ev.get_double("target");
+    w.implicated_tier = ev.get_string("tier");
+    if (w.kind.empty() || w.service.empty()) {
+      return fail(error, "wire: events entry missing kind/service");
+    }
+    out.events.push_back(std::move(w));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string wire_encode(const WireFrame& frame) {
+  json::Object obj;
+  obj["v"] = frame.vehicle;
+  obj["seq"] = static_cast<std::int64_t>(frame.seq);
+  obj["t"] = frame.created;
+  if (!frame.counters.empty()) {
+    json::Object counters;
+    for (const auto& [name, v] : frame.counters) counters[name] = v;
+    obj["counters"] = std::move(counters);
+  }
+  if (!frame.gauges.empty()) {
+    json::Object gauges;
+    for (const auto& [name, v] : frame.gauges) gauges[name] = v;
+    obj["gauges"] = std::move(gauges);
+  }
+  if (!frame.samples.empty()) {
+    json::Object samples;
+    for (const auto& [name, vec] : frame.samples) {
+      json::Array arr;
+      arr.reserve(vec.size());
+      for (const WireSample& s : vec) {
+        arr.push_back(json::Array{json::Value(s.first), json::Value(s.second)});
+      }
+      samples[name] = std::move(arr);
+    }
+    obj["samples"] = std::move(samples);
+  }
+  if (!frame.events.empty()) {
+    json::Array events;
+    for (const WireHealthEvent& ev : frame.events) {
+      json::Object e;
+      e["at"] = ev.at;
+      e["kind"] = ev.kind;
+      e["severity"] = ev.severity;
+      e["service"] = ev.service;
+      e["observed"] = ev.observed;
+      e["target"] = ev.target;
+      if (!ev.implicated_tier.empty()) e["tier"] = ev.implicated_tier;
+      events.push_back(std::move(e));
+    }
+    obj["events"] = std::move(events);
+  }
+  return json::Value(std::move(obj)).dump();
+}
+
+std::optional<WireFrame> wire_decode(std::string_view line,
+                                     std::string* error) {
+  std::optional<json::Value> parsed = json::try_parse(line);
+  if (!parsed.has_value()) {
+    fail(error, "wire: frame is not valid JSON");
+    return std::nullopt;
+  }
+  if (!parsed->is_object()) {
+    fail(error, "wire: frame is not a JSON object");
+    return std::nullopt;
+  }
+
+  WireFrame out;
+  out.vehicle = parsed->get_string("v");
+  if (out.vehicle.empty()) {
+    fail(error, "wire: frame missing vehicle (\"v\")");
+    return std::nullopt;
+  }
+  const std::int64_t seq = parsed->get_int("seq", -1);
+  if (seq < 1) {
+    fail(error, "wire: frame missing positive \"seq\"");
+    return std::nullopt;
+  }
+  out.seq = static_cast<std::uint64_t>(seq);
+  out.created = parsed->get_int("t", -1);
+  if (out.created < 0) {
+    fail(error, "wire: frame missing timestamp (\"t\")");
+    return std::nullopt;
+  }
+
+  if (const json::Value* v = parsed->find("counters")) {
+    if (!decode_counters(*v, out, error)) return std::nullopt;
+  }
+  if (const json::Value* v = parsed->find("gauges")) {
+    if (!decode_gauges(*v, out, error)) return std::nullopt;
+  }
+  if (const json::Value* v = parsed->find("samples")) {
+    if (!decode_samples(*v, out, error)) return std::nullopt;
+  }
+  if (const json::Value* v = parsed->find("events")) {
+    if (!decode_events(*v, out, error)) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace vdap::telemetry::fleet

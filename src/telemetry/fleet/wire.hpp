@@ -1,0 +1,69 @@
+// Fleet telemetry wire format (DESIGN.md §6e): the sequence-numbered frame
+// a vehicle's TelemetryShipper ships to the XEdge/cloud aggregation point.
+//
+// One frame is one compact single-line JSON object (JSONL on disk):
+//
+//   {"counters":{"svc.ok":3},"events":[...],"gauges":{"queue":2},
+//    "samples":{"svc.latency_ms":[[1500000,12.5],...]},
+//    "seq":4,"t":4000000,"v":"cav-2"}
+//
+// Counters carry DELTAS since the previous frame (the aggregator
+// accumulates), gauges carry last values, samples carry (sim-time µs,
+// value) pairs, and events carry HealthEvents observed since the previous
+// frame. Encoding goes through json::Object (std::map), so a frame's bytes
+// are a deterministic function of its content. Decoding tolerates unknown
+// fields — newer vehicles may ship more than an older aggregator knows —
+// and reports malformed input as a clean error string, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vdap::telemetry::fleet {
+
+/// HealthEvent as shipped over the wire (telemetry/analysis/slo.hpp
+/// flattened to strings so the aggregator needs no evaluator state).
+struct WireHealthEvent {
+  sim::SimTime at = 0;
+  std::string kind;      // to_string(HealthEventKind)
+  std::string severity;  // to_string(Severity)
+  std::string service;
+  double observed = 0.0;
+  double target = 0.0;
+  std::string implicated_tier;  // may be empty
+};
+
+/// One (ts µs, value) metric sample.
+using WireSample = std::pair<sim::SimTime, double>;
+
+struct WireFrame {
+  std::string vehicle;
+  std::uint64_t seq = 0;    // 1-based, strictly increasing per vehicle
+  sim::SimTime created = 0; // frame cut time on the vehicle's sim clock
+  std::map<std::string, std::int64_t> counters;  // deltas
+  std::map<std::string, double> gauges;          // last values
+  std::map<std::string, std::vector<WireSample>> samples;
+  std::vector<WireHealthEvent> events;
+
+  bool payload_empty() const {
+    return counters.empty() && gauges.empty() && samples.empty() &&
+           events.empty();
+  }
+};
+
+/// Serializes a frame to one line of JSON (no trailing newline).
+std::string wire_encode(const WireFrame& frame);
+
+/// Parses one frame line. Unknown fields are ignored; malformed input
+/// returns std::nullopt with a diagnostic in *error (when non-null).
+std::optional<WireFrame> wire_decode(std::string_view line,
+                                     std::string* error = nullptr);
+
+}  // namespace vdap::telemetry::fleet

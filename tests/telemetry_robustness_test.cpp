@@ -209,6 +209,97 @@ TEST(Session, ZeroEventExportsAreValid) {
   EXPECT_TRUE(events.empty());
 }
 
+// --- parse-back error paths (DESIGN.md §6d) --------------------------------
+// Artifacts re-read by vdap-report and the analysis layer come from disk,
+// so truncation and corruption must produce clean errors, never crashes
+// (the suite runs under ASan in check.sh).
+
+TEST(ParseBack, TruncatedAndMalformedJsonlLinesAreCleanErrors) {
+  // Cut a real snapshot line at every prefix length: each cut either parses
+  // (short valid prefixes like "{}" don't exist here, so it won't) or
+  // returns nullopt — no throw, no crash.
+  sim::Simulator sim(1);
+  telemetry::Session session(sim);
+  telemetry::count("runs", 3);
+  telemetry::observe("lat", 1.5);
+  session.snapshot();
+  ASSERT_EQ(session.snapshot_lines().size(), 1u);
+  const std::string line = session.snapshot_lines()[0];
+  for (std::size_t cut = 0; cut < line.size(); ++cut) {
+    std::optional<json::Value> v = json::try_parse(line.substr(0, cut));
+    if (cut > 0) {
+      EXPECT_FALSE(v.has_value()) << "cut=" << cut;
+    }
+  }
+  EXPECT_TRUE(json::try_parse(line).has_value());
+  EXPECT_FALSE(json::try_parse("{\"t\":1,").has_value());
+  EXPECT_FALSE(json::try_parse("\xff\xfe garbage").has_value());
+}
+
+TEST(ParseBack, MalformedChromeTraceIsRejectedWithError) {
+  std::vector<telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  const char* cases[] = {
+      "",                                             // empty file
+      "not json",
+      "{\"traceEvents\": 7}",                         // wrong type
+      "{\"other\": []}",                              // missing array
+      "{\"traceEvents\": [7]}",                       // non-object event
+      "{\"traceEvents\": [{\"ph\": \"XX\"}]}",        // bad ph
+      "{\"traceEvents\": [{\"ph\": \"\"}]}",
+      "{\"traceEvents\": [{\"ph\": \"X\", \"args\": 3}]}",  // non-object args
+      "{\"traceEvents\": [{\"ph\": \"X\", \"ts\": 1",       // truncated
+  };
+  for (const char* text : cases) {
+    std::string error;
+    EXPECT_FALSE(
+        telemetry::analysis::parse_chrome_trace(text, &events, &tracks, &error))
+        << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ParseBack, HostileTidsAreRejectedNotAllocated) {
+  // A corrupt tid must not drive tracks.resize() toward out-of-memory, and
+  // a negative one must not wrap to a huge unsigned index.
+  std::vector<telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  const char* cases[] = {
+      "{\"traceEvents\": [{\"ph\": \"M\", \"name\": \"thread_name\","
+      " \"tid\": 99999999999, \"args\": {\"name\": \"x\"}}]}",
+      "{\"traceEvents\": [{\"ph\": \"i\", \"tid\": -5}]}",
+      "{\"traceEvents\": [{\"ph\": \"X\", \"tid\": 2147483648}]}",
+  };
+  for (const char* text : cases) {
+    std::string error;
+    EXPECT_FALSE(
+        telemetry::analysis::parse_chrome_trace(text, &events, &tracks, &error))
+        << text;
+    EXPECT_EQ(error, "tid out of range") << text;
+  }
+}
+
+TEST(ParseBack, UnknownFieldsAndEventsAreTolerated) {
+  // Forward compatibility: fields and ph kinds this version doesn't know
+  // must be carried or skipped, not rejected.
+  std::vector<telemetry::TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::string error;
+  const std::string text =
+      "{\"otherTopLevel\": {\"a\": 1}, \"traceEvents\": ["
+      "{\"ph\": \"M\", \"name\": \"process_sort_index\", \"tid\": 0},"
+      "{\"ph\": \"i\", \"ts\": 5, \"tid\": 0, \"name\": \"n\","
+      " \"cat\": \"c\", \"novel_field\": [1, 2, 3]},"
+      "{\"ph\": \"q\", \"ts\": 9, \"tid\": 0, \"name\": \"future-kind\"}"
+      "]}";
+  ASSERT_TRUE(telemetry::analysis::parse_chrome_trace(text, &events, &tracks,
+                                                      &error))
+      << error;
+  ASSERT_EQ(events.size(), 2u);  // metadata consumed, both events kept
+  EXPECT_EQ(events[0].ph, 'i');
+  EXPECT_EQ(events[1].ph, 'q');
+}
+
 TEST(Tracer, EndOfUnknownOrDoubleClosedSpanIsIgnored) {
   sim::Simulator sim(1);
   telemetry::Session session(sim);

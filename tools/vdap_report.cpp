@@ -1,20 +1,28 @@
-// vdap-report: offline trace analytics (DESIGN.md §6d).
+// vdap-report: offline trace analytics (DESIGN.md §6d, §6e).
 //
 //   vdap-report <trace.json> [metrics.jsonl]
+//   vdap-report --fleet <frames.jsonl>
 //
-// Reads a chrome_trace_json() capture (and optionally the JSONL metrics
-// snapshots Session emits), then prints:
+// Trace mode reads a chrome_trace_json() capture (and optionally the JSONL
+// metrics snapshots Session emits), then prints:
 //   1. the per-service critical-path table — each run's latency decomposed
 //      by interval sweep into exclusive queue/net/compute/failover/slack
 //      segments (see telemetry/analysis/critical_path.hpp);
-//   2. the SLO-compliance table — the Table I targets replayed over the
+//   2. the health-timeline table — every closed-loop HealthController
+//      instant (breaches, tier demotions with the blaming services, and
+//      restores), i.e. when and why the loop acted;
+//   3. the SLO-compliance table — the Table I targets replayed over the
 //      extracted runs through the streaming evaluator;
-//   3. with a metrics file, the final snapshot's counters and histogram
+//   4. with a metrics file, the final snapshot's counters and histogram
 //      digests.
+//
+// Fleet mode replays a stream of TelemetryShipper wire frames (e.g.
+// FleetOutcome::frames_jsonl) through a FleetAggregator and prints the
+// cross-vehicle rollup, anomaly and per-vehicle transport tables.
 //
 // Output is a pure function of the input files, so for a fixed
 // (seed, fault plan) capture the tables are byte-identical across runs —
-// the analysis suite asserts this.
+// the analysis and fleet suites assert this.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -23,6 +31,7 @@
 
 #include "telemetry/analysis/critical_path.hpp"
 #include "telemetry/analysis/slo.hpp"
+#include "telemetry/fleet/aggregator.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -71,6 +80,71 @@ std::string slo_table(const analysis::CriticalPathReport& report) {
   }
   evaluator.flush(last);
   return evaluator.compliance_table();
+}
+
+/// The closed-loop health timeline: every HealthController instant on the
+/// "health" track, in trace order. The "detail" column carries the event's
+/// most useful argument — the breaching service, or for penalize/restore
+/// the services blaming the tier (why the loop acted).
+std::string health_timeline(const std::vector<vdap::telemetry::TraceEvent>& events,
+                            const std::vector<std::string>& tracks) {
+  vdap::util::TextTable t("health timeline (closed-loop actions)");
+  t.set_header({"t(s)", "event", "tier", "detail"});
+  std::size_t rows = 0;
+  for (const vdap::telemetry::TraceEvent& ev : events) {
+    if (ev.ph != 'i' || ev.cat != "health") continue;
+    if (ev.tid >= tracks.size() || tracks[ev.tid] != "health") continue;
+    const vdap::json::Value wrapper{ev.args};
+    std::string tier = wrapper.get_string("tier");
+    std::string detail;
+    if (ev.name == "health.penalize" || ev.name == "health.restore") {
+      detail = "services=" + wrapper.get_string("services");
+      if (ev.name == "health.penalize") {
+        detail += " factor=" +
+                  vdap::util::TextTable::num(wrapper.get_double("factor"), 2);
+      }
+    } else {
+      detail = wrapper.get_string("service");
+      if (const vdap::json::Value* observed = ev.args.count("observed") != 0
+                                                  ? &ev.args.at("observed")
+                                                  : nullptr) {
+        detail += " observed=" +
+                  vdap::util::TextTable::num(observed->as_double(), 3);
+      }
+    }
+    t.add_row({vdap::util::TextTable::num(vdap::sim::to_seconds(ev.ts), 3),
+               ev.name, tier.empty() ? "-" : tier, detail});
+    ++rows;
+  }
+  return rows > 0 ? t.to_string() : std::string();
+}
+
+/// Fleet mode: replay a wire-frame JSONL stream through the aggregator.
+int print_fleet(const std::string& text) {
+  vdap::telemetry::fleet::FleetAggregator agg;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++n;
+    std::string error;
+    if (!agg.ingest_wire(line, &error)) {
+      if (!error.empty()) {
+        std::fprintf(stderr, "vdap-report: frame %zu: %s\n", n, error.c_str());
+      }
+      // Duplicates and decode errors are both tolerated — that is the
+      // aggregator's job — but decode errors are reported above.
+    }
+  }
+  if (n == 0) {
+    std::fprintf(stderr, "vdap-report: no frames\n");
+    return 1;
+  }
+  std::fputs(agg.rollup_table().c_str(), stdout);
+  std::fputs(agg.anomaly_table().c_str(), stdout);
+  std::fputs(agg.vehicle_table().c_str(), stdout);
+  return agg.decode_errors() > 0 ? 1 : 0;
 }
 
 /// Renders the last JSONL metrics snapshot (counters + histogram digests).
@@ -122,8 +196,18 @@ int print_metrics(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--fleet") {
+    std::string frames_text;
+    if (!read_file(argv[2], &frames_text)) {
+      std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    return print_fleet(frames_text);
+  }
   if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: vdap-report <trace.json> [metrics.jsonl]\n");
+    std::fprintf(stderr,
+                 "usage: vdap-report <trace.json> [metrics.jsonl]\n"
+                 "       vdap-report --fleet <frames.jsonl>\n");
     return 2;
   }
   std::string trace_text;
@@ -141,6 +225,7 @@ int main(int argc, char** argv) {
   analysis::CriticalPathReport report =
       analysis::extract_critical_paths(events, tracks);
   std::fputs(analysis::critical_path_table(report).c_str(), stdout);
+  std::fputs(health_timeline(events, tracks).c_str(), stdout);
   std::fputs(slo_table(report).c_str(), stdout);
 
   if (argc == 3) {

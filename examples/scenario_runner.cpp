@@ -6,11 +6,15 @@
 //
 //   $ ./scenario_runner --demo > my.json     # write a template config
 //   $ ./scenario_runner my.json              # run it, report to stdout
-//   $ ./scenario_runner --vehicles 8 [seed]  # healthy-fleet telemetry demo
+//   $ ./scenario_runner --vehicles 8 [seed] [--shards K] [--threads T]
+//   $ ./scenario_runner --scale 100000 [seed] [--shards K] [--threads T]
 //
 // --vehicles runs N platforms through the fleet telemetry pipeline
 // (core::run_fleet with no fault plan) and prints the aggregator's
 // cross-vehicle rollup and per-vehicle transport tables on exit.
+// --scale runs the lightweight fleet-at-scale path (core::run_fleet_scale,
+// DESIGN.md §6f) and prints its digest summary; both demos accept
+// --shards/--threads and produce byte-identical output for any values.
 //
 // Config schema (all fields optional unless noted):
 //   {
@@ -34,6 +38,7 @@
 #include <sstream>
 
 #include "core/fleet.hpp"
+#include "core/fleet_scale.hpp"
 #include "core/platform.hpp"
 
 using namespace vdap;
@@ -166,10 +171,13 @@ int run(const json::Value& config) {
   return 0;
 }
 
-int run_fleet_demo(int vehicles, std::uint64_t seed) {
+int run_fleet_demo(int vehicles, std::uint64_t seed, int shards,
+                   int threads) {
   core::FleetConfig cfg;
   cfg.vehicles = vehicles;
   cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.threads = threads;
   cfg.dir_tag = "runner";
   sim::FaultPlan none;
   none.name = "none";
@@ -186,22 +194,64 @@ int run_fleet_demo(int vehicles, std::uint64_t seed) {
   return 0;
 }
 
+int run_scale_demo(int vehicles, std::uint64_t seed, int shards, int threads) {
+  core::FleetScaleConfig cfg;
+  cfg.vehicles = vehicles;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  core::FleetScaleOutcome out = core::run_fleet_scale(cfg);
+  std::printf("%s\n", out.summary.c_str());
+  std::printf("shards=%d threads=%d epochs=%llu events=%llu\n", out.shards,
+              out.threads, static_cast<unsigned long long>(out.epochs),
+              static_cast<unsigned long long>(out.events_fired));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 3 && std::string(argv[1]) == "--vehicles") {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  if (argc >= 3 && (mode == "--vehicles" || mode == "--scale")) {
     int n = std::atoi(argv[2]);
-    if (n < 2) {
+    if (mode == "--vehicles" && n < 2) {
       std::fprintf(stderr, "--vehicles needs N >= 2\n");
       return 2;
     }
-    std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
-    return run_fleet_demo(n, seed);
+    if (mode == "--scale" && n < 1) {
+      std::fprintf(stderr, "--scale needs N >= 1\n");
+      return 2;
+    }
+    std::uint64_t seed = 7;
+    int shards = 1;
+    int threads = 1;
+    int pos = 3;
+    if (pos < argc && argv[pos][0] != '-') {
+      seed = std::strtoull(argv[pos++], nullptr, 10);
+    }
+    for (; pos < argc; ++pos) {
+      const std::string flag = argv[pos];
+      if (flag == "--shards" && pos + 1 < argc) {
+        shards = std::atoi(argv[++pos]);
+      } else if (flag == "--threads" && pos + 1 < argc) {
+        threads = std::atoi(argv[++pos]);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    if (shards < 1 || threads < 1) {
+      std::fprintf(stderr, "--shards/--threads need values >= 1\n");
+      return 2;
+    }
+    return mode == "--vehicles" ? run_fleet_demo(n, seed, shards, threads)
+                                : run_scale_demo(n, seed, shards, threads);
   }
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s <config.json>  (or --demo to print a template,\n"
-                 "       or --vehicles N [seed] for the fleet telemetry demo)\n",
+                 "       or --vehicles N [seed] [--shards K] [--threads T],\n"
+                 "       or --scale N [seed] [--shards K] [--threads T])\n",
                  argv[0]);
     return 2;
   }

@@ -2,21 +2,38 @@
 # Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
 # regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
 # then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
-# trace, SLO-health and fleet-telemetry suites (the long-horizon paths
-# most likely to hide lifetime bugs).
+# trace, SLO-health, fleet-telemetry and sharded-simulator suites (the
+# long-horizon and multi-threaded paths most likely to hide lifetime and
+# ordering bugs).
 #
-# Usage: scripts/check.sh [--tier1-only | --bench-rebaseline]
-#   --tier1-only        build + full ctest, skip bench gate and ASan pass
+# Usage: scripts/check.sh
+#          [--tier1-only | --bench-only | --bench-rebaseline | --tsan]
+#   --tier1-only        build + full ctest, skip bench gate and sanitizers
+#   --bench-only        build + bench regression gate, skip ctest and
+#                       sanitizers (the CI bench job)
 #   --bench-rebaseline  regenerate bench/baselines/ from this build and
 #                       exit (bench tables are deterministic — fixed seeds
 #                       — so the refreshed files are byte-stable)
+#   --tsan              additionally build with ThreadSanitizer and run the
+#                       sharded + fleet suites under it (the thread-pool
+#                       epoch runner is the only concurrent code)
+#
+# JOBS can be overridden from the environment: JOBS=2 scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
-JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== tier-1: build + full ctest =="
+if [[ -z "${JOBS:-}" ]]; then
+  JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || true)"
+  if ! [[ "$JOBS" =~ ^[1-9][0-9]*$ ]]; then
+    echo "error: cannot determine CPU count (nproc/sysctl failed: '$JOBS')." >&2
+    echo "       set JOBS explicitly, e.g.: JOBS=4 scripts/check.sh" >&2
+    exit 1
+  fi
+fi
+
+echo "== tier-1: build + full ctest (JOBS=$JOBS) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 
@@ -25,11 +42,33 @@ cmake --build build -j "$JOBS"
 # --benchmark_list_tests skips the (wall-clock, non-deterministic) part.
 run_benches() {
   local out_dir="$1"
+  local sources built
   mkdir -p "$out_dir"
+  sources="$(cd "$ROOT/bench" && ls bench_*.cpp | sed 's/\.cpp$//')"
+  built=0
   for b in "$ROOT"/build/bench/bench_*; do
-    [[ -x "$b" && ! "$b" == *.* ]] || continue
+    [[ "$b" == *.* ]] && continue  # CMake droppings (bench_foo.dir etc.)
+    if [[ ! -x "$b" ]]; then
+      echo "warning: skipping non-executable bench binary: $b" >&2
+      continue
+    fi
     (cd "$out_dir" && "$b" --benchmark_list_tests=true >/dev/null)
+    built=$((built + 1))
   done
+  # A bench source without a built binary means a stale build dir (or a
+  # target dropped from bench/CMakeLists.txt) — the gate would silently
+  # compare against a shrunken result set.
+  for s in $sources; do
+    if [[ ! -x "$ROOT/build/bench/$s" ]]; then
+      echo "error: bench/$s.cpp has no built binary at build/bench/$s" >&2
+      echo "       (stale build? re-run cmake, or remove the source)" >&2
+      exit 1
+    fi
+  done
+  if [[ "$built" -eq 0 ]]; then
+    echo "error: no bench binaries found under build/bench/" >&2
+    exit 1
+  fi
 }
 
 if [[ "${1:-}" == "--bench-rebaseline" ]]; then
@@ -41,7 +80,9 @@ if [[ "${1:-}" == "--bench-rebaseline" ]]; then
   exit 0
 fi
 
-ctest --test-dir build --output-on-failure -j "$JOBS"
+if [[ "${1:-}" != "--bench-only" ]]; then
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "OK (tier-1 only)"
@@ -53,9 +94,23 @@ rm -rf build/bench-results
 run_benches "$ROOT/build/bench-results"
 python3 scripts/bench_compare.py bench/baselines build/bench-results
 
-echo "== asan: chaos + trace + slo + fleet suites under AddressSanitizer/UBSan =="
+if [[ "${1:-}" == "--bench-only" ]]; then
+  echo "OK (bench only)"
+  exit 0
+fi
+
+echo "== asan: chaos + trace + slo + fleet + shard suites under ASan/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'chaos|trace|slo|fleet'
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -L 'chaos|trace|slo|fleet|shard'
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== tsan: shard + fleet suites under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DTSAN=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -L 'shard|fleet'
+fi
 
 echo "OK"

@@ -1,12 +1,15 @@
 #include "core/fleet.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <string_view>
 #include <utility>
 
 #include "core/platform.hpp"
 #include "net/impair.hpp"
+#include "sim/sharded.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::core {
@@ -79,6 +82,7 @@ sim::FaultPlan fleet_uplink_chaos_plan() {
 
 FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
   const int n = std::max(config.vehicles, 2);
+  const int nshards = std::clamp(config.shards, 1, n);
   std::vector<fs::path> dirs;
   for (int i = 0; i < n; ++i) {
     fs::path dir = fs::temp_directory_path() /
@@ -89,36 +93,73 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
 
   FleetOutcome out;
   {
-    sim::Simulator sim(config.seed);
+    sim::ShardedSimulator ssim(
+        config.seed,
+        sim::ShardedSimulator::Options{nshards, config.threads, config.epoch});
 
-    // The shared shipping network every vehicle's frames traverse — the
-    // one surface tier-named fault targets impair.
-    net::Topology ship_topo(sim);
-    net::ImpairmentController imp(ship_topo);
+    // Each shard owns a full copy of the shipping network. Tier-named
+    // fault targets impair every copy identically (same plan, same
+    // per-shard jitter streams), so a vehicle's transport sees the same
+    // conditions no matter which shard hosts it.
+    struct ShardWorld {
+      std::unique_ptr<net::Topology> ship_topo;
+      std::unique_ptr<net::ImpairmentController> imp;
+      std::unique_ptr<sim::FaultInjector> inj;
+      std::map<std::string, std::vector<std::uint64_t>> tokens;
+      std::map<std::string, hw::ProcessorSpec> saved_specs;
+      std::map<int, OpenVdap*> local;  // global vehicle index -> platform
+    };
+    std::vector<ShardWorld> worlds(static_cast<std::size_t>(nshards));
+    for (int s = 0; s < nshards; ++s) {
+      ShardWorld& w = worlds[static_cast<std::size_t>(s)];
+      w.ship_topo = std::make_unique<net::Topology>(ssim.shard(s));
+      w.imp = std::make_unique<net::ImpairmentController>(*w.ship_topo);
+      w.inj = std::make_unique<sim::FaultInjector>(ssim.shard(s));
+    }
 
     // --- platforms -------------------------------------------------------
     std::vector<std::unique_ptr<OpenVdap>> cars;
     for (int i = 0; i < n; ++i) {
+      const int s = ssim.shard_of(static_cast<std::uint64_t>(i));
       PlatformConfig cfg;
       cfg.vehicle_name = util::format("cav-%d", i);
       cfg.vehicle_secret = 0xC0FFEE00 + static_cast<std::uint64_t>(i);
       cfg.ddi_dir = dirs[static_cast<std::size_t>(i)].string();
       cfg.with_remote_tiers = config.remote_tiers;
       cfg.health.enabled = config.health;
-      cars.push_back(std::make_unique<OpenVdap>(sim, cfg));
+      cars.push_back(std::make_unique<OpenVdap>(ssim.shard(s), cfg));
       cars.back()->install_standard_services();
+      worlds[static_cast<std::size_t>(s)].local[i] = cars.back().get();
     }
 
     // --- aggregator + shippers ------------------------------------------
+    // The aggregator runs on the coordinating thread and sees frames only
+    // at epoch boundaries, merged in (delivery time, vehicle, seq) order —
+    // a canonical order no matter how vehicles are sharded.
     fleet::FleetAggregator agg(config.aggregator);
+    ssim.set_epoch_sink([&out, &agg](sim::SimTime,
+                                     std::vector<sim::ShardMessage>&& batch) {
+      if (batch.empty()) return;
+      std::vector<std::string_view> lines;
+      lines.reserve(batch.size());
+      for (const sim::ShardMessage& m : batch) {
+        out.frames_jsonl += m.payload;
+        out.frames_jsonl += '\n';
+        lines.push_back(m.payload);
+      }
+      agg.ingest_batch(lines);
+      ++out.epoch_batches;
+    });
     std::vector<std::unique_ptr<fleet::TelemetryShipper>> shippers;
     for (int i = 0; i < n; ++i) {
+      const int s = ssim.shard_of(static_cast<std::uint64_t>(i));
+      sim::Simulator* shard_sim = &ssim.shard(s);
       shippers.push_back(std::make_unique<fleet::TelemetryShipper>(
-          sim, cars[static_cast<std::size_t>(i)]->name(), ship_topo,
-          [&out, &agg](const std::string& bytes) {
-            out.frames_jsonl += bytes;
-            out.frames_jsonl += '\n';
-            agg.ingest_wire(bytes);
+          *shard_sim, cars[static_cast<std::size_t>(i)]->name(),
+          *worlds[static_cast<std::size_t>(s)].ship_topo,
+          [&ssim, s, i, shard_sim](const std::string& bytes) {
+            ssim.post(s, shard_sim->now(), static_cast<std::uint64_t>(i),
+                      bytes);
           },
           config.shipper));
       shippers.back()->start();
@@ -131,78 +172,84 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       }
     }
 
-    // --- fault injector --------------------------------------------------
-    sim::FaultInjector inj(sim);
-    auto link_toggle = [&](const sim::FaultSpec& f, bool begin) {
-      auto t = net::tier_from_string(f.target);
-      if (!t) return;
-      if (begin) {
-        imp.link_down(*t);
-      } else {
-        imp.link_up(*t);
-      }
-    };
-    inj.on(sim::FaultKind::kLinkDown, link_toggle);
-    inj.on(sim::FaultKind::kLinkFlap, link_toggle);
+    // --- fault injectors (one per shard, all armed with the full plan) ---
+    for (int s = 0; s < nshards; ++s) {
+      ShardWorld& w = worlds[static_cast<std::size_t>(s)];
+      sim::FaultInjector& inj = *w.inj;
+      net::ImpairmentController* imp = w.imp.get();
+      auto link_toggle = [imp](const sim::FaultSpec& f, bool begin) {
+        auto t = net::tier_from_string(f.target);
+        if (!t) return;
+        if (begin) {
+          imp->link_down(*t);
+        } else {
+          imp->link_up(*t);
+        }
+      };
+      inj.on(sim::FaultKind::kLinkDown, link_toggle);
+      inj.on(sim::FaultKind::kLinkFlap, link_toggle);
 
-    std::map<std::string, std::vector<std::uint64_t>> tokens;
-    inj.on(sim::FaultKind::kLinkDegrade,
-           [&](const sim::FaultSpec& f, bool begin) {
-             auto t = net::tier_from_string(f.target);
-             if (!t) return;
-             if (begin) {
-               tokens[f.name].push_back(
-                   imp.degrade(*t, f.severity, f.extra_loss));
-             } else if (!tokens[f.name].empty()) {
-               imp.restore(tokens[f.name].back());
-               tokens[f.name].pop_back();
-             }
-           });
-    inj.on(sim::FaultKind::kCellularCollapse,
-           [&](const sim::FaultSpec& f, bool begin) {
-             if (begin) {
-               tokens[f.name].push_back(
-                   imp.cellular_collapse(f.severity, f.extra_loss));
-             } else if (!tokens[f.name].empty()) {
-               imp.restore(tokens[f.name].back());
-               tokens[f.name].pop_back();
-             }
-           });
+      inj.on(sim::FaultKind::kLinkDegrade,
+             [&w](const sim::FaultSpec& f, bool begin) {
+               auto t = net::tier_from_string(f.target);
+               if (!t) return;
+               if (begin) {
+                 w.tokens[f.name].push_back(
+                     w.imp->degrade(*t, f.severity, f.extra_loss));
+               } else if (!w.tokens[f.name].empty()) {
+                 w.imp->restore(w.tokens[f.name].back());
+                 w.tokens[f.name].pop_back();
+               }
+             });
+      inj.on(sim::FaultKind::kCellularCollapse,
+             [&w](const sim::FaultSpec& f, bool begin) {
+               if (begin) {
+                 w.tokens[f.name].push_back(
+                     w.imp->cellular_collapse(f.severity, f.extra_loss));
+               } else if (!w.tokens[f.name].empty()) {
+                 w.imp->restore(w.tokens[f.name].back());
+                 w.tokens[f.name].pop_back();
+               }
+             });
 
-    auto fleet_device = [&](const std::string& target) -> hw::ComputeDevice* {
-      int vi = -1;
-      int pj = -1;
-      if (std::sscanf(target.c_str(), "cav-%d/proc:%d", &vi, &pj) != 2) {
-        return nullptr;
-      }
-      if (vi < 0 || vi >= n) return nullptr;
-      const auto& devs = cars[static_cast<std::size_t>(vi)]->board().devices();
-      if (pj < 0 || static_cast<std::size_t>(pj) >= devs.size()) {
-        return nullptr;
-      }
-      return devs[static_cast<std::size_t>(pj)].get();
-    };
-    std::map<std::string, hw::ProcessorSpec> saved_specs;
-    inj.on(sim::FaultKind::kProcessorSlowdown,
-           [&](const sim::FaultSpec& f, bool begin) {
-             hw::ComputeDevice* dev = fleet_device(f.target);
-             if (dev == nullptr) return;
-             if (begin) {
-               saved_specs[f.name] = dev->spec();
-               hw::ProcessorSpec slow = dev->spec();
-               for (auto& [cls, gf] : slow.gflops) gf *= f.severity;
-               dev->reconfigure(slow);
-             } else if (saved_specs.count(f.name) > 0) {
-               dev->reconfigure(saved_specs[f.name]);
-               saved_specs.erase(f.name);
-             }
-           });
-    inj.on(sim::FaultKind::kProcessorOffline,
-           [&](const sim::FaultSpec& f, bool begin) {
-             hw::ComputeDevice* dev = fleet_device(f.target);
-             if (dev != nullptr) dev->set_online(!begin);
-           });
-    inj.arm(plan);
+      // Processor faults bite only on the shard hosting the target
+      // vehicle; every other shard's injector records the window in its
+      // trace and moves on.
+      auto fleet_device = [&w](const std::string& target) -> hw::ComputeDevice* {
+        int vi = -1;
+        int pj = -1;
+        if (std::sscanf(target.c_str(), "cav-%d/proc:%d", &vi, &pj) != 2) {
+          return nullptr;
+        }
+        auto it = w.local.find(vi);
+        if (it == w.local.end()) return nullptr;
+        const auto& devs = it->second->board().devices();
+        if (pj < 0 || static_cast<std::size_t>(pj) >= devs.size()) {
+          return nullptr;
+        }
+        return devs[static_cast<std::size_t>(pj)].get();
+      };
+      inj.on(sim::FaultKind::kProcessorSlowdown,
+             [&w, fleet_device](const sim::FaultSpec& f, bool begin) {
+               hw::ComputeDevice* dev = fleet_device(f.target);
+               if (dev == nullptr) return;
+               if (begin) {
+                 w.saved_specs[f.name] = dev->spec();
+                 hw::ProcessorSpec slow = dev->spec();
+                 for (auto& [cls, gf] : slow.gflops) gf *= f.severity;
+                 dev->reconfigure(slow);
+               } else if (w.saved_specs.count(f.name) > 0) {
+                 dev->reconfigure(w.saved_specs[f.name]);
+                 w.saved_specs.erase(f.name);
+               }
+             });
+      inj.on(sim::FaultKind::kProcessorOffline,
+             [fleet_device](const sim::FaultSpec& f, bool begin) {
+               hw::ComputeDevice* dev = fleet_device(f.target);
+               if (dev != nullptr) dev->set_online(!begin);
+             });
+      inj.arm(plan);
+    }
 
     // --- load: every vehicle runs the same staggered schedule ------------
     std::map<std::string, FleetVehicleStats> stats;
@@ -221,7 +268,8 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
         FleetVehicleStats* vs = &stats[car->name()];
         // Small per-vehicle stagger so releases do not all tie-break on
         // one clock tick.
-        sim.at(t + sim::usec(137) * i, [=, &service_name = service]() {
+        car->simulator().at(t + sim::usec(137) * i,
+                            [=, &service_name = service]() {
           ++vs->releases;
           shipper->count("svc." + service_name + ".released");
           car->run_service(
@@ -242,20 +290,23 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       OpenVdap* car = cars[static_cast<std::size_t>(i)].get();
       fleet::TelemetryShipper* shipper =
           shippers[static_cast<std::size_t>(i)].get();
-      tickers.push_back(sim.every(sim::seconds(7), [car]() {
+      tickers.push_back(car->simulator().every(sim::seconds(7), [car]() {
         car->elastic().reevaluate();
       }));
-      tickers.push_back(sim.every(sim::seconds(5), [car, shipper]() {
+      tickers.push_back(car->simulator().every(sim::seconds(5),
+                                               [car, shipper]() {
         shipper->gauge("elastic.active_runs",
                        static_cast<double>(car->elastic().active_runs()));
       }));
     }
 
     // --- run under fire, then heal and drain -----------------------------
-    sim.run_until(config.run_until);
-    imp.restore_all();
+    // Direct mutations (heal, flush, stop) happen between run_until calls,
+    // i.e. at epoch barriers with every shard quiesced.
+    ssim.run_until(config.run_until);
+    for (ShardWorld& w : worlds) w.imp->restore_all();
     for (auto& car : cars) car->elastic().reevaluate();
-    sim.run_until(config.run_until + sim::seconds(20));
+    ssim.run_until(config.run_until + sim::seconds(20));
     for (auto& t : tickers) t.stop();
     for (auto& car : cars) {
       car->elastic().abandon_hung();
@@ -265,7 +316,7 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       shipper->stop();
       shipper->flush_now();
     }
-    sim.run_until(config.run_until + sim::seconds(20) + config.drain);
+    ssim.run_until(config.run_until + sim::seconds(20) + config.drain);
 
     // --- snapshot --------------------------------------------------------
     for (int i = 0; i < n; ++i) {
@@ -292,7 +343,10 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
     out.reordered = agg.reordered();
     out.lost_frames = agg.lost_frames();
     out.decode_errors = agg.decode_errors();
-    out.fault_trace = inj.trace_lines();
+    out.epochs = ssim.epochs_run();
+    // Every shard's injector replays the same plan with the same jitter
+    // streams, so shard 0's trace is THE trace.
+    out.fault_trace = worlds[0].inj->trace_lines();
   }
   for (const fs::path& dir : dirs) fs::remove_all(dir);
   return out;

@@ -30,6 +30,16 @@ namespace vdap::core {
 struct FleetConfig {
   int vehicles = 6;
   std::uint64_t seed = 7;
+  /// Sharded execution (DESIGN.md §6f): vehicles are partitioned
+  /// round-robin over `shards` per-shard simulators (each owning its
+  /// vehicles, their links and a copy of the shipping topology) advancing
+  /// in `epoch`-long lock-step epochs on `threads` worker threads.
+  /// Telemetry frames cross shards only at epoch boundaries, merged in
+  /// (time, vehicle, seq) order — so the outcome is byte-identical across
+  /// shard AND thread counts per (seed, plan).
+  int shards = 1;
+  int threads = 1;
+  sim::SimDuration epoch = sim::seconds(1);
   /// Distinguishes DDI temp dirs of concurrently running scenarios.
   std::string dir_tag = "fleet";
   /// Services every vehicle releases round-robin.
@@ -86,6 +96,8 @@ struct FleetOutcome {
   std::uint64_t releases = 0;
   std::uint64_t reports = 0;
   std::uint64_t completed_ok = 0;
+  std::uint64_t epochs = 0;        // lock-step barriers crossed
+  std::uint64_t epoch_batches = 0; // non-empty cross-shard frame batches
   std::vector<std::string> fault_trace;
 };
 

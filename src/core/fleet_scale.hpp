@@ -1,0 +1,72 @@
+// Fleet-at-scale scenario (DESIGN.md §6f): the 100k-vehicle stress path
+// for the sharded simulator. Unlike run_fleet (full OpenVdap platforms,
+// DDI on disk, elastic managers — heavyweight per vehicle), each vehicle
+// here is just a synthetic latency producer feeding a REAL
+// TelemetryShipper over a REAL net::Link, so the hot loop exercises the
+// calendar queue, the RNG streams, the wire codec and the transport —
+// the parts whose scaling the bench gate tracks.
+//
+// Aggregation is shard-local by design: the deliver callback decodes and
+// folds each wire frame into its vehicle's running FNV-1a digest on the
+// shard's own worker thread (a vehicle lives entirely on one shard, so no
+// locking). The committed outcome — per-vehicle digests combined in
+// vehicle-index order plus summed transport stats — is therefore a pure
+// function of (seed, config), byte-identical across shard AND thread
+// counts; tests/sharded_test.cpp sweeps both to prove it, and
+// bench_shard.cpp commits the digest for 1k..100k fleets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "telemetry/fleet/shipper.hpp"
+
+namespace vdap::core {
+
+struct FleetScaleConfig {
+  int vehicles = 1000;
+  std::uint64_t seed = 7;
+  /// Sharded execution knobs (see FleetConfig): output is byte-identical
+  /// across shards/threads per (seed, rest-of-config).
+  int shards = 1;
+  int threads = 1;
+  sim::SimDuration epoch = sim::seconds(1);
+  /// Every vehicle draws `samples_per_tick` latency samples from its own
+  /// "scale.load/<i>" stream each `sample_period`.
+  sim::SimDuration sample_period = sim::msec(500);
+  int samples_per_tick = 4;
+  /// Stop producing here, then drain the shipper queues this much longer.
+  sim::SimTime run_until = sim::seconds(10);
+  sim::SimDuration drain = sim::seconds(10);
+  telemetry::fleet::TelemetryShipper::Options shipper;
+};
+
+struct FleetScaleOutcome {
+  int vehicles = 0;
+  int shards = 0;
+  int threads = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t events_fired = 0;
+
+  // Summed transport accounting (shard-order independent: per-vehicle
+  // stats summed in vehicle-index order).
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t decode_errors = 0;
+
+  /// FNV-1a fold of every vehicle's delivery-ordered frame digest, in
+  /// vehicle-index order — the one number the byte-identity sweep and the
+  /// bench baseline pin down.
+  std::uint64_t digest = 0;
+
+  /// One-line deterministic summary (digest + totals).
+  std::string summary;
+};
+
+FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config);
+
+}  // namespace vdap::core

@@ -13,6 +13,11 @@
 //    tier is in effect (they don't stack), matching how fault windows are
 //    typically authored; cellular collapse routes through the Topology's
 //    dedicated impairment channel so it composes with the drive scenario.
+//
+// Sharded execution (DESIGN.md §6f): one controller per shard-local
+// Topology copy. Identical fault plans replayed against identical copies
+// (same seed, same jitter streams) keep every shard's view of the shared
+// network byte-for-byte in step without any cross-shard coordination.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,13 @@
 // Paths collapse their hops into one effective FIFO link (bottleneck
 // bandwidth, summed latency, combined loss) — adequate because the vehicle's
 // wireless first hop dominates every path in practice.
+//
+// Sharded execution (DESIGN.md §6f): a Topology is bound to ONE
+// sim::Simulator, so sharded scenarios give every shard its own copy.
+// All construction-time randomness comes from streams named by fixed
+// strings derived from the simulator's root seed, so K copies built on
+// K same-seed shards are identical — the property the shard-count
+// byte-identity sweep relies on.
 #pragma once
 
 #include <array>

@@ -1,0 +1,95 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::sim {
+
+ShardedSimulator::ShardedSimulator(std::uint64_t seed, Options options)
+    : seed_(seed), opts_(options) {
+  if (opts_.shards < 1) opts_.shards = 1;
+  if (opts_.epoch_length <= 0) {
+    throw std::invalid_argument("sharded: epoch_length must be > 0");
+  }
+  opts_.threads = std::clamp(opts_.threads, 1, opts_.shards);
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int i = 0; i < opts_.shards; ++i) {
+    // Every shard derives RNG streams from the SAME root seed: a stream
+    // named per entity ("veh.17", "link.ship/cav-17") draws the same
+    // sequence no matter which shard hosts the entity — the keystone of
+    // shard-count-independent output.
+    shards_.push_back(Shard{std::make_unique<Simulator>(seed), {}, 0});
+  }
+}
+
+void ShardedSimulator::post(int from_shard, SimTime at, std::uint64_t key,
+                            std::string payload) {
+  shards_[static_cast<std::size_t>(from_shard)].outbox.push_back(
+      ShardMessage{at, key, std::move(payload)});
+}
+
+bool ShardedSimulator::idle() const {
+  for (const Shard& s : shards_) {
+    if (!s.sim->idle()) return false;
+  }
+  return true;
+}
+
+void ShardedSimulator::exchange(SimTime epoch_end) {
+  std::vector<ShardMessage> batch;
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.outbox.size();
+  batch.reserve(total);
+  for (Shard& s : shards_) {
+    for (ShardMessage& m : s.outbox) batch.push_back(std::move(m));
+    s.outbox.clear();
+  }
+  // Stable: same-(at, key) messages — one producer by contract — keep
+  // their emit order regardless of how entities are spread over shards.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const ShardMessage& a, const ShardMessage& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.key < b.key;
+                   });
+  if (sink_) sink_(epoch_end, std::move(batch));
+}
+
+std::size_t ShardedSimulator::run_until(SimTime until) {
+  if (opts_.threads > 1 && telemetry::Telemetry::enabled()) {
+    throw std::logic_error(
+        "sharded: the global telemetry registry is not thread-safe; close "
+        "the telemetry::Session or run with threads = 1");
+  }
+  if (until == kTimeMax) {
+    // Lock-step epochs need a finite horizon (an idle shard still has to
+    // reach every barrier); callers drain with explicit horizons instead.
+    throw std::invalid_argument("sharded: run_until needs a finite horizon");
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  std::size_t fired_total = 0;
+  while (now_ < until) {
+    SimTime epoch_end = until - now_ < opts_.epoch_length
+                            ? until
+                            : now_ + opts_.epoch_length;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards_.size());
+    for (Shard& s : shards_) {
+      Shard* shard = &s;
+      tasks.push_back(
+          [shard, epoch_end] { shard->fired += shard->sim->run_until(epoch_end); });
+    }
+    pool_->run(tasks);
+    now_ = epoch_end;
+    ++epochs_;
+    exchange(epoch_end);
+  }
+  for (Shard& s : shards_) {
+    fired_total += s.fired;
+    s.fired = 0;
+  }
+  return fired_total;
+}
+
+}  // namespace vdap::sim

@@ -1,0 +1,119 @@
+// Sharded discrete-event simulation: K independent sim::Simulators
+// advancing in deterministic lock-step epochs on a thread pool
+// (DESIGN.md §6f).
+//
+// Model
+//   * Each shard owns a Simulator (clock + calendar queue + named RNG
+//     streams, all derived from the same root seed) plus whatever state
+//     the caller builds on it — vehicles, links, fault injectors. Within
+//     an epoch, shards run with NO shared mutable state; one worker thread
+//     drives one shard at a time.
+//   * Cross-shard communication happens only at epoch boundaries: during
+//     an epoch a shard appends ShardMessages to its private outbox; at the
+//     barrier the runner merges all outboxes into one batch ordered by
+//     (at, key, emit order) and hands it to the epoch sink on the calling
+//     thread. The sink may mutate any shard (e.g. schedule next-epoch
+//     events, retarget impairment plans) — everything is quiesced.
+//
+// Determinism
+//   * Thread count: a shard's epoch depends only on its own state, so the
+//     worker-to-shard assignment (the only thing scheduling changes) is
+//     invisible. Byte-identical output for 1..N threads.
+//   * Shard count: holds whenever per-entity state and RNG streams are
+//     partitioned by entity (per-vehicle stream names, per-shard link
+//     instances) and every message key is emitted by exactly one shard —
+//     then the merged batch order is a pure function of (seed, plan).
+//     tests/sharded_test.cpp sweeps shard counts 1/2/8 x thread counts to
+//     prove both properties for the fleet scenarios.
+//   * Telemetry: the global telemetry registry is process-wide, so running
+//     with threads > 1 while a telemetry::Session is live is refused.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace vdap::sim {
+
+/// One cross-shard message. `key` orders messages from different shards
+/// deterministically (e.g. a global vehicle index); messages with the same
+/// (at, key) keep their emit order.
+struct ShardMessage {
+  SimTime at = 0;
+  std::uint64_t key = 0;
+  std::string payload;
+};
+
+class ShardedSimulator {
+ public:
+  struct Options {
+    int shards = 1;
+    /// Worker threads driving the shards (clamped to [1, shards]).
+    int threads = 1;
+    /// Lock-step epoch length; cross-shard messages are exchanged at
+    /// multiples of this.
+    SimDuration epoch_length = seconds(1);
+  };
+
+  /// Called once per epoch barrier with all messages the epoch produced,
+  /// merged in (at, key, emit) order. Runs on the calling thread.
+  using EpochSink =
+      std::function<void(SimTime epoch_end, std::vector<ShardMessage>&& batch)>;
+
+  ShardedSimulator(std::uint64_t seed, Options options);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const { return opts_.threads; }
+  SimDuration epoch_length() const { return opts_.epoch_length; }
+  std::uint64_t seed() const { return seed_; }
+
+  Simulator& shard(int i) { return *shards_[static_cast<std::size_t>(i)].sim; }
+
+  /// Deterministic home shard for a dense entity index (round-robin).
+  int shard_of(std::uint64_t entity) const {
+    return static_cast<int>(entity % shards_.size());
+  }
+
+  /// Appends a message to `from_shard`'s outbox. Must be called either
+  /// from code running on that shard (inside its epoch) or between epochs.
+  void post(int from_shard, SimTime at, std::uint64_t key,
+            std::string payload);
+
+  void set_epoch_sink(EpochSink sink) { sink_ = std::move(sink); }
+
+  /// Runs every shard to `until` in lock-step epochs (the final epoch may
+  /// be shorter), exchanging messages at each boundary. `until` must be
+  /// finite (an idle shard still reaches every barrier). Returns the total
+  /// number of events fired across all shards.
+  std::size_t run_until(SimTime until);
+
+  /// The last epoch boundary every shard has reached.
+  SimTime now() const { return now_; }
+  std::uint64_t epochs_run() const { return epochs_; }
+  /// True when no shard has pending events.
+  bool idle() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Simulator> sim;
+    std::vector<ShardMessage> outbox;
+    std::size_t fired = 0;
+  };
+
+  void exchange(SimTime epoch_end);
+
+  std::uint64_t seed_;
+  Options opts_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  EpochSink sink_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace vdap::sim

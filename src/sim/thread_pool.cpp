@@ -1,0 +1,82 @@
+#include "sim/thread_pool.hpp"
+
+namespace vdap::sim {
+
+ThreadPool::ThreadPool(int threads) {
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool ThreadPool::take_task() {
+  std::function<void()>* task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_ == nullptr || next_task_ >= tasks_->size()) return false;
+    task = &(*tasks_)[next_task_++];
+  }
+  (*task)();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_tasks_;
+    if (tasks_ != nullptr && done_tasks_ == tasks_->size()) {
+      done_cv_.notify_all();
+    }
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (tasks_ != nullptr && batch_gen_ != seen_gen &&
+                             next_task_ < tasks_->size());
+      });
+      if (shutdown_) return;
+      seen_gen = batch_gen_;
+    }
+    while (take_task()) {
+    }
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    next_task_ = 0;
+    done_tasks_ = 0;
+    ++batch_gen_;
+  }
+  work_cv_.notify_all();
+  // The calling thread works the batch too instead of just blocking.
+  while (take_task()) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_tasks_ == tasks.size(); });
+  tasks_ = nullptr;
+}
+
+}  // namespace vdap::sim

@@ -1,0 +1,57 @@
+// A minimal fixed-size thread pool for lock-step shard execution.
+//
+// Not a general task system: run() executes one batch of independent tasks
+// and blocks until every task finished — the barrier ShardedSimulator
+// needs between epochs. All coordination goes through one mutex +
+// condition variables, so the completion of every task happens-before
+// run() returning (the property the cross-shard merge relies on, and the
+// one ThreadSanitizer checks).
+//
+// With `threads <= 1` no worker threads are created and run() executes the
+// batch inline on the calling thread, so single-threaded configurations
+// stay exactly as debuggable as the old sequential code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdap::sim {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads backing the pool (0 for an inline pool).
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task in `tasks` (the calling thread participates) and
+  /// returns when all of them completed. Tasks must not throw.
+  void run(std::vector<std::function<void()>>& tasks);
+
+  /// Hardware concurrency with a sane floor (probing can return 0).
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  bool take_task();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // run() waits for batch completion
+  std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::size_t next_task_ = 0;
+  std::size_t done_tasks_ = 0;
+  std::uint64_t batch_gen_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vdap::sim

@@ -99,6 +99,17 @@ bool FleetAggregator::ingest_wire(std::string_view line, std::string* error) {
   return ingest(*frame);
 }
 
+std::size_t FleetAggregator::ingest_batch(
+    const std::vector<std::string_view>& lines) {
+  if (lines.empty()) return 0;
+  ++batches_;
+  std::size_t accepted = 0;
+  for (std::string_view line : lines) {
+    if (ingest_wire(line)) ++accepted;
+  }
+  return accepted;
+}
+
 void FleetAggregator::detect(const std::string& metric) {
   const sim::SimTime from =
       watermark_ > opts_.detect_window ? watermark_ - opts_.detect_window : 0;

@@ -78,6 +78,15 @@ class FleetAggregator {
   /// reported via *error (when non-null); they never throw.
   bool ingest_wire(std::string_view line, std::string* error = nullptr);
 
+  /// Epoch-batched ingest (DESIGN.md §6f): one lock-step epoch's worth of
+  /// wire lines, already merged in canonical (time, vehicle, seq) order by
+  /// the sharded runner. Equivalent to ingest_wire per line; returns the
+  /// number of frames accepted (batch size minus duplicates and decode
+  /// errors).
+  std::size_t ingest_batch(const std::vector<std::string_view>& lines);
+  /// Batches ingested via ingest_batch (empty epochs are not counted).
+  std::uint64_t batches() const { return batches_; }
+
   /// Called synchronously on every anomaly transition (after it is
   /// appended to anomalies()).
   void set_anomaly_sink(std::function<void(const FleetAnomaly&)> sink) {
@@ -133,6 +142,7 @@ class FleetAggregator {
   std::map<std::string, sim::SimTime> last_detect_;
   std::function<void(const FleetAnomaly&)> sink_;
   sim::SimTime watermark_ = 0;
+  std::uint64_t batches_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t reordered_ = 0;

@@ -1,0 +1,284 @@
+// Sharded columnar ingest scaling (DESIGN.md §6g): the fleet TSDB fed
+// synthetic wire streams from 1k to 1M frames per simulated second.
+//
+// Three sections:
+//   * A deterministic rate-scaling table — frames, samples, the
+//     DDI-queried fleet p95 of the ingested metric, anomaly/detection
+//     accounting and columnar storage footprint per ingest rate. The
+//     stream values are drawn from the same distribution at every rate,
+//     so the queried p95 must stay FLAT from 1k to 1M frames/s: the TSDB
+//     neither drops nor distorts under load. Committed as
+//     BENCH_ingest.json and held by the bench drift gate (>15% fails).
+//   * A deterministic pool before/after table — block-memory allocation
+//     vs reuse counts for the same append stream with and without the
+//     BlockPool (satellite: pool-allocated hot ingest path).
+//   * Wall-clock thread-scaling and pool-speedup tables printed for
+//     humans but NOT recorded (wall time is not byte-stable). The
+//     thread rows also re-assert byte-identical query output per thread
+//     count.
+#include <benchmark/benchmark.h>
+
+#include "bench_output.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "telemetry/fleet/columnar.hpp"
+#include "telemetry/fleet/ingest.hpp"
+#include "telemetry/fleet/wire.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vdap;
+namespace fleet = telemetry::fleet;
+
+constexpr int kBatches = 10;       // 10 × 100 ms epochs = 1 s of load
+constexpr int kImpaired = 3;       // one sick vehicle, every rate
+
+std::string veh_name(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "cav-%05d", i);
+  return buf;
+}
+
+/// One epoch's frames for a fleet shipping `rate` frames per simulated
+/// second. Values are a fixed deterministic distribution over [20, 30)
+/// regardless of rate (plus one +50 impaired vehicle), so quantiles are
+/// comparable across rows.
+std::vector<std::string> make_batch(int batch, int vehicles,
+                                    int frames_per_vehicle,
+                                    std::vector<std::uint64_t>* seq) {
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(vehicles) *
+                static_cast<std::size_t>(frames_per_vehicle));
+  const sim::SimTime t0 = sim::msec(100) * (batch + 1);
+  for (int i = 0; i < vehicles; ++i) {
+    for (int f = 0; f < frames_per_vehicle; ++f) {
+      fleet::WireFrame frame;
+      frame.vehicle = veh_name(i);
+      frame.seq = ++(*seq)[static_cast<std::size_t>(i)];
+      frame.created = t0 + sim::usec(3) * f;
+      const double value =
+          20.0 +
+          0.01 * static_cast<double>((i * 131 + static_cast<int>(frame.seq) * 17) % 1000) +
+          (i == kImpaired ? 50.0 : 0.0);
+      frame.samples["svc.latency_ms"].push_back({frame.created, value});
+      lines.push_back(fleet::wire_encode(frame));
+    }
+  }
+  return lines;
+}
+
+struct RateRun {
+  fleet::ShardedIngestBackend backend;
+  double wall_seconds = 0.0;
+  explicit RateRun(const fleet::IngestOptions& opts) : backend(opts) {}
+};
+
+/// Ingests 1 simulated second of load at `rate` frames/s. Fleet width
+/// scales with the rate (rate/100 vehicles, 100 frames each), so the
+/// detection columns also document the O(V)-per-barrier cost model.
+void run_rate(RateRun* run, int rate) {
+  const int vehicles = std::max(8, rate / 100);
+  const int per_vehicle_per_batch =
+      std::max(1, rate / vehicles / kBatches);
+  std::vector<std::uint64_t> seq(static_cast<std::size_t>(vehicles), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < kBatches; ++b) {
+    const std::vector<std::string> batch =
+        make_batch(b, vehicles, per_vehicle_per_batch, &seq);
+    std::vector<std::string_view> views(batch.begin(), batch.end());
+    run->backend.ingest_batch(views);
+  }
+  run->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+double queried_p95(const fleet::ShardedIngestBackend& backend) {
+  fleet::Query q;
+  q.metric = "svc.latency_ms";
+  return backend.run_query(q).p95;
+}
+
+void print_rate_table() {
+  util::TextTable table(
+      "sharded ingest scaling — 1 s of load, 10 epoch barriers, 8 shards "
+      "(queried p95 must stay flat 1k -> 1M frames/s)");
+  table.set_header({"frames/s", "vehicles", "frames", "samples", "p95",
+                    "anomalies", "detect passes", "means/pass",
+                    "sealed blk", "encoded KB"});
+  double p95_min = 0.0;
+  double p95_max = 0.0;
+  for (int rate : {1000, 10000, 100000, 1000000}) {
+    fleet::IngestOptions opts;
+    opts.shards = 8;
+    opts.threads = sim::ThreadPool::hardware_threads();
+    opts.block.block_samples = 32;  // ~3 sealed blocks per vehicle
+    RateRun run(opts);
+    run_rate(&run, rate);
+    const fleet::ShardedIngestBackend& b = run.backend;
+    const double p95 = queried_p95(b);
+    if (p95_min == 0.0 || p95 < p95_min) p95_min = p95;
+    p95_max = std::max(p95_max, p95);
+    const fleet::ShardedIngestBackend::PoolStats pool = b.pool_stats();
+    table.add_row(
+        {std::to_string(rate), std::to_string(b.vehicles().size()),
+         std::to_string(b.frames_ingested()),
+         std::to_string(b.samples_ingested()), util::TextTable::num(p95),
+         std::to_string(b.anomalies().size()),
+         std::to_string(b.detect_passes()),
+         std::to_string(b.detect_scanned() / std::max<std::uint64_t>(
+                                                 b.detect_passes(), 1)),
+         std::to_string(pool.sealed_blocks),
+         std::to_string(pool.encoded_bytes / 1024)});
+  }
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  const double spread = (p95_max - p95_min) / p95_max;
+  std::printf(
+      "Expected shape: one fixed value distribution at every rate, so the\n"
+      "queried p95 is flat while frames scale 1000x; exactly one anomaly\n"
+      "(the impaired vehicle) per row; means/pass tracks fleet width, not\n"
+      "frame count (O(V) per barrier, not O(V) per frame).\n"
+      "p95_spread_1k_to_1M=%.1f%% (gate threshold 15%%)\n\n",
+      spread * 100.0);
+}
+
+/// Satellite: pool-allocated hot path, before/after. Same append stream
+/// through ColumnarStores with and without a BlockPool; the committed
+/// columns are the (deterministic) allocation vs reuse counts.
+void print_pool_table() {
+  constexpr int kSeries = 64;
+  constexpr int kAppends = 200000;
+  fleet::ColumnarSeries::Options opts;
+  opts.block_samples = 512;
+  opts.max_blocks = 2;  // evictions recycle encode buffers through the pool
+
+  auto fill = [&](fleet::ColumnarStore* store) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < kAppends; ++k) {
+      char name[8];
+      std::snprintf(name, sizeof name, "m%02d", k % kSeries);
+      store->observe(name, sim::usec(50) * k,
+                     20.0 + 0.01 * static_cast<double>(k % 1000));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  fleet::BlockPool pool;
+  fleet::ColumnarStore pooled(opts, &pool);
+  const double pooled_s = fill(&pooled);
+  fleet::ColumnarStore bare(opts, nullptr);
+  const double bare_s = fill(&bare);
+
+  std::uint64_t seals = 0;
+  for (const std::string& name : pooled.names()) {
+    const fleet::ColumnarSeries* s = pooled.series(name);
+    seals += s->sealed_blocks() + s->evicted_blocks();
+  }
+
+  util::TextTable table(
+      "columnar block memory — 200k appends over 64 series, before/after "
+      "the ingest BlockPool");
+  table.set_header({"mode", "seals", "buffer allocs", "buffer reuses",
+                    "column allocs", "column reuses"});
+  // Without a pool every seal heap-allocates a fresh encode buffer (one
+  // per Sealed block, by construction); with the pool evicted blocks'
+  // buffers and released columns come back through the free lists, so
+  // steady-state ingest appends into already-grown memory.
+  table.add_row({"no pool", std::to_string(seals), std::to_string(seals),
+                 "0", "-", "-"});
+  table.add_row({"pooled", std::to_string(seals),
+                 std::to_string(pool.buffer_allocs()),
+                 std::to_string(pool.buffer_reuses()),
+                 std::to_string(pool.column_allocs()),
+                 std::to_string(pool.column_reuses())});
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected shape: identical seal count both modes; pooled allocations\n"
+      "collapse to the free-list working set with the remainder served by\n"
+      "reuse. (Wall clock, not committed: pooled %.0f ns/append vs bare "
+      "%.0f ns/append.)\n\n",
+      pooled_s / kAppends * 1e9, bare_s / kAppends * 1e9);
+}
+
+void print_thread_table() {
+  const int rate = 100000;
+  util::TextTable table(
+      "ingest wall clock — 100k frames/s stream per thread count "
+      "(not committed: wall time)");
+  table.set_header({"threads", "wall s", "frames/s", "identical"});
+  std::string reference;
+  for (int threads :
+       {1, 2, std::max(2, sim::ThreadPool::hardware_threads())}) {
+    fleet::IngestOptions opts;
+    opts.shards = 8;
+    opts.threads = threads;
+    RateRun run(opts);
+    run_rate(&run, rate);
+    const std::string out =
+        run.backend.rollup_table() + run.backend.vehicle_table();
+    if (reference.empty()) reference = out;
+    table.add_row(
+        {std::to_string(threads), util::TextTable::num(run.wall_seconds, 3),
+         std::to_string(static_cast<long long>(
+             static_cast<double>(run.backend.frames_ingested()) /
+             run.wall_seconds)),
+         out == reference ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Note: wall time includes frame generation + JSON decode; 'identical'\n"
+      "re-checks that thread count never changes the query-visible state.\n\n");
+}
+
+void BM_IngestBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  fleet::IngestOptions opts;
+  opts.shards = 8;
+  opts.threads = threads;
+  const int vehicles = 1000;
+  std::vector<std::uint64_t> seq(vehicles, 0);
+  const std::vector<std::string> batch = make_batch(0, vehicles, 10, &seq);
+  const std::vector<std::string_view> views(batch.begin(), batch.end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    fleet::ShardedIngestBackend backend(opts);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(backend.ingest_batch(views));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(views.size()));
+}
+BENCHMARK(BM_IngestBatch)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The bench gate invokes every binary with --benchmark_list_tests to
+  // collect only the deterministic tables; the wall-clock sections would
+  // be dead weight there (and are not byte-stable anyway).
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0) {
+      list_only = true;
+    }
+  }
+  vdap::bench::BenchOutput bench_out("ingest");
+  print_rate_table();
+  print_pool_table();
+  if (!list_only) print_thread_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

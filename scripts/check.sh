@@ -2,9 +2,9 @@
 # Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
 # regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
 # then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
-# trace, SLO-health, fleet-telemetry and sharded-simulator suites (the
-# long-horizon and multi-threaded paths most likely to hide lifetime and
-# ordering bugs).
+# trace, SLO-health, fleet-telemetry, sharded-simulator and sharded-ingest
+# suites (the long-horizon and multi-threaded paths most likely to hide
+# lifetime and ordering bugs).
 #
 # Usage: scripts/check.sh
 #          [--tier1-only | --bench-only | --bench-rebaseline | --tsan]
@@ -15,8 +15,8 @@
 #                       exit (bench tables are deterministic — fixed seeds
 #                       — so the refreshed files are byte-stable)
 #   --tsan              additionally build with ThreadSanitizer and run the
-#                       sharded + fleet suites under it (the thread-pool
-#                       epoch runner is the only concurrent code)
+#                       sharded + fleet + ingest suites under it (the
+#                       thread-pool epoch runner drives all concurrent code)
 #
 # JOBS can be overridden from the environment: JOBS=2 scripts/check.sh
 set -euo pipefail
@@ -99,18 +99,18 @@ if [[ "${1:-}" == "--bench-only" ]]; then
   exit 0
 fi
 
-echo "== asan: chaos + trace + slo + fleet + shard suites under ASan/UBSan =="
+echo "== asan: chaos + trace + slo + fleet + shard + ingest suites under ASan/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -L 'chaos|trace|slo|fleet|shard'
+      -L 'chaos|trace|slo|fleet|shard|ingest'
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  echo "== tsan: shard + fleet suites under ThreadSanitizer =="
+  echo "== tsan: shard + fleet + ingest suites under ThreadSanitizer =="
   cmake -B build-tsan -S . -DTSAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'shard|fleet'
+        -L 'shard|fleet|ingest'
 fi
 
 echo "OK"

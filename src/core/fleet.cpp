@@ -1,6 +1,7 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -132,22 +133,30 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       worlds[static_cast<std::size_t>(s)].local[i] = cars.back().get();
     }
 
-    // --- aggregator + shippers ------------------------------------------
-    // The aggregator runs on the coordinating thread and sees frames only
-    // at epoch boundaries, merged in (delivery time, vehicle, seq) order —
-    // a canonical order no matter how vehicles are sharded.
-    fleet::FleetAggregator agg(config.aggregator);
-    ssim.set_epoch_sink([&out, &agg](sim::SimTime,
-                                     std::vector<sim::ShardMessage>&& batch) {
+    // --- ingest backend + shippers --------------------------------------
+    // One ingest shard per sim shard (hosted mode): a vehicle's frames
+    // are absorbed into its own ingest shard by the sim thread that
+    // delivered them, so ingest scales with the sim instead of
+    // serializing on the coordinator. Every observable output of the
+    // backend is merged in vehicle-/metric-name order, so the outcome is
+    // byte-identical across shard and thread counts; the frame batch
+    // still crosses to the coordinator (in canonical (time, vehicle,
+    // seq) order) to build frames_jsonl.
+    fleet::IngestOptions ingest_opts = config.ingest;
+    ingest_opts.shards = nshards;
+    ingest_opts.threads = 1;  // driven by the sim threads, not a pool
+    fleet::ShardedIngestBackend backend(ingest_opts);
+    ssim.set_epoch_sink([&out, &backend](
+                            sim::SimTime,
+                            std::vector<sim::ShardMessage>&& batch) {
+      // Detection runs at EVERY epoch barrier (shards quiesced) — the
+      // PR-4 detect-period ingest throttle is gone.
+      backend.barrier();
       if (batch.empty()) return;
-      std::vector<std::string_view> lines;
-      lines.reserve(batch.size());
       for (const sim::ShardMessage& m : batch) {
         out.frames_jsonl += m.payload;
         out.frames_jsonl += '\n';
-        lines.push_back(m.payload);
       }
-      agg.ingest_batch(lines);
       ++out.epoch_batches;
     });
     std::vector<std::unique_ptr<fleet::TelemetryShipper>> shippers;
@@ -157,7 +166,8 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       shippers.push_back(std::make_unique<fleet::TelemetryShipper>(
           *shard_sim, cars[static_cast<std::size_t>(i)]->name(),
           *worlds[static_cast<std::size_t>(s)].ship_topo,
-          [&ssim, s, i, shard_sim](const std::string& bytes) {
+          [&ssim, &backend, s, i, shard_sim](const std::string& bytes) {
+            backend.ingest_on_shard(s, bytes);
             ssim.post(s, shard_sim->now(), static_cast<std::uint64_t>(i),
                       bytes);
           },
@@ -298,6 +308,21 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
         shipper->gauge("elastic.active_runs",
                        static_cast<double>(car->elastic().active_runs()));
       }));
+      if (config.location_period > 0) {
+        // Deterministic loc.x/loc.y fixes — a pure function of (vehicle
+        // index, sim time), no RNG: vehicle i circles at its own radius,
+        // phased around the ring, one lap per 8 minutes.
+        tickers.push_back(car->simulator().every(config.location_period,
+                                                 [car, shipper, i, n]() {
+          const double angle =
+              2.0 * 3.14159265358979323846 *
+              (static_cast<double>(i) / static_cast<double>(n) +
+               sim::to_seconds(car->simulator().now()) / 480.0);
+          const double radius = 200.0 + 25.0 * static_cast<double>(i);
+          shipper->observe("loc.x", radius * std::cos(angle));
+          shipper->observe("loc.y", radius * std::sin(angle));
+        }));
+      }
     }
 
     // --- run under fire, then heal and drain -----------------------------
@@ -333,16 +358,25 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       out.completed_ok += vs.completed_ok;
     }
     out.vehicles = std::move(stats);
-    out.rollup_table = agg.rollup_table();
-    out.anomaly_table = agg.anomaly_table();
-    out.vehicle_table = agg.vehicle_table();
-    out.anomalies = agg.anomalies();
-    out.anomalous_vehicles = agg.anomalous_vehicles();
-    out.frames_ingested = agg.frames_ingested();
-    out.duplicates = agg.duplicates();
-    out.reordered = agg.reordered();
-    out.lost_frames = agg.lost_frames();
-    out.decode_errors = agg.decode_errors();
+    out.rollup_table = backend.rollup_table();
+    out.anomaly_table = backend.anomaly_table();
+    out.vehicle_table = backend.vehicle_table();
+    out.anomalies = backend.anomalies();
+    out.anomalous_vehicles = backend.anomalous_vehicles();
+    out.frames_ingested = backend.frames_ingested();
+    out.duplicates = backend.duplicates();
+    out.reordered = backend.reordered();
+    out.lost_frames = backend.lost_frames();
+    out.decode_errors = backend.decode_errors();
+    out.samples_ingested = backend.samples_ingested();
+    out.detect_passes = backend.detect_passes();
+    out.detect_scanned = backend.detect_scanned();
+    for (const std::string& q : config.queries) {
+      std::string error;
+      std::string table = backend.run_query_text(q, &error);
+      out.query_results.push_back(table.empty() ? "query error: " + error
+                                                : std::move(table));
+    }
     out.epochs = ssim.epochs_run();
     // Every shard's injector replays the same plan with the same jitter
     // streams, so shard 0's trace is THE trace.

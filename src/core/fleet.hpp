@@ -1,9 +1,12 @@
-// Multi-vehicle fleet scenario (DESIGN.md §6e): N OpenVdap platforms in
-// one simulator, each running the same staggered service schedule and
-// shipping its telemetry (latency samples, run counters, health events)
-// through a per-vehicle TelemetryShipper over one SHARED shipping
-// net::Topology to a FleetAggregator at the cloud tier — the paper's
-// XEdge/cloud observing a fleet at once (§III, Fig. 1).
+// Multi-vehicle fleet scenario (DESIGN.md §6e/§6g): N OpenVdap platforms
+// in one simulator, each running the same staggered service schedule and
+// shipping its telemetry (latency samples, run counters, health events,
+// location fixes) through a per-vehicle TelemetryShipper over one SHARED
+// shipping net::Topology to a sharded columnar ingest backend at the
+// cloud tier — the paper's XEdge/cloud observing a fleet at once (§III,
+// Fig. 1). Each vehicle's ingest shard is co-hosted with its sim shard,
+// so frames are absorbed on the shard thread that delivered them; MAD
+// anomaly detection runs unthrottled at every epoch barrier.
 //
 // Fault plans address two surfaces:
 //   * "cav-<i>/proc:<j>" processor faults hit one vehicle's board (the
@@ -22,7 +25,7 @@
 #include <vector>
 
 #include "sim/faults.hpp"
-#include "telemetry/fleet/aggregator.hpp"
+#include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
 
 namespace vdap::core {
@@ -57,8 +60,17 @@ struct FleetConfig {
   bool remote_tiers = false;
   /// Per-vehicle closed-loop SLO health; its events ride the wire frames.
   bool health = true;
+  /// Vehicles report deterministic loc.x/loc.y fixes on this period (0
+  /// disables) — the channel `near` queries resolve against.
+  sim::SimDuration location_period = sim::seconds(5);
   telemetry::fleet::TelemetryShipper::Options shipper;
-  telemetry::fleet::FleetAggregator::Options aggregator;
+  /// Cloud-side ingest knobs. `shards`/`threads` are overridden by the
+  /// runner: one ingest shard per sim shard, driven by the sim threads.
+  telemetry::fleet::IngestOptions ingest;
+  /// DDI-style query lines (see telemetry/fleet/query.hpp) executed
+  /// against the fused store after the drain; rendered tables land in
+  /// FleetOutcome::query_results in the same order.
+  std::vector<std::string> queries;
 };
 
 struct FleetVehicleStats {
@@ -83,6 +95,8 @@ struct FleetOutcome {
   /// Every delivered frame, in delivery order, one JSON line each —
   /// feed it to `vdap-report --fleet`.
   std::string frames_jsonl;
+  /// Rendered tables for FleetConfig::queries (parse errors inline).
+  std::vector<std::string> query_results;
 
   // Transport accounting.
   std::map<std::string, FleetVehicleStats> vehicles;
@@ -91,6 +105,9 @@ struct FleetOutcome {
   std::uint64_t reordered = 0;
   std::uint64_t lost_frames = 0;
   std::uint64_t decode_errors = 0;
+  std::uint64_t samples_ingested = 0;
+  std::uint64_t detect_passes = 0;
+  std::uint64_t detect_scanned = 0;
 
   // Run accounting + determinism evidence.
   std::uint64_t releases = 0;

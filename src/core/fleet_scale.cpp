@@ -52,6 +52,22 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     topos.push_back(std::make_unique<net::Topology>(ssim.shard(s)));
   }
 
+  // Optional hosted ingest backend: one ingest shard per sim shard, fed
+  // from the deliver callbacks (each vehicle's frames land on its home
+  // shard's thread), MAD detection at every epoch barrier. Leaves the
+  // digest path untouched.
+  std::unique_ptr<fleet::ShardedIngestBackend> backend;
+  if (config.ingest_backend) {
+    fleet::IngestOptions iopts = config.ingest;
+    iopts.shards = nshards;
+    iopts.threads = 1;  // driven by the sim threads
+    backend = std::make_unique<fleet::ShardedIngestBackend>(iopts);
+    ssim.set_epoch_sink([b = backend.get()](
+                            sim::SimTime, std::vector<sim::ShardMessage>&&) {
+      b->barrier();
+    });
+  }
+
   // All vehicle state lives in one flat vector sized up front, so the
   // deliver callbacks' pointers stay valid and each slot is touched only
   // by its home shard's thread.
@@ -71,11 +87,13 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     VehicleState* v = &vehicles[static_cast<std::size_t>(i)];
     // Shard-local aggregation: decode + digest on the delivering shard's
     // thread, no cross-shard traffic in the hot loop.
+    fleet::ShardedIngestBackend* ingest = backend.get();
     v->shipper = std::make_unique<fleet::TelemetryShipper>(
         shard_sim, util::format("cav-%d", i), *topos[static_cast<std::size_t>(s)],
-        [v](const std::string& bytes) {
+        [v, ingest, s](const std::string& bytes) {
           v->digest = fnv_bytes(v->digest, bytes);
           ++v->frames;
+          if (ingest != nullptr) ingest->ingest_on_shard(s, bytes);
           if (std::optional<fleet::WireFrame> frame =
                   fleet::wire_decode(bytes)) {
             for (const auto& [metric, samples] : frame->samples) {
@@ -136,6 +154,21 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     digest = fnv_u64(digest, v.digest);
   }
   out.digest = digest;
+  if (backend != nullptr) {
+    out.frames_ingested = backend->frames_ingested();
+    out.samples_ingested = backend->samples_ingested();
+    out.ingest_anomalies = backend->anomalies().size();
+    out.detect_passes = backend->detect_passes();
+    out.detect_scanned = backend->detect_scanned();
+    out.ingest_summary = util::format(
+        "fleet-scale ingest frames=%llu samples=%llu anomalies=%llu "
+        "detect_passes=%llu detect_scanned=%llu",
+        static_cast<unsigned long long>(out.frames_ingested),
+        static_cast<unsigned long long>(out.samples_ingested),
+        static_cast<unsigned long long>(out.ingest_anomalies),
+        static_cast<unsigned long long>(out.detect_passes),
+        static_cast<unsigned long long>(out.detect_scanned));
+  }
   out.summary = util::format(
       "fleet-scale vehicles=%d frames=%llu samples=%llu bytes=%llu "
       "dropped=%llu decode_errors=%llu digest=%016llx",

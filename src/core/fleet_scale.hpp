@@ -20,6 +20,7 @@
 #include <string>
 
 #include "sim/time.hpp"
+#include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
 
 namespace vdap::core {
@@ -40,6 +41,12 @@ struct FleetScaleConfig {
   sim::SimTime run_until = sim::seconds(10);
   sim::SimDuration drain = sim::seconds(10);
   telemetry::fleet::TelemetryShipper::Options shipper;
+  /// Also feed every delivered frame into a hosted ShardedIngestBackend
+  /// (one ingest shard per sim shard, MAD detection at epoch barriers).
+  /// OFF by default: the digest path and its committed bench baselines
+  /// are byte-for-byte unaffected unless this is set.
+  bool ingest_backend = false;
+  telemetry::fleet::IngestOptions ingest;
 };
 
 struct FleetScaleOutcome {
@@ -65,6 +72,15 @@ struct FleetScaleOutcome {
 
   /// One-line deterministic summary (digest + totals).
   std::string summary;
+
+  // Ingest-backend accounting (zero / empty unless config.ingest_backend).
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t samples_ingested = 0;
+  std::uint64_t ingest_anomalies = 0;
+  std::uint64_t detect_passes = 0;
+  std::uint64_t detect_scanned = 0;
+  /// One-line deterministic ingest summary ("" when the backend is off).
+  std::string ingest_summary;
 };
 
 FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config);

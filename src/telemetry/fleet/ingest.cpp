@@ -1,0 +1,604 @@
+#include "telemetry/fleet/ingest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.hpp"
+#include "util/stats.hpp"
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+double median_of(std::vector<double> values) {
+  // values non-empty, by caller contract.
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+bool is_breach_kind(const std::string& kind) {
+  return kind.find("breach") != std::string::npos;
+}
+
+IngestOptions clamped(IngestOptions o) {
+  o.shards = std::max(o.shards, 1);
+  o.threads = std::clamp(o.threads, 1, o.shards);
+  o.min_vehicles = std::max<std::size_t>(o.min_vehicles, 2);
+  o.seq_window = std::max<std::size_t>(o.seq_window, 16);
+  o.detect_window = std::max<sim::SimDuration>(o.detect_window, 1);
+  o.detect_period = std::max<sim::SimDuration>(o.detect_period, 1);
+  return o;
+}
+
+}  // namespace
+
+IngestShard::IngestShard(const IngestOptions& options) : opts_(clamped(options)) {
+  // Enough slots to cover the detect window plus inclusive-edge slack.
+  ring_span_ = static_cast<std::size_t>(
+                   opts_.detect_window / opts_.detect_period) +
+               2;
+}
+
+bool IngestShard::ingest_line(std::string_view line, std::string* error) {
+  std::optional<WireFrame> frame = wire_decode(line, error);
+  if (!frame.has_value()) {
+    ++decode_errors_;
+    return false;
+  }
+  return ingest(*frame);
+}
+
+bool IngestShard::ingest(const WireFrame& frame) {
+  Vehicle* v = nullptr;
+  if (auto it = vehicles_.find(frame.vehicle); it != vehicles_.end()) {
+    v = &it->second;
+  } else {
+    v = &vehicles_
+             .emplace(frame.vehicle,
+                      Vehicle{ColumnarStore(opts_.block, &pool_)})
+             .first->second;
+  }
+
+  // Same duplicate/reorder/loss contract as FleetAggregator: sequence
+  // numbers below the remembered window are treated as already seen.
+  const std::uint64_t floor_seq =
+      v->max_seq > opts_.seq_window ? v->max_seq - opts_.seq_window : 0;
+  if (frame.seq <= floor_seq || v->seen.count(frame.seq) > 0) {
+    ++v->duplicates;
+    ++duplicates_;
+    return false;
+  }
+  if (frame.seq < v->max_seq) {
+    ++v->reordered;
+    ++reordered_;
+  }
+  v->seen.insert(frame.seq);
+  v->max_seq = std::max(v->max_seq, frame.seq);
+  while (!v->seen.empty() &&
+         *v->seen.begin() + opts_.seq_window < v->max_seq) {
+    v->seen.erase(v->seen.begin());
+  }
+  ++v->frames;
+  ++frames_;
+  watermark_ = std::max(watermark_, frame.created);
+
+  for (const auto& [name, delta] : frame.counters) v->counters[name] += delta;
+  for (const auto& [name, value] : frame.gauges) v->gauges[name] = value;
+  for (const WireHealthEvent& ev : frame.events) {
+    ++v->health_events;
+    if (is_breach_kind(ev.kind)) ++v->breaches;
+  }
+  for (const auto& [metric, samples] : frame.samples) {
+    if (samples.empty()) continue;
+    WindowRing* ring = &v->rings[metric];
+    for (const WireSample& s : samples) {
+      if (v->store.observe(metric, s.first, s.second)) {
+        ++samples_;
+        ring_add(ring, s.first, s.second);
+      }
+      watermark_ = std::max(watermark_, s.first);
+    }
+    dirty_.insert(metric);
+  }
+  return true;
+}
+
+void IngestShard::ring_add(WindowRing* ring, sim::SimTime at, double value) {
+  if (ring->slots.empty()) ring->slots.assign(ring_span_, {0, 0.0});
+  const std::int64_t span = static_cast<std::int64_t>(ring_span_);
+  const std::int64_t slot = at / opts_.detect_period;
+  if (ring->max_slot < 0) ring->max_slot = slot;
+  if (slot > ring->max_slot) {
+    const std::int64_t steps = std::min(slot - ring->max_slot, span);
+    for (std::int64_t k = 1; k <= steps; ++k) {
+      ring->slots[static_cast<std::size_t>((ring->max_slot + k) % span)] = {
+          0, 0.0};
+    }
+    ring->max_slot = slot;
+  }
+  if (slot <= ring->max_slot - span) {
+    ++ring_late_;  // older than the covered window; columnar store has it
+    return;
+  }
+  auto& cell = ring->slots[static_cast<std::size_t>(slot % span)];
+  ++cell.first;
+  cell.second += value;
+}
+
+std::set<std::string> IngestShard::take_dirty() {
+  std::set<std::string> out;
+  out.swap(dirty_);
+  return out;
+}
+
+void IngestShard::collect_means(
+    const std::string& metric, sim::SimTime from, sim::SimTime to,
+    std::vector<std::pair<std::string, double>>* out) const {
+  const sim::SimDuration period = opts_.detect_period;
+  const std::int64_t span = static_cast<std::int64_t>(ring_span_);
+  for (const auto& [name, v] : vehicles_) {
+    auto it = v.rings.find(metric);
+    if (it == v.rings.end() || it->second.max_slot < 0) continue;
+    const WindowRing& ring = it->second;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    // Oldest → newest, fixed fold order: include slots [s·P, s·P + P)
+    // intersecting [from, to] (the ring-granularity analogue of the old
+    // store's bucket-intersect window semantics).
+    for (std::int64_t s = std::max<std::int64_t>(ring.max_slot - span + 1, 0);
+         s <= ring.max_slot; ++s) {
+      if (s * period + period <= from || s * period > to) continue;
+      const auto& cell = ring.slots[static_cast<std::size_t>(s % span)];
+      count += cell.first;
+      sum += cell.second;
+    }
+    if (count > 0) {
+      out->emplace_back(name, sum / static_cast<double>(count));
+    }
+  }
+}
+
+std::uint64_t IngestShard::samples_rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, v] : vehicles_) n += v.store.rejected();
+  return n;
+}
+
+std::uint64_t IngestShard::lost_frames() const {
+  std::uint64_t lost = 0;
+  for (const auto& [name, v] : vehicles_) {
+    if (v.max_seq > v.frames) lost += v.max_seq - v.frames;
+  }
+  return lost;
+}
+
+ShardedIngestBackend::ShardedIngestBackend(IngestOptions options)
+    : opts_(clamped(options)) {
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int s = 0; s < opts_.shards; ++s) {
+    shards_.push_back(std::make_unique<IngestShard>(opts_));
+  }
+  if (opts_.threads > 1) {
+    pool_ = std::make_unique<sim::ThreadPool>(opts_.threads);
+  }
+}
+
+int ShardedIngestBackend::threads() const { return opts_.threads; }
+
+int ShardedIngestBackend::shard_of(std::string_view vehicle_key) const {
+  return static_cast<int>(fnv1a(vehicle_key) %
+                          static_cast<std::uint64_t>(shards_.size()));
+}
+
+std::size_t ShardedIngestBackend::ingest_batch(
+    const std::vector<std::string_view>& lines) {
+  if (lines.empty()) return 0;
+  ++batches_;
+  const std::uint64_t before = frames_ingested();
+  if (shards_.size() == 1) {
+    for (std::string_view line : lines) shards_[0]->ingest_line(line);
+  } else {
+    std::vector<std::vector<std::string_view>> parts(shards_.size());
+    for (auto& p : parts) p.reserve(lines.size() / shards_.size() + 1);
+    for (std::string_view line : lines) {
+      parts[static_cast<std::size_t>(shard_of(wire_peek_vehicle(line)))]
+          .push_back(line);
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      IngestShard* shard = shards_[s].get();
+      const std::vector<std::string_view>* part = &parts[s];
+      tasks.push_back([shard, part]() {
+        for (std::string_view line : *part) shard->ingest_line(line);
+      });
+    }
+    if (pool_ != nullptr) {
+      pool_->run(tasks);
+    } else {
+      for (auto& t : tasks) t();
+    }
+  }
+  barrier();
+  return static_cast<std::size_t>(frames_ingested() - before);
+}
+
+bool ShardedIngestBackend::ingest_line(std::string_view line,
+                                       std::string* error) {
+  return shards_[static_cast<std::size_t>(
+                     shard_of(wire_peek_vehicle(line)))]
+      ->ingest_line(line, error);
+}
+
+bool ShardedIngestBackend::ingest_on_shard(int shard, std::string_view line) {
+  return shards_[static_cast<std::size_t>(shard)]->ingest_line(line);
+}
+
+void ShardedIngestBackend::barrier() {
+  sim::SimTime wm = watermark_;
+  for (const auto& s : shards_) wm = std::max(wm, s->watermark());
+  watermark_ = wm;
+  std::set<std::string> dirty;
+  for (auto& s : shards_) {
+    std::set<std::string> d = s->take_dirty();
+    dirty.insert(d.begin(), d.end());
+  }
+  for (const std::string& metric : dirty) {
+    bool excluded = false;
+    for (const std::string& prefix : opts_.detect_exclude) {
+      if (metric.compare(0, prefix.size(), prefix) == 0) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) detect(metric);
+  }
+  mirror_metrics();
+}
+
+void ShardedIngestBackend::detect(const std::string& metric) {
+  const sim::SimTime from = watermark_ > opts_.detect_window
+                                ? watermark_ - opts_.detect_window
+                                : 0;
+  std::vector<std::pair<std::string, double>> means;
+  for (const auto& s : shards_) {
+    s->collect_means(metric, from, watermark_, &means);
+  }
+  // Vehicle-name order: the fold below must not depend on which shard a
+  // vehicle happens to live on.
+  std::sort(means.begin(), means.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ++detect_passes_;
+  detect_scanned_ += means.size();
+  if (means.size() < opts_.min_vehicles) return;
+
+  std::vector<double> values;
+  values.reserve(means.size());
+  for (const auto& [name, m] : means) values.push_back(m);
+  const double med = median_of(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double x : values) deviations.push_back(std::abs(x - med));
+  double mad = median_of(std::move(deviations));
+  // Same floor as the reference aggregator: a near-uniform fleet (MAD→0)
+  // must not produce unbounded scores from numeric dust.
+  mad = std::max(mad, 0.005 * std::max(std::abs(med), 1e-6));
+
+  for (const auto& [name, x] : means) {
+    const double score = 0.6745 * std::abs(x - med) / mad;
+    const std::string key = metric + "|" + name;
+    const bool flagged = active_.count(key) > 0;
+    if (!flagged && score >= opts_.mad_threshold) {
+      active_.insert(key);
+      FleetAnomaly a;
+      a.at = watermark_;
+      a.vehicle = name;
+      a.metric = metric;
+      a.value = x;
+      a.fleet_median = med;
+      a.score = score;
+      anomalies_.push_back(a);
+      if (sink_) sink_(anomalies_.back());
+    } else if (flagged && score < opts_.mad_threshold * opts_.clear_factor) {
+      active_.erase(key);
+    }
+  }
+}
+
+void ShardedIngestBackend::mirror_metrics() {
+  if (!telemetry::on()) return;
+  MirrorState now;
+  now.frames = frames_ingested();
+  now.samples = samples_ingested();
+  now.duplicates = duplicates();
+  now.decode_errors = decode_errors();
+  now.passes = detect_passes_;
+  now.scanned = detect_scanned_;
+  auto delta = [](std::uint64_t cur, std::uint64_t prev) {
+    return static_cast<std::int64_t>(cur - prev);
+  };
+  if (now.frames != mirrored_.frames) {
+    telemetry::count("fleet.ingest.frames", delta(now.frames, mirrored_.frames));
+  }
+  if (now.samples != mirrored_.samples) {
+    telemetry::count("fleet.ingest.samples",
+                     delta(now.samples, mirrored_.samples));
+  }
+  if (now.duplicates != mirrored_.duplicates) {
+    telemetry::count("fleet.ingest.duplicates",
+                     delta(now.duplicates, mirrored_.duplicates));
+  }
+  if (now.decode_errors != mirrored_.decode_errors) {
+    telemetry::count("fleet.ingest.decode_errors",
+                     delta(now.decode_errors, mirrored_.decode_errors));
+  }
+  if (now.passes != mirrored_.passes) {
+    telemetry::count("fleet.ingest.detect.passes",
+                     delta(now.passes, mirrored_.passes));
+  }
+  if (now.scanned != mirrored_.scanned) {
+    telemetry::count("fleet.ingest.detect.scanned",
+                     delta(now.scanned, mirrored_.scanned));
+  }
+  telemetry::gauge("fleet.ingest.vehicles",
+                   static_cast<double>(vehicles().size()));
+  mirrored_ = now;
+}
+
+std::vector<std::string> ShardedIngestBackend::anomalous_vehicles() const {
+  std::vector<std::string> out;
+  for (const FleetAnomaly& a : anomalies_) {
+    if (std::find(out.begin(), out.end(), a.vehicle) == out.end()) {
+      out.push_back(a.vehicle);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<const std::string*, const IngestShard::Vehicle*>>
+ShardedIngestBackend::sorted_vehicles() const {
+  std::vector<std::pair<const std::string*, const IngestShard::Vehicle*>> out;
+  for (const auto& s : shards_) {
+    for (const auto& [name, v] : s->vehicles()) out.emplace_back(&name, &v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  return out;
+}
+
+std::vector<std::string> ShardedIngestBackend::vehicles() const {
+  std::vector<std::string> out;
+  for (const auto& [name, v] : sorted_vehicles()) out.push_back(*name);
+  return out;
+}
+
+std::int64_t ShardedIngestBackend::counter_total(const std::string& vehicle,
+                                                 const std::string& name) const {
+  for (const auto& s : shards_) {
+    auto it = s->vehicles().find(vehicle);
+    if (it == s->vehicles().end()) continue;
+    auto c = it->second.counters.find(name);
+    return c == it->second.counters.end() ? 0 : c->second;
+  }
+  return 0;
+}
+
+std::uint64_t ShardedIngestBackend::frames_ingested() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->frames_ingested();
+  return n;
+}
+
+std::uint64_t ShardedIngestBackend::duplicates() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->duplicates();
+  return n;
+}
+
+std::uint64_t ShardedIngestBackend::reordered() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->reordered();
+  return n;
+}
+
+std::uint64_t ShardedIngestBackend::decode_errors() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->decode_errors();
+  return n;
+}
+
+std::uint64_t ShardedIngestBackend::lost_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->lost_frames();
+  return n;
+}
+
+std::uint64_t ShardedIngestBackend::samples_ingested() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->samples_ingested();
+  return n;
+}
+
+ShardedIngestBackend::PoolStats ShardedIngestBackend::pool_stats() const {
+  PoolStats ps;
+  for (const auto& s : shards_) {
+    ps.column_allocs += s->pool().column_allocs();
+    ps.column_reuses += s->pool().column_reuses();
+    ps.buffer_allocs += s->pool().buffer_allocs();
+    ps.buffer_reuses += s->pool().buffer_reuses();
+    for (const auto& [name, v] : s->vehicles()) {
+      for (const std::string& metric : v.store.names()) {
+        const ColumnarSeries* series = v.store.series(metric);
+        ps.sealed_blocks += series->sealed_blocks();
+        ps.evicted_blocks += series->evicted_blocks();
+        ps.encoded_bytes += series->encoded_bytes();
+      }
+    }
+  }
+  return ps;
+}
+
+std::string ShardedIngestBackend::rollup_table() const {
+  const auto vehicles = sorted_vehicles();
+  std::set<std::string> metrics;
+  for (const auto& [name, v] : vehicles) {
+    for (const std::string& m : v->store.names()) metrics.insert(m);
+  }
+  util::TextTable table("fleet metric rollup");
+  table.set_header({"metric", "vehicles", "count", "mean", "p50", "p95",
+                    "p99", "max", "outliers"});
+  for (const std::string& metric : metrics) {
+    std::size_t reporting = 0;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    bool have_max = false;
+    util::Histogram sketch;
+    sketch.set_sample_cap(opts_.block.sketch_cap);
+    for (const auto& [name, v] : vehicles) {
+      const ColumnarSeries* series = v->store.series(metric);
+      if (series == nullptr) continue;
+      ++reporting;
+      count += series->total_count();
+      sum += series->total_sum();
+      if (!have_max || series->total_max() > max) max = series->total_max();
+      have_max = true;
+      sketch.merge(series->sketch(0, sim::kTimeMax));
+    }
+    std::size_t outliers = 0;
+    for (const std::string& key : active_) {
+      if (key.compare(0, metric.size() + 1, metric + "|") == 0) ++outliers;
+    }
+    const double mean =
+        count > 0 ? sum / static_cast<double>(count) : 0.0;
+    table.add_row({metric, std::to_string(reporting), std::to_string(count),
+                   util::TextTable::num(mean),
+                   util::TextTable::num(sketch.p50()),
+                   util::TextTable::num(sketch.p95()),
+                   util::TextTable::num(sketch.p99()),
+                   util::TextTable::num(max), std::to_string(outliers)});
+  }
+  return table.to_string();
+}
+
+std::string ShardedIngestBackend::anomaly_table() const {
+  util::TextTable table("fleet anomalies");
+  table.set_header({"t(s)", "vehicle", "metric", "value", "fleet p50",
+                    "score"});
+  for (const FleetAnomaly& a : anomalies_) {
+    table.add_row({util::TextTable::num(sim::to_seconds(a.at)), a.vehicle,
+                   a.metric, util::TextTable::num(a.value),
+                   util::TextTable::num(a.fleet_median),
+                   util::TextTable::num(a.score, 1)});
+  }
+  return table.to_string();
+}
+
+std::string ShardedIngestBackend::vehicle_table() const {
+  util::TextTable table("fleet vehicles");
+  table.set_header({"vehicle", "frames", "dup", "reorder", "lost",
+                    "health ev", "breaches"});
+  for (const auto& [name, v] : sorted_vehicles()) {
+    const std::uint64_t lost =
+        v->max_seq > v->frames ? v->max_seq - v->frames : 0;
+    table.add_row({*name, std::to_string(v->frames),
+                   std::to_string(v->duplicates), std::to_string(v->reordered),
+                   std::to_string(lost), std::to_string(v->health_events),
+                   std::to_string(v->breaches)});
+  }
+  return table.to_string();
+}
+
+QueryResult ShardedIngestBackend::run_query(const Query& query) const {
+  QueryResult r;
+  r.query = query;
+  const auto vehicles = sorted_vehicles();
+
+  if (query.kind == Query::Kind::kRange) {
+    util::Histogram fleet_sketch;
+    fleet_sketch.set_sample_cap(opts_.block.sketch_cap);
+    bool have_minmax = false;
+    for (const auto& [name, v] : vehicles) {
+      if (!query.vehicle.empty() && *name != query.vehicle) continue;
+      const ColumnarSeries* series = v->store.series(query.metric);
+      if (series == nullptr) continue;
+      QueryVehicleRow row;
+      row.vehicle = *name;
+      row.agg = series->range(query.from, query.to);
+      util::Histogram sketch = series->sketch(query.from, query.to);
+      row.p50 = sketch.p50();
+      row.p95 = sketch.p95();
+      row.p99 = sketch.p99();
+      if (row.agg.count > 0) {
+        if (!have_minmax) {
+          r.fleet.min = row.agg.min;
+          r.fleet.max = row.agg.max;
+          have_minmax = true;
+        } else {
+          r.fleet.min = std::min(r.fleet.min, row.agg.min);
+          r.fleet.max = std::max(r.fleet.max, row.agg.max);
+        }
+        r.fleet.count += row.agg.count;
+        r.fleet.sum += row.agg.sum;
+      }
+      fleet_sketch.merge(sketch);
+      r.per_vehicle.push_back(std::move(row));
+    }
+    r.p50 = fleet_sketch.p50();
+    r.p95 = fleet_sketch.p95();
+    r.p99 = fleet_sketch.p99();
+    return r;
+  }
+
+  for (const auto& [name, v] : vehicles) {
+    const ColumnarSeries* sx = v->store.series("loc.x");
+    const ColumnarSeries* sy = v->store.series("loc.y");
+    if (sx == nullptr || sy == nullptr) continue;
+    auto fx = sx->last_at_or_before(query.at);
+    auto fy = sy->last_at_or_before(query.at);
+    if (!fx.has_value() || !fy.has_value()) continue;
+    const sim::SimTime horizon =
+        query.at > query.within ? query.at - query.within : 0;
+    if (fx->first < horizon || fy->first < horizon) continue;  // stale fix
+    const double dx = fx->second - query.x;
+    const double dy = fy->second - query.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist > query.radius) continue;
+    QueryNearHit hit;
+    hit.vehicle = *name;
+    hit.x = fx->second;
+    hit.y = fy->second;
+    hit.dist = dist;
+    hit.at = std::max(fx->first, fy->first);
+    r.hits.push_back(std::move(hit));
+  }
+  std::sort(r.hits.begin(), r.hits.end(),
+            [](const QueryNearHit& a, const QueryNearHit& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.vehicle < b.vehicle;
+            });
+  return r;
+}
+
+std::string ShardedIngestBackend::run_query_text(std::string_view text,
+                                                 std::string* error) const {
+  Query q;
+  if (!parse_query(text, &q, error)) return std::string();
+  return run_query(q).to_table();
+}
+
+}  // namespace vdap::telemetry::fleet

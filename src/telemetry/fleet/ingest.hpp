@@ -1,0 +1,267 @@
+// Sharded columnar ingest backend (DESIGN.md §6g): the real TSDB behind
+// the fleet's cloud aggregation point, replacing the single-threaded
+// FleetAggregator on the hot path (the old aggregator remains as the
+// oracle the `ingest` test suite compares against).
+//
+// Architecture: K IngestShards, each single-threaded and lock-free —
+// per-vehicle ColumnarStores (encoded sample blocks + streaming
+// sketches), the FleetAggregator's exact dedup/reorder/loss accounting,
+// and O(1)-per-sample window rings that maintain per-(vehicle, metric)
+// trailing-window means at detect_period granularity. A vehicle maps to
+// exactly one shard: FNV-1a(vehicle) % K in standalone mode, or any
+// fixed external mapping in hosted mode (core::run_fleet homes a
+// vehicle's ingest on its sim shard). All mapping-sensitive state stays
+// inside the shard; everything observable — tables, queries, anomalies,
+// accounting — is merged across shards in vehicle-name or metric-name
+// order, so results are byte-identical across shard AND thread counts.
+//
+// Anomaly detection is unthrottled: the PR-4 O(vehicles²) per-frame MAD
+// pass became per-frame O(1) ring maintenance plus one O(V log V) MAD
+// pass per dirty metric at each barrier, so the detect-period ingest
+// throttle is gone (detect_period now only sets the ring resolution).
+// Detection runs on the coordinator at barriers with the shards
+// quiesced, over per-vehicle means gathered from the rings and sorted by
+// vehicle name — the same modified z-score math, MAD floor and
+// hysteresis as the reference aggregator.
+//
+// Threading contract (ThreadSanitizer-checked by the `ingest` suite):
+//   * ingest_batch() partitions lines by vehicle key and runs the shards
+//     on an internal ThreadPool; the pool's barrier gives happens-before
+//     between shard work and everything after.
+//   * Hosted callers invoke ingest_on_shard(s, line) only from code
+//     running shard s (e.g. a deliver callback on its sim shard) and
+//     barrier() only with every shard quiesced (an epoch barrier).
+//   * The process-wide telemetry registry is touched only at barriers,
+//     on the coordinating thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "telemetry/fleet/aggregator.hpp"
+#include "telemetry/fleet/columnar.hpp"
+#include "telemetry/fleet/query.hpp"
+#include "telemetry/fleet/wire.hpp"
+
+namespace vdap::telemetry::fleet {
+
+struct IngestOptions {
+  /// Ingest shards (vehicle-hash partitions).
+  int shards = 1;
+  /// Worker threads driving standalone ingest_batch() (clamped to
+  /// [1, shards]); hosted mode runs on the caller's threads instead.
+  int threads = 1;
+  /// Per-(vehicle, metric) columnar series knobs.
+  ColumnarSeries::Options block;
+  /// MAD detection — same contract as FleetAggregator::Options.
+  double mad_threshold = 3.5;
+  double clear_factor = 0.7;
+  std::size_t min_vehicles = 3;
+  sim::SimDuration detect_window = sim::seconds(15);
+  /// Window-ring slot width (NOT a detection throttle any more —
+  /// detection runs at every barrier whose watermark advanced).
+  sim::SimDuration detect_period = sim::seconds(1);
+  /// Metric-name prefixes MAD detection skips. Location fixes are lookup
+  /// data for `near` queries — an outlying coordinate is geometry, not
+  /// sickness.
+  std::vector<std::string> detect_exclude = {"loc."};
+  std::size_t seq_window = 4096;
+};
+
+/// One single-threaded ingest partition. Hot-path methods (ingest*) may
+/// only run on the shard's owning thread; everything else only with the
+/// shard quiesced.
+class IngestShard {
+ public:
+  /// Streaming (count, sum) ring at detect_period granularity covering
+  /// the trailing detect window — O(1) per sample, O(window/period) per
+  /// mean query, no per-detection store scan.
+  struct WindowRing {
+    std::vector<std::pair<std::uint64_t, double>> slots;
+    std::int64_t max_slot = -1;  // newest slot index seen (-1: empty)
+  };
+
+  struct Vehicle {
+    ColumnarStore store;
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, WindowRing> rings;
+    std::uint64_t frames = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t max_seq = 0;
+    std::set<std::uint64_t> seen;
+    std::uint64_t health_events = 0;
+    std::uint64_t breaches = 0;
+  };
+
+  explicit IngestShard(const IngestOptions& options);
+
+  /// Decodes and ingests one wire line (hot path). Returns false for
+  /// decode errors (counted, diagnostic in *error) and duplicates.
+  bool ingest_line(std::string_view line, std::string* error = nullptr);
+  /// Ingests one decoded frame. Returns false for duplicates.
+  bool ingest(const WireFrame& frame);
+
+  // --- barrier-side (shard quiesced) ---------------------------------
+  sim::SimTime watermark() const { return watermark_; }
+  /// Metrics that received samples since the last take_dirty().
+  std::set<std::string> take_dirty();
+  /// Appends (vehicle, trailing-window mean) for every vehicle of this
+  /// shard reporting `metric` within [from, to] (ring-slot granularity).
+  void collect_means(const std::string& metric, sim::SimTime from,
+                     sim::SimTime to,
+                     std::vector<std::pair<std::string, double>>* out) const;
+
+  const std::map<std::string, Vehicle>& vehicles() const { return vehicles_; }
+  const BlockPool& pool() const { return pool_; }
+
+  std::uint64_t frames_ingested() const { return frames_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+  std::uint64_t samples_ingested() const { return samples_; }
+  std::uint64_t samples_rejected() const;
+  /// Samples too old for their window ring (still stored columnar-side).
+  std::uint64_t ring_late() const { return ring_late_; }
+  std::uint64_t lost_frames() const;
+
+ private:
+  void ring_add(WindowRing* ring, sim::SimTime at, double value);
+
+  IngestOptions opts_;
+  std::size_t ring_span_ = 0;  // slots per ring
+  BlockPool pool_;
+  std::map<std::string, Vehicle> vehicles_;
+  std::set<std::string> dirty_;
+  sim::SimTime watermark_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t ring_late_ = 0;
+};
+
+/// The sharded backend: owns the shards, the standalone thread pool, and
+/// the barrier-time detection/merge state. See the header comment for
+/// the threading contract.
+class ShardedIngestBackend {
+ public:
+  ShardedIngestBackend() : ShardedIngestBackend(IngestOptions{}) {}
+  explicit ShardedIngestBackend(IngestOptions options);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const;
+
+  /// Standalone routing contract: FNV-1a over the vehicle key, modulo
+  /// the shard count (DESIGN.md §6g).
+  int shard_of(std::string_view vehicle_key) const;
+
+  /// Standalone mode: partitions `lines` by wire_peek_vehicle() key,
+  /// ingests each partition on its shard (in parallel when configured
+  /// with threads > 1), then runs a barrier. Returns frames accepted.
+  std::size_t ingest_batch(const std::vector<std::string_view>& lines);
+  /// Non-empty batches ingested (parity with FleetAggregator::batches).
+  std::uint64_t batches() const { return batches_; }
+
+  /// Convenience single-line ingest + no barrier (replay/CLI path):
+  /// routes via shard_of(wire_peek_vehicle(line)).
+  bool ingest_line(std::string_view line, std::string* error = nullptr);
+
+  // --- hosted mode -----------------------------------------------------
+  /// Ingest one line on shard `shard`; call only from code running that
+  /// shard (see threading contract). Any fixed vehicle→shard mapping is
+  /// valid as long as each vehicle always lands on the same shard.
+  bool ingest_on_shard(int shard, std::string_view line);
+  IngestShard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  /// Merge watermarks and run unthrottled MAD detection over every dirty
+  /// metric; call with all shards quiesced (standalone ingest_batch does
+  /// this itself). Mirrors ingest counters into the telemetry registry
+  /// (coordinator thread only).
+  void barrier();
+
+  void set_anomaly_sink(std::function<void(const FleetAnomaly&)> sink) {
+    sink_ = std::move(sink);
+  }
+  const std::vector<FleetAnomaly>& anomalies() const { return anomalies_; }
+  std::vector<std::string> anomalous_vehicles() const;
+
+  std::vector<std::string> vehicles() const;
+  std::int64_t counter_total(const std::string& vehicle,
+                             const std::string& name) const;
+
+  std::uint64_t frames_ingested() const;
+  std::uint64_t duplicates() const;
+  std::uint64_t reordered() const;
+  std::uint64_t decode_errors() const;
+  std::uint64_t lost_frames() const;
+  std::uint64_t samples_ingested() const;
+  sim::SimTime watermark() const { return watermark_; }
+  std::uint64_t detect_passes() const { return detect_passes_; }
+  /// Vehicle window-means examined across all detection passes — the
+  /// counter the O(V)-cost regression test pins.
+  std::uint64_t detect_scanned() const { return detect_scanned_; }
+
+  /// Pool + block accounting summed over shards (bench evidence).
+  struct PoolStats {
+    std::uint64_t column_allocs = 0;
+    std::uint64_t column_reuses = 0;
+    std::uint64_t buffer_allocs = 0;
+    std::uint64_t buffer_reuses = 0;
+    std::uint64_t sealed_blocks = 0;
+    std::uint64_t evicted_blocks = 0;
+    std::uint64_t encoded_bytes = 0;
+  };
+  PoolStats pool_stats() const;
+
+  /// Report tables, same shapes as FleetAggregator's (deterministic per
+  /// ingest sequence, shard/thread-count invariant).
+  std::string rollup_table() const;
+  std::string anomaly_table() const;
+  std::string vehicle_table() const;
+
+  /// Executes one query against the fused store (shards quiesced).
+  QueryResult run_query(const Query& query) const;
+  /// Parse + run + render; on parse failure returns "" with *error set.
+  std::string run_query_text(std::string_view text,
+                             std::string* error = nullptr) const;
+
+ private:
+  struct MirrorState {
+    std::uint64_t frames = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t passes = 0;
+    std::uint64_t scanned = 0;
+  };
+
+  void detect(const std::string& metric);
+  void mirror_metrics();
+  /// (name, vehicle) pairs across shards, sorted by vehicle name.
+  std::vector<std::pair<const std::string*, const IngestShard::Vehicle*>>
+  sorted_vehicles() const;
+
+  IngestOptions opts_;
+  std::vector<std::unique_ptr<IngestShard>> shards_;
+  std::unique_ptr<sim::ThreadPool> pool_;
+  std::function<void(const FleetAnomaly&)> sink_;
+  std::vector<FleetAnomaly> anomalies_;
+  std::set<std::string> active_;  // metric + "|" + vehicle (hysteresis)
+  sim::SimTime watermark_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t detect_passes_ = 0;
+  std::uint64_t detect_scanned_ = 0;
+  MirrorState mirrored_;
+};
+
+}  // namespace vdap::telemetry::fleet

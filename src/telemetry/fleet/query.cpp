@@ -1,0 +1,190 @@
+#include "telemetry/fleet/query.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace vdap::telemetry::fleet {
+
+namespace {
+
+bool fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return false;
+}
+
+/// Parses a plain finite double, requiring the whole token to be consumed.
+bool parse_num(std::string_view token, double* out) {
+  if (token.empty() || token.size() > 64) return false;
+  char buf[65];
+  token.copy(buf, token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + token.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses `<num>[us|ms|s|min]` into microseconds (default unit: seconds).
+bool parse_time(std::string_view token, sim::SimTime* out) {
+  double scale = 1e6;  // seconds
+  if (token.size() > 3 && token.substr(token.size() - 3) == "min") {
+    scale = 60e6;
+    token.remove_suffix(3);
+  } else if (token.size() > 2 && token.substr(token.size() - 2) == "us") {
+    scale = 1.0;
+    token.remove_suffix(2);
+  } else if (token.size() > 2 && token.substr(token.size() - 2) == "ms") {
+    scale = 1e3;
+    token.remove_suffix(2);
+  } else if (token.size() > 1 && token.back() == 's') {
+    token.remove_suffix(1);
+  }
+  double v = 0.0;
+  if (!parse_num(token, &v)) return false;
+  const double us = v * scale;
+  // Keep well inside int64 so downstream arithmetic cannot overflow.
+  if (!std::isfinite(us) || std::abs(us) > 4.0e18) return false;
+  *out = static_cast<sim::SimTime>(us + (us >= 0 ? 0.5 : -0.5));
+  return true;
+}
+
+std::vector<std::string_view> tokenize(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string fmt_time(sim::SimTime t) {
+  if (t == sim::kTimeMax) return "end";
+  return util::TextTable::num(sim::to_seconds(t), 2) + "s";
+}
+
+}  // namespace
+
+bool parse_query(std::string_view text, Query* out, std::string* error) {
+  std::vector<std::string_view> tokens = tokenize(text);
+  if (tokens.empty()) return fail(error, "query: empty");
+  Query q;
+  if (tokens[0] == "range") {
+    q.kind = Query::Kind::kRange;
+  } else if (tokens[0] == "near") {
+    q.kind = Query::Kind::kNear;
+  } else {
+    return fail(error, "query: unknown keyword '" + std::string(tokens[0]) +
+                           "' (want 'range' or 'near')");
+  }
+
+  std::set<std::string> seen;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail(error, "query: expected key=value, got '" +
+                             std::string(token) + "'");
+    }
+    const std::string key(token.substr(0, eq));
+    const std::string_view value = token.substr(eq + 1);
+    if (value.empty()) {
+      return fail(error, "query: empty value for '" + key + "'");
+    }
+    if (!seen.insert(key).second) {
+      return fail(error, "query: duplicate key '" + key + "'");
+    }
+
+    const bool is_range = q.kind == Query::Kind::kRange;
+    if (is_range && key == "metric") {
+      q.metric = std::string(value);
+    } else if (is_range && key == "vehicle") {
+      q.vehicle = std::string(value);
+    } else if (is_range && (key == "from" || key == "to")) {
+      sim::SimTime t = 0;
+      if (!parse_time(value, &t) || t < 0) {
+        return fail(error, "query: bad time '" + std::string(value) + "'");
+      }
+      (key == "from" ? q.from : q.to) = t;
+    } else if (!is_range && (key == "x" || key == "y" || key == "r")) {
+      double v = 0.0;
+      if (!parse_num(value, &v)) {
+        return fail(error, "query: bad number '" + std::string(value) + "'");
+      }
+      if (key == "x") q.x = v;
+      if (key == "y") q.y = v;
+      if (key == "r") q.radius = v;
+    } else if (!is_range && (key == "at" || key == "within")) {
+      sim::SimTime t = 0;
+      if (!parse_time(value, &t) || t < 0) {
+        return fail(error, "query: bad time '" + std::string(value) + "'");
+      }
+      (key == "at" ? q.at : q.within) = t;
+    } else {
+      return fail(error, "query: unknown key '" + key + "'");
+    }
+  }
+
+  if (q.kind == Query::Kind::kRange) {
+    if (q.metric.empty()) return fail(error, "query: range needs metric=");
+    if (q.from > q.to) return fail(error, "query: from > to");
+  } else {
+    for (const char* need : {"x", "y", "r", "at"}) {
+      if (seen.count(need) == 0) {
+        return fail(error,
+                    std::string("query: near needs ") + need + "=");
+      }
+    }
+    if (q.radius < 0) return fail(error, "query: negative radius");
+  }
+  *out = q;
+  return true;
+}
+
+std::string QueryResult::to_table() const {
+  if (query.kind == Query::Kind::kRange) {
+    std::string title = "query range metric=" + query.metric;
+    if (!query.vehicle.empty()) title += " vehicle=" + query.vehicle;
+    title += " from=" + fmt_time(query.from) + " to=" + fmt_time(query.to);
+    util::TextTable t(title);
+    t.set_header({"vehicle", "count", "mean", "min", "max", "p50", "p95",
+                  "p99"});
+    auto row = [&t](const std::string& name,
+                    const ColumnarSeries::RangeAgg& agg, double p50,
+                    double p95, double p99) {
+      t.add_row({name, std::to_string(agg.count),
+                 util::TextTable::num(agg.mean()),
+                 util::TextTable::num(agg.min), util::TextTable::num(agg.max),
+                 util::TextTable::num(p50), util::TextTable::num(p95),
+                 util::TextTable::num(p99)});
+    };
+    for (const QueryVehicleRow& v : per_vehicle) {
+      row(v.vehicle, v.agg, v.p50, v.p95, v.p99);
+    }
+    row("(fleet)", fleet, p50, p95, p99);
+    return t.to_string();
+  }
+
+  util::TextTable t("query near x=" + util::TextTable::num(query.x) +
+                    " y=" + util::TextTable::num(query.y) +
+                    " r=" + util::TextTable::num(query.radius) +
+                    " at=" + fmt_time(query.at));
+  t.set_header({"vehicle", "x", "y", "dist", "t(s)"});
+  for (const QueryNearHit& h : hits) {
+    t.add_row({h.vehicle, util::TextTable::num(h.x),
+               util::TextTable::num(h.y), util::TextTable::num(h.dist),
+               util::TextTable::num(sim::to_seconds(h.at), 2)});
+  }
+  return t.to_string();
+}
+
+}  // namespace vdap::telemetry::fleet

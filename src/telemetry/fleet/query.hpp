@@ -1,0 +1,95 @@
+// DDI-style query layer over the fused fleet store (DESIGN.md §6g): the
+// libvdap service-layer lookups the paper promises — "this vehicle's
+// metric over that time range" and "who was near location X at time T" —
+// expressed as one-line textual queries so vdap-report and tests can
+// drive them without compiling against the backend.
+//
+// Grammar (whitespace-separated key=value pairs after a leading keyword):
+//
+//   range metric=<name> [vehicle=<name>] [from=<time>] [to=<time>]
+//   near  x=<num> y=<num> r=<num> at=<time> [within=<duration>]
+//
+// Times and durations accept an optional unit suffix — `us`, `ms`, `s`
+// (default) or `min` — e.g. `from=40s to=1.5min within=500ms`.
+//
+// `range` aggregates one metric over the closed interval [from, to]:
+// count/sum-derived mean/min/max are exact sample-level answers, while
+// p50/p95/p99 come from the block-granularity sketches (every columnar
+// block whose span intersects the range contributes wholly). `near`
+// resolves each vehicle's last `loc.x`/`loc.y` fix at or before `at`
+// (no older than `within`) and returns the vehicles within Euclidean
+// distance `r`.
+//
+// The parser is total: any byte sequence either yields a Query or a
+// diagnostic string — never a crash; the robustness suite fuzzes it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/fleet/columnar.hpp"
+
+namespace vdap::telemetry::fleet {
+
+struct Query {
+  enum class Kind { kRange, kNear };
+  Kind kind = Kind::kRange;
+
+  // kRange:
+  std::string metric;
+  std::string vehicle;  // empty = fleet-wide
+  sim::SimTime from = 0;
+  sim::SimTime to = sim::kTimeMax;
+
+  // kNear:
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.0;
+  sim::SimTime at = 0;
+  sim::SimDuration within = sim::seconds(5);
+};
+
+/// Parses one query line. Returns false with a diagnostic in *error (when
+/// non-null) for anything malformed: unknown keyword or key, duplicate or
+/// missing keys, bad numbers, inverted ranges, out-of-range times.
+bool parse_query(std::string_view text, Query* out,
+                 std::string* error = nullptr);
+
+/// One vehicle's contribution to a range query.
+struct QueryVehicleRow {
+  std::string vehicle;
+  ColumnarSeries::RangeAgg agg;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One vehicle within radius for a near query.
+struct QueryNearHit {
+  std::string vehicle;
+  double x = 0.0;
+  double y = 0.0;
+  double dist = 0.0;
+  sim::SimTime at = 0;  // timestamp of the newer coordinate fix used
+};
+
+struct QueryResult {
+  Query query;
+
+  // kRange: fleet-wide fold (vehicle-name order) + per-vehicle rows.
+  ColumnarSeries::RangeAgg fleet;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<QueryVehicleRow> per_vehicle;  // vehicle-name order
+
+  // kNear: hits by ascending distance (vehicle name breaks ties).
+  std::vector<QueryNearHit> hits;
+
+  /// Deterministic util::TextTable render.
+  std::string to_table() const;
+};
+
+}  // namespace vdap::telemetry::fleet

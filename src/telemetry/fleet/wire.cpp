@@ -173,4 +173,19 @@ std::optional<WireFrame> wire_decode(std::string_view line,
   return out;
 }
 
+std::string_view wire_peek_vehicle(std::string_view line) {
+  constexpr std::string_view kKey = "\"v\":\"";
+  const std::size_t pos = line.rfind(kKey);
+  if (pos == std::string_view::npos) return {};
+  const std::size_t start = pos + kKey.size();
+  std::size_t end = start;
+  while (end < line.size() && line[end] != '"') {
+    if (line[end] == '\\') ++end;  // skip the escaped character
+    ++end;
+  }
+  if (end > line.size()) return {};  // dangling escape
+  if (end == line.size()) return {};  // unterminated string
+  return line.substr(start, end - start);
+}
+
 }  // namespace vdap::telemetry::fleet

@@ -66,4 +66,13 @@ std::string wire_encode(const WireFrame& frame);
 std::optional<WireFrame> wire_decode(std::string_view line,
                                      std::string* error = nullptr);
 
+/// Cheap shard-routing peek: extracts the vehicle name from an encoded
+/// frame without a full JSON parse. Encoding goes through json::Object
+/// (sorted keys), so `"v"` is the LAST key of every frame line — scan
+/// backwards for its marker. Returns an empty view when the marker is
+/// absent; names containing JSON escapes come back raw. The result is a
+/// deterministic routing KEY (every frame of a vehicle peeks identically),
+/// not necessarily the decoded name.
+std::string_view wire_peek_vehicle(std::string_view line);
+
 }  // namespace vdap::telemetry::fleet

@@ -61,6 +61,40 @@ void Histogram::add(double x) {
   if (cap_ > 0 && samples_.size() >= cap_) thin();
 }
 
+void Histogram::add_bulk(const double* xs, std::size_t n) {
+  if (n == 0) return;
+  if (total_ == 0) min_ = max_ = xs[0];
+  // min/max are order-independent so they vectorize; the sum stays in
+  // arrival order so the result is bit-identical to repeated add().
+  double mn = min_;
+  double mx = max_;
+  double s = sum_;
+  for (std::size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, xs[i]);
+    mx = std::max(mx, xs[i]);
+    s += xs[i];
+  }
+  min_ = mn;
+  max_ = mx;
+  sum_ = s;
+  total_ += n;
+  if (stride_ == 1 && (cap_ == 0 || samples_.size() + n < cap_)) {
+    // No thinning can trigger mid-append: record everything at once.
+    samples_.insert(samples_.end(), xs, xs + n);
+    sorted_ = false;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stride_ > 1) {
+      if (++skipped_ < stride_) continue;
+      skipped_ = 0;
+    }
+    samples_.push_back(xs[i]);
+    sorted_ = false;
+    if (cap_ > 0 && samples_.size() >= cap_) thin();
+  }
+}
+
 void Histogram::thin() {
   // Keep every other retained sample and double the record stride: memory
   // stays ≤ cap while the subsample remains uniform over arrival order.
@@ -89,6 +123,7 @@ void Histogram::merge(const Histogram& other) {
   }
   total_ += other.total_;
   sum_ += other.sum_;
+  samples_.reserve(samples_.size() + other.samples_.size());
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sorted_ = false;

@@ -42,6 +42,12 @@ class Summary {
 class Histogram {
  public:
   void add(double x);
+  /// Folds `n` values in one pass. Produces exactly the state that n
+  /// repeated add() calls would (same stride/thinning transitions, same
+  /// floating-point sum order), but min/max fold in a tight loop and the
+  /// retained-sample vector grows in one append when no thinning can
+  /// trigger — the path columnar block sealing runs per block.
+  void add_bulk(const double* xs, std::size_t n);
   /// Total values observed (exact even when samples were thinned).
   std::size_t count() const { return total_; }
   /// Values currently retained for quantile queries (≤ count()).

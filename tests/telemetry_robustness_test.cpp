@@ -2,15 +2,22 @@
 // (non-ASCII, control chars, invalid UTF-8) must round-trip through every
 // exported artifact; non-finite metric values are rejected at the door; and
 // Session misuse is non-throwing except the documented nested-capture
-// throw.
+// throw. Also the disk-shaped fleet surfaces (DESIGN.md §6g): the VCB1
+// columnar block codec and the DDI-style query parser are fuzzed here —
+// truncations, bit flips, hostile lengths and token soup must all come
+// back as clean errors, never crashes (the suite runs under ASan in
+// check.sh).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <random>
 #include <sstream>
 
 #include "sim/simulator.hpp"
 #include "telemetry/analysis/critical_path.hpp"
+#include "telemetry/fleet/columnar.hpp"
+#include "telemetry/fleet/query.hpp"
 #include "telemetry/session.hpp"
 #include "util/json.hpp"
 
@@ -298,6 +305,208 @@ TEST(ParseBack, UnknownFieldsAndEventsAreTolerated) {
   ASSERT_EQ(events.size(), 2u);  // metadata consumed, both events kept
   EXPECT_EQ(events[0].ph, 'i');
   EXPECT_EQ(events[1].ph, 'q');
+}
+
+// --- columnar block codec (DESIGN.md §6g) ----------------------------------
+
+using telemetry::fleet::ColumnData;
+using telemetry::fleet::columnar_decode;
+using telemetry::fleet::columnar_encode;
+
+ColumnData sample_columns() {
+  ColumnData cols;
+  // Includes a backward time step (reordered sample): the zigzag delta
+  // encoding must carry negative deltas.
+  std::mt19937_64 rng(404);
+  sim::SimTime t = 0;
+  for (int i = 0; i < 64; ++i) {
+    t += static_cast<sim::SimTime>(rng() % 2'000'000) - 400'000;
+    if (t < 0) t = 0;
+    cols.times.push_back(t);
+    cols.values.push_back(
+        std::ldexp(static_cast<double>(rng() % 1'000'000), -7));
+  }
+  return cols;
+}
+
+TEST(ColumnarCodec, RoundTripsIncludingBackwardTimeSteps) {
+  const ColumnData cols = sample_columns();
+  const std::string bytes = columnar_encode(cols);
+  ColumnData back;
+  std::string error;
+  ASSERT_TRUE(columnar_decode(bytes, &back, &error)) << error;
+  EXPECT_EQ(back.times, cols.times);
+  EXPECT_EQ(back.values, cols.values);
+  // Deterministic bytes: re-encoding reproduces the encoding.
+  EXPECT_EQ(columnar_encode(back), bytes);
+  // An empty block round-trips too.
+  ColumnData empty;
+  const std::string empty_bytes = columnar_encode(empty);
+  ASSERT_TRUE(columnar_decode(empty_bytes, &back, &error)) << error;
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(ColumnarCodec, EveryTruncationIsACleanError) {
+  const std::string bytes = columnar_encode(sample_columns());
+  ColumnData out;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string error;
+    EXPECT_FALSE(
+        columnar_decode(std::string_view(bytes).substr(0, cut), &out, &error))
+        << "cut=" << cut;
+    EXPECT_FALSE(error.empty()) << "cut=" << cut;
+  }
+  // Trailing garbage is also rejected (declared count vs actual size).
+  std::string padded = bytes + "x";
+  EXPECT_FALSE(columnar_decode(padded, &out));
+}
+
+TEST(ColumnarCodec, EverySingleBitFlipIsDetected) {
+  // The checksum covers everything after the magic, and the magic is
+  // compared byte-for-byte — so no single-bit corruption may decode.
+  const std::string bytes = columnar_encode(sample_columns());
+  ColumnData out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      std::string error;
+      EXPECT_FALSE(columnar_decode(corrupt, &out, &error))
+          << "byte=" << i << " bit=" << bit;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(ColumnarCodec, HostileCountsDoNotDriveAllocation) {
+  // A block declaring 2^32-1 samples in a 16-byte payload must be
+  // rejected by arithmetic (count vs available bytes) BEFORE any reserve.
+  std::string hostile = "VCB1";
+  hostile += '\xff';
+  hostile += '\xff';
+  hostile += '\xff';
+  hostile += '\xff';
+  hostile += std::string(8, '\0');
+  ColumnData out;
+  std::string error;
+  EXPECT_FALSE(columnar_decode(hostile, &out, &error));
+  EXPECT_NE(error.find("count"), std::string::npos) << error;
+}
+
+TEST(ColumnarCodec, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(1234);
+  ColumnData out;
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage(rng() % 96, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xFF);
+    if (round % 3 == 0 && garbage.size() >= 4) {
+      garbage.replace(0, 4, "VCB1");  // valid magic, hostile payload
+    }
+    std::string error;
+    if (!columnar_decode(garbage, &out, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+// --- query parser (DESIGN.md §6g) ------------------------------------------
+
+using telemetry::fleet::Query;
+using telemetry::fleet::parse_query;
+
+TEST(QueryParser, AcceptsTheDocumentedGrammar) {
+  Query q;
+  std::string error;
+  ASSERT_TRUE(parse_query("range metric=lat_ms", &q, &error)) << error;
+  EXPECT_EQ(q.kind, Query::Kind::kRange);
+  EXPECT_EQ(q.metric, "lat_ms");
+  EXPECT_EQ(q.from, 0);
+  EXPECT_EQ(q.to, sim::kTimeMax);
+
+  ASSERT_TRUE(parse_query(
+      "range metric=lat_ms vehicle=cav-3 from=40s to=1.5min", &q, &error))
+      << error;
+  EXPECT_EQ(q.vehicle, "cav-3");
+  EXPECT_EQ(q.from, sim::seconds(40));
+  EXPECT_EQ(q.to, sim::seconds(90));
+
+  ASSERT_TRUE(parse_query("near x=100 y=-50.5 r=25 at=60s within=500ms", &q,
+                          &error))
+      << error;
+  EXPECT_EQ(q.kind, Query::Kind::kNear);
+  EXPECT_DOUBLE_EQ(q.x, 100.0);
+  EXPECT_DOUBLE_EQ(q.y, -50.5);
+  EXPECT_DOUBLE_EQ(q.radius, 25.0);
+  EXPECT_EQ(q.at, sim::seconds(60));
+  EXPECT_EQ(q.within, sim::msec(500));
+
+  // Unit suffixes: us, ms, bare number = seconds.
+  ASSERT_TRUE(parse_query("range metric=m from=1500us to=2500ms", &q, &error));
+  EXPECT_EQ(q.from, 1500);
+  EXPECT_EQ(q.to, sim::msec(2500));
+  ASSERT_TRUE(parse_query("range metric=m from=2 to=3", &q, &error));
+  EXPECT_EQ(q.from, sim::seconds(2));
+}
+
+TEST(QueryParser, RejectsMalformedQueriesWithDiagnostics) {
+  const char* cases[] = {
+      "",                                    // empty
+      "   ",                                 // whitespace only
+      "scan metric=m",                       // unknown keyword
+      "range",                               // missing metric
+      "range metric=",                       // empty value
+      "range metric=m metric=m2",            // duplicate key
+      "range metric=m x=1",                  // near-only key
+      "range metric=m from=10s to=5s",       // inverted range
+      "range metric=m from=-5s",             // negative time
+      "range metric=m from=abc",             // bad number
+      "range metric=m from=1e400",           // overflow
+      "range metric=m from=9e18",            // out of SimTime range
+      "range metric=m junk",                 // not key=value
+      "range metric=m =v",                   // empty key
+      "near x=1 y=2 r=3",                    // missing at
+      "near x=1 y=2 at=5s r=-2",             // negative radius
+      "near x=nan y=2 r=3 at=5s",            // non-finite
+      "near x=1 y=2 r=3 at=5s vehicle=v",    // range-only key
+  };
+  for (const char* text : cases) {
+    Query q;
+    std::string error;
+    EXPECT_FALSE(parse_query(text, &q, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(QueryParser, TokenSoupNeverCrashes) {
+  // Random byte soup biased toward the grammar's alphabet: every parse
+  // returns either a Query or a non-empty diagnostic.
+  const std::string alphabet = "rangenearmetricvehiclfromtxywithin=.- 0123456789smu\t\xff";
+  std::mt19937_64 rng(777);
+  for (int round = 0; round < 4000; ++round) {
+    std::string text(rng() % 64, ' ');
+    for (char& c : text) c = alphabet[rng() % alphabet.size()];
+    Query q;
+    std::string error;
+    if (!parse_query(text, &q, &error)) {
+      EXPECT_FALSE(error.empty()) << text;
+    }
+  }
+  // Mutations of a valid query: drop/duplicate/garble one token.
+  const std::string valid = "near x=100 y=-50.5 r=25 at=60s within=500ms";
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = valid;
+    const std::size_t pos = rng() % text.size();
+    switch (rng() % 3) {
+      case 0: text.erase(pos, rng() % 5); break;
+      case 1: text.insert(pos, 1, alphabet[rng() % alphabet.size()]); break;
+      default: text[pos] = static_cast<char>(rng() & 0xFF); break;
+    }
+    Query q;
+    std::string error;
+    if (!parse_query(text, &q, &error)) {
+      EXPECT_FALSE(error.empty()) << text;
+    }
+  }
 }
 
 TEST(Tracer, EndOfUnknownOrDoubleClosedSpanIsIgnored) {

@@ -228,6 +228,78 @@ TEST(Histogram, MergeRespectsCapOfTheDestination) {
   EXPECT_LE(a.retained(), 64u);
 }
 
+// add_bulk's contract (columnar block sealing leans on it): bit-identical
+// to the same values fed through repeated add() — same exact moments,
+// same retained samples, same quantiles — across cap and stride
+// transitions.
+void expect_same_state(const Histogram& bulk, const Histogram& loop) {
+  EXPECT_EQ(bulk.count(), loop.count());
+  EXPECT_EQ(bulk.retained(), loop.retained());
+  EXPECT_EQ(bulk.sum(), loop.sum());  // exact: same fp fold order
+  EXPECT_EQ(bulk.min(), loop.min());
+  EXPECT_EQ(bulk.max(), loop.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(bulk.quantile(q), loop.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, AddBulkMatchesRepeatedAddUncapped) {
+  RngStream rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 777; ++i) xs.push_back(rng.normal(10.0, 4.0));
+  Histogram bulk;
+  Histogram loop;
+  bulk.add_bulk(xs.data(), xs.size());
+  for (double x : xs) loop.add(x);
+  expect_same_state(bulk, loop);
+  // Empty and single-element bulks are fine too.
+  bulk.add_bulk(xs.data(), 0);
+  bulk.add_bulk(xs.data(), 1);
+  loop.add(xs[0]);
+  expect_same_state(bulk, loop);
+}
+
+TEST(Histogram, AddBulkMatchesRepeatedAddAcrossThinningBoundary) {
+  RngStream rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  // Cap 256: the stream crosses several cap-fill / stride-doubling
+  // transitions, and the bulk spans them mid-call.
+  Histogram bulk;
+  bulk.set_sample_cap(256);
+  Histogram loop;
+  loop.set_sample_cap(256);
+  bulk.add_bulk(xs.data(), 300);            // crosses the first thinning
+  bulk.add_bulk(xs.data() + 300, 1700);     // crosses several more
+  for (double x : xs) loop.add(x);
+  expect_same_state(bulk, loop);
+  EXPECT_LE(bulk.retained(), 256u);
+  EXPECT_EQ(bulk.count(), 2000u);
+}
+
+TEST(Histogram, AddBulkThenMergeMatchesAddThenMerge) {
+  RngStream rng(43);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  for (int i = 0; i < 400; ++i) ys.push_back(rng.normal(9.0, 3.0));
+  Histogram bulk_a;
+  Histogram bulk_b;
+  bulk_a.set_sample_cap(128);
+  bulk_b.set_sample_cap(128);
+  bulk_a.add_bulk(xs.data(), xs.size());
+  bulk_b.add_bulk(ys.data(), ys.size());
+  bulk_a.merge(bulk_b);
+  Histogram loop_a;
+  Histogram loop_b;
+  loop_a.set_sample_cap(128);
+  loop_b.set_sample_cap(128);
+  for (double x : xs) loop_a.add(x);
+  for (double y : ys) loop_b.add(y);
+  loop_a.merge(loop_b);
+  expect_same_state(bulk_a, loop_a);
+}
+
 TEST(CounterSet, MergeAddsAndResetClears) {
   CounterSet a;
   CounterSet b;

@@ -1,7 +1,7 @@
-// vdap-report: offline trace analytics (DESIGN.md §6d, §6e).
+// vdap-report: offline trace analytics (DESIGN.md §6d, §6e, §6g).
 //
 //   vdap-report <trace.json> [metrics.jsonl]
-//   vdap-report --fleet <frames.jsonl>
+//   vdap-report --fleet <frames.jsonl> [--query "<expr>"]...
 //
 // Trace mode reads a chrome_trace_json() capture (and optionally the JSONL
 // metrics snapshots Session emits), then prints:
@@ -17,8 +17,10 @@
 //      digests.
 //
 // Fleet mode replays a stream of TelemetryShipper wire frames (e.g.
-// FleetOutcome::frames_jsonl) through a FleetAggregator and prints the
-// cross-vehicle rollup, anomaly and per-vehicle transport tables.
+// FleetOutcome::frames_jsonl) through the sharded columnar ingest
+// backend and prints the cross-vehicle rollup, anomaly and per-vehicle
+// transport tables, then one table per --query expression (the DDI-style
+// range / near grammar of telemetry/fleet/query.hpp).
 //
 // Output is a pure function of the input files, so for a fixed
 // (seed, fault plan) capture the tables are byte-identical across runs —
@@ -29,9 +31,11 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "telemetry/analysis/critical_path.hpp"
 #include "telemetry/analysis/slo.hpp"
-#include "telemetry/fleet/aggregator.hpp"
+#include "telemetry/fleet/ingest.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -119,9 +123,11 @@ std::string health_timeline(const std::vector<vdap::telemetry::TraceEvent>& even
   return rows > 0 ? t.to_string() : std::string();
 }
 
-/// Fleet mode: replay a wire-frame JSONL stream through the aggregator.
-int print_fleet(const std::string& text) {
-  vdap::telemetry::fleet::FleetAggregator agg;
+/// Fleet mode: replay a wire-frame JSONL stream through the sharded
+/// columnar ingest backend, then run any --query expressions against it.
+int print_fleet(const std::string& text,
+                const std::vector<std::string>& queries) {
+  vdap::telemetry::fleet::ShardedIngestBackend backend;
   std::istringstream lines(text);
   std::string line;
   std::size_t n = 0;
@@ -129,22 +135,36 @@ int print_fleet(const std::string& text) {
     if (line.empty()) continue;
     ++n;
     std::string error;
-    if (!agg.ingest_wire(line, &error)) {
+    if (!backend.ingest_line(line, &error)) {
       if (!error.empty()) {
         std::fprintf(stderr, "vdap-report: frame %zu: %s\n", n, error.c_str());
       }
       // Duplicates and decode errors are both tolerated — that is the
-      // aggregator's job — but decode errors are reported above.
+      // backend's job — but decode errors are reported above.
     }
+    // A barrier per line keeps the replay's detection cadence as fine as
+    // the stream itself (the watermark only moves when frames do).
+    backend.barrier();
   }
   if (n == 0) {
     std::fprintf(stderr, "vdap-report: no frames\n");
     return 1;
   }
-  std::fputs(agg.rollup_table().c_str(), stdout);
-  std::fputs(agg.anomaly_table().c_str(), stdout);
-  std::fputs(agg.vehicle_table().c_str(), stdout);
-  return agg.decode_errors() > 0 ? 1 : 0;
+  std::fputs(backend.rollup_table().c_str(), stdout);
+  std::fputs(backend.anomaly_table().c_str(), stdout);
+  std::fputs(backend.vehicle_table().c_str(), stdout);
+  bool query_error = false;
+  for (const std::string& q : queries) {
+    std::string error;
+    const std::string table = backend.run_query_text(q, &error);
+    if (table.empty()) {
+      std::fprintf(stderr, "vdap-report: %s\n", error.c_str());
+      query_error = true;
+      continue;
+    }
+    std::fputs(table.c_str(), stdout);
+  }
+  return backend.decode_errors() > 0 || query_error ? 1 : 0;
 }
 
 /// Renders the last JSONL metrics snapshot (counters + histogram digests).
@@ -196,18 +216,29 @@ int print_metrics(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::string(argv[1]) == "--fleet") {
+  if (argc >= 3 && std::string(argv[1]) == "--fleet") {
+    std::vector<std::string> queries;
+    for (int i = 3; i < argc; i += 2) {
+      if (std::string(argv[i]) != "--query" || i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: vdap-report --fleet <frames.jsonl>"
+                     " [--query \"<expr>\"]...\n");
+        return 2;
+      }
+      queries.emplace_back(argv[i + 1]);
+    }
     std::string frames_text;
     if (!read_file(argv[2], &frames_text)) {
       std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
       return 1;
     }
-    return print_fleet(frames_text);
+    return print_fleet(frames_text, queries);
   }
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
                  "usage: vdap-report <trace.json> [metrics.jsonl]\n"
-                 "       vdap-report --fleet <frames.jsonl>\n");
+                 "       vdap-report --fleet <frames.jsonl>"
+                 " [--query \"<expr>\"]...\n");
     return 2;
   }
   std::string trace_text;

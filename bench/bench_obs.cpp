@@ -1,0 +1,150 @@
+// Observability overhead (DESIGN.md §6h): run_fleet_scale with per-shard
+// capture domains OFF vs ON.
+//
+// Two committed tables:
+//   * A capture-determinism table (frames, trace events, open spans,
+//     metric keys per fleet size, plus whether the digest matched the
+//     capture-off run) — every cell is a pure function of (seed, config),
+//     independent of the shard/thread counts used to produce it.
+//   * A capture-overhead table: the capture-on / capture-off wall-clock
+//     RATIO (best of 3 each, 2 decimals). Absolute wall times are never
+//     committed — the ratio is unit-free and machine-portable, and the
+//     15% bench drift gate turns into exactly the overhead budget the
+//     sharded capture path has to keep: if turning the tracer on gets
+//     relatively slower, this baseline catches it.
+//
+// When VDAP_OBS_ARTIFACTS names a directory, the capture-on run's merged
+// trace.json / metrics.jsonl / shards.jsonl are written there so the CI
+// bench-gate job can upload them for offline inspection with
+// `vdap-report` (check.sh exports it under build/bench-results/).
+#include <benchmark/benchmark.h>
+
+#include "bench_output.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/fleet_scale.hpp"
+#include "sim/thread_pool.hpp"
+#include "telemetry/export.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vdap;
+using core::FleetScaleConfig;
+using core::FleetScaleOutcome;
+
+FleetScaleConfig obs_config(int vehicles, bool capture) {
+  FleetScaleConfig cfg;
+  cfg.vehicles = vehicles;
+  cfg.seed = 7;
+  // Deterministic columns are shard/thread-count independent (the obs
+  // sweep test proves it), so run the fast configuration.
+  cfg.shards = 8;
+  cfg.threads = sim::ThreadPool::hardware_threads();
+  cfg.epoch = sim::seconds(1);
+  cfg.sample_period = sim::seconds(2);
+  cfg.samples_per_tick = 2;
+  cfg.run_until = sim::seconds(4);
+  cfg.drain = sim::seconds(4);
+  cfg.shipper.flush_period = sim::seconds(2);
+  cfg.capture = capture;
+  return cfg;
+}
+
+void print_capture_table() {
+  util::TextTable table(
+      "sharded capture determinism — merged exports, seed 7 "
+      "(shard/thread-count independent)");
+  table.set_header({"vehicles", "frames", "trace events", "open spans",
+                    "metric keys", "digest match"});
+  for (int n : {1000, 10000}) {
+    FleetScaleOutcome off = core::run_fleet_scale(obs_config(n, false));
+    FleetScaleOutcome on = core::run_fleet_scale(obs_config(n, true));
+    table.add_row({std::to_string(n), std::to_string(on.frames_delivered),
+                   std::to_string(on.trace_events),
+                   std::to_string(on.open_spans),
+                   std::to_string(on.metric_keys),
+                   on.digest == off.digest ? "yes" : "NO"});
+  }
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected shape: trace events scale with frames; open spans drain to\n"
+      "0; the digest never moves when capture toggles (the capture plane\n"
+      "observes the run, it must not perturb it).\n\n");
+}
+
+double best_wall(const FleetScaleConfig& cfg, FleetScaleOutcome* out) {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = core::run_fleet_scale(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void write_artifacts(const FleetScaleOutcome& on) {
+  const char* dir = std::getenv("VDAP_OBS_ARTIFACTS");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base(dir);
+  if (telemetry::write_text_file(base + "/trace.json", on.chrome_trace) &&
+      telemetry::write_text_file(base + "/metrics.jsonl", on.metrics_jsonl) &&
+      telemetry::write_text_file(base + "/shards.jsonl", on.shards_jsonl)) {
+    std::printf("obs artifacts (trace.json, metrics.jsonl, shards.jsonl) "
+                "written under %s\n\n", dir);
+  } else {
+    std::fprintf(stderr,
+                 "warning: VDAP_OBS_ARTIFACTS=%s is not writable — "
+                 "skipping artifact dump\n", dir);
+  }
+}
+
+void print_overhead_table() {
+  const int n = 10000;
+  FleetScaleOutcome off_out;
+  FleetScaleOutcome on_out;
+  const double off = best_wall(obs_config(n, false), &off_out);
+  const double on = best_wall(obs_config(n, true), &on_out);
+  util::TextTable table(
+      "capture overhead — 10k vehicles, capture-on / capture-off wall "
+      "ratio (best of 3; absolute seconds never committed)");
+  table.set_header({"vehicles", "overhead x", "digest match"});
+  table.add_row({std::to_string(n), util::TextTable::num(on / off, 2),
+                 on_out.digest == off_out.digest ? "yes" : "NO"});
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("capture_on_s=%.3f capture_off_s=%.3f overhead=%.2fx "
+              "(raw walls not committed)\n\n", on, off, on / off);
+  write_artifacts(on_out);
+}
+
+void BM_ScaleCapture(benchmark::State& state) {
+  const bool capture = state.range(0) != 0;
+  for (auto _ : state) {
+    FleetScaleOutcome r = core::run_fleet_scale(obs_config(2000, capture));
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ScaleCapture)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("obs");
+  print_capture_table();
+  // Unlike bench_shard's speedup table, the overhead RATIO is committed —
+  // it must run (and record) even when the bench gate collects tables
+  // with --benchmark_list_tests.
+  print_overhead_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,6 +8,8 @@
 //   $ ./scenario_runner my.json              # run it, report to stdout
 //   $ ./scenario_runner --vehicles 8 [seed] [--shards K] [--threads T]
 //   $ ./scenario_runner --scale 100000 [seed] [--shards K] [--threads T]
+//                       [--capture DIR]   # write trace.json/metrics.jsonl/
+//                                         # shards.jsonl into DIR
 //
 // --vehicles runs N platforms through the fleet telemetry pipeline
 // (core::run_fleet with no fault plan) and prints the aggregator's
@@ -40,6 +42,7 @@
 #include "core/fleet.hpp"
 #include "core/fleet_scale.hpp"
 #include "core/platform.hpp"
+#include "telemetry/export.hpp"
 
 using namespace vdap;
 
@@ -194,17 +197,35 @@ int run_fleet_demo(int vehicles, std::uint64_t seed, int shards,
   return 0;
 }
 
-int run_scale_demo(int vehicles, std::uint64_t seed, int shards, int threads) {
+int run_scale_demo(int vehicles, std::uint64_t seed, int shards, int threads,
+                   const std::string& capture_dir) {
   core::FleetScaleConfig cfg;
   cfg.vehicles = vehicles;
   cfg.seed = seed;
   cfg.shards = shards;
   cfg.threads = threads;
+  cfg.capture = !capture_dir.empty();
   core::FleetScaleOutcome out = core::run_fleet_scale(cfg);
   std::printf("%s\n", out.summary.c_str());
   std::printf("shards=%d threads=%d epochs=%llu events=%llu\n", out.shards,
               out.threads, static_cast<unsigned long long>(out.epochs),
               static_cast<unsigned long long>(out.events_fired));
+  if (cfg.capture) {
+    const std::string trace = capture_dir + "/trace.json";
+    const std::string metrics = capture_dir + "/metrics.jsonl";
+    const std::string shards_path = capture_dir + "/shards.jsonl";
+    if (!telemetry::write_text_file(trace, out.chrome_trace) ||
+        !telemetry::write_text_file(metrics, out.metrics_jsonl) ||
+        !telemetry::write_text_file(shards_path, out.shards_jsonl)) {
+      std::fprintf(stderr, "cannot write capture artifacts under %s\n",
+                   capture_dir.c_str());
+      return 1;
+    }
+    std::printf("capture: %llu trace events, %llu open spans -> %s, %s, %s\n",
+                static_cast<unsigned long long>(out.trace_events),
+                static_cast<unsigned long long>(out.open_spans), trace.c_str(),
+                metrics.c_str(), shards_path.c_str());
+  }
   return 0;
 }
 
@@ -229,12 +250,15 @@ int main(int argc, char** argv) {
     if (pos < argc && argv[pos][0] != '-') {
       seed = std::strtoull(argv[pos++], nullptr, 10);
     }
+    std::string capture_dir;
     for (; pos < argc; ++pos) {
       const std::string flag = argv[pos];
       if (flag == "--shards" && pos + 1 < argc) {
         shards = std::atoi(argv[++pos]);
       } else if (flag == "--threads" && pos + 1 < argc) {
         threads = std::atoi(argv[++pos]);
+      } else if (flag == "--capture" && pos + 1 < argc && mode == "--scale") {
+        capture_dir = argv[++pos];
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return 2;
@@ -244,14 +268,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--shards/--threads need values >= 1\n");
       return 2;
     }
-    return mode == "--vehicles" ? run_fleet_demo(n, seed, shards, threads)
-                                : run_scale_demo(n, seed, shards, threads);
+    return mode == "--vehicles"
+               ? run_fleet_demo(n, seed, shards, threads)
+               : run_scale_demo(n, seed, shards, threads, capture_dir);
   }
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s <config.json>  (or --demo to print a template,\n"
                  "       or --vehicles N [seed] [--shards K] [--threads T],\n"
-                 "       or --scale N [seed] [--shards K] [--threads T])\n",
+                 "       or --scale N [seed] [--shards K] [--threads T] "
+                 "[--capture DIR])\n",
                  argv[0]);
     return 2;
   }

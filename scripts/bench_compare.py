@@ -9,7 +9,10 @@ simulation results, deterministic for the fixed seeds baked into each
 bench, so against up-to-date baselines every cell matches exactly.
 
 The gate compares numeric cells (relative drift, symmetric so both
-directions of surprise fail) and ignores non-numeric cells. A result file
+directions of surprise fail) and ignores non-numeric cells. On failure it
+prints, besides the failing cells, a per-metric drift report covering
+EVERY compared key — percentage and direction — so one glance separates a
+systematic shift from a targeted regression. A result file
 missing from the candidate set, a table missing from the baseline, or a
 changed table shape fails with a pointer at --bench-rebaseline. A
 candidate file with no baseline is AUTO-SEEDED: the candidate is copied
@@ -55,7 +58,7 @@ def drift(base, cand):
     return abs(cand - base) / denom
 
 
-def compare_tables(name, base, cand, threshold, failures):
+def compare_tables(name, base, cand, threshold, failures, comparisons):
     base_tables = {t.get("title", ""): t for t in base.get("tables", [])}
     cand_tables = {t.get("title", ""): t for t in cand.get("tables", [])}
     for title, bt in base_tables.items():
@@ -82,12 +85,12 @@ def compare_tables(name, base, cand, threshold, failures):
                 if bn is None or cn is None:
                     continue
                 d = drift(bn, cn)
+                header = bt.get("header", [])
+                col_name = header[col] if col < len(header) else str(col)
+                key = f"{name}: {title!r} row {label!r} col {col_name!r}"
+                comparisons.append((key, b, c, d, cn - bn))
                 if d > threshold:
-                    header = bt.get("header", [])
-                    col_name = header[col] if col < len(header) else str(col)
-                    failures.append(
-                        f"{where} row {label!r} col {col_name!r}: "
-                        f"{b} -> {c} ({d:.1%} drift)")
+                    failures.append(f"{key}: {b} -> {c} ({d:.1%} drift)")
     for title in cand_tables:
         if title not in base_tables:
             print(f"note: {name}: new table {title!r} (no baseline)")
@@ -113,12 +116,13 @@ def main():
         return 2
 
     failures = []
+    comparisons = []
     for name, base in baselines.items():
         cand = candidates.get(name)
         if cand is None:
             failures.append(f"{name}: result file missing from candidate run")
             continue
-        compare_tables(name, base, cand, args.threshold, failures)
+        compare_tables(name, base, cand, args.threshold, failures, comparisons)
     for name in candidates:
         if name not in baselines:
             # A brand-new bench: seed its baseline from this run instead of
@@ -138,6 +142,15 @@ def main():
               f">{args.threshold:.0%} drift:")
         for f in failures:
             print(f"  FAIL {f}")
+        # Full drift report: every compared key, with percentage and
+        # direction, so a failure shows whether the whole table shifted
+        # (systematic change) or one metric spiked (targeted regression).
+        print(f"per-metric drift, all {len(comparisons)} compared key(s) "
+              f"('+' candidate above baseline, '-' below):")
+        for key, b, c, d, delta in comparisons:
+            direction = "+" if delta > 0 else ("-" if delta < 0 else "=")
+            marker = " FAIL" if d > args.threshold else ""
+            print(f"  {direction} {d:7.2%}  {key}: {b} -> {c}{marker}")
         print("if intentional, refresh with scripts/check.sh "
               "--bench-rebaseline and commit bench/baselines/")
         return 1

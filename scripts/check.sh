@@ -2,9 +2,9 @@
 # Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
 # regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
 # then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
-# trace, SLO-health, fleet-telemetry, sharded-simulator and sharded-ingest
-# suites (the long-horizon and multi-threaded paths most likely to hide
-# lifetime and ordering bugs).
+# trace, SLO-health, fleet-telemetry, sharded-simulator, sharded-ingest
+# and shard-observability suites (the long-horizon and multi-threaded
+# paths most likely to hide lifetime and ordering bugs).
 #
 # Usage: scripts/check.sh
 #          [--tier1-only | --bench-only | --bench-rebaseline | --tsan]
@@ -91,6 +91,10 @@ fi
 
 echo "== bench regression gate =="
 rm -rf build/bench-results
+# bench_obs dumps its capture-on trace/metrics/shards artifacts here so
+# they ride along with the gate results (CI uploads the directory).
+export VDAP_OBS_ARTIFACTS="$ROOT/build/bench-results/obs-artifacts"
+mkdir -p "$VDAP_OBS_ARTIFACTS"
 run_benches "$ROOT/build/bench-results"
 python3 scripts/bench_compare.py bench/baselines build/bench-results
 
@@ -99,18 +103,18 @@ if [[ "${1:-}" == "--bench-only" ]]; then
   exit 0
 fi
 
-echo "== asan: chaos + trace + slo + fleet + shard + ingest suites under ASan/UBSan =="
+echo "== asan: chaos + trace + slo + fleet + shard + ingest + obs suites under ASan/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -L 'chaos|trace|slo|fleet|shard|ingest'
+      -L 'chaos|trace|slo|fleet|shard|ingest|obs'
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  echo "== tsan: shard + fleet + ingest suites under ThreadSanitizer =="
+  echo "== tsan: shard + fleet + ingest + obs suites under ThreadSanitizer =="
   cmake -B build-tsan -S . -DTSAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'shard|fleet|ingest'
+        -L 'shard|fleet|ingest|obs'
 fi
 
 echo "OK"

@@ -11,6 +11,9 @@
 #include "core/platform.hpp"
 #include "net/impair.hpp"
 #include "sim/sharded.hpp"
+#include "telemetry/domains.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/shard_report.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::core {
@@ -97,6 +100,16 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
     sim::ShardedSimulator ssim(
         config.seed,
         sim::ShardedSimulator::Options{nshards, config.threads, config.epoch});
+
+    // Per-shard capture domains (DESIGN.md §6h). Setup code below runs
+    // unbound (its instrumentation is skipped); epoch work records into
+    // shard domains and the quiesced sections between runs into the
+    // coordinator domain.
+    std::unique_ptr<telemetry::DomainSet> domains;
+    if (config.capture) {
+      domains = std::make_unique<telemetry::DomainSet>(nshards);
+      ssim.set_capture(domains.get());
+    }
 
     // Each shard owns a full copy of the shipping network. Tier-named
     // fault targets impair every copy identically (same plan, same
@@ -328,10 +341,18 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
     // --- run under fire, then heal and drain -----------------------------
     // Direct mutations (heal, flush, stop) happen between run_until calls,
     // i.e. at epoch barriers with every shard quiesced.
+    // Quiesced sections record into the coordinator domain (counters sum
+    // identically regardless of which domain records them).
+    telemetry::Domain* coord =
+        domains != nullptr ? domains->coordinator_domain() : nullptr;
+    telemetry::Domain* prev = nullptr;
     ssim.run_until(config.run_until);
+    if (coord != nullptr) prev = telemetry::bind_domain(coord);
     for (ShardWorld& w : worlds) w.imp->restore_all();
     for (auto& car : cars) car->elastic().reevaluate();
+    if (coord != nullptr) telemetry::bind_domain(prev);
     ssim.run_until(config.run_until + sim::seconds(20));
+    if (coord != nullptr) prev = telemetry::bind_domain(coord);
     for (auto& t : tickers) t.stop();
     for (auto& car : cars) {
       car->elastic().abandon_hung();
@@ -341,6 +362,7 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       shipper->stop();
       shipper->flush_now();
     }
+    if (coord != nullptr) telemetry::bind_domain(prev);
     ssim.run_until(config.run_until + sim::seconds(20) + config.drain);
 
     // --- snapshot --------------------------------------------------------
@@ -381,6 +403,46 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
     // Every shard's injector replays the same plan with the same jitter
     // streams, so shard 0's trace is THE trace.
     out.fault_trace = worlds[0].inj->trace_lines();
+
+    if (domains != nullptr) {
+      domains->merge_epoch();  // anything recorded after the last barrier
+      out.chrome_trace = domains->chrome_trace();
+      const telemetry::MetricsRegistry merged = domains->merged_metrics();
+      out.metrics_jsonl =
+          telemetry::metrics_snapshot_json(merged, ssim.now()).dump() + "\n";
+      out.trace_events = domains->events();
+      out.open_spans = domains->open_spans();
+      out.metric_keys = merged.counters().all().size() +
+                        merged.gauges().size() + merged.histograms().size();
+      ssim.set_capture(nullptr);
+    }
+    std::vector<telemetry::ShardRuntimeRow> rows;
+    rows.reserve(static_cast<std::size_t>(nshards));
+    for (int s = 0; s < nshards; ++s) {
+      const sim::ShardedSimulator::ShardRuntime& rt =
+          ssim.runtime()[static_cast<std::size_t>(s)];
+      const fleet::IngestShard& is = backend.shard(s);
+      telemetry::ShardRuntimeRow row;
+      row.shard = s;
+      row.epochs = ssim.epochs_run();
+      row.events = rt.events;
+      row.busy_s = rt.busy_s;
+      row.wait_s = rt.wait_s;
+      row.queue_peak = rt.queue_peak;
+      row.wheel_peak = rt.wheel_peak;
+      row.overflow_peak = rt.overflow_peak;
+      row.frames = is.frames_ingested();
+      row.samples = is.samples_ingested();
+      row.ring_late = is.ring_late();
+      row.decode_errors = is.decode_errors();
+      row.backlog_peak = backend.backlog_peak(s);
+      row.lag_us_peak = backend.lag_us_peak(s);
+      row.pool_hits = is.pool().column_reuses() + is.pool().buffer_reuses();
+      row.pool_misses = is.pool().column_allocs() + is.pool().buffer_allocs();
+      row.pool_free = is.pool().columns_free() + is.pool().buffers_free();
+      rows.push_back(row);
+    }
+    out.shards_jsonl = telemetry::shards_report_jsonl(rows);
   }
   for (const fs::path& dir : dirs) fs::remove_all(dir);
   return out;

@@ -71,6 +71,13 @@ struct FleetConfig {
   /// against the fused store after the drain; rendered tables land in
   /// FleetOutcome::query_results in the same order.
   std::vector<std::string> queries;
+  /// Capture telemetry while running: per-shard domains merged at epoch
+  /// barriers (DESIGN.md §6h). Unlike run_fleet_scale, the full platform
+  /// duplicates some instrumentation per shard world (shared shipping
+  /// topology, tier links), so exports are byte-identical across *thread*
+  /// counts for a fixed shard count, but scale with the shard count; the
+  /// frames/tables above stay geometry-invariant regardless.
+  bool capture = false;
 };
 
 struct FleetVehicleStats {
@@ -116,6 +123,17 @@ struct FleetOutcome {
   std::uint64_t epochs = 0;        // lock-step barriers crossed
   std::uint64_t epoch_batches = 0; // non-empty cross-shard frame batches
   std::vector<std::string> fault_trace;
+
+  // Capture-plane artifacts (empty / zero unless config.capture); see
+  // FleetConfig::capture for the invariance contract.
+  std::string chrome_trace;
+  std::string metrics_jsonl;
+  std::uint64_t trace_events = 0;
+  std::uint64_t open_spans = 0;
+  std::uint64_t metric_keys = 0;
+
+  /// Runtime-plane shard report (always produced; wall-clock derived).
+  std::string shards_jsonl;
 };
 
 /// Canned plan: slow every processor of vehicle `vehicle_index` to

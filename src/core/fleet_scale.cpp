@@ -7,7 +7,10 @@
 
 #include "net/topology.hpp"
 #include "sim/sharded.hpp"
+#include "telemetry/domains.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/fleet/wire.hpp"
+#include "telemetry/shard_report.hpp"
 #include "util/strings.hpp"
 
 namespace vdap::core {
@@ -66,6 +69,14 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
                             sim::SimTime, std::vector<sim::ShardMessage>&&) {
       b->barrier();
     });
+  }
+
+  // Per-shard capture domains: worker shards record into their own domain,
+  // merged deterministically at every epoch barrier (DESIGN.md §6h).
+  std::unique_ptr<telemetry::DomainSet> domains;
+  if (config.capture) {
+    domains = std::make_unique<telemetry::DomainSet>(nshards);
+    ssim.set_capture(domains.get());
   }
 
   // All vehicle state lives in one flat vector sized up front, so the
@@ -131,12 +142,19 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
 
   out.events_fired += ssim.run_until(config.run_until);
   // Quiesced at an epoch barrier: stop the producers, cut the final
-  // frames, then drain the transport.
+  // frames, then drain the transport. Metrics this section records (flush
+  // counters) go to the coordinator domain; counters sum identically no
+  // matter which domain records them, so geometry invariance holds.
+  telemetry::Domain* prev = nullptr;
+  if (domains != nullptr) {
+    prev = telemetry::bind_domain(domains->coordinator_domain());
+  }
   for (VehicleState& v : vehicles) {
     v.tick.stop();
     v.shipper->stop();
     v.shipper->flush_now();
   }
+  if (domains != nullptr) telemetry::bind_domain(prev);
   out.events_fired += ssim.run_until(config.run_until + config.drain);
   out.epochs = ssim.epochs_run();
 
@@ -178,6 +196,51 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
       static_cast<unsigned long long>(out.frames_dropped),
       static_cast<unsigned long long>(out.decode_errors),
       static_cast<unsigned long long>(out.digest));
+
+  // Capture plane: merged exports, byte-identical across the matrix.
+  if (domains != nullptr) {
+    domains->merge_epoch();  // anything recorded after the last barrier
+    out.chrome_trace = domains->chrome_trace();
+    const telemetry::MetricsRegistry merged = domains->merged_metrics();
+    out.metrics_jsonl =
+        telemetry::metrics_snapshot_json(merged, ssim.now()).dump() + "\n";
+    out.trace_events = domains->events();
+    out.open_spans = domains->open_spans();
+    out.metric_keys = merged.counters().all().size() + merged.gauges().size() +
+                      merged.histograms().size();
+    ssim.set_capture(nullptr);
+  }
+
+  // Runtime plane: one report row per shard (wall-clock — diagnostic only).
+  std::vector<telemetry::ShardRuntimeRow> rows;
+  rows.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    const sim::ShardedSimulator::ShardRuntime& rt =
+        ssim.runtime()[static_cast<std::size_t>(s)];
+    telemetry::ShardRuntimeRow row;
+    row.shard = s;
+    row.epochs = ssim.epochs_run();
+    row.events = rt.events;
+    row.busy_s = rt.busy_s;
+    row.wait_s = rt.wait_s;
+    row.queue_peak = rt.queue_peak;
+    row.wheel_peak = rt.wheel_peak;
+    row.overflow_peak = rt.overflow_peak;
+    if (backend != nullptr) {
+      const fleet::IngestShard& is = backend->shard(s);
+      row.frames = is.frames_ingested();
+      row.samples = is.samples_ingested();
+      row.ring_late = is.ring_late();
+      row.decode_errors = is.decode_errors();
+      row.backlog_peak = backend->backlog_peak(s);
+      row.lag_us_peak = backend->lag_us_peak(s);
+      row.pool_hits = is.pool().column_reuses() + is.pool().buffer_reuses();
+      row.pool_misses = is.pool().column_allocs() + is.pool().buffer_allocs();
+      row.pool_free = is.pool().columns_free() + is.pool().buffers_free();
+    }
+    rows.push_back(row);
+  }
+  out.shards_jsonl = telemetry::shards_report_jsonl(rows);
   return out;
 }
 

@@ -47,6 +47,12 @@ struct FleetScaleConfig {
   /// are byte-for-byte unaffected unless this is set.
   bool ingest_backend = false;
   telemetry::fleet::IngestOptions ingest;
+  /// Capture telemetry while running: per-shard domains bound on the
+  /// worker shards, merged deterministically at epoch barriers (DESIGN.md
+  /// §6h). The exported artifacts below are byte-identical across the
+  /// shard × thread matrix per (seed, rest-of-config); the digest path is
+  /// unaffected either way.
+  bool capture = false;
 };
 
 struct FleetScaleOutcome {
@@ -81,6 +87,18 @@ struct FleetScaleOutcome {
   std::uint64_t detect_scanned = 0;
   /// One-line deterministic ingest summary ("" when the backend is off).
   std::string ingest_summary;
+
+  // Capture-plane artifacts (empty / zero unless config.capture). All of
+  // them are part of the byte-identity contract.
+  std::string chrome_trace;   // merged Chrome trace-event JSON
+  std::string metrics_jsonl;  // one metrics snapshot line (end of run)
+  std::uint64_t trace_events = 0;
+  std::uint64_t open_spans = 0;  // must drain to 0
+  std::uint64_t metric_keys = 0;
+
+  /// Runtime-plane shard report (always produced; wall-clock derived —
+  /// NOT byte-identical, see telemetry/shard_report.hpp).
+  std::string shards_jsonl;
 };
 
 FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config);

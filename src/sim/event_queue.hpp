@@ -55,6 +55,12 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
+  /// Occupancy introspection (the sharded runtime report): physical entries
+  /// currently in the calendar wheel / the overflow heap. Both include
+  /// cancelled-but-not-yet-dropped entries, so they bound memory, not work.
+  std::size_t wheel_entries() const { return wheel_entries_; }
+  std::size_t overflow_entries() const { return overflow_.size(); }
+
   /// Time of the earliest pending event; kTimeMax when empty.
   SimTime next_time();
 

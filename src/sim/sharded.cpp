@@ -1,8 +1,11 @@
 #include "sim/sharded.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/domains.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::sim {
@@ -20,8 +23,9 @@ ShardedSimulator::ShardedSimulator(std::uint64_t seed, Options options)
     // named per entity ("veh.17", "link.ship/cav-17") draws the same
     // sequence no matter which shard hosts the entity — the keystone of
     // shard-count-independent output.
-    shards_.push_back(Shard{std::make_unique<Simulator>(seed), {}, 0});
+    shards_.push_back(Shard{std::make_unique<Simulator>(seed), {}, 0, 0.0});
   }
+  runtime_.resize(shards_.size());
 }
 
 void ShardedSimulator::post(int from_shard, SimTime at, std::uint64_t key,
@@ -56,11 +60,71 @@ void ShardedSimulator::exchange(SimTime epoch_end) {
   if (sink_) sink_(epoch_end, std::move(batch));
 }
 
+void ShardedSimulator::collect_runtime() {
+  // Runs at the barrier with every shard quiesced. A shard's barrier wait
+  // is "how much sooner than the slowest shard it finished" — the epoch
+  // ends for everyone when the slowest worker arrives.
+  double max_busy = 0.0;
+  double min_busy = shards_.empty() ? 0.0 : shards_[0].epoch_busy;
+  for (const Shard& s : shards_) {
+    max_busy = std::max(max_busy, s.epoch_busy);
+    min_busy = std::min(min_busy, s.epoch_busy);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = shards_[i];
+    ShardRuntime& rt = runtime_[i];
+    rt.busy_s += s.epoch_busy;
+    rt.wait_s += max_busy - s.epoch_busy;
+    rt.queue_peak = std::max(rt.queue_peak, s.sim->pending_events());
+    rt.wheel_peak = std::max(rt.wheel_peak, s.sim->queue().wheel_entries());
+    rt.overflow_peak =
+        std::max(rt.overflow_peak, s.sim->queue().overflow_entries());
+  }
+  if (capture_ != nullptr) {
+    const double imbalance =
+        max_busy > 0.0 ? (max_busy - min_busy) / max_busy : 0.0;
+    mirror_runtime_metrics(max_busy, imbalance);
+  }
+}
+
+void ShardedSimulator::mirror_runtime_metrics(double epoch_wall_s,
+                                              double epoch_imbalance) {
+  // Runtime plane only: wall-clock-derived values go into the DomainSet's
+  // runtime registry, never into the deterministic capture domains.
+  telemetry::MetricsRegistry& r = capture_->runtime();
+  r.observe("sharded.epoch.wall_s", epoch_wall_s);
+  r.observe("sharded.epoch.imbalance", epoch_imbalance);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardRuntime& rt = runtime_[i];
+    const std::string shard = std::to_string(i);
+    r.set_gauge("sharded.shard.busy_s", {{"shard", shard}}, rt.busy_s);
+    r.set_gauge("sharded.shard.wait_s", {{"shard", shard}}, rt.wait_s);
+    r.set_gauge("sharded.shard.queue_peak", {{"shard", shard}},
+                static_cast<double>(rt.queue_peak));
+    r.set_gauge("sharded.shard.wheel_peak", {{"shard", shard}},
+                static_cast<double>(rt.wheel_peak));
+    r.set_gauge("sharded.shard.overflow_peak", {{"shard", shard}},
+                static_cast<double>(rt.overflow_peak));
+  }
+}
+
 std::size_t ShardedSimulator::run_until(SimTime until) {
   if (opts_.threads > 1 && telemetry::Telemetry::enabled()) {
+    // The truly-unsupported combination: a legacy telemetry::Session binds
+    // the process-global domain to the calling thread, and the calling
+    // thread *participates* in shard work (ThreadPool::run). The Session
+    // would capture whichever shards scheduling happened to hand it —
+    // nondeterministic and racy. Per-shard capture has no such problem.
     throw std::logic_error(
-        "sharded: the global telemetry registry is not thread-safe; close "
-        "the telemetry::Session or run with threads = 1");
+        "sharded: a legacy telemetry::Session (process-global capture) "
+        "cannot observe threads > 1 — it would record a scheduling-"
+        "dependent subset of shard work; attach per-shard domains with "
+        "set_capture(telemetry::DomainSet) or run with threads = 1");
+  }
+  if (capture_ != nullptr && capture_->shards() != shards()) {
+    throw std::invalid_argument(
+        "sharded: capture DomainSet has " + std::to_string(capture_->shards()) +
+        " domains for " + std::to_string(shards()) + " shards");
   }
   if (until == kTimeMax) {
     // Lock-step epochs need a finite horizon (an idle shard still has to
@@ -75,18 +139,47 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
                             : now_ + opts_.epoch_length;
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards_.size());
-    for (Shard& s : shards_) {
-      Shard* shard = &s;
-      tasks.push_back(
-          [shard, epoch_end] { shard->fired += shard->sim->run_until(epoch_end); });
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard* shard = &shards_[i];
+      telemetry::Domain* domain =
+          capture_ != nullptr ? capture_->shard_domain(static_cast<int>(i))
+                              : nullptr;
+      tasks.push_back([shard, epoch_end, domain] {
+        const auto t0 = std::chrono::steady_clock::now();
+        // Bind the shard's domain for the duration of its epoch so every
+        // instrumentation site below records into per-shard storage. The
+        // previous binding is restored because the calling thread also
+        // works tasks and must leave with its own binding intact.
+        telemetry::Domain* prev = nullptr;
+        if (domain != nullptr) prev = telemetry::bind_domain(domain);
+        shard->fired += shard->sim->run_until(epoch_end);
+        if (domain != nullptr) telemetry::bind_domain(prev);
+        shard->epoch_busy =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+      });
     }
     pool_->run(tasks);
     now_ = epoch_end;
     ++epochs_;
+    collect_runtime();
+    // The epoch sink mutates shards from the coordinator thread; its
+    // instrumentation lands in the coordinator domain and is merged with
+    // the shard domains right after.
+    telemetry::Domain* prev = nullptr;
+    if (capture_ != nullptr) {
+      prev = telemetry::bind_domain(capture_->coordinator_domain());
+    }
     exchange(epoch_end);
+    if (capture_ != nullptr) {
+      telemetry::bind_domain(prev);
+      capture_->merge_epoch();
+    }
   }
-  for (Shard& s : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
     fired_total += s.fired;
+    runtime_[i].events += s.fired;
     s.fired = 0;
   }
   return fired_total;

@@ -25,8 +25,19 @@
 //     then the merged batch order is a pure function of (seed, plan).
 //     tests/sharded_test.cpp sweeps shard counts 1/2/8 x thread counts to
 //     prove both properties for the fleet scenarios.
-//   * Telemetry: the global telemetry registry is process-wide, so running
-//     with threads > 1 while a telemetry::Session is live is refused.
+//   * Telemetry: attach a telemetry::DomainSet with set_capture() and each
+//     worker shard records into its own domain (bound thread-locally around
+//     its epoch), merged deterministically at every barrier — so captured
+//     exports stay byte-identical across the shard × thread matrix
+//     (DESIGN.md §6h). The one refused combination is a live legacy
+//     telemetry::Session (process-global domain) with threads > 1: the
+//     calling thread participates in shard work, so the Session would
+//     capture a scheduling-dependent subset of events.
+//
+// Beyond capture, the runner always keeps per-shard *runtime* statistics
+// (wall-clock busy/wait at barriers, event-queue occupancy peaks) — see
+// runtime(); these are diagnostic and never part of the deterministic
+// surface.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +48,10 @@
 
 #include "sim/simulator.hpp"
 #include "sim/thread_pool.hpp"
+
+namespace vdap::telemetry {
+class DomainSet;
+}  // namespace vdap::telemetry
 
 namespace vdap::sim {
 
@@ -86,6 +101,26 @@ class ShardedSimulator {
 
   void set_epoch_sink(EpochSink sink) { sink_ = std::move(sink); }
 
+  /// Attaches per-shard telemetry domains (one per shard — enforced at
+  /// run_until). While attached, shard i's epoch work records into
+  /// capture->shard_domain(i), the epoch sink records into the coordinator
+  /// domain, and domains are merged at every barrier. Pass nullptr to
+  /// detach. The DomainSet must outlive the runs it captures.
+  void set_capture(telemetry::DomainSet* capture) { capture_ = capture; }
+  telemetry::DomainSet* capture() const { return capture_; }
+
+  /// Per-shard runtime statistics, accumulated across every run_until call
+  /// (wall-clock derived — diagnostic only, never deterministic).
+  struct ShardRuntime {
+    std::uint64_t events = 0;      // events fired by this shard
+    double busy_s = 0.0;           // wall seconds inside epoch work
+    double wait_s = 0.0;           // wall seconds stalled at barriers
+    std::size_t queue_peak = 0;    // live pending events, peak
+    std::size_t wheel_peak = 0;    // calendar-wheel entries, peak
+    std::size_t overflow_peak = 0; // overflow-heap entries, peak
+  };
+  const std::vector<ShardRuntime>& runtime() const { return runtime_; }
+
   /// Runs every shard to `until` in lock-step epochs (the final epoch may
   /// be shorter), exchanging messages at each boundary. `until` must be
   /// finite (an idle shard still reaches every barrier). Returns the total
@@ -103,15 +138,22 @@ class ShardedSimulator {
     std::unique_ptr<Simulator> sim;
     std::vector<ShardMessage> outbox;
     std::size_t fired = 0;
+    // Wall seconds this shard's last epoch took; written by the worker
+    // task, read by the coordinator after the barrier.
+    double epoch_busy = 0.0;
   };
 
   void exchange(SimTime epoch_end);
+  void collect_runtime();
+  void mirror_runtime_metrics(double epoch_wall_s, double epoch_imbalance);
 
   std::uint64_t seed_;
   Options opts_;
   std::vector<Shard> shards_;
+  std::vector<ShardRuntime> runtime_;
   std::unique_ptr<ThreadPool> pool_;
   EpochSink sink_;
+  telemetry::DomainSet* capture_ = nullptr;
   SimTime now_ = kTimeZero;
   std::uint64_t epochs_ = 0;
 };

@@ -68,6 +68,8 @@ class Simulator {
 
   bool idle() { return queue_.empty(); }
   std::size_t pending_events() { return queue_.size(); }
+  /// Calendar-queue occupancy introspection (the sharded runtime report).
+  const EventQueue& queue() const { return queue_; }
 
   /// Named deterministic RNG stream derived from the simulation seed.
   /// Streams are created on first use and owned by the simulator.

@@ -1,0 +1,114 @@
+#include "telemetry/domains.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/export.hpp"
+#include "util/json.hpp"
+
+namespace vdap::telemetry {
+
+namespace {
+
+// One drained event staged for the canonical sort. `track` points into the
+// source tracer's interned track table (stable for the duration of the
+// merge — draining never interns).
+struct Staged {
+  TraceEvent ev;
+  const std::string* track = nullptr;
+  int entry = 0;  // 0..shards-1, then shards for the coordinator
+};
+
+// Canonical content order: (ts, track, name, cat, ph, dur, args). This is
+// a total order on everything the exporter serializes *except* the async
+// span id, which is renumbered in merged order after the sort — so the
+// merged log depends only on the event multiset, not on which shard
+// recorded what. Events identical in every compared field keep their
+// concatenation order (stable_sort): only such content-twins can permute
+// span ids across geometries, which §6h excludes by contract
+// (entity-partitioned instrumentation distinguishes twins by track/args).
+bool canonical_less(const Staged& a, const Staged& b) {
+  if (a.ev.ts != b.ev.ts) return a.ev.ts < b.ev.ts;
+  if (int c = a.track->compare(*b.track); c != 0) return c < 0;
+  if (int c = a.ev.name.compare(b.ev.name); c != 0) return c < 0;
+  if (int c = a.ev.cat.compare(b.ev.cat); c != 0) return c < 0;
+  if (a.ev.ph != b.ev.ph) return a.ev.ph < b.ev.ph;
+  if (a.ev.dur != b.ev.dur) return a.ev.dur < b.ev.dur;
+  if (a.ev.args.empty() && b.ev.args.empty()) return false;
+  // json::Object is a std::map, so dumping is itself deterministic. Args
+  // comparisons only run for events tied on all cheaper fields.
+  return json::Value(a.ev.args).dump() < json::Value(b.ev.args).dump();
+}
+
+}  // namespace
+
+DomainSet::DomainSet(int shards) {
+  if (shards < 1) throw std::invalid_argument("DomainSet: shards must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Entry>());
+  }
+}
+
+void DomainSet::merge_epoch() {
+  std::vector<Staged> batch;
+  auto drain = [&batch](Entry& entry, int index) {
+    Tracer& t = entry.domain.tracer();
+    const std::vector<std::string>& tracks = t.tracks();
+    for (TraceEvent& ev : t.take_events()) {
+      Staged s;
+      s.track = &tracks[ev.tid];
+      s.entry = index;
+      s.ev = std::move(ev);
+      batch.push_back(std::move(s));
+    }
+  };
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    drain(*shards_[i], static_cast<int>(i));
+  }
+  drain(coordinator_, static_cast<int>(shards_.size()));
+  if (batch.empty()) return;
+
+  std::stable_sort(batch.begin(), batch.end(), canonical_less);
+
+  for (Staged& s : batch) {
+    std::map<std::uint64_t, std::uint64_t>& ids =
+        s.entry < static_cast<int>(shards_.size())
+            ? shards_[static_cast<std::size_t>(s.entry)]->span_ids
+            : coordinator_.span_ids;
+    TraceEvent ev = std::move(s.ev);
+    ev.tid = master_.track(*s.track);
+    if (ev.ph == 'b') {
+      std::uint64_t master_id = next_span_++;
+      ids[ev.id] = master_id;
+      ev.id = master_id;
+    } else if (ev.ph == 'e') {
+      auto it = ids.find(ev.id);
+      if (it == ids.end()) continue;  // begin was recorded while unbound
+      ev.id = it->second;
+      ids.erase(it);
+    }
+    master_.absorb(std::move(ev));
+  }
+}
+
+std::string DomainSet::chrome_trace() const { return chrome_trace_json(master_); }
+
+std::size_t DomainSet::open_spans() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Entry>& e : shards_) {
+    total += e->domain.tracer().open_spans();
+  }
+  total += coordinator_.domain.tracer().open_spans();
+  return total;
+}
+
+MetricsRegistry DomainSet::merged_metrics() const {
+  MetricsRegistry out;
+  for (const std::unique_ptr<Entry>& e : shards_) out.merge(e->domain.metrics());
+  out.merge(coordinator_.domain.metrics());
+  return out;
+}
+
+}  // namespace vdap::telemetry

@@ -1,0 +1,83 @@
+// Per-shard telemetry domains for a sharded run (DESIGN.md §6h).
+//
+// sim::ShardedSimulator binds shard i's Domain on whichever pool thread
+// runs shard i's epoch, and the coordinator Domain around the barrier
+// itself (message exchange, epoch sinks, ingest mirrors). At every epoch
+// barrier — all shards quiesced — merge_epoch() drains each domain's new
+// trace events and appends them to a master log in a canonical order that
+// is a pure function of the event *multiset*, so the merged export is
+// byte-identical across the shard × thread matrix for instrumentation
+// whose content does not itself depend on the shard geometry (the
+// entity-partitioned fleet paths; see §6h for the exact contract).
+//
+// Metrics stay cumulative inside each domain; merged_metrics() folds them
+// on demand in shard-index order (then the coordinator). Counters are
+// int64 sums, so the merged values are geometry-exact.
+//
+// The DomainSet also carries a *runtime* registry — wall-clock-derived
+// introspection of the sharded runtime (barrier waits, queue occupancy,
+// ingest lag). It is deliberately not part of the deterministic capture
+// surface; it feeds the shards report (shard_report.hpp), never the
+// byte-identity tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vdap::telemetry {
+
+class DomainSet {
+ public:
+  explicit DomainSet(int shards);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Domain* shard_domain(int i) {
+    return &shards_[static_cast<std::size_t>(i)]->domain;
+  }
+  Domain* coordinator_domain() { return &coordinator_.domain; }
+
+  /// Epoch-barrier merge: drains every domain's trace events recorded since
+  /// the previous barrier and appends them to the master log in canonical
+  /// (ts, track, name, cat, ph, dur, args) order, renumbering async span
+  /// ids in merged order. Call only with all shards quiesced.
+  void merge_epoch();
+
+  /// The merged master trace (valid after the last merge_epoch()).
+  const Tracer& tracer() const { return master_; }
+  std::string chrome_trace() const;
+  std::size_t events() const { return master_.events().size(); }
+
+  /// Spans opened but not yet closed, summed over every domain.
+  std::size_t open_spans() const;
+
+  /// Fresh merge of every domain's metrics: shards in index order, then the
+  /// coordinator domain.
+  MetricsRegistry merged_metrics() const;
+
+  /// Runtime-plane registry (wall-clock sharded-runtime introspection);
+  /// excluded from the deterministic capture surface above.
+  MetricsRegistry& runtime() { return runtime_; }
+  const MetricsRegistry& runtime() const { return runtime_; }
+
+ private:
+  struct Entry {
+    Domain domain;
+    // Domain-local span id -> master span id, for 'b'/'e' renumbering.
+    std::map<std::uint64_t, std::uint64_t> span_ids;
+  };
+
+  // unique_ptr keeps Domain addresses stable across the vector.
+  std::vector<std::unique_ptr<Entry>> shards_;
+  Entry coordinator_;
+  Tracer master_;
+  MetricsRegistry runtime_;
+  std::uint64_t next_span_ = 1;
+};
+
+}  // namespace vdap::telemetry

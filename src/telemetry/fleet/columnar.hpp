@@ -101,6 +101,9 @@ class BlockPool {
   std::uint64_t column_reuses() const { return column_reuses_; }
   std::uint64_t buffer_allocs() const { return buffer_allocs_; }
   std::uint64_t buffer_reuses() const { return buffer_reuses_; }
+  /// Free-list occupancy right now (the sharded runtime report).
+  std::size_t columns_free() const { return columns_.size(); }
+  std::size_t buffers_free() const { return buffers_.size(); }
 
  private:
   static constexpr std::size_t kMaxFree = 64;

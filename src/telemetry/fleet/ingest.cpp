@@ -192,6 +192,7 @@ ShardedIngestBackend::ShardedIngestBackend(IngestOptions options)
   for (int s = 0; s < opts_.shards; ++s) {
     shards_.push_back(std::make_unique<IngestShard>(opts_));
   }
+  barrier_stats_.resize(shards_.size());
   if (opts_.threads > 1) {
     pool_ = std::make_unique<sim::ThreadPool>(opts_.threads);
   }
@@ -252,6 +253,22 @@ void ShardedIngestBackend::barrier() {
   sim::SimTime wm = watermark_;
   for (const auto& s : shards_) wm = std::max(wm, s->watermark());
   watermark_ = wm;
+  // Backpressure watermarks (runtime plane): how many frames each shard
+  // decoded since the previous barrier, and how far its watermark trails
+  // the merged one. Peaks only — per-shard values depend on the shard
+  // geometry, so they never feed the deterministic capture.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    BarrierStats& bs = barrier_stats_[i];
+    const std::uint64_t frames = shards_[i]->frames_ingested();
+    bs.backlog_peak = std::max(bs.backlog_peak, frames - bs.frames_last);
+    bs.frames_last = frames;
+    if (shards_[i]->frames_ingested() > 0) {
+      bs.lag_us_peak = std::max(
+          bs.lag_us_peak,
+          static_cast<std::int64_t>(wm) -
+              static_cast<std::int64_t>(shards_[i]->watermark()));
+    }
+  }
   std::set<std::string> dirty;
   for (auto& s : shards_) {
     std::set<std::string> d = s->take_dirty();

@@ -182,6 +182,9 @@ class ShardedIngestBackend {
   /// valid as long as each vehicle always lands on the same shard.
   bool ingest_on_shard(int shard, std::string_view line);
   IngestShard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  const IngestShard& shard(int i) const {
+    return *shards_[static_cast<std::size_t>(i)];
+  }
 
   /// Merge watermarks and run unthrottled MAD detection over every dirty
   /// metric; call with all shards quiesced (standalone ingest_batch does
@@ -210,6 +213,16 @@ class ShardedIngestBackend {
   /// Vehicle window-means examined across all detection passes — the
   /// counter the O(V)-cost regression test pins.
   std::uint64_t detect_scanned() const { return detect_scanned_; }
+
+  /// Backpressure watermarks for the sharded runtime report, maintained at
+  /// each barrier: the most frames shard `i` decoded between two barriers,
+  /// and the farthest (in µs) its watermark ever trailed the merged one.
+  std::uint64_t backlog_peak(int i) const {
+    return barrier_stats_[static_cast<std::size_t>(i)].backlog_peak;
+  }
+  std::int64_t lag_us_peak(int i) const {
+    return barrier_stats_[static_cast<std::size_t>(i)].lag_us_peak;
+  }
 
   /// Pool + block accounting summed over shards (bench evidence).
   struct PoolStats {
@@ -244,6 +257,11 @@ class ShardedIngestBackend {
     std::uint64_t passes = 0;
     std::uint64_t scanned = 0;
   };
+  struct BarrierStats {
+    std::uint64_t frames_last = 0;  // frames_ingested at the last barrier
+    std::uint64_t backlog_peak = 0;
+    std::int64_t lag_us_peak = 0;
+  };
 
   void detect(const std::string& metric);
   void mirror_metrics();
@@ -262,6 +280,7 @@ class ShardedIngestBackend {
   std::uint64_t detect_passes_ = 0;
   std::uint64_t detect_scanned_ = 0;
   MirrorState mirrored_;
+  std::vector<BarrierStats> barrier_stats_;  // one per shard
 };
 
 }  // namespace vdap::telemetry::fleet

@@ -29,6 +29,11 @@ class Session {
     if (Telemetry::enabled()) {
       throw std::logic_error("telemetry session already active");
     }
+    if (bound_domain() != nullptr) {
+      throw std::logic_error(
+          "a telemetry domain is already bound on this thread (sharded "
+          "capture live?) — Session would shadow it");
+    }
     Telemetry::instance().reset();
     Telemetry::instance().enable();
   }

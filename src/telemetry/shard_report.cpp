@@ -1,0 +1,134 @@
+#include "telemetry/shard_report.hpp"
+
+#include <optional>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace vdap::telemetry {
+
+namespace {
+
+json::Object row_to_json(const ShardRuntimeRow& r) {
+  json::Object o;
+  o["shard"] = static_cast<std::int64_t>(r.shard);
+  o["epochs"] = static_cast<std::int64_t>(r.epochs);
+  o["events"] = static_cast<std::int64_t>(r.events);
+  o["busy_s"] = r.busy_s;
+  o["wait_s"] = r.wait_s;
+  o["queue_peak"] = static_cast<std::int64_t>(r.queue_peak);
+  o["wheel_peak"] = static_cast<std::int64_t>(r.wheel_peak);
+  o["overflow_peak"] = static_cast<std::int64_t>(r.overflow_peak);
+  o["frames"] = static_cast<std::int64_t>(r.frames);
+  o["samples"] = static_cast<std::int64_t>(r.samples);
+  o["ring_late"] = static_cast<std::int64_t>(r.ring_late);
+  o["decode_errors"] = static_cast<std::int64_t>(r.decode_errors);
+  o["backlog_peak"] = static_cast<std::int64_t>(r.backlog_peak);
+  o["lag_us_peak"] = r.lag_us_peak;
+  o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
+  o["pool_misses"] = static_cast<std::int64_t>(r.pool_misses);
+  o["pool_free"] = static_cast<std::int64_t>(r.pool_free);
+  return o;
+}
+
+}  // namespace
+
+std::string shards_report_jsonl(const std::vector<ShardRuntimeRow>& rows) {
+  std::string out;
+  for (const ShardRuntimeRow& r : rows) {
+    out += json::Value(row_to_json(r)).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_shards_report(std::string_view text,
+                         std::vector<ShardRuntimeRow>* rows,
+                         std::string* error) {
+  rows->clear();
+  std::size_t line_no = 0;
+  for (const std::string& line : util::split(text, '\n')) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::optional<json::Value> v = json::try_parse(line);
+    if (!v || !v->is_object()) {
+      if (error != nullptr) {
+        *error = "shards report line " + std::to_string(line_no) +
+                 ": not a JSON object";
+      }
+      return false;
+    }
+    ShardRuntimeRow r;
+    r.shard = static_cast<int>(v->get_int("shard"));
+    r.epochs = static_cast<std::uint64_t>(v->get_int("epochs"));
+    r.events = static_cast<std::uint64_t>(v->get_int("events"));
+    r.busy_s = v->get_double("busy_s");
+    r.wait_s = v->get_double("wait_s");
+    r.queue_peak = static_cast<std::uint64_t>(v->get_int("queue_peak"));
+    r.wheel_peak = static_cast<std::uint64_t>(v->get_int("wheel_peak"));
+    r.overflow_peak = static_cast<std::uint64_t>(v->get_int("overflow_peak"));
+    r.frames = static_cast<std::uint64_t>(v->get_int("frames"));
+    r.samples = static_cast<std::uint64_t>(v->get_int("samples"));
+    r.ring_late = static_cast<std::uint64_t>(v->get_int("ring_late"));
+    r.decode_errors = static_cast<std::uint64_t>(v->get_int("decode_errors"));
+    r.backlog_peak = static_cast<std::uint64_t>(v->get_int("backlog_peak"));
+    r.lag_us_peak = v->get_int("lag_us_peak");
+    r.pool_hits = static_cast<std::uint64_t>(v->get_int("pool_hits"));
+    r.pool_misses = static_cast<std::uint64_t>(v->get_int("pool_misses"));
+    r.pool_free = static_cast<std::uint64_t>(v->get_int("pool_free"));
+    rows->push_back(r);
+  }
+  if (rows->empty()) {
+    if (error != nullptr) *error = "shards report: no rows";
+    return false;
+  }
+  return true;
+}
+
+std::string shards_report_table(const std::vector<ShardRuntimeRow>& rows) {
+  util::TextTable table("sharded runtime (wall-clock plane — not part of the deterministic capture)");
+  table.set_header({"shard", "epochs", "events", "busy s", "wait s", "queue^",
+                    "wheel^", "ovfl^", "frames", "late", "backlog^", "lag ms^",
+                    "pool hit%", "free", "judgement"});
+  for (const ShardRuntimeRow& r : rows) {
+    const std::uint64_t pool_total = r.pool_hits + r.pool_misses;
+    const double hit_pct =
+        pool_total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(r.pool_hits) /
+                              static_cast<double>(pool_total);
+    table.add_row({std::to_string(r.shard), std::to_string(r.epochs),
+                   std::to_string(r.events), util::TextTable::num(r.busy_s, 3),
+                   util::TextTable::num(r.wait_s, 3),
+                   std::to_string(r.queue_peak), std::to_string(r.wheel_peak),
+                   std::to_string(r.overflow_peak), std::to_string(r.frames),
+                   std::to_string(r.ring_late), std::to_string(r.backlog_peak),
+                   util::TextTable::num(static_cast<double>(r.lag_us_peak) / 1000.0, 1),
+                   pool_total == 0 ? "-" : util::TextTable::num(hit_pct, 1),
+                   std::to_string(r.pool_free),
+                   analysis::judge_shard_runtime(r)});
+  }
+  return table.to_string();
+}
+
+}  // namespace vdap::telemetry
+
+namespace vdap::telemetry::analysis {
+
+std::string judge_shard_runtime(const ShardRuntimeRow& row) {
+  std::string verdict;
+  auto add = [&verdict](std::string_view v) {
+    if (!verdict.empty()) verdict += ',';
+    verdict += v;
+  };
+  // Barrier imbalance only means anything once the shard accumulated enough
+  // wall time to measure; sub-10ms runs are all scheduling noise.
+  const double wall = row.busy_s + row.wait_s;
+  if (wall > 0.010 && row.wait_s > 0.25 * wall) add("imbalanced");
+  if (row.overflow_peak > 0) add("overflow");
+  if (row.ring_late > 0) add("backpressure");
+  if (row.decode_errors > 0) add("decode-errors");
+  return verdict.empty() ? "ok" : verdict;
+}
+
+}  // namespace vdap::telemetry::analysis

@@ -86,6 +86,12 @@ void Tracer::counter(sim::SimTime ts, std::string_view track,
   events_.push_back(std::move(ev));
 }
 
+std::vector<TraceEvent> Tracer::take_events() {
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
 void Tracer::clear() {
   events_.clear();
   tracks_.clear();

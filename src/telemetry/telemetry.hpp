@@ -9,13 +9,16 @@
 //     produce byte-identical exported traces — the `trace` test suite
 //     enforces this.
 //   * Near-zero disabled cost — every instrumentation site is guarded by
-//     `if (telemetry::on())`, a single branch on a plain bool; no argument
-//     marshalling, no allocation, no virtual dispatch on the cold path.
-//     The simulator is single-threaded, so no atomics are needed.
-//   * One capture at a time — the registry and tracer are process-wide
-//     (instrumented code lives many layers below whoever runs the
-//     experiment); telemetry::Session (session.hpp) scopes a capture to
-//     one run and resets state on entry.
+//     `if (telemetry::on())`, a single branch on a thread-local pointer; no
+//     argument marshalling, no allocation, no virtual dispatch on the cold
+//     path. Each simulator shard is single-threaded, so no atomics are
+//     needed inside a Domain.
+//   * Domain-scoped capture — instrumentation records into the Domain
+//     (tracer + registry pair) bound to the *current thread*. A legacy
+//     telemetry::Session (session.hpp) binds the process-global domain for
+//     one single-threaded run; sim::ShardedSimulator binds one Domain per
+//     worker shard for the duration of each epoch and merges them
+//     deterministically at the barrier (domains.hpp, DESIGN.md §6h).
 //
 // The trace model follows the Chrome trace-event format so exports load
 // directly into Perfetto / chrome://tracing (see export.hpp):
@@ -94,6 +97,16 @@ class Tracer {
   const std::vector<std::string>& tracks() const { return tracks_; }
   /// Spans opened but not yet closed — the leak the chaos suites check.
   std::size_t open_spans() const { return open_.size(); }
+
+  /// Moves out every recorded event, leaving interned tracks, open-span
+  /// bookkeeping and the span-id counter in place — the incremental drain
+  /// DomainSet::merge_epoch runs at each epoch barrier.
+  std::vector<TraceEvent> take_events();
+
+  /// Appends an event whose `tid` and `id` are already final. Only the
+  /// domain-merge path (domains.cpp) uses this; regular recording goes
+  /// through the typed methods above.
+  void absorb(TraceEvent ev) { events_.push_back(std::move(ev)); }
 
   void clear();
 
@@ -179,20 +192,17 @@ class MetricsRegistry {
   std::map<std::string, util::Histogram> hists_;
 };
 
-/// The process-wide telemetry instance. Disabled by default; Session
-/// (session.hpp) enables it for the duration of one capture.
-class Telemetry {
+/// One capture target: a tracer + metrics registry pair. Threads bind a
+/// domain thread-locally (bind_domain below); instrumentation records into
+/// whatever domain the calling thread has bound. Domains have no internal
+/// locking — the binding discipline (one thread writes a domain at a time)
+/// is what makes sharded capture race-free.
+class Domain {
  public:
-  static Telemetry& instance();
-
-  /// The one branch every instrumentation site pays when telemetry is off.
-  static bool enabled() { return enabled_; }
-
-  void enable() { enabled_ = true; }
-  void disable() { enabled_ = false; }
-
   Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
   MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Drops all recorded events and metrics (start of a fresh capture).
   void reset() {
@@ -201,19 +211,80 @@ class Telemetry {
   }
 
  private:
-  Telemetry() = default;
-  static inline bool enabled_ = false;
   Tracer tracer_;
   MetricsRegistry metrics_;
+};
+
+namespace internal {
+/// The calling thread's recording target; nullptr = telemetry off on this
+/// thread. thread_local is the load-bearing property: a worker binds its
+/// shard's domain around each epoch, so instrumented code deep in the
+/// layers records into per-shard storage with no shared mutable state.
+inline thread_local Domain* tls_domain = nullptr;
+}  // namespace internal
+
+/// Binds `domain` as the calling thread's recording target and returns the
+/// previous binding (so scopes can save/restore). Pass nullptr to turn
+/// telemetry off for this thread.
+inline Domain* bind_domain(Domain* domain) {
+  Domain* prev = internal::tls_domain;
+  internal::tls_domain = domain;
+  return prev;
+}
+
+/// The calling thread's current recording target (nullptr when off).
+inline Domain* bound_domain() { return internal::tls_domain; }
+
+/// The process-global legacy domain, used by single-threaded captures
+/// (telemetry::Session). enable() binds it on the calling thread; the
+/// enabled() flag survives so sim::ShardedSimulator can diagnose the one
+/// genuinely unsupported combination (a live Session + worker threads).
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// True while a legacy Session holds the global capture.
+  static bool enabled() { return enabled_; }
+
+  void enable() {
+    enabled_ = true;
+    bind_domain(&domain_);
+  }
+  void disable() {
+    enabled_ = false;
+    if (bound_domain() == &domain_) bind_domain(nullptr);
+  }
+
+  Tracer& tracer() { return domain_.tracer(); }
+  MetricsRegistry& metrics() { return domain_.metrics(); }
+  Domain& domain() { return domain_; }
+
+  /// Drops all recorded events and metrics (start of a fresh capture).
+  void reset() { domain_.reset(); }
+
+ private:
+  Telemetry() = default;
+  static inline bool enabled_ = false;
+  Domain domain_;
 };
 
 // --- instrumentation-site helpers -----------------------------------------
 
 /// The guard every instrumentation site starts with.
-inline bool on() { return Telemetry::enabled(); }
+inline bool on() { return internal::tls_domain != nullptr; }
 
-inline Tracer& tracer() { return Telemetry::instance().tracer(); }
-inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
+/// Accessors used by instrumentation after an on() check. When no domain is
+/// bound they fall back to the global domain — preserving the pre-domain
+/// behaviour of unguarded call sites (records land in global storage and are
+/// dropped by the next capture's reset) instead of dereferencing null.
+inline Tracer& tracer() {
+  Domain* d = internal::tls_domain;
+  return d != nullptr ? d->tracer() : Telemetry::instance().tracer();
+}
+inline MetricsRegistry& metrics() {
+  Domain* d = internal::tls_domain;
+  return d != nullptr ? d->metrics() : Telemetry::instance().metrics();
+}
 
 /// Guarded one-liners for sites that only bump a metric.
 inline void count(std::string_view name, std::int64_t by = 1) {

@@ -1,0 +1,393 @@
+// Shard-aware telemetry suite (DESIGN.md §6h).
+//
+// The load-bearing assertions are the capture sweeps: with per-shard
+// domains attached, the SAME (seed, config) must export BYTE-identical
+// trace + metrics artifacts no matter how many shards partition the fleet
+// or how many threads drive them — and turning capture on must never move
+// the run's digest. The DomainSet unit tests exist to localize a sweep
+// failure; the shard-report tests cover the runtime (wall-clock) plane
+// that is deliberately outside the byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/fleet_scale.hpp"
+#include "sim/sharded.hpp"
+#include "telemetry/domains.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/shard_report.hpp"
+
+namespace {
+
+using namespace vdap;
+using telemetry::Domain;
+using telemetry::DomainSet;
+using telemetry::ShardRuntimeRow;
+
+// The 100k acceptance sweep runs at full size on a plain build but is
+// scaled down under ASan/TSan, where a 100k-vehicle run costs minutes.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+// --- DomainSet merge mechanics ----------------------------------------------
+
+// The determinism keystone: the merged export is a pure function of the
+// event MULTISET, not of which domain recorded what. Record the same
+// events under two different shard placements and the merged traces must
+// match byte for byte.
+TEST(DomainSetTest, MergeIndependentOfDomainPlacement) {
+  auto record = [](DomainSet& set, const std::vector<int>& placement) {
+    // Three instants + one complete slice, "placed" per the vector.
+    set.shard_domain(placement[0])->tracer().instant(
+        sim::usec(30), "net", "send", "net/uplink");
+    set.shard_domain(placement[1])->tracer().instant(
+        sim::usec(10), "net", "send", "net/uplink");
+    set.shard_domain(placement[2])->tracer().complete(
+        sim::usec(10), sim::usec(5), "task", "decode", "ingest/0");
+    set.shard_domain(placement[3])->tracer().instant(
+        sim::usec(20), "net", "ack", "net/uplink");
+    set.merge_epoch();
+  };
+  DomainSet a(2);
+  DomainSet b(2);
+  record(a, {0, 0, 1, 1});
+  record(b, {1, 0, 0, 1});
+  EXPECT_EQ(a.chrome_trace(), b.chrome_trace());
+  EXPECT_EQ(a.events(), 4u);
+  // And the canonical order is by timestamp first.
+  EXPECT_EQ(a.tracer().events()[0].ts, sim::usec(10));
+  EXPECT_EQ(a.tracer().events()[3].ts, sim::usec(30));
+}
+
+TEST(DomainSetTest, SpanIdsRenumberedInMergedOrder) {
+  DomainSet set(2);
+  // Shard 1 opens its span first in wall order, but shard 0's begins
+  // earlier in sim time — the merged ids follow merged (canonical) order.
+  const std::uint64_t late =
+      set.shard_domain(1)->tracer().begin(sim::usec(50), "svc", "run-b", "svc");
+  const std::uint64_t early =
+      set.shard_domain(0)->tracer().begin(sim::usec(5), "svc", "run-a", "svc");
+  set.shard_domain(1)->tracer().end(sim::usec(60), late);
+  set.shard_domain(0)->tracer().end(sim::usec(70), early);
+  set.merge_epoch();
+
+  std::vector<std::uint64_t> begin_ids;
+  for (const telemetry::TraceEvent& ev : set.tracer().events()) {
+    if (ev.ph == 'b') begin_ids.push_back(ev.id);
+  }
+  EXPECT_EQ(begin_ids, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(set.open_spans(), 0u);
+}
+
+// 'b'/'e' pairs may straddle an epoch barrier; the id mapping must
+// survive the merge in between.
+TEST(DomainSetTest, SpanPairsSurviveEpochBarriers) {
+  DomainSet set(1);
+  const std::uint64_t id =
+      set.shard_domain(0)->tracer().begin(sim::usec(5), "svc", "run", "svc");
+  set.merge_epoch();
+  EXPECT_EQ(set.open_spans(), 1u);
+  set.shard_domain(0)->tracer().end(sim::usec(9), id);
+  set.merge_epoch();
+  EXPECT_EQ(set.open_spans(), 0u);
+  ASSERT_EQ(set.events(), 2u);
+  EXPECT_EQ(set.tracer().events()[0].id, set.tracer().events()[1].id);
+}
+
+TEST(DomainSetTest, MergedMetricsFoldAllDomains) {
+  DomainSet set(2);
+  set.shard_domain(0)->metrics().inc("frames", 3);
+  set.shard_domain(1)->metrics().inc("frames", 4);
+  set.coordinator_domain()->metrics().inc("frames", 5);
+  set.shard_domain(1)->metrics().observe("lat", 2.0);
+  const telemetry::MetricsRegistry merged = set.merged_metrics();
+  EXPECT_EQ(merged.counter_value("frames"), 12);
+  ASSERT_NE(merged.histogram("lat"), nullptr);
+  // The runtime registry is a separate plane: nothing leaked into it.
+  EXPECT_TRUE(set.runtime().counters().all().empty());
+}
+
+// --- thread-local binding + legacy Session ----------------------------------
+
+TEST(DomainBindingTest, AccessorsFallBackToGlobalWhenUnbound) {
+  ASSERT_EQ(telemetry::bound_domain(), nullptr);
+  EXPECT_FALSE(telemetry::on());
+  EXPECT_EQ(&telemetry::tracer(),
+            &telemetry::Telemetry::instance().tracer());
+
+  Domain mine;
+  Domain* prev = telemetry::bind_domain(&mine);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_TRUE(telemetry::on());
+  EXPECT_EQ(&telemetry::tracer(), &mine.tracer());
+  telemetry::bind_domain(prev);
+  EXPECT_FALSE(telemetry::on());
+}
+
+TEST(DomainBindingTest, SessionRefusesToShadowABoundDomain) {
+  sim::Simulator host(7);
+  Domain mine;
+  Domain* prev = telemetry::bind_domain(&mine);
+  EXPECT_THROW(telemetry::Session session(host), std::logic_error);
+  telemetry::bind_domain(prev);
+  // With the domain gone the Session works as before.
+  telemetry::Session session(host);
+  EXPECT_TRUE(telemetry::on());
+}
+
+TEST(ShardedCaptureTest, RefusesMismatchedDomainCount) {
+  sim::ShardedSimulator ssim(7, {2, 1, sim::seconds(1)});
+  DomainSet wrong(3);
+  ssim.set_capture(&wrong);
+  EXPECT_THROW(ssim.run_until(sim::seconds(1)), std::invalid_argument);
+}
+
+// The old blanket ban is gone: worker threads + DomainSet capture is the
+// supported combination (only a live legacy Session still refuses —
+// sharded_test covers that).
+TEST(ShardedCaptureTest, ThreadsWithDomainCaptureRun) {
+  sim::ShardedSimulator ssim(7, {2, 2, sim::seconds(1)});
+  DomainSet domains(2);
+  ssim.set_capture(&domains);
+  for (int s = 0; s < 2; ++s) {
+    ssim.shard(s).at(sim::msec(100), [s, &ssim] {
+      if (telemetry::on()) {
+        telemetry::tracer().instant(ssim.shard(s).now(), "test", "tick",
+                                    "shard");
+      }
+    });
+  }
+  EXPECT_EQ(ssim.run_until(sim::seconds(1)), 2u);
+  domains.merge_epoch();
+  EXPECT_EQ(domains.events(), 2u);
+}
+
+// --- capture byte-identity sweeps -------------------------------------------
+
+core::FleetScaleConfig scale_config(int shards, int threads) {
+  core::FleetScaleConfig cfg;
+  cfg.vehicles = 40;
+  cfg.seed = 11;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.run_until = sim::seconds(6);
+  cfg.drain = sim::seconds(6);
+  cfg.capture = true;
+  cfg.ingest_backend = true;  // cover the ingest mirror instrumentation
+  return cfg;
+}
+
+TEST(ObsSweepTest, ScaleCaptureIdenticalAcrossShardAndThreadCounts) {
+  core::FleetScaleConfig off_cfg = scale_config(1, 1);
+  off_cfg.capture = false;
+  const core::FleetScaleOutcome off = core::run_fleet_scale(off_cfg);
+
+  const core::FleetScaleOutcome base = core::run_fleet_scale(scale_config(1, 1));
+  EXPECT_GT(base.trace_events, 0u);
+  EXPECT_GT(base.metric_keys, 0u);
+  EXPECT_EQ(base.open_spans, 0u);
+  // Observing the run must not perturb it.
+  EXPECT_EQ(base.digest, off.digest);
+  EXPECT_EQ(base.summary, off.summary);
+
+  for (int shards : {1, 2, 8}) {
+    for (int threads : {1, 2, 8}) {
+      if (shards == 1 && threads == 1) continue;
+      const core::FleetScaleOutcome out =
+          core::run_fleet_scale(scale_config(shards, threads));
+      EXPECT_EQ(out.chrome_trace, base.chrome_trace)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(out.metrics_jsonl, base.metrics_jsonl)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(out.trace_events, base.trace_events);
+      EXPECT_EQ(out.metric_keys, base.metric_keys);
+      EXPECT_EQ(out.open_spans, 0u) << "leaked spans at shards=" << shards
+                                    << " threads=" << threads;
+      EXPECT_EQ(out.digest, base.digest);
+    }
+  }
+}
+
+// The acceptance sweep: a 100k-vehicle run_fleet_scale with capture on and
+// threads=8 exports byte-identically to shards=threads=1 (scaled down
+// under sanitizers, where full size costs minutes — the full matrix above
+// still proves the invariance shape).
+TEST(ObsSweepTest, HundredKCapturePairwiseIdentical) {
+  core::FleetScaleConfig cfg;
+  cfg.vehicles = kSanitized ? 2000 : 100000;
+  cfg.seed = 7;
+  cfg.epoch = sim::seconds(1);
+  cfg.sample_period = sim::seconds(2);
+  cfg.samples_per_tick = 2;
+  cfg.run_until = sim::seconds(4);
+  cfg.drain = sim::seconds(4);
+  cfg.shipper.flush_period = sim::seconds(2);
+  cfg.capture = true;
+
+  cfg.shards = 1;
+  cfg.threads = 1;
+  const core::FleetScaleOutcome serial = core::run_fleet_scale(cfg);
+  cfg.shards = 8;
+  cfg.threads = 8;
+  const core::FleetScaleOutcome parallel = core::run_fleet_scale(cfg);
+
+  EXPECT_EQ(parallel.digest, serial.digest);
+  EXPECT_EQ(parallel.chrome_trace, serial.chrome_trace);
+  EXPECT_EQ(parallel.metrics_jsonl, serial.metrics_jsonl);
+  EXPECT_EQ(serial.open_spans, 0u);
+  EXPECT_EQ(parallel.open_spans, 0u);
+  EXPECT_GT(parallel.trace_events, 0u);
+}
+
+// run_fleet duplicates some world instrumentation per shard (shared
+// shipping topology, tier links), so its capture contract is
+// thread-invariance at a FIXED shard count (FleetConfig::capture).
+TEST(ObsSweepTest, FullFleetCaptureThreadInvariantAtFixedShards) {
+  core::FleetConfig cfg;
+  cfg.vehicles = 6;
+  cfg.seed = 11;
+  cfg.shards = 2;
+  cfg.load_until = sim::seconds(60);
+  cfg.run_until = sim::seconds(90);
+  cfg.drain = sim::seconds(30);
+  cfg.capture = true;
+  sim::FaultPlan none;
+  none.name = "none";
+
+  cfg.threads = 1;
+  cfg.dir_tag = "obs-fleet-1";
+  const core::FleetOutcome base = core::run_fleet(none, cfg);
+  EXPECT_GT(base.trace_events, 0u);
+  EXPECT_EQ(base.open_spans, 0u);
+  int variant = 2;
+  for (int threads : {2, 8}) {
+    cfg.threads = threads;
+    cfg.dir_tag = "obs-fleet-" + std::to_string(variant++);
+    const core::FleetOutcome out = core::run_fleet(none, cfg);
+    EXPECT_EQ(out.chrome_trace, base.chrome_trace) << "threads=" << threads;
+    EXPECT_EQ(out.metrics_jsonl, base.metrics_jsonl) << "threads=" << threads;
+    EXPECT_EQ(out.open_spans, 0u);
+    EXPECT_EQ(out.frames_jsonl, base.frames_jsonl);
+  }
+}
+
+// --- runtime-plane shard report ---------------------------------------------
+
+TEST(ShardReportTest, JsonlRoundTripsEveryField) {
+  ShardRuntimeRow a;
+  a.shard = 0;
+  a.epochs = 20;
+  a.events = 1234;
+  a.busy_s = 1.5;
+  a.wait_s = 0.25;
+  a.queue_peak = 99;
+  a.wheel_peak = 88;
+  a.overflow_peak = 7;
+  ShardRuntimeRow b;
+  b.shard = 1;
+  b.frames = 42;
+  b.samples = 420;
+  b.ring_late = 3;
+  b.decode_errors = 1;
+  b.backlog_peak = 17;
+  b.lag_us_peak = -2500;  // a shard AHEAD of the merged watermark
+  b.pool_hits = 30;
+  b.pool_misses = 10;
+  b.pool_free = 5;
+
+  const std::string jsonl = telemetry::shards_report_jsonl({a, b});
+  std::vector<ShardRuntimeRow> rows;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_shards_report(jsonl, &rows, &error)) << error;
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].events, 1234u);
+  EXPECT_DOUBLE_EQ(rows[0].busy_s, 1.5);
+  EXPECT_DOUBLE_EQ(rows[0].wait_s, 0.25);
+  EXPECT_EQ(rows[0].overflow_peak, 7u);
+  EXPECT_EQ(rows[1].frames, 42u);
+  EXPECT_EQ(rows[1].lag_us_peak, -2500);
+  EXPECT_EQ(rows[1].pool_hits, 30u);
+  // Re-serializing the parsed rows reproduces the input byte for byte.
+  EXPECT_EQ(telemetry::shards_report_jsonl(rows), jsonl);
+
+  const std::string table = telemetry::shards_report_table(rows);
+  EXPECT_NE(table.find("judgement"), std::string::npos);
+  EXPECT_NE(table.find("75.0"), std::string::npos);  // pool hit% of row b
+}
+
+TEST(ShardReportTest, ParseRejectsMalformedInput) {
+  std::vector<ShardRuntimeRow> rows;
+  std::string error;
+  EXPECT_FALSE(telemetry::parse_shards_report("not json\n", &rows, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(telemetry::parse_shards_report("{\"shard\":0}\n[1,2]\n", &rows,
+                                              &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(telemetry::parse_shards_report("", &rows, &error));
+  EXPECT_NE(error.find("no rows"), std::string::npos);
+}
+
+TEST(ShardReportTest, JudgementsNameEachPathology) {
+  ShardRuntimeRow row;
+  row.busy_s = 1.0;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(row), "ok");
+
+  row.wait_s = 0.5;  // a third of wall time waiting at barriers
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(row), "imbalanced");
+
+  // Sub-10ms runs are scheduling noise, never "imbalanced".
+  ShardRuntimeRow tiny;
+  tiny.busy_s = 0.001;
+  tiny.wait_s = 0.008;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(tiny), "ok");
+
+  ShardRuntimeRow bad;
+  bad.overflow_peak = 1;
+  bad.ring_late = 2;
+  bad.decode_errors = 3;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(bad),
+            "overflow,backpressure,decode-errors");
+}
+
+// The report a real sharded run emits parses and judges cleanly.
+TEST(ShardReportTest, ScaleRunEmitsParsableReport) {
+  core::FleetScaleConfig cfg;
+  cfg.vehicles = 40;
+  cfg.seed = 11;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.run_until = sim::seconds(4);
+  cfg.drain = sim::seconds(4);
+  cfg.ingest_backend = true;
+  const core::FleetScaleOutcome out = core::run_fleet_scale(cfg);
+
+  std::vector<ShardRuntimeRow> rows;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_shards_report(out.shards_jsonl, &rows, &error))
+      << error;
+  ASSERT_EQ(rows.size(), 4u);
+  std::uint64_t events = 0;
+  std::uint64_t frames = 0;
+  for (const ShardRuntimeRow& r : rows) {
+    events += r.events;
+    frames += r.frames;
+    EXPECT_EQ(r.epochs, out.epochs);
+    EXPECT_GT(r.queue_peak, 0u);
+  }
+  EXPECT_EQ(events, out.events_fired);
+  EXPECT_EQ(frames, out.frames_ingested);
+}
+
+}  // namespace

@@ -191,6 +191,9 @@ TEST(ShardedSimulatorTest, RefusesOpenEndedHorizon) {
   EXPECT_THROW(ssim.run_until(sim::kTimeMax), std::invalid_argument);
 }
 
+// Only the LEGACY Session (which binds the process-global domain on a
+// thread that participates in pool work) still refuses worker threads;
+// per-shard DomainSet capture across threads is covered by obs_test.
 TEST(ShardedSimulatorTest, RefusesThreadsWithLiveTelemetry) {
   sim::Simulator host(7);
   telemetry::Session session(host);

@@ -1,7 +1,8 @@
-// vdap-report: offline trace analytics (DESIGN.md §6d, §6e, §6g).
+// vdap-report: offline trace analytics (DESIGN.md §6d, §6e, §6g, §6h).
 //
 //   vdap-report <trace.json> [metrics.jsonl]
 //   vdap-report --fleet <frames.jsonl> [--query "<expr>"]...
+//   vdap-report --shards <shards.jsonl>
 //
 // Trace mode reads a chrome_trace_json() capture (and optionally the JSONL
 // metrics snapshots Session emits), then prints:
@@ -22,6 +23,17 @@
 // transport tables, then one table per --query expression (the DDI-style
 // range / near grammar of telemetry/fleet/query.hpp).
 //
+// Shards mode renders a runtime-plane shard report (the shards.jsonl a
+// sharded run always emits — see telemetry/shard_report.hpp): per-shard
+// busy/wait time, queue/wheel/overflow peaks, ingest backlog and lag
+// watermarks, block-pool hit rate, plus a judgement column (imbalanced /
+// overflow / backpressure / decode-errors / ok). Unlike the other modes
+// this input is wall-clock derived, so it is diagnostic, not part of the
+// byte-identity contract.
+//
+// Any unknown flag, or a flag missing its argument, prints the usage
+// line to stderr and exits 2.
+//
 // Output is a pure function of the input files, so for a fixed
 // (seed, fault plan) capture the tables are byte-identical across runs —
 // the analysis and fleet suites assert this.
@@ -36,11 +48,21 @@
 #include "telemetry/analysis/critical_path.hpp"
 #include "telemetry/analysis/slo.hpp"
 #include "telemetry/fleet/ingest.hpp"
+#include "telemetry/shard_report.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
 namespace analysis = vdap::telemetry::analysis;
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: vdap-report <trace.json> [metrics.jsonl]\n"
+               "       vdap-report --fleet <frames.jsonl>"
+               " [--query \"<expr>\"]...\n"
+               "       vdap-report --shards <shards.jsonl>\n");
+  return to == stdout ? 0 : 2;
+}
 
 bool read_file(const std::string& path, std::string* out) {
   std::ifstream f(path, std::ios::binary);
@@ -216,14 +238,14 @@ int print_metrics(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 3 && std::string(argv[1]) == "--fleet") {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  if (mode == "--help" || mode == "-h") return usage(stdout);
+  if (mode == "--fleet") {
+    if (argc < 3) return usage(stderr);  // missing <frames.jsonl>
     std::vector<std::string> queries;
     for (int i = 3; i < argc; i += 2) {
       if (std::string(argv[i]) != "--query" || i + 1 >= argc) {
-        std::fprintf(stderr,
-                     "usage: vdap-report --fleet <frames.jsonl>"
-                     " [--query \"<expr>\"]...\n");
-        return 2;
+        return usage(stderr);  // unknown flag or --query without an expr
       }
       queries.emplace_back(argv[i + 1]);
     }
@@ -234,13 +256,24 @@ int main(int argc, char** argv) {
     }
     return print_fleet(frames_text, queries);
   }
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: vdap-report <trace.json> [metrics.jsonl]\n"
-                 "       vdap-report --fleet <frames.jsonl>"
-                 " [--query \"<expr>\"]...\n");
-    return 2;
+  if (mode == "--shards") {
+    if (argc != 3) return usage(stderr);  // missing (or extra) <shards.jsonl>
+    std::string text;
+    if (!read_file(argv[2], &text)) {
+      std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    std::vector<vdap::telemetry::ShardRuntimeRow> rows;
+    std::string error;
+    if (!vdap::telemetry::parse_shards_report(text, &rows, &error)) {
+      std::fprintf(stderr, "vdap-report: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::fputs(vdap::telemetry::shards_report_table(rows).c_str(), stdout);
+    return 0;
   }
+  // Trace mode takes 1-2 positional paths; any flag here is unknown.
+  if (argc < 2 || argc > 3 || mode[0] == '-') return usage(stderr);
   std::string trace_text;
   if (!read_file(argv[1], &trace_text)) {
     std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[1]);

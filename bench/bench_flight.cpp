@@ -1,0 +1,150 @@
+// Flight-recorder overhead (DESIGN.md §6i): run_fleet_scale with the
+// always-on black-box recorder OFF vs ON (metric + span mirroring into
+// per-domain fixed rings, fold at every barrier, one scripted incident
+// bundle snapshotted in memory).
+//
+// Two committed tables:
+//   * A flight-determinism table (folded records, triggers, scratch
+//     drops, FNV-1a of the serialized master ring, and whether the sim
+//     digest matched the recorder-off run) — every cell is a pure
+//     function of (seed, config), independent of the shard/thread
+//     counts used to produce it (the flight sweep test proves it).
+//   * A flight-overhead table: the recorder-on / recorder-off
+//     wall-clock RATIO (best of 3 each, 2 decimals). Absolute wall
+//     times are never committed — the ratio is unit-free and
+//     machine-portable, and the 15% bench drift gate turns into exactly
+//     the overhead budget the O(1)-append hot path has to keep: if the
+//     black box stops being cheap enough to leave on, this baseline
+//     catches it.
+#include <benchmark/benchmark.h>
+
+#include "bench_output.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/fleet_scale.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vdap;
+using core::FleetScaleConfig;
+using core::FleetScaleOutcome;
+
+FleetScaleConfig flight_config(int vehicles, bool flight) {
+  FleetScaleConfig cfg;
+  cfg.vehicles = vehicles;
+  cfg.seed = 7;
+  // Flight columns are shard/thread-count independent (the flight sweep
+  // test proves it), so run the fast configuration.
+  cfg.shards = 8;
+  cfg.threads = sim::ThreadPool::hardware_threads();
+  cfg.epoch = sim::seconds(1);
+  cfg.sample_period = sim::seconds(2);
+  cfg.samples_per_tick = 2;
+  cfg.run_until = sim::seconds(4);
+  cfg.drain = sim::seconds(4);
+  cfg.shipper.flush_period = sim::seconds(2);
+  // The backend's per-epoch metric stream is part of what gets mirrored;
+  // keeping it on matches the sweep test's byte-identity configuration.
+  cfg.ingest_backend = true;
+  cfg.flight = flight;
+  // One scripted incident mid-run so the bundle snapshot path (manifest
+  // + rings serialization) is part of what the ratio prices. Options::dir
+  // stays empty: bundles are kept in memory, no filesystem I/O.
+  cfg.flight_incident_at = sim::seconds(3);
+  return cfg;
+}
+
+std::string fnv_hex(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void print_determinism_table() {
+  util::TextTable table(
+      "flight determinism — folded master ring, seed 7 "
+      "(shard/thread-count independent)");
+  table.set_header({"vehicles", "folded", "triggers", "dropped",
+                    "rings fnv", "digest match"});
+  for (int n : {1000, 10000}) {
+    FleetScaleOutcome off = core::run_fleet_scale(flight_config(n, false));
+    FleetScaleOutcome on = core::run_fleet_scale(flight_config(n, true));
+    table.add_row({std::to_string(n), std::to_string(on.flight_folded),
+                   std::to_string(on.flight_triggers),
+                   std::to_string(on.flight_scratch_dropped),
+                   fnv_hex(on.flight_rings),
+                   on.digest == off.digest ? "yes" : "NO"});
+  }
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected shape: folded records scale with vehicles; scratch drops\n"
+      "stay 0 (byte-identity is conditional on them); the sim digest never\n"
+      "moves when the recorder toggles (the black box observes the run, it\n"
+      "must not perturb it).\n\n");
+}
+
+double best_wall(const FleetScaleConfig& cfg, FleetScaleOutcome* out) {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = core::run_fleet_scale(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void print_overhead_table() {
+  const int n = 10000;
+  FleetScaleOutcome off_out;
+  FleetScaleOutcome on_out;
+  const double off = best_wall(flight_config(n, false), &off_out);
+  const double on = best_wall(flight_config(n, true), &on_out);
+  util::TextTable table(
+      "flight overhead — 10k vehicles, recorder-on / recorder-off wall "
+      "ratio (best of 3; absolute seconds never committed)");
+  table.set_header({"vehicles", "overhead x", "digest match"});
+  table.add_row({std::to_string(n), util::TextTable::num(on / off, 2),
+                 on_out.digest == off_out.digest ? "yes" : "NO"});
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("flight_on_s=%.3f flight_off_s=%.3f overhead=%.2fx "
+              "(raw walls not committed)\n\n", on, off, on / off);
+}
+
+void BM_ScaleFlight(benchmark::State& state) {
+  const bool flight = state.range(0) != 0;
+  for (auto _ : state) {
+    FleetScaleOutcome r = core::run_fleet_scale(flight_config(2000, flight));
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ScaleFlight)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("flight");
+  print_determinism_table();
+  // The overhead RATIO is committed — it must run (and record) even when
+  // the bench gate collects tables with --benchmark_list_tests.
+  print_overhead_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

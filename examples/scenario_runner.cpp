@@ -10,6 +10,11 @@
 //   $ ./scenario_runner --scale 100000 [seed] [--shards K] [--threads T]
 //                       [--capture DIR]   # write trace.json/metrics.jsonl/
 //                                         # shards.jsonl into DIR
+//                       [--flight DIR] [--flight-incident SEC]
+//                                         # always-on flight recorder; a
+//                                         # scripted incident at SEC writes
+//                                         # an incident-*/ bundle into DIR
+//                                         # (render: vdap-report --incident)
 //
 // --vehicles runs N platforms through the fleet telemetry pipeline
 // (core::run_fleet with no fault plan) and prints the aggregator's
@@ -198,13 +203,21 @@ int run_fleet_demo(int vehicles, std::uint64_t seed, int shards,
 }
 
 int run_scale_demo(int vehicles, std::uint64_t seed, int shards, int threads,
-                   const std::string& capture_dir) {
+                   const std::string& capture_dir,
+                   const std::string& flight_dir, int flight_incident_s) {
   core::FleetScaleConfig cfg;
   cfg.vehicles = vehicles;
   cfg.seed = seed;
   cfg.shards = shards;
   cfg.threads = threads;
   cfg.capture = !capture_dir.empty();
+  if (!flight_dir.empty()) {
+    cfg.flight = true;
+    cfg.flight_opts.dir = flight_dir;
+    if (flight_incident_s > 0) {
+      cfg.flight_incident_at = sim::seconds(flight_incident_s);
+    }
+  }
   core::FleetScaleOutcome out = core::run_fleet_scale(cfg);
   std::printf("%s\n", out.summary.c_str());
   std::printf("shards=%d threads=%d epochs=%llu events=%llu\n", out.shards,
@@ -225,6 +238,19 @@ int run_scale_demo(int vehicles, std::uint64_t seed, int shards, int threads,
                 static_cast<unsigned long long>(out.trace_events),
                 static_cast<unsigned long long>(out.open_spans), trace.c_str(),
                 metrics.c_str(), shards_path.c_str());
+  }
+  if (cfg.flight) {
+    std::printf("flight: %llu records folded, %llu triggers, %llu dropped\n",
+                static_cast<unsigned long long>(out.flight_folded),
+                static_cast<unsigned long long>(out.flight_triggers),
+                static_cast<unsigned long long>(out.flight_scratch_dropped));
+    for (const telemetry::FlightRecorder::Bundle& b : out.flight_bundles) {
+      std::printf("flight bundle: %s\n", b.dir.c_str());
+    }
+    if (out.flight_bundles.empty()) {
+      std::printf("flight: no incidents (pass --flight-incident SEC to "
+                  "script one)\n");
+    }
   }
   return 0;
 }
@@ -251,6 +277,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[pos++], nullptr, 10);
     }
     std::string capture_dir;
+    std::string flight_dir;
+    int flight_incident_s = 0;
     for (; pos < argc; ++pos) {
       const std::string flag = argv[pos];
       if (flag == "--shards" && pos + 1 < argc) {
@@ -259,6 +287,11 @@ int main(int argc, char** argv) {
         threads = std::atoi(argv[++pos]);
       } else if (flag == "--capture" && pos + 1 < argc && mode == "--scale") {
         capture_dir = argv[++pos];
+      } else if (flag == "--flight" && pos + 1 < argc && mode == "--scale") {
+        flight_dir = argv[++pos];
+      } else if (flag == "--flight-incident" && pos + 1 < argc &&
+                 mode == "--scale") {
+        flight_incident_s = std::atoi(argv[++pos]);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return 2;
@@ -270,14 +303,16 @@ int main(int argc, char** argv) {
     }
     return mode == "--vehicles"
                ? run_fleet_demo(n, seed, shards, threads)
-               : run_scale_demo(n, seed, shards, threads, capture_dir);
+               : run_scale_demo(n, seed, shards, threads, capture_dir,
+                                flight_dir, flight_incident_s);
   }
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s <config.json>  (or --demo to print a template,\n"
                  "       or --vehicles N [seed] [--shards K] [--threads T],\n"
                  "       or --scale N [seed] [--shards K] [--threads T] "
-                 "[--capture DIR])\n",
+                 "[--capture DIR]\n"
+                 "                [--flight DIR] [--flight-incident SEC])\n",
                  argv[0]);
     return 2;
   }

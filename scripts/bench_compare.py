@@ -18,7 +18,9 @@ changed table shape fails with a pointer at --bench-rebaseline. A
 candidate file with no baseline is AUTO-SEEDED: the candidate is copied
 into the baseline dir verbatim (loudly — the warning tells you to review
 and commit it) so a brand-new bench doesn't fail the gate before its
-first baseline lands.
+first baseline lands. Under --strict a missing baseline FAILS instead:
+CI runs strict so an uncommitted baseline can never slip through as a
+silent auto-seed on a throwaway runner.
 
 Exit codes: 0 ok, 1 regressions/shape mismatches, 2 usage/IO errors.
 """
@@ -102,6 +104,10 @@ def main():
     ap.add_argument("candidate_dir")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max relative drift per numeric cell (default 0.15)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on a candidate with no baseline instead of "
+                         "auto-seeding it (CI mode: baselines must be "
+                         "committed, never invented on the runner)")
     args = ap.parse_args()
 
     baselines = load_dir(args.baseline_dir)
@@ -125,6 +131,12 @@ def main():
         compare_tables(name, base, cand, args.threshold, failures, comparisons)
     for name in candidates:
         if name not in baselines:
+            if args.strict:
+                failures.append(
+                    f"{name}: no committed baseline (--strict forbids "
+                    f"auto-seeding; run the bench locally and commit "
+                    f"bench/baselines/{name})")
+                continue
             # A brand-new bench: seed its baseline from this run instead of
             # failing. Copy bytes verbatim so the baseline is exactly what
             # the (deterministic) bench wrote.

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: the tier-1 build + test run from ROADMAP.md, the bench
-# regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails),
-# then an AddressSanitizer+UBSan build running the chaos/soak, telemetry-
-# trace, SLO-health, fleet-telemetry, sharded-simulator, sharded-ingest
-# and shard-observability suites (the long-horizon and multi-threaded
-# paths most likely to hide lifetime and ordering bugs).
+# regression gate (BENCH_*.json vs bench/baselines/, >15% drift fails,
+# --strict: missing baselines fail rather than auto-seed), then an
+# AddressSanitizer+UBSan build running the chaos/soak, telemetry-trace,
+# SLO-health, fleet-telemetry, sharded-simulator, sharded-ingest,
+# shard-observability and flight-recorder suites (the long-horizon and
+# multi-threaded paths most likely to hide lifetime and ordering bugs).
 #
 # Usage: scripts/check.sh
 #          [--tier1-only | --bench-only | --bench-rebaseline | --tsan]
@@ -96,25 +97,27 @@ rm -rf build/bench-results
 export VDAP_OBS_ARTIFACTS="$ROOT/build/bench-results/obs-artifacts"
 mkdir -p "$VDAP_OBS_ARTIFACTS"
 run_benches "$ROOT/build/bench-results"
-python3 scripts/bench_compare.py bench/baselines build/bench-results
+# --strict: a bench without a committed baseline fails here (and in CI)
+# instead of being auto-seeded; --bench-rebaseline is the seeding path.
+python3 scripts/bench_compare.py bench/baselines build/bench-results --strict
 
 if [[ "${1:-}" == "--bench-only" ]]; then
   echo "OK (bench only)"
   exit 0
 fi
 
-echo "== asan: chaos + trace + slo + fleet + shard + ingest + obs suites under ASan/UBSan =="
+echo "== asan: chaos + trace + slo + fleet + shard + ingest + obs + flight suites under ASan/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -L 'chaos|trace|slo|fleet|shard|ingest|obs'
+      -L 'chaos|trace|slo|fleet|shard|ingest|obs|flight'
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  echo "== tsan: shard + fleet + ingest + obs suites under ThreadSanitizer =="
+  echo "== tsan: shard + fleet + ingest + obs + flight suites under ThreadSanitizer =="
   cmake -B build-tsan -S . -DTSAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'shard|fleet|ingest|obs'
+        -L 'shard|fleet|ingest|obs|flight'
 fi
 
 echo "OK"

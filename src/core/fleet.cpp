@@ -274,6 +274,46 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       inj.arm(plan);
     }
 
+    // --- flight recorder (DESIGN.md §6i) ---------------------------------
+    std::unique_ptr<telemetry::FlightRecorder> flight;
+    if (config.flight) {
+      flight = std::make_unique<telemetry::FlightRecorder>(
+          nshards + 1, config.flight_opts);
+      // The manifest context excludes shards/threads: bundle bytes must
+      // not depend on execution geometry.
+      json::Object cj;
+      cj["vehicles"] = static_cast<std::int64_t>(n);
+      cj["release_period"] = config.release_period;
+      cj["load_until"] = config.load_until;
+      cj["run_until"] = config.run_until;
+      cj["drain"] = config.drain;
+      cj["health"] = config.health;
+      cj["remote_tiers"] = config.remote_tiers;
+      flight->set_context(config.seed, plan.name, json::Value(std::move(cj)));
+      flight->set_manifest_hook([&backend](json::Object& m) {
+        m["ingest_anomalies"] =
+            static_cast<std::int64_t>(backend.anomalies().size());
+        json::Array av;
+        for (const std::string& v : backend.anomalous_vehicles()) {
+          av.emplace_back(v);
+        }
+        m["anomalous_vehicles"] = std::move(av);
+      });
+      ssim.set_flight(flight.get());
+      // Every injector replays the same plan with the same jitter streams,
+      // so shard 0's injector records activations for everyone — each
+      // window edge appears in the black box exactly once regardless of
+      // the shard count.
+      for (int s = 1; s < nshards; ++s) {
+        worlds[static_cast<std::size_t>(s)].inj->set_flight_recording(false);
+      }
+      if (config.flight_incident_at > 0) {
+        ssim.shard(0).at(config.flight_incident_at, [] {
+          telemetry::incident("scripted", "fleet");
+        });
+      }
+    }
+
     // --- load: every vehicle runs the same staggered schedule ------------
     std::map<std::string, FleetVehicleStats> stats;
     for (int i = 0; i < n; ++i) stats[cars[static_cast<std::size_t>(i)]->name()];
@@ -345,14 +385,26 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
     // identically regardless of which domain records them).
     telemetry::Domain* coord =
         domains != nullptr ? domains->coordinator_domain() : nullptr;
+    telemetry::FlightRing* coord_ring =
+        flight != nullptr ? &flight->ring(nshards) : nullptr;
     telemetry::Domain* prev = nullptr;
+    telemetry::FlightRing* prev_ring = nullptr;
     ssim.run_until(config.run_until);
     if (coord != nullptr) prev = telemetry::bind_domain(coord);
+    if (coord_ring != nullptr) {
+      coord_ring->set_time_hint(ssim.now());
+      prev_ring = telemetry::bind_flight(coord_ring);
+    }
     for (ShardWorld& w : worlds) w.imp->restore_all();
     for (auto& car : cars) car->elastic().reevaluate();
+    if (coord_ring != nullptr) telemetry::bind_flight(prev_ring);
     if (coord != nullptr) telemetry::bind_domain(prev);
     ssim.run_until(config.run_until + sim::seconds(20));
     if (coord != nullptr) prev = telemetry::bind_domain(coord);
+    if (coord_ring != nullptr) {
+      coord_ring->set_time_hint(ssim.now());
+      prev_ring = telemetry::bind_flight(coord_ring);
+    }
     for (auto& t : tickers) t.stop();
     for (auto& car : cars) {
       car->elastic().abandon_hung();
@@ -362,6 +414,7 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       shipper->stop();
       shipper->flush_now();
     }
+    if (coord_ring != nullptr) telemetry::bind_flight(prev_ring);
     if (coord != nullptr) telemetry::bind_domain(prev);
     ssim.run_until(config.run_until + sim::seconds(20) + config.drain);
 
@@ -416,6 +469,15 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
                         merged.gauges().size() + merged.histograms().size();
       ssim.set_capture(nullptr);
     }
+    if (flight != nullptr) {
+      flight->fold_barrier(ssim.now());  // anything after the last barrier
+      out.flight_folded = flight->folded_records();
+      out.flight_triggers = flight->triggers_seen();
+      out.flight_scratch_dropped = flight->scratch_dropped();
+      out.flight_rings = flight->serialize_rings();
+      out.flight_bundles = flight->bundles();
+      ssim.set_flight(nullptr);
+    }
     std::vector<telemetry::ShardRuntimeRow> rows;
     rows.reserve(static_cast<std::size_t>(nshards));
     for (int s = 0; s < nshards; ++s) {
@@ -440,6 +502,10 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       row.pool_hits = is.pool().column_reuses() + is.pool().buffer_reuses();
       row.pool_misses = is.pool().column_allocs() + is.pool().buffer_allocs();
       row.pool_free = is.pool().columns_free() + is.pool().buffers_free();
+      if (flight != nullptr) {
+        row.flight_records = flight->ring(s).appended();
+        row.flight_dropped = flight->ring(s).dropped_total();
+      }
       rows.push_back(row);
     }
     out.shards_jsonl = telemetry::shards_report_jsonl(rows);

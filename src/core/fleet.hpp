@@ -27,6 +27,7 @@
 #include "sim/faults.hpp"
 #include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
+#include "telemetry/flight.hpp"
 
 namespace vdap::core {
 
@@ -78,6 +79,26 @@ struct FleetConfig {
   /// counts for a fixed shard count, but scale with the shard count; the
   /// frames/tables above stay geometry-invariant regardless.
   bool capture = false;
+  /// Always-on flight recorder (DESIGN.md §6i). The full platform mirrors
+  /// metrics from per-shard-world infrastructure (shared topology copies,
+  /// tier links), so this path defaults mirror_metrics OFF and records the
+  /// entity-partitioned streams instead: health edges (one per vehicle),
+  /// fault activations (shard 0's injector only — every injector is armed
+  /// with the same plan, so its trace IS the trace) and explicit
+  /// incidents. With those streams the bundle bytes are geometry-invariant
+  /// per (seed, plan) whenever flight_scratch_dropped == 0.
+  bool flight = false;
+  telemetry::FlightRecorder::Options flight_opts = flight_default_opts();
+  /// Schedule telemetry::incident("scripted") on shard 0 at this sim time
+  /// (0 = off).
+  sim::SimTime flight_incident_at = 0;
+
+  static telemetry::FlightRecorder::Options flight_default_opts() {
+    telemetry::FlightRecorder::Options o;
+    o.mirror_metrics = false;
+    o.mirror_spans = false;
+    return o;
+  }
 };
 
 struct FleetVehicleStats {
@@ -134,6 +155,14 @@ struct FleetOutcome {
 
   /// Runtime-plane shard report (always produced; wall-clock derived).
   std::string shards_jsonl;
+
+  // Flight-recorder plane (zero / empty unless config.flight); see
+  // FleetConfig::flight for the invariance contract.
+  std::uint64_t flight_folded = 0;
+  std::uint64_t flight_triggers = 0;
+  std::uint64_t flight_scratch_dropped = 0;
+  std::string flight_rings;
+  std::vector<telemetry::FlightRecorder::Bundle> flight_bundles;
 };
 
 /// Canned plan: slow every processor of vehicle `vehicle_index` to

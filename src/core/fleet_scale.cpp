@@ -79,6 +79,41 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     ssim.set_capture(domains.get());
   }
 
+  // Flight recorder (DESIGN.md §6i): one scratch ring per shard plus a
+  // coordinator ring, folded canonically at every epoch barrier. The
+  // manifest context deliberately excludes shards/threads — bundle bytes
+  // must not depend on execution geometry.
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  if (config.flight) {
+    flight = std::make_unique<telemetry::FlightRecorder>(nshards + 1,
+                                                         config.flight_opts);
+    json::Object cj;
+    cj["vehicles"] = static_cast<std::int64_t>(n);
+    cj["run_until"] = config.run_until;
+    cj["drain"] = config.drain;
+    cj["sample_period"] = config.sample_period;
+    cj["samples_per_tick"] = static_cast<std::int64_t>(per_tick);
+    cj["ingest_backend"] = config.ingest_backend;
+    cj["capture"] = config.capture;
+    flight->set_context(config.seed, "fleet-scale",
+                        json::Value(std::move(cj)));
+    if (backend != nullptr) {
+      flight->set_manifest_hook([b = backend.get()](json::Object& m) {
+        m["ingest_anomalies"] =
+            static_cast<std::int64_t>(b->anomalies().size());
+      });
+    }
+    ssim.set_flight(flight.get());
+    if (config.flight_incident_at > 0) {
+      // Sim-clock trigger on shard 0: the bundle it snapshots is a pure
+      // function of (seed, config), identical across the matrix.
+      ssim.shard(0).at(config.flight_incident_at, [] {
+        telemetry::incident("scripted", "fleet-scale");
+      });
+    }
+    if (config.flight_crash_dump) flight->arm_crash_dump();
+  }
+
   // All vehicle state lives in one flat vector sized up front, so the
   // deliver callbacks' pointers stay valid and each slot is touched only
   // by its home shard's thread.
@@ -135,6 +170,8 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
         phase);
   }
 
+  if (config.prepare) config.prepare(ssim);
+
   FleetScaleOutcome out;
   out.vehicles = n;
   out.shards = nshards;
@@ -144,16 +181,24 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
   // Quiesced at an epoch barrier: stop the producers, cut the final
   // frames, then drain the transport. Metrics this section records (flush
   // counters) go to the coordinator domain; counters sum identically no
-  // matter which domain records them, so geometry invariance holds.
+  // matter which domain records them, so geometry invariance holds. The
+  // coordinator flight ring binds the same way, stamped with barrier time.
   telemetry::Domain* prev = nullptr;
+  telemetry::FlightRing* prev_ring = nullptr;
   if (domains != nullptr) {
     prev = telemetry::bind_domain(domains->coordinator_domain());
+  }
+  if (flight != nullptr) {
+    telemetry::FlightRing& coord = flight->ring(nshards);
+    coord.set_time_hint(ssim.now());
+    prev_ring = telemetry::bind_flight(&coord);
   }
   for (VehicleState& v : vehicles) {
     v.tick.stop();
     v.shipper->stop();
     v.shipper->flush_now();
   }
+  if (flight != nullptr) telemetry::bind_flight(prev_ring);
   if (domains != nullptr) telemetry::bind_domain(prev);
   out.events_fired += ssim.run_until(config.run_until + config.drain);
   out.epochs = ssim.epochs_run();
@@ -211,6 +256,19 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     ssim.set_capture(nullptr);
   }
 
+  // Flight plane: end-of-run master serialization plus any bundles the
+  // run's triggers snapshotted. A final fold picks up anything recorded
+  // after the last barrier.
+  if (flight != nullptr) {
+    flight->fold_barrier(ssim.now());
+    out.flight_folded = flight->folded_records();
+    out.flight_triggers = flight->triggers_seen();
+    out.flight_scratch_dropped = flight->scratch_dropped();
+    out.flight_rings = flight->serialize_rings();
+    out.flight_bundles = flight->bundles();
+    ssim.set_flight(nullptr);
+  }
+
   // Runtime plane: one report row per shard (wall-clock — diagnostic only).
   std::vector<telemetry::ShardRuntimeRow> rows;
   rows.reserve(static_cast<std::size_t>(nshards));
@@ -237,6 +295,10 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
       row.pool_hits = is.pool().column_reuses() + is.pool().buffer_reuses();
       row.pool_misses = is.pool().column_allocs() + is.pool().buffer_allocs();
       row.pool_free = is.pool().columns_free() + is.pool().buffers_free();
+    }
+    if (flight != nullptr) {
+      row.flight_records = flight->ring(s).appended();
+      row.flight_dropped = flight->ring(s).dropped_total();
     }
     rows.push_back(row);
   }

@@ -17,11 +17,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
+#include "telemetry/flight.hpp"
+
+namespace vdap::sim {
+class ShardedSimulator;
+}  // namespace vdap::sim
 
 namespace vdap::core {
 
@@ -53,6 +60,24 @@ struct FleetScaleConfig {
   /// shard × thread matrix per (seed, rest-of-config); the digest path is
   /// unaffected either way.
   bool capture = false;
+  /// Always-on flight recorder (DESIGN.md §6i): one fixed-memory scratch
+  /// ring per shard plus a coordinator ring, folded into a canonical
+  /// master ring at every epoch barrier. Works with capture off; the
+  /// digest path is byte-for-byte unaffected either way.
+  bool flight = false;
+  telemetry::FlightRecorder::Options flight_opts;
+  /// Schedule telemetry::incident("scripted") on shard 0 at this sim time
+  /// (0 = off). Because the trigger rides the sim clock, the resulting
+  /// bundle is byte-identical across the shard × thread matrix.
+  sim::SimTime flight_incident_at = 0;
+  /// Arm the fatal-signal crash dump (requires flight_opts.dir): on
+  /// SIGSEGV/SIGABRT/... an async-signal-safe handler streams the raw
+  /// rings and a minimal manifest to <dir>/incident-crash/.
+  bool flight_crash_dump = false;
+  /// Test hook: runs after all wiring (recorder bound, vehicles built)
+  /// and before the first run_until — e.g. the death test schedules a
+  /// mid-run abort here.
+  std::function<void(sim::ShardedSimulator&)> prepare;
 };
 
 struct FleetScaleOutcome {
@@ -99,6 +124,17 @@ struct FleetScaleOutcome {
   /// Runtime-plane shard report (always produced; wall-clock derived —
   /// NOT byte-identical, see telemetry/shard_report.hpp).
   std::string shards_jsonl;
+
+  // Flight-recorder plane (zero / empty unless config.flight). The
+  // deterministic pieces — flight_rings, bundle manifests and rings —
+  // are part of the byte-identity contract whenever
+  // flight_scratch_dropped == 0; runtime.jsonl inside bundles is not.
+  std::uint64_t flight_folded = 0;
+  std::uint64_t flight_triggers = 0;
+  std::uint64_t flight_scratch_dropped = 0;
+  /// End-of-run serialization of the master ring (VFR1 wire format).
+  std::string flight_rings;
+  std::vector<telemetry::FlightRecorder::Bundle> flight_bundles;
 };
 
 FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config);

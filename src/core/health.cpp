@@ -1,6 +1,7 @@
 #include "core/health.hpp"
 
 #include "net/impair.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::core {
@@ -54,6 +55,11 @@ void HealthController::on_event(const analysis::HealthEvent& event) {
     telemetry::count(breach ? "health.breaches" : "health.recoveries",
                      {{"service", event.service}});
   }
+  // Flight plane: the black box records SLO edges (with the critical-
+  // path tier attribution as the blame field) even when full capture is
+  // off, and a breach raises an incident trigger.
+  telemetry::flight_health(event.at, event.service, event.implicated_tier,
+                           breach, event.observed);
 
   if (breach) {
     std::optional<net::Tier> tier =

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/flight.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::sim {
@@ -70,6 +71,12 @@ void FaultInjector::fire(const FaultSpec& spec, bool begin) {
     if (spec.duration > 0) ++active_;
   } else {
     --active_;
+  }
+  if (flight_recording_) {
+    // Flight plane (always-on, independent of telemetry::on()): record
+    // the window edge and raise an incident trigger on begin.
+    telemetry::flight_fault(sim_.now(), spec.name, spec.target,
+                            to_string(spec.kind), begin);
   }
   if (telemetry::on()) {
     telemetry::Tracer& tr = telemetry::tracer();

@@ -116,6 +116,15 @@ class FaultInjector {
   /// Total begin events fired so far.
   std::size_t applied() const { return applied_; }
 
+  /// Whether fire() mirrors activations into the calling thread's flight
+  /// ring (telemetry::flight_fault — records the window edge and raises
+  /// an incident trigger on begin). Defaults on. Multi-shard scenarios
+  /// that arm every shard's injector with the same plan (core::run_fleet)
+  /// keep it on for exactly one injector, so each activation appears
+  /// once no matter the shard count.
+  void set_flight_recording(bool on) { flight_recording_ = on; }
+  bool flight_recording() const { return flight_recording_; }
+
  private:
   void schedule_window(std::shared_ptr<const FaultSpec> spec, SimTime start);
   void flap_down(std::shared_ptr<const FaultSpec> spec, SimTime window_end);
@@ -127,6 +136,7 @@ class FaultInjector {
   std::vector<FaultTraceEvent> trace_;
   std::string plan_name_;
   bool armed_ = false;
+  bool flight_recording_ = true;
   int active_ = 0;
   std::size_t applied_ = 0;
   // Telemetry span ids for windows currently open, keyed by fault name

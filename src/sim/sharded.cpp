@@ -6,6 +6,7 @@
 #include <string>
 
 #include "telemetry/domains.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::sim {
@@ -32,6 +33,23 @@ void ShardedSimulator::post(int from_shard, SimTime at, std::uint64_t key,
                             std::string payload) {
   shards_[static_cast<std::size_t>(from_shard)].outbox.push_back(
       ShardMessage{at, key, std::move(payload)});
+}
+
+void ShardedSimulator::set_flight(telemetry::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ == nullptr) return;
+  if (flight_->domains() != shards() + 1) {
+    throw std::invalid_argument(
+        "sharded: flight recorder has " + std::to_string(flight_->domains()) +
+        " rings for " + std::to_string(shards()) +
+        " shards (+1 coordinator)");
+  }
+  // Scratch ring i reads shard i's live clock so metric mirrors (which
+  // have no caller timestamp) stay precise and deterministic.
+  for (int i = 0; i < shards(); ++i) {
+    flight_->ring(i).set_clock(
+        shards_[static_cast<std::size_t>(i)].sim->now_ptr());
+  }
 }
 
 bool ShardedSimulator::idle() const {
@@ -85,6 +103,19 @@ void ShardedSimulator::collect_runtime() {
         max_busy > 0.0 ? (max_busy - min_busy) / max_busy : 0.0;
     mirror_runtime_metrics(max_busy, imbalance);
   }
+  if (flight_ != nullptr) {
+    // Shard-runtime snapshots land in the recorder's wall-clock ring —
+    // rendered as runtime.jsonl in incident bundles, never part of the
+    // deterministic rings.vfr surface.
+    telemetry::FlightRing& rt = flight_->runtime_ring();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      rt.append(telemetry::make_flight_record(
+          telemetry::FlightKind::kRuntime, now_,
+          "shard-" + std::to_string(i), "runtime", "epoch_busy_s",
+          static_cast<std::int64_t>(shards_[i].sim->pending_events()),
+          shards_[i].epoch_busy));
+    }
+  }
 }
 
 void ShardedSimulator::mirror_runtime_metrics(double epoch_wall_s,
@@ -126,6 +157,11 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
         "sharded: capture DomainSet has " + std::to_string(capture_->shards()) +
         " domains for " + std::to_string(shards()) + " shards");
   }
+  if (flight_ != nullptr && flight_->domains() != shards() + 1) {
+    throw std::invalid_argument(
+        "sharded: flight recorder has " + std::to_string(flight_->domains()) +
+        " rings for " + std::to_string(shards()) + " shards (+1 coordinator)");
+  }
   if (until == kTimeMax) {
     // Lock-step epochs need a finite horizon (an idle shard still has to
     // reach every barrier); callers drain with explicit horizons instead.
@@ -144,15 +180,22 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
       telemetry::Domain* domain =
           capture_ != nullptr ? capture_->shard_domain(static_cast<int>(i))
                               : nullptr;
-      tasks.push_back([shard, epoch_end, domain] {
+      telemetry::FlightRing* ring =
+          flight_ != nullptr ? &flight_->ring(static_cast<int>(i)) : nullptr;
+      tasks.push_back([shard, epoch_end, domain, ring] {
         const auto t0 = std::chrono::steady_clock::now();
         // Bind the shard's domain for the duration of its epoch so every
         // instrumentation site below records into per-shard storage. The
         // previous binding is restored because the calling thread also
-        // works tasks and must leave with its own binding intact.
+        // works tasks and must leave with its own binding intact. The
+        // flight ring binds the same way (independently — the black box
+        // records with capture off too).
         telemetry::Domain* prev = nullptr;
+        telemetry::FlightRing* prev_ring = nullptr;
         if (domain != nullptr) prev = telemetry::bind_domain(domain);
+        if (ring != nullptr) prev_ring = telemetry::bind_flight(ring);
         shard->fired += shard->sim->run_until(epoch_end);
+        if (ring != nullptr) telemetry::bind_flight(prev_ring);
         if (domain != nullptr) telemetry::bind_domain(prev);
         shard->epoch_busy =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -165,16 +208,28 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
     collect_runtime();
     // The epoch sink mutates shards from the coordinator thread; its
     // instrumentation lands in the coordinator domain and is merged with
-    // the shard domains right after.
+    // the shard domains right after. Its flight records land in the
+    // coordinator ring, timestamped with the barrier's epoch end.
     telemetry::Domain* prev = nullptr;
+    telemetry::FlightRing* prev_ring = nullptr;
     if (capture_ != nullptr) {
       prev = telemetry::bind_domain(capture_->coordinator_domain());
     }
+    if (flight_ != nullptr) {
+      telemetry::FlightRing& coord = flight_->ring(shards());
+      coord.set_time_hint(epoch_end);
+      prev_ring = telemetry::bind_flight(&coord);
+    }
     exchange(epoch_end);
+    if (flight_ != nullptr) telemetry::bind_flight(prev_ring);
     if (capture_ != nullptr) {
       telemetry::bind_domain(prev);
       capture_->merge_epoch();
     }
+    // Fold every scratch ring into the master ring in canonical content
+    // order and service any incident trigger raised this epoch — the
+    // shards are quiesced, so this is race-free and deterministic.
+    if (flight_ != nullptr) flight_->fold_barrier(epoch_end);
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = shards_[i];

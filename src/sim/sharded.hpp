@@ -51,6 +51,7 @@
 
 namespace vdap::telemetry {
 class DomainSet;
+class FlightRecorder;
 }  // namespace vdap::telemetry
 
 namespace vdap::sim {
@@ -109,6 +110,16 @@ class ShardedSimulator {
   void set_capture(telemetry::DomainSet* capture) { capture_ = capture; }
   telemetry::DomainSet* capture() const { return capture_; }
 
+  /// Attaches an always-on flight recorder (DESIGN.md §6i). It must own
+  /// shards()+1 rings: shard i's epoch work records into ring i (clocked
+  /// by that shard's simulator), the epoch sink into ring shards() (the
+  /// coordinator ring, time-hinted with each epoch end), and the
+  /// recorder folds + services incident triggers at every barrier.
+  /// Independent of set_capture — the black box works with capture off.
+  /// Pass nullptr to detach; the recorder must outlive the runs.
+  void set_flight(telemetry::FlightRecorder* flight);
+  telemetry::FlightRecorder* flight() const { return flight_; }
+
   /// Per-shard runtime statistics, accumulated across every run_until call
   /// (wall-clock derived — diagnostic only, never deterministic).
   struct ShardRuntime {
@@ -154,6 +165,7 @@ class ShardedSimulator {
   std::unique_ptr<ThreadPool> pool_;
   EpochSink sink_;
   telemetry::DomainSet* capture_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
   SimTime now_ = kTimeZero;
   std::uint64_t epochs_ = 0;
 };

@@ -27,6 +27,9 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
+  /// Stable pointer to the clock, for observers that need the current
+  /// sim time without a callback (telemetry::FlightRing::set_clock).
+  const SimTime* now_ptr() const { return &now_; }
   std::uint64_t seed() const { return seed_; }
 
   /// Schedules `fn` at absolute time `at` (clamped to now()).

@@ -40,11 +40,27 @@ class Session {
 
   ~Session() {
     stop_snapshots();
+    if (flight_prev_set_) bind_flight(flight_prev_);
     Telemetry::instance().disable();
   }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  /// Binds a flight ring to this thread for the session's lifetime (the
+  /// single-simulator analogue of ShardedSimulator::set_flight): every
+  /// instrumentation site below also mirrors into the black box. The
+  /// previous binding is restored on destruction. Pass nullptr to detach.
+  void attach_flight(FlightRing* ring) {
+    if (flight_prev_set_) {
+      bind_flight(flight_prev_);
+      flight_prev_set_ = false;
+    }
+    if (ring != nullptr) {
+      flight_prev_ = bind_flight(ring);
+      flight_prev_set_ = true;
+    }
+  }
 
   /// Starts periodic metric snapshots (one JSONL line per period).
   void start_snapshots(sim::SimDuration period) {
@@ -92,6 +108,8 @@ class Session {
   sim::Simulator& sim_;
   std::optional<sim::Simulator::PeriodicHandle> handle_;
   std::vector<std::string> lines_;
+  FlightRing* flight_prev_ = nullptr;
+  bool flight_prev_set_ = false;
 };
 
 }  // namespace vdap::telemetry

@@ -29,6 +29,8 @@ json::Object row_to_json(const ShardRuntimeRow& r) {
   o["pool_hits"] = static_cast<std::int64_t>(r.pool_hits);
   o["pool_misses"] = static_cast<std::int64_t>(r.pool_misses);
   o["pool_free"] = static_cast<std::int64_t>(r.pool_free);
+  o["flight_records"] = static_cast<std::int64_t>(r.flight_records);
+  o["flight_dropped"] = static_cast<std::int64_t>(r.flight_dropped);
   return o;
 }
 
@@ -77,6 +79,8 @@ bool parse_shards_report(std::string_view text,
     r.pool_hits = static_cast<std::uint64_t>(v->get_int("pool_hits"));
     r.pool_misses = static_cast<std::uint64_t>(v->get_int("pool_misses"));
     r.pool_free = static_cast<std::uint64_t>(v->get_int("pool_free"));
+    r.flight_records = static_cast<std::uint64_t>(v->get_int("flight_records"));
+    r.flight_dropped = static_cast<std::uint64_t>(v->get_int("flight_dropped"));
     rows->push_back(r);
   }
   if (rows->empty()) {
@@ -90,7 +94,7 @@ std::string shards_report_table(const std::vector<ShardRuntimeRow>& rows) {
   util::TextTable table("sharded runtime (wall-clock plane — not part of the deterministic capture)");
   table.set_header({"shard", "epochs", "events", "busy s", "wait s", "queue^",
                     "wheel^", "ovfl^", "frames", "late", "backlog^", "lag ms^",
-                    "pool hit%", "free", "judgement"});
+                    "pool hit%", "free", "flight", "judgement"});
   for (const ShardRuntimeRow& r : rows) {
     const std::uint64_t pool_total = r.pool_hits + r.pool_misses;
     const double hit_pct =
@@ -106,6 +110,9 @@ std::string shards_report_table(const std::vector<ShardRuntimeRow>& rows) {
                    util::TextTable::num(static_cast<double>(r.lag_us_peak) / 1000.0, 1),
                    pool_total == 0 ? "-" : util::TextTable::num(hit_pct, 1),
                    std::to_string(r.pool_free),
+                   r.flight_records == 0 && r.flight_dropped == 0
+                       ? "-"
+                       : std::to_string(r.flight_records),
                    analysis::judge_shard_runtime(r)});
   }
   return table.to_string();
@@ -128,6 +135,7 @@ std::string judge_shard_runtime(const ShardRuntimeRow& row) {
   if (row.overflow_peak > 0) add("overflow");
   if (row.ring_late > 0) add("backpressure");
   if (row.decode_errors > 0) add("decode-errors");
+  if (row.flight_dropped > 0) add("flight-drops");
   return verdict.empty() ? "ok" : verdict;
 }
 

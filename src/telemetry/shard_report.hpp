@@ -37,6 +37,9 @@ struct ShardRuntimeRow {
   std::uint64_t pool_hits = 0;     // block-pool column+buffer reuses
   std::uint64_t pool_misses = 0;   // block-pool column+buffer fresh allocs
   std::uint64_t pool_free = 0;     // block-pool free-list occupancy at end
+  // Flight-recorder plane; all zero when no recorder rode the shards.
+  std::uint64_t flight_records = 0;  // records this shard's scratch ring saw
+  std::uint64_t flight_dropped = 0;  // records lost to fold-lag overwrites
 };
 
 /// One JSON object per shard, one line per object.
@@ -60,7 +63,8 @@ namespace vdap::telemetry::analysis {
 /// drawn from "imbalanced" (>25% of the shard's wall time spent waiting at
 /// barriers, once the run is long enough to judge), "overflow" (events
 /// spilled past the calendar horizon), "backpressure" (ring-late sample
-/// drops), and "decode-errors".
+/// drops), "decode-errors", and "flight-drops" (the shard's flight scratch
+/// ring overwrote records between folds — size flight_opts up).
 std::string judge_shard_runtime(const ShardRuntimeRow& row);
 
 }  // namespace vdap::telemetry::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/flight.hpp"
+
 namespace vdap::telemetry {
 
 std::uint32_t Tracer::track(std::string_view name) {
@@ -26,6 +28,9 @@ void Tracer::complete(sim::SimTime ts, sim::SimDuration dur,
   ev.name = name;
   ev.args = std::move(args);
   events_.push_back(std::move(ev));
+  if (internal::tls_flight != nullptr) {
+    flight_span(FlightKind::kComplete, ts, cat, name, track, dur, 0.0);
+  }
 }
 
 std::uint64_t Tracer::begin(sim::SimTime ts, std::string_view cat,
@@ -42,6 +47,9 @@ std::uint64_t Tracer::begin(sim::SimTime ts, std::string_view cat,
   ev.args = std::move(args);
   open_[id] = OpenSpan{ev.cat, ev.name, ev.tid};
   events_.push_back(std::move(ev));
+  if (internal::tls_flight != nullptr) {
+    flight_span(FlightKind::kSpanBegin, ts, cat, name, track, 0, 0.0);
+  }
   return id;
 }
 
@@ -57,6 +65,12 @@ void Tracer::end(sim::SimTime ts, std::uint64_t id, json::Object args) {
   ev.name = std::move(it->second.name);
   ev.args = std::move(args);
   open_.erase(it);
+  if (internal::tls_flight != nullptr) {
+    // The mirror carries the span's identity by name, not id — span ids
+    // are per-domain counters whose values depend on shard placement.
+    flight_span(FlightKind::kSpanEnd, ts, ev.cat, ev.name,
+                tracks_[ev.tid], 0, 0.0);
+  }
   events_.push_back(std::move(ev));
 }
 
@@ -71,6 +85,9 @@ void Tracer::instant(sim::SimTime ts, std::string_view cat,
   ev.name = name;
   ev.args = std::move(args);
   events_.push_back(std::move(ev));
+  if (internal::tls_flight != nullptr) {
+    flight_span(FlightKind::kInstant, ts, cat, name, track, 0, 0.0);
+  }
 }
 
 void Tracer::counter(sim::SimTime ts, std::string_view track,
@@ -84,6 +101,9 @@ void Tracer::counter(sim::SimTime ts, std::string_view track,
   ev.name = name;
   ev.args["value"] = value;
   events_.push_back(std::move(ev));
+  if (internal::tls_flight != nullptr) {
+    flight_span(FlightKind::kCounter, ts, "metric", name, track, 0, value);
+  }
 }
 
 std::vector<TraceEvent> Tracer::take_events() {

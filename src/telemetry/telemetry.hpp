@@ -215,12 +215,18 @@ class Domain {
   MetricsRegistry metrics_;
 };
 
+class FlightRing;  // flight.hpp
+
 namespace internal {
 /// The calling thread's recording target; nullptr = telemetry off on this
 /// thread. thread_local is the load-bearing property: a worker binds its
 /// shard's domain around each epoch, so instrumented code deep in the
 /// layers records into per-shard storage with no shared mutable state.
 inline thread_local Domain* tls_domain = nullptr;
+/// The calling thread's flight-recorder ring (DESIGN.md §6i); nullptr =
+/// no flight recording. Bound independently of tls_domain so the black
+/// box stays on when full capture is off.
+inline thread_local FlightRing* tls_flight = nullptr;
 }  // namespace internal
 
 /// Binds `domain` as the calling thread's recording target and returns the
@@ -234,6 +240,26 @@ inline Domain* bind_domain(Domain* domain) {
 
 /// The calling thread's current recording target (nullptr when off).
 inline Domain* bound_domain() { return internal::tls_domain; }
+
+/// Binds `ring` as the calling thread's flight-recorder target and
+/// returns the previous binding. Pass nullptr to stop flight recording
+/// on this thread.
+inline FlightRing* bind_flight(FlightRing* ring) {
+  FlightRing* prev = internal::tls_flight;
+  internal::tls_flight = ring;
+  return prev;
+}
+
+/// The calling thread's current flight ring (nullptr when off).
+inline FlightRing* bound_flight() { return internal::tls_flight; }
+
+// Flight-plane mirrors (out of line in flight.cpp; no-ops when the
+// calling thread has no bound ring). The labeled metric helpers mirror
+// the UNLABELED base name — the black box wants the aggregate signal,
+// not a per-label allocation on the hot path.
+void flight_metric(std::string_view name, std::int64_t by);
+void flight_observe(std::string_view name, double value);
+void flight_gauge(std::string_view name, double value);
 
 /// The process-global legacy domain, used by single-threaded captures
 /// (telemetry::Session). enable() binds it on the calling thread; the
@@ -286,21 +312,28 @@ inline MetricsRegistry& metrics() {
   return d != nullptr ? d->metrics() : Telemetry::instance().metrics();
 }
 
-/// Guarded one-liners for sites that only bump a metric.
+/// Guarded one-liners for sites that only bump a metric. Each also
+/// mirrors the delta into the calling thread's flight ring (when one is
+/// bound) — the always-on plane works with full capture off.
 inline void count(std::string_view name, std::int64_t by = 1) {
   if (on()) metrics().inc(name, by);
+  if (internal::tls_flight != nullptr) flight_metric(name, by);
 }
 inline void count(std::string_view name, Labels labels, std::int64_t by = 1) {
   if (on()) metrics().inc(name, labels, by);
+  if (internal::tls_flight != nullptr) flight_metric(name, by);
 }
 inline void observe(std::string_view name, double value) {
   if (on()) metrics().observe(name, value);
+  if (internal::tls_flight != nullptr) flight_observe(name, value);
 }
 inline void observe(std::string_view name, Labels labels, double value) {
   if (on()) metrics().observe(name, labels, value);
+  if (internal::tls_flight != nullptr) flight_observe(name, value);
 }
 inline void gauge(std::string_view name, double value) {
   if (on()) metrics().set_gauge(name, value);
+  if (internal::tls_flight != nullptr) flight_gauge(name, value);
 }
 
 /// RAII helper for stack-shaped spans (scoped sections of driver code; the

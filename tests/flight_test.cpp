@@ -1,0 +1,385 @@
+// Flight-recorder suite (DESIGN.md §6i).
+//
+// The load-bearing assertions are the incident-bundle sweeps: a
+// sim-clock-triggered incident must snapshot BYTE-identical
+// manifest.json + rings.vfr no matter how many shards partition the
+// fleet or how many threads drive them — on both the fleet-scale path
+// (metric mirrors on) and the full-platform run_fleet path (health +
+// fault + incident records). The ring/fold unit tests localize a sweep
+// failure; the death test proves a fatal signal still yields a
+// parseable bundle.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/fleet_scale.hpp"
+#include "sim/sharded.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace vdap;
+using telemetry::FlightKind;
+using telemetry::FlightParse;
+using telemetry::FlightRecord;
+using telemetry::FlightRecorder;
+using telemetry::FlightRing;
+using telemetry::make_flight_record;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+FlightRecord rec(std::int64_t ts, std::string_view name) {
+  return make_flight_record(FlightKind::kInstant, ts, name, "t", "d", ts, 0.0);
+}
+
+// --- ring semantics ---------------------------------------------------------
+
+TEST(FlightRingTest, OverwritesOldestKeepsOrder) {
+  FlightRing ring(4);
+  for (int i = 1; i <= 6; ++i) ring.append(rec(i, "r"));
+  EXPECT_EQ(ring.appended(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.overwritten(), 2u);
+
+  std::vector<FlightRecord> out;
+  ring.drain_into(out);
+  ASSERT_EQ(out.size(), 4u);
+  // Oldest two were overwritten; the survivors come out oldest-first.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[(std::size_t)i].ts, i + 3);
+  EXPECT_EQ(ring.dropped_total(), 2u);
+  EXPECT_EQ(ring.drained_total(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+}
+
+TEST(FlightRingTest, SpanPairStraddlingWrapKeepsTheEnd) {
+  FlightRing ring(3);
+  ring.append(make_flight_record(FlightKind::kSpanBegin, 10, "decode", "w",
+                                 "task", 0, 0.0));
+  for (int i = 0; i < 3; ++i) ring.append(rec(20 + i, "noise"));
+  ring.append(make_flight_record(FlightKind::kSpanEnd, 30, "decode", "w",
+                                 "task", 0, 0.0));
+
+  std::vector<FlightRecord> out;
+  ring.drain_into(out);
+  ASSERT_EQ(out.size(), 3u);
+  // The begin was overwritten; the end survives as a well-formed record
+  // (reports tolerate unmatched pairs — identity is name/track, not ids).
+  EXPECT_EQ(out.back().kind, (std::uint32_t)FlightKind::kSpanEnd);
+  EXPECT_STREQ(out.back().name, "decode");
+  EXPECT_EQ(ring.dropped_total(), 2u);
+}
+
+TEST(FlightRingTest, ZeroCapacityIsDisabledNoOp) {
+  FlightRing ring;  // capacity 0
+  EXPECT_FALSE(ring.enabled());
+  for (int i = 0; i < 100; ++i) ring.append(rec(i, "r"));
+  EXPECT_EQ(ring.appended(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  std::vector<FlightRecord> out;
+  ring.drain_into(out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ring.dropped_total(), 0u);
+}
+
+TEST(FlightRingTest, TruncatesLongStringsWithNul) {
+  const std::string long_name(100, 'n');
+  FlightRecord r = make_flight_record(FlightKind::kMetric, 1, long_name,
+                                      std::string(50, 't'),
+                                      std::string(50, 'd'), 1, 0.0);
+  EXPECT_EQ(std::string(r.name).size(), sizeof(r.name) - 1);
+  EXPECT_EQ(std::string(r.track).size(), sizeof(r.track) - 1);
+  EXPECT_EQ(std::string(r.detail).size(), sizeof(r.detail) - 1);
+}
+
+// --- fold determinism -------------------------------------------------------
+
+// The determinism keystone: the master ring is a pure function of the
+// record multiset, independent of which scratch ring recorded what.
+TEST(FlightFoldTest, FoldIndependentOfRingPlacement) {
+  auto run = [](const std::vector<int>& placement) {
+    FlightRecorder fr(3);
+    fr.set_context(7, "unit", json::Value());
+    const std::vector<FlightRecord> records = {
+        rec(30, "c"), rec(10, "a"), rec(10, "b"), rec(20, "b")};
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      fr.ring(placement[i]).append(records[i]);
+    }
+    fr.fold_barrier(sim::usec(40));
+    return fr.serialize_rings();
+  };
+  const std::string a = run({0, 0, 1, 2});
+  const std::string b = run({2, 1, 0, 0});
+  const std::string c = run({1, 1, 1, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(FlightFoldTest, SerializeParseRoundTrip) {
+  FlightRecorder fr(2);
+  fr.ring(0).append(rec(5, "one"));
+  fr.ring(1).append(rec(3, "two"));
+  fr.fold_barrier(sim::usec(10));
+
+  const std::string bytes = fr.serialize_rings();
+  FlightParse parse = telemetry::parse_flight_rings(bytes);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  ASSERT_EQ(parse.sections.size(), 1u);
+  EXPECT_EQ(parse.sections[0].domain, -1);  // master
+  ASSERT_EQ(parse.sections[0].records.size(), 2u);
+  // Canonical content order: ts first.
+  EXPECT_STREQ(parse.sections[0].records[0].name, "two");
+  EXPECT_STREQ(parse.sections[0].records[1].name, "one");
+  EXPECT_EQ(parse.sections[0].corrupt_skipped, 0u);
+}
+
+TEST(FlightFoldTest, IncidentNowSnapshotsBundleAndReports) {
+  FlightRecorder::Options opts;
+  opts.dir = std::filesystem::temp_directory_path() / "vdap-flight-unit";
+  std::filesystem::remove_all(opts.dir);
+  FlightRecorder fr(1, opts);
+  fr.set_context(42, "unit-plan", json::Value());
+  fr.ring(0).set_time_hint(sim::usec(90));
+  telemetry::FlightRing* prev = telemetry::bind_flight(&fr.ring(0));
+  telemetry::flight_metric("unit.counter", 3);
+  telemetry::bind_flight(prev);
+
+  const FlightRecorder::Bundle* b =
+      fr.incident_now(sim::usec(100), "unit-test", "detail");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(fr.triggers_seen(), 1u);
+  EXPECT_EQ(b->id, "incident-001-t100");
+
+  // In-memory round trip.
+  FlightParse parse = telemetry::parse_flight_rings(b->rings);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  std::optional<json::Value> manifest = json::try_parse(b->manifest);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->get_string("plan"), "unit-plan");
+  EXPECT_EQ(manifest->get_int("seed"), 42);
+
+  // On-disk round trip through the report renderer.
+  std::string error;
+  const std::string report = telemetry::render_incident_dir(b->dir, &error);
+  ASSERT_FALSE(report.empty()) << error;
+  EXPECT_NE(report.find("unit-test"), std::string::npos);
+  EXPECT_NE(report.find("unit.counter"), std::string::npos);
+  std::filesystem::remove_all(opts.dir);
+}
+
+TEST(FlightFoldTest, MaxBundlesCapsSnapshotsNotTriggerCount) {
+  FlightRecorder::Options opts;
+  opts.max_bundles = 2;
+  FlightRecorder fr(1, opts);
+  for (int i = 1; i <= 5; ++i) {
+    fr.incident_now(sim::usec(i * 10), "again");
+  }
+  EXPECT_EQ(fr.bundles().size(), 2u);
+  EXPECT_EQ(fr.triggers_seen(), 5u);
+}
+
+TEST(FlightFoldTest, TriggerOverwrittenFallbackStillSnapshots) {
+  FlightRecorder::Options opts;
+  opts.scratch_capacity = 2;  // tiny: the kIncident gets overwritten
+  FlightRecorder fr(1, opts);
+  fr.ring(0).set_time_hint(sim::usec(5));
+  telemetry::FlightRing* prev = telemetry::bind_flight(&fr.ring(0));
+  telemetry::incident("lost-trigger");
+  telemetry::bind_flight(prev);
+  for (int i = 0; i < 4; ++i) fr.ring(0).append(rec(6 + i, "noise"));
+
+  fr.fold_barrier(sim::usec(20));
+  ASSERT_EQ(fr.bundles().size(), 1u);
+  EXPECT_NE(fr.bundles()[0].manifest.find("trigger-overwritten"),
+            std::string::npos);
+}
+
+TEST(ShardedFlightTest, RejectsWrongDomainCount) {
+  sim::ShardedSimulator ssim(7, sim::ShardedSimulator::Options{2, 1,
+                                                               sim::seconds(1)});
+  FlightRecorder fr(2);  // needs shards + 1 = 3
+  EXPECT_THROW(ssim.set_flight(&fr), std::invalid_argument);
+}
+
+TEST(SessionFlightTest, AttachFlightMirrorsMetrics) {
+  sim::Simulator sim(7);
+  FlightRecorder fr(1);
+  fr.ring(0).set_clock(sim.now_ptr());
+  telemetry::Session session(sim);
+  session.attach_flight(&fr.ring(0));
+  sim.at(sim::usec(50), [] { telemetry::count("session.flight", 2); });
+  sim.run_until(sim::usec(100));
+  session.attach_flight(nullptr);
+
+  std::vector<FlightRecord> out;
+  fr.ring(0).drain_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_STREQ(out[0].name, "session.flight");
+  EXPECT_EQ(out[0].ts, 50);
+  EXPECT_EQ(out[0].value, 2);
+}
+
+// --- fleet-scale sweep ------------------------------------------------------
+
+core::FleetScaleOutcome run_scale(int shards, int threads, bool flight,
+                                  bool ingest) {
+  core::FleetScaleConfig cfg;
+  cfg.vehicles = kSanitized ? 40 : 120;
+  cfg.seed = 11;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.run_until = sim::seconds(8);
+  cfg.drain = sim::seconds(6);
+  cfg.ingest_backend = ingest;
+  cfg.flight = flight;
+  cfg.flight_incident_at = sim::seconds(5);
+  return core::run_fleet_scale(cfg);
+}
+
+// A sim-clock-triggered incident bundle is byte-identical across the
+// shard × thread matrix — manifest AND rings — and the recorder never
+// moves the digest.
+TEST(FlightSweepTest, ScaleBundleByteIdenticalAcrossMatrix) {
+  const core::FleetScaleOutcome base = run_scale(1, 1, true, true);
+  ASSERT_EQ(base.flight_bundles.size(), 1u);
+  EXPECT_EQ(base.flight_scratch_dropped, 0u);
+  EXPECT_EQ(base.flight_triggers, 1u);
+  EXPECT_EQ(base.flight_bundles[0].id, "incident-001-t5000000");
+
+  const core::FleetScaleOutcome plain = run_scale(1, 1, false, true);
+  EXPECT_EQ(plain.digest, base.digest) << "flight recorder moved the digest";
+
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<int, int>>{{2, 1}, {2, 2}, {8, 2}, {8, 8}}) {
+    const core::FleetScaleOutcome out =
+        run_scale(shards, threads, true, true);
+    SCOPED_TRACE("shards=" + std::to_string(shards) +
+                 " threads=" + std::to_string(threads));
+    EXPECT_EQ(out.digest, base.digest);
+    EXPECT_EQ(out.flight_scratch_dropped, 0u);
+    ASSERT_EQ(out.flight_bundles.size(), 1u);
+    EXPECT_EQ(out.flight_bundles[0].id, base.flight_bundles[0].id);
+    EXPECT_EQ(out.flight_bundles[0].manifest, base.flight_bundles[0].manifest);
+    EXPECT_EQ(out.flight_bundles[0].rings, base.flight_bundles[0].rings);
+    EXPECT_EQ(out.flight_rings, base.flight_rings);
+  }
+}
+
+// --- full-platform sweep ----------------------------------------------------
+
+core::FleetOutcome run_fleet_flight(int shards, int threads) {
+  core::FleetConfig cfg;
+  cfg.vehicles = 4;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.dir_tag = "flight-" + std::to_string(shards) + "-" +
+                std::to_string(threads);
+  cfg.load_until = sim::seconds(60);
+  cfg.run_until = sim::seconds(80);
+  cfg.drain = sim::seconds(30);
+  cfg.flight = true;
+  return core::run_fleet(core::fleet_compute_outlier_plan(1), cfg);
+}
+
+// The full platform records the entity-partitioned streams (fault edges
+// from shard 0's injector, per-vehicle health edges, incidents); bundles
+// and the end-of-run rings must be geometry-invariant.
+TEST(FlightSweepTest, FleetFaultTriggeredBundleInvariantAcrossMatrix) {
+  const core::FleetOutcome base = run_fleet_flight(1, 1);
+  // The outlier plan fires 4 slowdown begins at t=40s — each raises a
+  // trigger; the barrier after t=40s snapshots one bundle for all of
+  // them.
+  EXPECT_GE(base.flight_triggers, 4u);
+  ASSERT_GE(base.flight_bundles.size(), 1u);
+  EXPECT_EQ(base.flight_scratch_dropped, 0u);
+
+  // The bundle's rings hold the fault edges with their targets.
+  FlightParse parse =
+      telemetry::parse_flight_rings(base.flight_bundles[0].rings);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  int faults = 0;
+  int incidents = 0;
+  for (const FlightRecord& r : parse.sections[0].records) {
+    if (r.kind == (std::uint32_t)FlightKind::kFault) ++faults;
+    if (r.kind == (std::uint32_t)FlightKind::kIncident) ++incidents;
+  }
+  EXPECT_EQ(faults, 4);
+  EXPECT_GE(incidents, 4);
+
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<int, int>>{{2, 2}, {4, 2}}) {
+    const core::FleetOutcome out = run_fleet_flight(shards, threads);
+    SCOPED_TRACE("shards=" + std::to_string(shards) +
+                 " threads=" + std::to_string(threads));
+    EXPECT_EQ(out.flight_scratch_dropped, 0u);
+    EXPECT_EQ(out.flight_triggers, base.flight_triggers);
+    ASSERT_EQ(out.flight_bundles.size(), base.flight_bundles.size());
+    for (std::size_t i = 0; i < base.flight_bundles.size(); ++i) {
+      EXPECT_EQ(out.flight_bundles[i].id, base.flight_bundles[i].id);
+      EXPECT_EQ(out.flight_bundles[i].manifest,
+                base.flight_bundles[i].manifest);
+      EXPECT_EQ(out.flight_bundles[i].rings, base.flight_bundles[i].rings);
+    }
+    EXPECT_EQ(out.flight_rings, base.flight_rings);
+    EXPECT_EQ(out.fault_trace, base.fault_trace);
+  }
+}
+
+// --- crash dump -------------------------------------------------------------
+
+// Aborting mid-run must still yield a parseable bundle: the fatal-signal
+// handler streams the raw rings with only async-signal-safe write()s,
+// then re-raises, so the process dies by SIGABRT as usual.
+TEST(FlightCrashTest, AbortMidRunYieldsParseableBundle) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "vdap-flight-crash";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto crash_run = [&dir] {
+    core::FleetScaleConfig cfg;
+    cfg.vehicles = 20;
+    cfg.seed = 3;
+    cfg.run_until = sim::seconds(6);
+    cfg.drain = sim::seconds(2);
+    cfg.flight = true;
+    cfg.flight_opts.dir = dir.string();
+    cfg.flight_crash_dump = true;
+    cfg.prepare = [](sim::ShardedSimulator& ssim) {
+      ssim.shard(0).at(sim::seconds(3), [] { std::abort(); });
+    };
+    core::run_fleet_scale(cfg);
+  };
+  EXPECT_EXIT(crash_run(), ::testing::KilledBySignal(SIGABRT), "");
+
+  // The child's handler streamed a bundle; parse it back in this process.
+  std::string error;
+  const std::string report =
+      telemetry::render_incident_dir((dir / "incident-crash").string(),
+                                     &error);
+  ASSERT_FALSE(report.empty()) << error;
+  EXPECT_NE(report.find("crash"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <random>
 #include <sstream>
@@ -18,6 +21,7 @@
 #include "telemetry/analysis/critical_path.hpp"
 #include "telemetry/fleet/columnar.hpp"
 #include "telemetry/fleet/query.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/session.hpp"
 #include "util/json.hpp"
 
@@ -507,6 +511,154 @@ TEST(QueryParser, TokenSoupNeverCrashes) {
       EXPECT_FALSE(error.empty()) << text;
     }
   }
+}
+
+// --- flight-recorder bundle parse-back (DESIGN.md §6i) ----------------------
+// Incident bundles are read back after crashes, so the VFR1 parser and
+// the bundle renderer face torn files by design: truncations, bit flips
+// and hostile counts must come back as clean diagnostics, never
+// allocation blowups or UB.
+
+static std::string sample_rings() {
+  telemetry::FlightRecorder fr(2);
+  fr.ring(0).append(telemetry::make_flight_record(
+      telemetry::FlightKind::kMetric, 10, "m.count", "track", "", 3, 0.0));
+  fr.ring(1).append(telemetry::make_flight_record(
+      telemetry::FlightKind::kHealth, 20, "license-plate", "breach",
+      "cloud", 1, 99.5));
+  fr.ring(0).append(telemetry::make_flight_record(
+      telemetry::FlightKind::kIncident, 30, "unit", "incident", "", 0, 0.0));
+  fr.fold_barrier(40);
+  return fr.serialize_rings();
+}
+
+TEST(FlightParseBack, EveryTruncationIsACleanError) {
+  const std::string bytes = sample_rings();
+  ASSERT_TRUE(telemetry::parse_flight_rings(bytes).ok);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    telemetry::FlightParse p =
+        telemetry::parse_flight_rings(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(p.ok) << "cut=" << cut;
+    EXPECT_FALSE(p.error.empty()) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected too (declared sections vs actual size).
+  telemetry::FlightParse padded = telemetry::parse_flight_rings(bytes + "x");
+  EXPECT_FALSE(padded.ok);
+  EXPECT_FALSE(padded.error.empty());
+}
+
+TEST(FlightParseBack, EverySingleBitFlipIsACleanOutcome) {
+  // Record pages are covered by the section checksum, so flips there are
+  // detected; header-field flips may land on another self-consistent
+  // layout, but every outcome must be a clean parse or a clean error.
+  const std::string bytes = sample_rings();
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      telemetry::FlightParse p = telemetry::parse_flight_rings(corrupt);
+      if (!p.ok) {
+        EXPECT_FALSE(p.error.empty()) << "byte=" << i << " bit=" << bit;
+        ++detected;
+      }
+    }
+  }
+  EXPECT_GT(detected, bytes.size());  // the vast majority must be caught
+}
+
+TEST(FlightParseBack, HostileCountsDoNotDriveAllocation) {
+  // A section declaring 2^22 records in a tiny payload must be rejected
+  // by byte-budget arithmetic BEFORE any vector reserve.
+  auto put_u32 = [](std::string& s, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) s += static_cast<char>((v >> (8 * i)) & 0xFF);
+  };
+  auto put_u64 = [](std::string& s, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) s += static_cast<char>((v >> (8 * i)) & 0xFF);
+  };
+  std::string hostile = "VFR1";
+  put_u32(hostile, 1);    // version
+  put_u32(hostile, 104);  // record size
+  put_u32(hostile, 1);    // one section
+  put_u32(hostile, static_cast<std::uint32_t>(-1));  // domain
+  put_u32(hostile, 0);                               // reserved
+  put_u64(hostile, 1u << 22);                        // appended
+  put_u64(hostile, 0);                               // head
+  put_u64(hostile, 1u << 22);                        // hostile count
+  telemetry::FlightParse p = telemetry::parse_flight_rings(hostile);
+  EXPECT_FALSE(p.ok);
+  EXPECT_FALSE(p.error.empty());
+
+  // A hostile section COUNT is bounded before the loop even starts.
+  std::string many = "VFR1";
+  put_u32(many, 1);
+  put_u32(many, 104);
+  put_u32(many, 0xFFFFFFFFu);
+  telemetry::FlightParse q = telemetry::parse_flight_rings(many);
+  EXPECT_FALSE(q.ok);
+  EXPECT_FALSE(q.error.empty());
+}
+
+TEST(FlightParseBack, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(90210);
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage(rng() % 160, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xFF);
+    if (round % 3 == 0 && garbage.size() >= 4) {
+      garbage.replace(0, 4, "VFR1");  // valid magic, hostile payload
+    }
+    telemetry::FlightParse p = telemetry::parse_flight_rings(garbage);
+    if (!p.ok) EXPECT_FALSE(p.error.empty());
+  }
+}
+
+TEST(FlightParseBack, BrokenBundleDirsAreCleanRenderErrors) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vdap-flight-robust";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto write = [&dir](const char* name, const std::string& bytes) {
+    std::ofstream f(dir / name, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  auto render = [&dir](std::string* error) {
+    return telemetry::render_incident_dir(dir.string(), error);
+  };
+  std::string error;
+
+  // Empty dir: missing manifest.
+  EXPECT_TRUE(render(&error).empty());
+  EXPECT_NE(error.find("manifest.json"), std::string::npos) << error;
+
+  // Truncated manifest (every prefix of a real one): malformed-JSON error.
+  telemetry::FlightRecorder fr(1);
+  const std::string manifest = fr.manifest_json(nullptr);
+  const std::string rings = sample_rings();
+  for (std::size_t cut = 1; cut + 1 < manifest.size(); cut += 7) {
+    write("manifest.json", manifest.substr(0, cut));
+    write("rings.vfr", rings);
+    EXPECT_TRUE(render(&error).empty()) << "cut=" << cut;
+    EXPECT_FALSE(error.empty()) << "cut=" << cut;
+  }
+
+  // Valid manifest, missing rings.
+  write("manifest.json", manifest);
+  fs::remove(dir / "rings.vfr");
+  EXPECT_TRUE(render(&error).empty());
+  EXPECT_NE(error.find("rings.vfr"), std::string::npos) << error;
+
+  // Valid manifest, bit-flipped ring page: the parser's diagnostic
+  // surfaces through the renderer.
+  std::string corrupt = rings;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  write("rings.vfr", corrupt);
+  EXPECT_TRUE(render(&error).empty());
+  EXPECT_FALSE(error.empty());
+
+  // And the intact pair renders.
+  write("rings.vfr", rings);
+  EXPECT_FALSE(render(&error).empty()) << error;
+  fs::remove_all(dir);
 }
 
 TEST(Tracer, EndOfUnknownOrDoubleClosedSpanIsIgnored) {

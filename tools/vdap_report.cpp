@@ -3,6 +3,7 @@
 //   vdap-report <trace.json> [metrics.jsonl]
 //   vdap-report --fleet <frames.jsonl> [--query "<expr>"]...
 //   vdap-report --shards <shards.jsonl>
+//   vdap-report --incident <incident-dir>
 //
 // Trace mode reads a chrome_trace_json() capture (and optionally the JSONL
 // metrics snapshots Session emits), then prints:
@@ -31,6 +32,12 @@
 // this input is wall-clock derived, so it is diagnostic, not part of the
 // byte-identity contract.
 //
+// Incident mode renders a flight-recorder bundle (DESIGN.md §6i): the
+// manifest context, per-kind record counts, a blame table built from the
+// recorded health-edge tier attributions and fault targets, and the full
+// merged timeline. Works on both orderly (barrier-snapshotted) and crash
+// (signal-handler-streamed) bundles.
+//
 // Any unknown flag, or a flag missing its argument, prints the usage
 // line to stderr and exits 2.
 //
@@ -48,6 +55,7 @@
 #include "telemetry/analysis/critical_path.hpp"
 #include "telemetry/analysis/slo.hpp"
 #include "telemetry/fleet/ingest.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/shard_report.hpp"
 #include "util/stats.hpp"
 
@@ -56,11 +64,23 @@ namespace {
 namespace analysis = vdap::telemetry::analysis;
 
 int usage(std::FILE* to) {
-  std::fprintf(to,
-               "usage: vdap-report <trace.json> [metrics.jsonl]\n"
-               "       vdap-report --fleet <frames.jsonl>"
-               " [--query \"<expr>\"]...\n"
-               "       vdap-report --shards <shards.jsonl>\n");
+  std::fprintf(
+      to,
+      "usage: vdap-report <trace.json> [metrics.jsonl]\n"
+      "       vdap-report --fleet <frames.jsonl> [--query \"<expr>\"]...\n"
+      "       vdap-report --shards <shards.jsonl>\n"
+      "       vdap-report --incident <incident-dir>\n"
+      "\n"
+      "modes:\n"
+      "  <trace.json> [metrics.jsonl]   critical-path, health-timeline and\n"
+      "                                 SLO tables from a chrome trace\n"
+      "  --fleet <frames.jsonl>         replay wire frames through the\n"
+      "                                 ingest backend; --query runs DDI-\n"
+      "                                 style expressions against it\n"
+      "  --shards <shards.jsonl>        runtime-plane shard report with\n"
+      "                                 per-shard judgements\n"
+      "  --incident <incident-dir>      blame-annotated timeline of a\n"
+      "                                 flight-recorder incident bundle\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -255,6 +275,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     return print_fleet(frames_text, queries);
+  }
+  if (mode == "--incident") {
+    if (argc != 3) return usage(stderr);  // missing (or extra) <incident-dir>
+    std::string error;
+    const std::string report =
+        vdap::telemetry::render_incident_dir(argv[2], &error);
+    if (report.empty()) {
+      std::fprintf(stderr, "vdap-report: %s\n", error.c_str());
+      return 1;
+    }
+    std::fputs(report.c_str(), stdout);
+    return 0;
   }
   if (mode == "--shards") {
     if (argc != 3) return usage(stderr);  // missing (or extra) <shards.jsonl>

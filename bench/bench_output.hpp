@@ -37,6 +37,17 @@ class BenchOutput {
     if (current_ != nullptr) current_->add_table(table);
   }
 
+  /// Opt-in profile attachment (DESIGN.md §6j): benches that run with the
+  /// sampling profiler attach the profile.jsonl text here, and the
+  /// destructor writes it as BENCH_<name>.profile.jsonl next to the table
+  /// file. The `.profile.jsonl` suffix keeps it out of bench_compare.py's
+  /// numeric gate (which only loads BENCH_*.json); the script instead uses
+  /// baseline/candidate profile pairs to print the top regressed frames
+  /// when the gate fails. No-op with no BenchOutput alive.
+  static void record_profile(std::string profile_jsonl) {
+    if (current_ != nullptr) current_->profile_ = std::move(profile_jsonl);
+  }
+
   static BenchOutput* current() { return current_; }
 
   void add_table(const util::TextTable& table) {
@@ -56,6 +67,9 @@ class BenchOutput {
   }
 
   std::string path() const { return "BENCH_" + name_ + ".json"; }
+  std::string profile_path() const {
+    return "BENCH_" + name_ + ".profile.jsonl";
+  }
 
  private:
   void write() const {
@@ -64,11 +78,16 @@ class BenchOutput {
     root["tables"] = json::Value(tables_);
     std::ofstream f(path(), std::ios::binary | std::ios::trunc);
     if (f) f << json::Value(std::move(root)).dump() << '\n';
+    if (!profile_.empty()) {
+      std::ofstream p(profile_path(), std::ios::binary | std::ios::trunc);
+      if (p) p << profile_;
+    }
   }
 
   static inline BenchOutput* current_ = nullptr;
   std::string name_;
   json::Array tables_;
+  std::string profile_;
 };
 
 }  // namespace vdap::bench

@@ -1,0 +1,145 @@
+// Continuous-profiling overhead (DESIGN.md §6j): run_fleet_scale with
+// the tag-stack sampling profiler OFF vs ON (per-thread seqlock stacks,
+// ~1 kHz background sampler folding collapsed stacks per slot).
+//
+// Two committed tables:
+//   * A prof-determinism table: sampler ticks > 0, truncation count, and
+//     whether the sim digest matched the sampler-off run. Tick counts are
+//     wall-clock and never committed as numbers — only the "sampled at
+//     all" / "digest match" booleans are, because those are the contract:
+//     the profiler observes the run through seqlock snapshots and must
+//     not perturb a single deterministic byte (the `prof` sweep test
+//     proves it across the shard × thread matrix).
+//   * A prof-overhead table: the sampler-on / sampler-off wall-clock
+//     RATIO (best of 3 each, 2 decimals). Absolute wall times are never
+//     committed — the ratio is unit-free and machine-portable, and the
+//     15% bench drift gate becomes exactly the overhead budget the
+//     hot-path push/pop and the sampler thread have to keep: if leaving
+//     the profiler on stops being cheap, this baseline catches it.
+//
+// The sampler-on run's profile.jsonl is attached to the bench output as
+// BENCH_prof.profile.jsonl (BenchOutput::record_profile) — outside the
+// numeric gate, but bench_compare.py uses baseline/candidate profile
+// pairs to print the top regressed frames when the gate fails.
+#include <benchmark/benchmark.h>
+
+#include "bench_output.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/fleet_scale.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vdap;
+using core::FleetScaleConfig;
+using core::FleetScaleOutcome;
+
+FleetScaleConfig prof_config(int vehicles, bool prof) {
+  FleetScaleConfig cfg;
+  cfg.vehicles = vehicles;
+  cfg.seed = 7;
+  // The digest is shard/thread-count independent, so run the fast
+  // configuration; the prof sweep test covers the full matrix.
+  cfg.shards = 8;
+  cfg.threads = sim::ThreadPool::hardware_threads();
+  cfg.epoch = sim::seconds(1);
+  cfg.sample_period = sim::seconds(2);
+  cfg.samples_per_tick = 2;
+  cfg.run_until = sim::seconds(4);
+  cfg.drain = sim::seconds(4);
+  cfg.shipper.flush_period = sim::seconds(2);
+  // The ingest backend adds the decode/detect PROF_SCOPE sites to the hot
+  // path, so the ratio prices the fully instrumented pipeline.
+  cfg.ingest_backend = true;
+  cfg.prof = prof;
+  // Pin the interval: the committed tables must not move with the
+  // environment (VDAP_PROF_INTERVAL_US is for interactive runs).
+  cfg.prof_opts.interval_us = 1000;
+  return cfg;
+}
+
+void print_determinism_table() {
+  util::TextTable table(
+      "prof determinism — sampler on vs off, seed 7 (tick counts are "
+      "wall-clock; only the booleans are the contract)");
+  table.set_header({"vehicles", "sampled", "truncated", "digest match"});
+  for (int n : {1000, 10000}) {
+    FleetScaleOutcome off = core::run_fleet_scale(prof_config(n, false));
+    FleetScaleOutcome on = core::run_fleet_scale(prof_config(n, true));
+    // The profile text carries the truncation counter on its meta line;
+    // any non-zero value means a tag stack outgrew kMaxProfDepth.
+    const bool truncated =
+        on.profile_jsonl.find("\"truncated\":0}") == std::string::npos;
+    table.add_row({std::to_string(n), on.prof_samples > 0 ? "yes" : "NO",
+                   truncated ? "YES" : "no",
+                   on.digest == off.digest ? "yes" : "NO"});
+  }
+  bench::BenchOutput::record(table);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected shape: the sampler always ticks (sampled=yes), no stack\n"
+      "outgrows the fixed depth (truncated=no), and the sim digest never\n"
+      "moves when the sampler toggles (profiles are wall-plane only).\n\n");
+}
+
+double best_wall(const FleetScaleConfig& cfg, FleetScaleOutcome* out) {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = core::run_fleet_scale(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void print_overhead_table() {
+  const int n = 10000;
+  FleetScaleOutcome off_out;
+  FleetScaleOutcome on_out;
+  const double off = best_wall(prof_config(n, false), &off_out);
+  const double on = best_wall(prof_config(n, true), &on_out);
+  util::TextTable table(
+      "prof overhead — 10k vehicles, sampler-on / sampler-off wall ratio "
+      "(best of 3; absolute seconds never committed)");
+  table.set_header({"vehicles", "overhead x", "digest match"});
+  table.add_row({std::to_string(n), util::TextTable::num(on / off, 2),
+                 on_out.digest == off_out.digest ? "yes" : "NO"});
+  bench::BenchOutput::record(table);
+  // The profile itself rides along (outside the numeric gate) so a failed
+  // gate can name the frames that absorbed the regression.
+  bench::BenchOutput::record_profile(on_out.profile_jsonl);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("prof_on_s=%.3f prof_off_s=%.3f overhead=%.2fx "
+              "(raw walls not committed)\n\n", on, off, on / off);
+}
+
+void BM_ScaleProf(benchmark::State& state) {
+  const bool prof = state.range(0) != 0;
+  for (auto _ : state) {
+    FleetScaleOutcome r = core::run_fleet_scale(prof_config(2000, prof));
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ScaleProf)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vdap::bench::BenchOutput bench_out("prof");
+  print_determinism_table();
+  // The overhead RATIO is committed — it must run (and record) even when
+  // the bench gate collects tables with --benchmark_list_tests.
+  print_overhead_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,7 +12,15 @@ The gate compares numeric cells (relative drift, symmetric so both
 directions of surprise fail) and ignores non-numeric cells. On failure it
 prints, besides the failing cells, a per-metric drift report covering
 EVERY compared key — percentage and direction — so one glance separates a
-systematic shift from a targeted regression. A result file
+systematic shift from a targeted regression; --report prints the same
+drift report on success too (CI runs it, so the uploaded log always
+shows how close every metric sat to the gate). When a bench attached a
+profile (BENCH_<name>.profile.jsonl, bench/bench_output.hpp) and both
+the baseline and candidate dirs carry one, a failure additionally prints
+the top regressed frames — per-frame self-share in percentage points,
+candidate minus baseline — pointing at the code region that absorbed the
+wall-clock regression. Profiles never gate anything themselves (they are
+wall-plane samples, not deterministic cells). A result file
 missing from the candidate set, a table missing from the baseline, or a
 changed table shape fails with a pointer at --bench-rebaseline. A
 candidate file with no baseline is AUTO-SEEDED: the candidate is copied
@@ -43,6 +51,64 @@ def load_dir(path):
         with open(os.path.join(path, entry), "rb") as f:
             docs[entry] = json.load(f)
     return docs
+
+
+def load_profiles(path):
+    """name -> {frame: self_count}, for BENCH_*.profile.jsonl under path.
+
+    Mirrors the self-time fold of vdap-report --profile: each sampled
+    stack's count is attributed to its innermost frame. The meta line
+    (the first object, carrying interval_us) is skipped; unparseable
+    files are skipped too — profiles are diagnostic, never load-bearing.
+    """
+    profiles = {}
+    if not os.path.isdir(path):
+        return profiles
+    for entry in sorted(os.listdir(path)):
+        if not (entry.startswith("BENCH_") and
+                entry.endswith(".profile.jsonl")):
+            continue
+        frames = {}
+        try:
+            with open(os.path.join(path, entry), "rb") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    row = json.loads(line)
+                    stack = row.get("stack")
+                    if not stack:
+                        continue  # meta line, or malformed
+                    leaf = stack.split(";")[-1]
+                    frames[leaf] = frames.get(leaf, 0) + int(row["count"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if frames:
+            profiles[entry] = frames
+    return profiles
+
+
+def print_profile_diffs(baseline_dir, candidate_dir, top_n=10):
+    """On gate failure: name the frames that absorbed the regression."""
+    base_profs = load_profiles(baseline_dir)
+    cand_profs = load_profiles(candidate_dir)
+    for name in sorted(base_profs.keys() & cand_profs.keys()):
+        base, cand = base_profs[name], cand_profs[name]
+        base_total = sum(base.values())
+        cand_total = sum(cand.values())
+        if base_total == 0 or cand_total == 0:
+            continue
+        deltas = []
+        for frame in base.keys() | cand.keys():
+            bp = 100.0 * base.get(frame, 0) / base_total
+            cp = 100.0 * cand.get(frame, 0) / cand_total
+            deltas.append((cp - bp, frame, bp, cp))
+        deltas.sort(key=lambda d: (-d[0], d[1]))
+        print(f"top regressed frames, {name} (self-share percentage "
+              f"points, candidate vs baseline — frames that absorbed "
+              f"time come first):")
+        for delta, frame, bp, cp in deltas[:top_n]:
+            print(f"  {delta:+7.2f}pp  {frame}: {bp:.2f}% -> {cp:.2f}%")
 
 
 def as_number(cell):
@@ -108,6 +174,10 @@ def main():
                     help="fail on a candidate with no baseline instead of "
                          "auto-seeding it (CI mode: baselines must be "
                          "committed, never invented on the runner)")
+    ap.add_argument("--report", action="store_true",
+                    help="print the per-metric drift report even when the "
+                         "gate passes (CI mode: the log shows how close "
+                         "every metric sat to the threshold)")
     args = ap.parse_args()
 
     baselines = load_dir(args.baseline_dir)
@@ -149,25 +219,34 @@ def main():
                   f"gated against it.", file=sys.stderr)
             print("!" * 72, file=sys.stderr)
 
-    if failures:
-        print(f"bench regression gate: {len(failures)} failure(s) at "
-              f">{args.threshold:.0%} drift:")
-        for f in failures:
-            print(f"  FAIL {f}")
-        # Full drift report: every compared key, with percentage and
-        # direction, so a failure shows whether the whole table shifted
-        # (systematic change) or one metric spiked (targeted regression).
+    # Full drift report: every compared key, with percentage and
+    # direction, so one glance separates a systematic shift (everything
+    # moved) from a targeted regression (one metric spiked). Printed on
+    # every failure, and on success too under --report.
+    def drift_report():
         print(f"per-metric drift, all {len(comparisons)} compared key(s) "
               f"('+' candidate above baseline, '-' below):")
         for key, b, c, d, delta in comparisons:
             direction = "+" if delta > 0 else ("-" if delta < 0 else "=")
             marker = " FAIL" if d > args.threshold else ""
             print(f"  {direction} {d:7.2%}  {key}: {b} -> {c}{marker}")
+
+    if failures:
+        print(f"bench regression gate: {len(failures)} failure(s) at "
+              f">{args.threshold:.0%} drift:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        drift_report()
+        # Where attached profiles exist on both sides, name the frames
+        # that absorbed the regression (DESIGN.md §6j).
+        print_profile_diffs(args.baseline_dir, args.candidate_dir)
         print("if intentional, refresh with scripts/check.sh "
               "--bench-rebaseline and commit bench/baselines/")
         return 1
     print(f"bench regression gate: {len(baselines)} result file(s) within "
           f"{args.threshold:.0%} of baseline")
+    if args.report:
+        drift_report()
     return 0
 
 

@@ -4,8 +4,9 @@
 # --strict: missing baselines fail rather than auto-seed), then an
 # AddressSanitizer+UBSan build running the chaos/soak, telemetry-trace,
 # SLO-health, fleet-telemetry, sharded-simulator, sharded-ingest,
-# shard-observability and flight-recorder suites (the long-horizon and
-# multi-threaded paths most likely to hide lifetime and ordering bugs).
+# shard-observability, flight-recorder and profiling suites (the
+# long-horizon and multi-threaded paths most likely to hide lifetime and
+# ordering bugs).
 #
 # Usage: scripts/check.sh
 #          [--tier1-only | --bench-only | --bench-rebaseline | --tsan]
@@ -74,7 +75,8 @@ run_benches() {
 
 if [[ "${1:-}" == "--bench-rebaseline" ]]; then
   echo "== regenerating bench/baselines/ =="
-  rm -f "$ROOT"/bench/baselines/BENCH_*.json
+  rm -f "$ROOT"/bench/baselines/BENCH_*.json \
+        "$ROOT"/bench/baselines/BENCH_*.profile.jsonl
   run_benches "$ROOT/bench/baselines"
   ls "$ROOT"/bench/baselines/
   echo "OK (rebaselined — review and commit bench/baselines/)"
@@ -99,25 +101,28 @@ mkdir -p "$VDAP_OBS_ARTIFACTS"
 run_benches "$ROOT/build/bench-results"
 # --strict: a bench without a committed baseline fails here (and in CI)
 # instead of being auto-seeded; --bench-rebaseline is the seeding path.
-python3 scripts/bench_compare.py bench/baselines build/bench-results --strict
+# --report: print the full drift report even on success, so every run
+# shows how close each metric sat to the 15% gate.
+python3 scripts/bench_compare.py bench/baselines build/bench-results \
+        --strict --report
 
 if [[ "${1:-}" == "--bench-only" ]]; then
   echo "OK (bench only)"
   exit 0
 fi
 
-echo "== asan: chaos + trace + slo + fleet + shard + ingest + obs + flight suites under ASan/UBSan =="
+echo "== asan: chaos + trace + slo + fleet + shard + ingest + obs + flight + prof suites under ASan/UBSan =="
 cmake -B build-asan -S . -DASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -L 'chaos|trace|slo|fleet|shard|ingest|obs|flight'
+      -L 'chaos|trace|slo|fleet|shard|ingest|obs|flight|prof'
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  echo "== tsan: shard + fleet + ingest + obs + flight suites under ThreadSanitizer =="
+  echo "== tsan: shard + fleet + ingest + obs + flight + prof suites under ThreadSanitizer =="
   cmake -B build-tsan -S . -DTSAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'shard|fleet|ingest|obs|flight'
+        -L 'shard|fleet|ingest|obs|flight|prof'
 fi
 
 echo "OK"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CLI/README lockstep check for vdap-report.
+
+Usage: check_cli_docs.py <vdap-report-binary> <README.md>
+
+Runs `<binary> --help`, extracts every flag mode the binary advertises in
+its "modes:" section (--fleet, --shards, ...), and fails — naming the
+missing flag — unless each one has a row in a README markdown table
+(a line starting with '|' containing the backticked flag). The ctest
+registration in tools/CMakeLists.txt runs this, so adding a mode to the
+binary without documenting it (or documenting a mode the binary dropped)
+breaks the build's test suite, not a reader.
+
+Exit codes: 0 in lockstep, 1 drift, 2 usage/IO errors.
+"""
+
+import re
+import subprocess
+import sys
+
+
+def help_mode_flags(binary):
+    out = subprocess.run([binary, "--help"], capture_output=True, text=True,
+                         timeout=60)
+    if out.returncode != 0:
+        print(f"error: {binary} --help exited {out.returncode}",
+              file=sys.stderr)
+        sys.exit(2)
+    flags = []
+    in_modes = False
+    for line in out.stdout.splitlines():
+        if line.strip() == "modes:":
+            in_modes = True
+            continue
+        if not in_modes:
+            continue
+        # A mode line starts with two spaces then the mode token; flag
+        # modes start with '--' (the positional trace mode has no flag to
+        # look up in the README table by name).
+        m = re.match(r"  (--[a-z-]+)\s", line)
+        if m:
+            flags.append(m.group(1))
+    if not flags:
+        print("error: no flag modes found in --help output (format drift? "
+              "expected a 'modes:' section with '  --flag ...' lines)",
+              file=sys.stderr)
+        sys.exit(2)
+    return flags
+
+
+def readme_table_flags(readme_path):
+    flags = set()
+    with open(readme_path, encoding="utf-8") as f:
+        for line in f:
+            if not line.lstrip().startswith("|"):
+                continue
+            flags.update(re.findall(r"`(--[a-z-]+)", line))
+    return flags
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, readme = sys.argv[1], sys.argv[2]
+    advertised = help_mode_flags(binary)
+    documented = readme_table_flags(readme)
+    missing = [f for f in advertised if f not in documented]
+    if missing:
+        for f in missing:
+            print(f"FAIL: {binary} --help advertises {f!r} but {readme} has "
+                  f"no table row mentioning `{f}`")
+        return 1
+    print(f"ok: all {len(advertised)} vdap-report modes "
+          f"({', '.join(advertised)}) have README table rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

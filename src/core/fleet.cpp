@@ -180,6 +180,7 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
           *shard_sim, cars[static_cast<std::size_t>(i)]->name(),
           *worlds[static_cast<std::size_t>(s)].ship_topo,
           [&ssim, &backend, s, i, shard_sim](const std::string& bytes) {
+            PROF_SCOPE("fleet/deliver");
             backend.ingest_on_shard(s, bytes);
             ssim.post(s, shard_sim->now(), static_cast<std::uint64_t>(i),
                       bytes);
@@ -312,6 +313,20 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
           telemetry::incident("scripted", "fleet");
         });
       }
+    }
+
+    // --- continuous profiling plane (DESIGN.md §6j) ----------------------
+    // Attached before the first run_until so pool workers register their
+    // wait slots on spawn. Slot layout per ShardedSimulator::set_prof:
+    // shards, coordinator, then one slot per spawned pool worker.
+    std::unique_ptr<telemetry::prof::Profiler> prof;
+    if (config.prof) {
+      prof = std::make_unique<telemetry::prof::Profiler>(
+          static_cast<std::size_t>(nshards) + 1 +
+              static_cast<std::size_t>(ssim.threads()),
+          config.prof_opts);
+      ssim.set_prof(prof.get());
+      prof->start();
     }
 
     // --- load: every vehicle runs the same staggered schedule ------------
@@ -477,6 +492,14 @@ FleetOutcome run_fleet(const sim::FaultPlan& plan, const FleetConfig& config) {
       out.flight_rings = flight->serialize_rings();
       out.flight_bundles = flight->bundles();
       ssim.set_flight(nullptr);
+    }
+    if (prof != nullptr) {
+      prof->stop();
+      const telemetry::prof::ProfileData pd = prof->collect();
+      out.profile_jsonl = telemetry::prof::profile_jsonl(pd);
+      out.profile_folded = telemetry::prof::profile_folded(pd);
+      out.prof_samples = pd.samples;
+      ssim.set_prof(nullptr);
     }
     std::vector<telemetry::ShardRuntimeRow> rows;
     rows.reserve(static_cast<std::size_t>(nshards));

@@ -28,6 +28,7 @@
 #include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/prof/profiler.hpp"
 
 namespace vdap::core {
 
@@ -99,6 +100,15 @@ struct FleetConfig {
     o.mirror_spans = false;
     return o;
   }
+
+  /// Continuous profiling plane (DESIGN.md §6j): attach a sampling
+  /// profiler to the run and export collapsed-stack artifacts
+  /// (profile_jsonl / profile_folded in the outcome). Purely wall-plane:
+  /// the sampler only reads seqlock-published tag stacks, so every
+  /// deterministic output above is byte-identical with prof on or off —
+  /// the `prof` test suite proves it across the shard × thread matrix.
+  bool prof = false;
+  telemetry::prof::ProfOptions prof_opts;
 };
 
 struct FleetVehicleStats {
@@ -163,6 +173,12 @@ struct FleetOutcome {
   std::uint64_t flight_scratch_dropped = 0;
   std::string flight_rings;
   std::vector<telemetry::FlightRecorder::Bundle> flight_bundles;
+
+  // Profiling plane (empty / zero unless config.prof); wall-clock
+  // sampled, diagnostic only — see FleetConfig::prof.
+  std::string profile_jsonl;
+  std::string profile_folded;
+  std::uint64_t prof_samples = 0;
 };
 
 /// Canned plan: slow every processor of vehicle `vehicle_index` to

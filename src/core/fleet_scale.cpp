@@ -114,6 +114,19 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     if (config.flight_crash_dump) flight->arm_crash_dump();
   }
 
+  // Continuous profiling plane (DESIGN.md §6j). Attached before the first
+  // run_until so pool workers register their wait slots on spawn; slot
+  // layout per ShardedSimulator::set_prof (shards, coordinator, workers).
+  std::unique_ptr<telemetry::prof::Profiler> prof;
+  if (config.prof) {
+    prof = std::make_unique<telemetry::prof::Profiler>(
+        static_cast<std::size_t>(nshards) + 1 +
+            static_cast<std::size_t>(ssim.threads()),
+        config.prof_opts);
+    ssim.set_prof(prof.get());
+    prof->start();
+  }
+
   // All vehicle state lives in one flat vector sized up front, so the
   // deliver callbacks' pointers stay valid and each slot is touched only
   // by its home shard's thread.
@@ -137,6 +150,7 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     v->shipper = std::make_unique<fleet::TelemetryShipper>(
         shard_sim, util::format("cav-%d", i), *topos[static_cast<std::size_t>(s)],
         [v, ingest, s](const std::string& bytes) {
+          PROF_SCOPE("fleet/deliver");
           v->digest = fnv_bytes(v->digest, bytes);
           ++v->frames;
           if (ingest != nullptr) ingest->ingest_on_shard(s, bytes);
@@ -267,6 +281,14 @@ FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config) {
     out.flight_rings = flight->serialize_rings();
     out.flight_bundles = flight->bundles();
     ssim.set_flight(nullptr);
+  }
+  if (prof != nullptr) {
+    prof->stop();
+    const telemetry::prof::ProfileData pd = prof->collect();
+    out.profile_jsonl = telemetry::prof::profile_jsonl(pd);
+    out.profile_folded = telemetry::prof::profile_folded(pd);
+    out.prof_samples = pd.samples;
+    ssim.set_prof(nullptr);
   }
 
   // Runtime plane: one report row per shard (wall-clock — diagnostic only).

@@ -25,6 +25,7 @@
 #include "telemetry/fleet/ingest.hpp"
 #include "telemetry/fleet/shipper.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/prof/profiler.hpp"
 
 namespace vdap::sim {
 class ShardedSimulator;
@@ -74,6 +75,12 @@ struct FleetScaleConfig {
   /// SIGSEGV/SIGABRT/... an async-signal-safe handler streams the raw
   /// rings and a minimal manifest to <dir>/incident-crash/.
   bool flight_crash_dump = false;
+  /// Continuous profiling plane (DESIGN.md §6j): run a sampling profiler
+  /// alongside the fleet and export collapsed-stack artifacts
+  /// (profile_jsonl / profile_folded below). Wall-plane only — the digest,
+  /// capture and flight outputs are byte-for-byte unaffected either way.
+  bool prof = false;
+  telemetry::prof::ProfOptions prof_opts;
   /// Test hook: runs after all wiring (recorder bound, vehicles built)
   /// and before the first run_until — e.g. the death test schedules a
   /// mid-run abort here.
@@ -135,6 +142,12 @@ struct FleetScaleOutcome {
   /// End-of-run serialization of the master ring (VFR1 wire format).
   std::string flight_rings;
   std::vector<telemetry::FlightRecorder::Bundle> flight_bundles;
+
+  // Profiling plane (empty / zero unless config.prof); wall-clock
+  // sampled, diagnostic only — never part of the byte-identity contract.
+  std::string profile_jsonl;   // meta line + per-slot collapsed stacks
+  std::string profile_folded;  // merged flamegraph.pl input
+  std::uint64_t prof_samples = 0;
 };
 
 FleetScaleOutcome run_fleet_scale(const FleetScaleConfig& config);

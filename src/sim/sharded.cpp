@@ -7,6 +7,7 @@
 
 #include "telemetry/domains.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::sim {
@@ -50,6 +51,23 @@ void ShardedSimulator::set_flight(telemetry::FlightRecorder* flight) {
     flight_->ring(i).set_clock(
         shards_[static_cast<std::size_t>(i)].sim->now_ptr());
   }
+}
+
+void ShardedSimulator::set_prof(telemetry::prof::Profiler* prof) {
+  if (prof != nullptr &&
+      prof->slots() < static_cast<std::size_t>(shards()) + 1) {
+    throw std::invalid_argument(
+        "sharded: profiler has " + std::to_string(prof->slots()) +
+        " slots for " + std::to_string(shards()) + " shards (+1 coordinator)");
+  }
+  // Changing the binding while workers exist would leave them parked in a
+  // "pool/wait" scope holding pointers into the OLD profiler's slots —
+  // freed as soon as the caller destroys it. Joining the pool here drains
+  // those scopes while the slots are still alive (callers detach with
+  // set_prof(nullptr) before destroying the profiler); the next run_until
+  // respawns workers against the new binding.
+  if (prof != prof_ && pool_ != nullptr) pool_.reset();
+  prof_ = prof;
 }
 
 bool ShardedSimulator::idle() const {
@@ -167,7 +185,21 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
     // reach every barrier); callers drain with explicit horizons instead.
     throw std::invalid_argument("sharded: run_until needs a finite horizon");
   }
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  if (pool_ == nullptr) {
+    // Worker-registration hooks give each spawned worker its own prof
+    // slot, so barrier waits ("pool/wait") show up in sampled profiles.
+    // The hooks read prof_ at worker spawn: attach the profiler before
+    // the first run_until (the pool is created lazily right here).
+    ThreadPool::WorkerHooks hooks;
+    hooks.on_start = [this](std::size_t w) {
+      if (prof_ != nullptr) {
+        telemetry::prof::bind_prof(
+            prof_->slot(static_cast<std::size_t>(shards()) + 1 + w));
+      }
+    };
+    hooks.on_exit = [](std::size_t) { telemetry::prof::bind_prof(nullptr); };
+    pool_ = std::make_unique<ThreadPool>(opts_.threads, std::move(hooks));
+  }
   std::size_t fired_total = 0;
   while (now_ < until) {
     SimTime epoch_end = until - now_ < opts_.epoch_length
@@ -182,19 +214,27 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
                               : nullptr;
       telemetry::FlightRing* ring =
           flight_ != nullptr ? &flight_->ring(static_cast<int>(i)) : nullptr;
-      tasks.push_back([shard, epoch_end, domain, ring] {
+      telemetry::prof::ProfSlot* pslot =
+          prof_ != nullptr ? prof_->slot(i) : nullptr;
+      tasks.push_back([shard, epoch_end, domain, ring, pslot] {
         const auto t0 = std::chrono::steady_clock::now();
         // Bind the shard's domain for the duration of its epoch so every
         // instrumentation site below records into per-shard storage. The
         // previous binding is restored because the calling thread also
         // works tasks and must leave with its own binding intact. The
-        // flight ring binds the same way (independently — the black box
-        // records with capture off too).
+        // flight ring and prof slot bind the same way (independently —
+        // the black box and the sampler work with capture off too).
         telemetry::Domain* prev = nullptr;
         telemetry::FlightRing* prev_ring = nullptr;
+        telemetry::prof::ProfSlot* prev_prof = nullptr;
         if (domain != nullptr) prev = telemetry::bind_domain(domain);
         if (ring != nullptr) prev_ring = telemetry::bind_flight(ring);
-        shard->fired += shard->sim->run_until(epoch_end);
+        if (pslot != nullptr) prev_prof = telemetry::prof::bind_prof(pslot);
+        {
+          PROF_SCOPE("sim/epoch");
+          shard->fired += shard->sim->run_until(epoch_end);
+        }
+        if (pslot != nullptr) telemetry::prof::bind_prof(prev_prof);
         if (ring != nullptr) telemetry::bind_flight(prev_ring);
         if (domain != nullptr) telemetry::bind_domain(prev);
         shard->epoch_busy =
@@ -212,6 +252,7 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
     // coordinator ring, timestamped with the barrier's epoch end.
     telemetry::Domain* prev = nullptr;
     telemetry::FlightRing* prev_ring = nullptr;
+    telemetry::prof::ProfSlot* prev_prof = nullptr;
     if (capture_ != nullptr) {
       prev = telemetry::bind_domain(capture_->coordinator_domain());
     }
@@ -220,16 +261,28 @@ std::size_t ShardedSimulator::run_until(SimTime until) {
       coord.set_time_hint(epoch_end);
       prev_ring = telemetry::bind_flight(&coord);
     }
-    exchange(epoch_end);
+    if (prof_ != nullptr) {
+      prev_prof = telemetry::prof::bind_prof(
+          prof_->slot(static_cast<std::size_t>(shards())));
+    }
+    {
+      PROF_SCOPE("sim/exchange");
+      exchange(epoch_end);
+    }
     if (flight_ != nullptr) telemetry::bind_flight(prev_ring);
     if (capture_ != nullptr) {
       telemetry::bind_domain(prev);
+      PROF_SCOPE("sim/merge");
       capture_->merge_epoch();
     }
     // Fold every scratch ring into the master ring in canonical content
     // order and service any incident trigger raised this epoch — the
     // shards are quiesced, so this is race-free and deterministic.
-    if (flight_ != nullptr) flight_->fold_barrier(epoch_end);
+    if (flight_ != nullptr) {
+      PROF_SCOPE("flight/fold");
+      flight_->fold_barrier(epoch_end);
+    }
+    if (prof_ != nullptr) telemetry::prof::bind_prof(prev_prof);
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = shards_[i];

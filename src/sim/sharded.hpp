@@ -54,6 +54,10 @@ class DomainSet;
 class FlightRecorder;
 }  // namespace vdap::telemetry
 
+namespace vdap::telemetry::prof {
+class Profiler;
+}  // namespace vdap::telemetry::prof
+
 namespace vdap::sim {
 
 /// One cross-shard message. `key` orders messages from different shards
@@ -120,6 +124,21 @@ class ShardedSimulator {
   void set_flight(telemetry::FlightRecorder* flight);
   telemetry::FlightRecorder* flight() const { return flight_; }
 
+  /// Attaches a sampling profiler (DESIGN.md §6j). Slot layout: shard i's
+  /// epoch work publishes into slot i, the coordinator's barrier sections
+  /// into slot shards(), and pool worker w (spawned worker threads only)
+  /// into slot shards()+1+w — the profiler must own at least shards()+1
+  /// slots; worker slots beyond its size are simply not registered.
+  /// Purely wall-plane: the sampler only reads seqlock-published stacks,
+  /// so sim outputs stay byte-identical with the profiler on or off.
+  /// Attach before the first run_until so pool workers register on spawn.
+  /// Detach with set_prof(nullptr) BEFORE destroying the profiler: a
+  /// binding change joins any live pool workers (their parked "pool/wait"
+  /// scopes hold pointers into the old profiler's slots), and the next
+  /// run_until respawns them against the new binding.
+  void set_prof(telemetry::prof::Profiler* prof);
+  telemetry::prof::Profiler* prof() const { return prof_; }
+
   /// Per-shard runtime statistics, accumulated across every run_until call
   /// (wall-clock derived — diagnostic only, never deterministic).
   struct ShardRuntime {
@@ -166,6 +185,7 @@ class ShardedSimulator {
   EpochSink sink_;
   telemetry::DomainSet* capture_ = nullptr;
   telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::prof::Profiler* prof_ = nullptr;
   SimTime now_ = kTimeZero;
   std::uint64_t epochs_ = 0;
 };

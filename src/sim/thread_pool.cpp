@@ -1,10 +1,14 @@
 #include "sim/thread_pool.hpp"
 
+#include "telemetry/prof/profiler.hpp"
+
 namespace vdap::sim {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, WorkerHooks hooks)
+    : hooks_(std::move(hooks)) {
   for (int i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const std::size_t index = static_cast<std::size_t>(i - 1);
+    workers_.emplace_back([this, index] { worker_loop(index); });
   }
 }
 
@@ -40,21 +44,24 @@ bool ThreadPool::take_task() {
   return true;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  if (hooks_.on_start) hooks_.on_start(worker_index);
   std::uint64_t seen_gen = 0;
   for (;;) {
     {
+      PROF_SCOPE("pool/wait");
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         return shutdown_ || (tasks_ != nullptr && batch_gen_ != seen_gen &&
                              next_task_ < tasks_->size());
       });
-      if (shutdown_) return;
+      if (shutdown_) break;
       seen_gen = batch_gen_;
     }
     while (take_task()) {
     }
   }
+  if (hooks_.on_exit) hooks_.on_exit(worker_index);
 }
 
 void ThreadPool::run(std::vector<std::function<void()>>& tasks) {

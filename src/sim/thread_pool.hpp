@@ -23,7 +23,18 @@ namespace vdap::sim {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int threads);
+  /// Per-worker lifecycle hooks, called on the worker thread itself right
+  /// after it starts (`on_start`) and right before it exits (`on_exit`),
+  /// with the worker's index (0-based over the spawned workers; the
+  /// calling thread that participates in run() is not a worker). The
+  /// profiling plane uses these to register worker threads with the
+  /// sampler (sim::ShardedSimulator binds a prof slot per worker).
+  struct WorkerHooks {
+    std::function<void(std::size_t)> on_start;
+    std::function<void(std::size_t)> on_exit;
+  };
+
+  explicit ThreadPool(int threads, WorkerHooks hooks = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,9 +51,10 @@ class ThreadPool {
   static int hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   bool take_task();
 
+  WorkerHooks hooks_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new batch
   std::condition_variable done_cv_;   // run() waits for batch completion

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
@@ -54,6 +55,7 @@ IngestShard::IngestShard(const IngestOptions& options) : opts_(clamped(options))
 }
 
 bool IngestShard::ingest_line(std::string_view line, std::string* error) {
+  PROF_SCOPE("ingest/decode");
   std::optional<WireFrame> frame = wire_decode(line, error);
   if (!frame.has_value()) {
     ++decode_errors_;
@@ -250,6 +252,7 @@ bool ShardedIngestBackend::ingest_on_shard(int shard, std::string_view line) {
 }
 
 void ShardedIngestBackend::barrier() {
+  PROF_SCOPE("ingest/barrier");
   sim::SimTime wm = watermark_;
   for (const auto& s : shards_) wm = std::max(wm, s->watermark());
   watermark_ = wm;
@@ -288,6 +291,7 @@ void ShardedIngestBackend::barrier() {
 }
 
 void ShardedIngestBackend::detect(const std::string& metric) {
+  PROF_SCOPE("ingest/detect");
   const sim::SimTime from = watermark_ > opts_.detect_window
                                 ? watermark_ - opts_.detect_window
                                 : 0;

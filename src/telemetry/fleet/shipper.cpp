@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vdap::telemetry::fleet {
@@ -93,6 +94,7 @@ void TelemetryShipper::stop() {
 void TelemetryShipper::flush_now() { cut_frame(); }
 
 void TelemetryShipper::cut_frame() {
+  PROF_SCOPE("shipper/cut_frame");
   if (pending_counters_.empty() && pending_gauges_.empty() &&
       pending_samples_.empty() && pending_events_.empty()) {
     return;

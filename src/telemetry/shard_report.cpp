@@ -45,6 +45,18 @@ std::string shards_report_jsonl(const std::vector<ShardRuntimeRow>& rows) {
   return out;
 }
 
+std::string shards_report_judged_jsonl(
+    const std::vector<ShardRuntimeRow>& rows) {
+  std::string out;
+  for (const ShardRuntimeRow& r : rows) {
+    json::Object o = row_to_json(r);
+    o["judgement"] = analysis::judge_shard_runtime(r);
+    out += json::Value(std::move(o)).dump();
+    out += '\n';
+  }
+  return out;
+}
+
 bool parse_shards_report(std::string_view text,
                          std::vector<ShardRuntimeRow>* rows,
                          std::string* error) {

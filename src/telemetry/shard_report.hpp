@@ -45,6 +45,12 @@ struct ShardRuntimeRow {
 /// One JSON object per shard, one line per object.
 std::string shards_report_jsonl(const std::vector<ShardRuntimeRow>& rows);
 
+/// Like shards_report_jsonl, plus a "judgement" key per row carrying
+/// analysis::judge_shard_runtime's verdict — the machine-readable form of
+/// the --shards table (`vdap-report --shards --json`). Key order is the
+/// std::map serialization order, stable across runs.
+std::string shards_report_judged_jsonl(const std::vector<ShardRuntimeRow>& rows);
+
 /// Parses shards_report_jsonl output. Returns false (with *error set) on
 /// malformed input; unknown keys are ignored for forward compatibility.
 bool parse_shards_report(std::string_view text,

@@ -115,6 +115,9 @@ class Tracer {
     std::string cat;
     std::string name;
     std::uint32_t tid = 0;
+    // Interned prof tag mirrored on begin() (0 = none) — end() pops the
+    // matching frame from the bound prof slot (telemetry/prof/profiler.hpp).
+    std::uint32_t prof_tag = 0;
   };
 
   std::vector<TraceEvent> events_;

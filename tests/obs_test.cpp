@@ -361,6 +361,54 @@ TEST(ShardReportTest, JudgementsNameEachPathology) {
             "overflow,backpressure,decode-errors");
 }
 
+// The imbalance threshold is strict (> 0.25 * wall): a shard waiting for
+// EXACTLY a quarter of its wall time is still "ok" — the verdict flips
+// only past the boundary, and these pins keep the boundary from drifting
+// silently under a refactor.
+TEST(ShardReportTest, JudgementBoundaries) {
+  ShardRuntimeRow quarter;
+  quarter.busy_s = 0.75;
+  quarter.wait_s = 0.25;  // wait == 0.25 * wall, not >
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(quarter), "ok");
+
+  ShardRuntimeRow just_over;
+  just_over.busy_s = 0.7499;
+  just_over.wait_s = 0.2501;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(just_over), "imbalanced");
+
+  // A shard that never ran an epoch has zero wall time: nothing to judge.
+  ShardRuntimeRow zero;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(zero), "ok");
+
+  // All-idle (busy 0, all wall time at barriers) IS imbalance — the shard
+  // had nothing to do while its siblings worked.
+  ShardRuntimeRow idle;
+  idle.busy_s = 0.0;
+  idle.wait_s = 1.0;
+  EXPECT_EQ(telemetry::analysis::judge_shard_runtime(idle), "imbalanced");
+}
+
+// The --json report carries each row's judgement inline, so machine
+// consumers never re-implement the verdict rules.
+TEST(ShardReportTest, JudgedJsonlAppendsVerdicts) {
+  ShardRuntimeRow ok;
+  ok.shard = 0;
+  ok.busy_s = 1.0;
+  ShardRuntimeRow late;
+  late.shard = 1;
+  late.ring_late = 2;
+  const std::string jsonl = telemetry::shards_report_judged_jsonl({ok, late});
+  EXPECT_NE(jsonl.find("\"judgement\":\"ok\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"judgement\":\"backpressure\""), std::string::npos);
+  // The judged form stays parseable: judgement is an unknown key to the
+  // round-trip parser and is ignored.
+  std::vector<ShardRuntimeRow> rows;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_shards_report(jsonl, &rows, &error)) << error;
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].ring_late, 2u);
+}
+
 // The report a real sharded run emits parses and judges cleanly.
 TEST(ShardReportTest, ScaleRunEmitsParsableReport) {
   core::FleetScaleConfig cfg;

@@ -2,8 +2,9 @@
 //
 //   vdap-report <trace.json> [metrics.jsonl]
 //   vdap-report --fleet <frames.jsonl> [--query "<expr>"]...
-//   vdap-report --shards <shards.jsonl>
+//   vdap-report --shards <shards.jsonl> [--json]
 //   vdap-report --incident <incident-dir>
+//   vdap-report --profile <profile.jsonl> [--diff <baseline.jsonl>]
 //
 // Trace mode reads a chrome_trace_json() capture (and optionally the JSONL
 // metrics snapshots Session emits), then prints:
@@ -38,6 +39,13 @@
 // merged timeline. Works on both orderly (barrier-snapshotted) and crash
 // (signal-handler-streamed) bundles.
 //
+// Profile mode renders a continuous-profiling artifact (DESIGN.md §6j —
+// the profile.jsonl a sampled run emits next to shards.jsonl): the top-N
+// frames by self samples with self/total shares. With --diff it renders
+// the per-frame self-share delta between a candidate and a baseline
+// profile instead — the table that names the code region a bench-gate
+// wall regression landed in. Wall-clock sampled, diagnostic only.
+//
 // Any unknown flag, or a flag missing its argument, prints the usage
 // line to stderr and exits 2.
 //
@@ -56,6 +64,7 @@
 #include "telemetry/analysis/slo.hpp"
 #include "telemetry/fleet/ingest.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/prof/report.hpp"
 #include "telemetry/shard_report.hpp"
 #include "util/stats.hpp"
 
@@ -68,8 +77,9 @@ int usage(std::FILE* to) {
       to,
       "usage: vdap-report <trace.json> [metrics.jsonl]\n"
       "       vdap-report --fleet <frames.jsonl> [--query \"<expr>\"]...\n"
-      "       vdap-report --shards <shards.jsonl>\n"
+      "       vdap-report --shards <shards.jsonl> [--json]\n"
       "       vdap-report --incident <incident-dir>\n"
+      "       vdap-report --profile <profile.jsonl> [--diff <baseline>]\n"
       "\n"
       "modes:\n"
       "  <trace.json> [metrics.jsonl]   critical-path, health-timeline and\n"
@@ -78,9 +88,13 @@ int usage(std::FILE* to) {
       "                                 ingest backend; --query runs DDI-\n"
       "                                 style expressions against it\n"
       "  --shards <shards.jsonl>        runtime-plane shard report with\n"
-      "                                 per-shard judgements\n"
+      "                                 per-shard judgements; --json emits\n"
+      "                                 judged rows as JSONL instead\n"
       "  --incident <incident-dir>      blame-annotated timeline of a\n"
-      "                                 flight-recorder incident bundle\n");
+      "                                 flight-recorder incident bundle\n"
+      "  --profile <profile.jsonl>      top frames by sampled self time;\n"
+      "                                 --diff renders the per-frame delta\n"
+      "                                 against a baseline profile\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -289,7 +303,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (mode == "--shards") {
-    if (argc != 3) return usage(stderr);  // missing (or extra) <shards.jsonl>
+    // <shards.jsonl> plus an optional --json; anything else is usage.
+    if (argc != 3 && argc != 4) return usage(stderr);
+    const bool as_json = argc == 4;
+    if (as_json && std::string(argv[3]) != "--json") return usage(stderr);
     std::string text;
     if (!read_file(argv[2], &text)) {
       std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
@@ -301,7 +318,49 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "vdap-report: %s: %s\n", argv[2], error.c_str());
       return 1;
     }
-    std::fputs(vdap::telemetry::shards_report_table(rows).c_str(), stdout);
+    if (as_json) {
+      std::fputs(vdap::telemetry::shards_report_judged_jsonl(rows).c_str(),
+                 stdout);
+    } else {
+      std::fputs(vdap::telemetry::shards_report_table(rows).c_str(), stdout);
+    }
+    return 0;
+  }
+  if (mode == "--profile") {
+    // <profile.jsonl> plus an optional --diff <baseline>; anything else
+    // is usage.
+    if (argc != 3 && argc != 5) return usage(stderr);
+    const bool diff = argc == 5;
+    if (diff && std::string(argv[3]) != "--diff") return usage(stderr);
+    std::string text;
+    if (!read_file(argv[2], &text)) {
+      std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    vdap::telemetry::prof::ProfileData cand;
+    std::string error;
+    if (!vdap::telemetry::prof::parse_profile_jsonl(text, &cand, &error)) {
+      std::fprintf(stderr, "vdap-report: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    if (diff) {
+      std::string base_text;
+      if (!read_file(argv[4], &base_text)) {
+        std::fprintf(stderr, "vdap-report: cannot read %s\n", argv[4]);
+        return 1;
+      }
+      vdap::telemetry::prof::ProfileData base;
+      if (!vdap::telemetry::prof::parse_profile_jsonl(base_text, &base,
+                                                      &error)) {
+        std::fprintf(stderr, "vdap-report: %s: %s\n", argv[4], error.c_str());
+        return 1;
+      }
+      std::fputs(
+          vdap::telemetry::prof::profile_diff_table(base, cand).c_str(),
+          stdout);
+    } else {
+      std::fputs(vdap::telemetry::prof::profile_table(cand).c_str(), stdout);
+    }
     return 0;
   }
   // Trace mode takes 1-2 positional paths; any flag here is unknown.
